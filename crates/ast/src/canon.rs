@@ -1,0 +1,258 @@
+//! AST canonicalization (§4.2).
+//!
+//! "Optimizations require less engineering when done at the AST level —
+//! inside the compiler implementation, most of these optimizations are ~5
+//! lines of code at the AST level versus ~50 lines at the MLIR level."
+//! The rewrites:
+//!
+//! - remove double-adjointing: `~~f` → `f`;
+//! - rewrite `std[N] & f` to `id[N] + f` (because `std[N]` fully spans —
+//!   we generalize to any fully-spanning predicate, which has the same
+//!   justification);
+//! - substitute `~(b1 >> b2)` with `b2 >> b1`;
+//! - replace `b3 & (b1 >> b2)` with `b3 + b1 >> b3 + b2`;
+//! - float constant folding (performed during type checking, when angle
+//!   expressions fold into `Phase::Const`);
+//!
+//! plus structural cleanups that enable them (`~` distributed over tensor
+//! and composition, `~id` → `id`, singleton tensor/compose unwrapping).
+
+use crate::tast::{TExpr, TExprKind, TKernel, TStmt};
+use crate::types::Type;
+
+/// Canonicalizes a kernel in place. Returns the number of rewrites applied.
+pub fn canonicalize(kernel: &mut TKernel) -> usize {
+    let mut total = 0;
+    for stmt in &mut kernel.body {
+        let expr = match stmt {
+            TStmt::Let { value, .. } => value,
+            TStmt::Expr(e) => e,
+        };
+        total += rewrite_to_fixpoint(expr);
+    }
+    total
+}
+
+fn rewrite_to_fixpoint(e: &mut TExpr) -> usize {
+    let mut total = 0;
+    loop {
+        let n = rewrite(e);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+/// One bottom-up pass; returns the number of rewrites applied.
+fn rewrite(e: &mut TExpr) -> usize {
+    let mut count = 0;
+    // Recurse first (bottom-up).
+    match &mut e.kind {
+        TExprKind::Adjoint(inner) => count += rewrite(inner),
+        TExprKind::Pred { func, .. } => count += rewrite(func),
+        TExprKind::Tensor(parts) | TExprKind::Compose(parts) => {
+            for p in parts {
+                count += rewrite(p);
+            }
+        }
+        TExprKind::Pipe { value, func } => {
+            count += rewrite(value);
+            count += rewrite(func);
+        }
+        TExprKind::Cond { cond, then_f, else_f } => {
+            count += rewrite(cond);
+            count += rewrite(then_f);
+            count += rewrite(else_f);
+        }
+        _ => {}
+    }
+
+    let replacement: Option<TExprKind> = match &e.kind {
+        // ~~f  ->  f
+        TExprKind::Adjoint(inner) => match &inner.kind {
+            TExprKind::Adjoint(f) => Some(f.kind.clone()),
+            // ~(b1 >> b2)  ->  b2 >> b1
+            TExprKind::Translation { b_in, b_out } => Some(TExprKind::Translation {
+                b_in: b_out.clone(),
+                b_out: b_in.clone(),
+            }),
+            // ~id  ->  id
+            TExprKind::Id { dim } => Some(TExprKind::Id { dim: *dim }),
+            // ~(f1 ; f2)  ->  ~f2 ; ~f1
+            TExprKind::Compose(parts) => Some(TExprKind::Compose(
+                parts
+                    .iter()
+                    .rev()
+                    .map(|p| TExpr {
+                        kind: TExprKind::Adjoint(Box::new(p.clone())),
+                        ty: p.ty,
+                    })
+                    .collect(),
+            )),
+            // ~(f1 + f2)  ->  ~f1 + ~f2
+            TExprKind::Tensor(parts) => Some(TExprKind::Tensor(
+                parts
+                    .iter()
+                    .map(|p| TExpr {
+                        kind: TExprKind::Adjoint(Box::new(p.clone())),
+                        ty: p.ty,
+                    })
+                    .collect(),
+            )),
+            _ => None,
+        },
+        TExprKind::Pred { basis, func } => {
+            if basis.fully_spans() {
+                // std[N] & f  ->  id[N] + f (and the fully-spanning
+                // generalization).
+                let id = TExpr {
+                    kind: TExprKind::Id { dim: basis.dim() },
+                    ty: Type::rev_func(basis.dim()),
+                };
+                Some(TExprKind::Tensor(vec![id, (**func).clone()]))
+            } else {
+                match &func.kind {
+                    // b3 & (b1 >> b2)  ->  b3 + b1 >> b3 + b2
+                    TExprKind::Translation { b_in, b_out } => Some(TExprKind::Translation {
+                        b_in: basis.tensor(b_in),
+                        b_out: basis.tensor(b_out),
+                    }),
+                    // b & id  ->  id
+                    TExprKind::Id { dim } => {
+                        Some(TExprKind::Id { dim: basis.dim() + dim })
+                    }
+                    _ => None,
+                }
+            }
+        }
+        // Singleton unwrapping.
+        TExprKind::Tensor(parts) if parts.len() == 1 => Some(parts[0].kind.clone()),
+        TExprKind::Compose(parts) if parts.len() == 1 => Some(parts[0].kind.clone()),
+        _ => None,
+    };
+
+    if let Some(kind) = replacement {
+        e.kind = kind;
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{instantiate, CaptureValue};
+    use crate::parse::parse_program;
+    use crate::typecheck::typecheck_kernel;
+    use std::collections::HashMap;
+
+    fn checked(src: &str, kernel: &str, captures: Vec<CaptureValue>) -> TKernel {
+        let program = parse_program(src).unwrap();
+        let inst = instantiate(&program, kernel, &captures, &HashMap::new()).unwrap();
+        typecheck_kernel(&program, kernel, &inst).unwrap()
+    }
+
+    fn body_expr(kernel: &TKernel) -> &TExpr {
+        let TStmt::Expr(e) = kernel.body.last().unwrap() else { panic!() };
+        e
+    }
+
+    #[test]
+    fn double_adjoint_removed() {
+        let src = r"
+            qpu k(q: qubit) -> qubit {
+                q | ~~(std >> pm)
+            }
+        ";
+        let mut kernel = checked(src, "k", vec![]);
+        assert!(canonicalize(&mut kernel) > 0);
+        let TExprKind::Pipe { func, .. } = &body_expr(&kernel).kind else { panic!() };
+        assert!(matches!(func.kind, TExprKind::Translation { .. }));
+    }
+
+    #[test]
+    fn adjoint_translation_swaps_bases() {
+        let src = r"
+            qpu k(q: qubit) -> qubit {
+                q | ~(std >> pm)
+            }
+        ";
+        let mut kernel = checked(src, "k", vec![]);
+        canonicalize(&mut kernel);
+        let TExprKind::Pipe { func, .. } = &body_expr(&kernel).kind else { panic!() };
+        let TExprKind::Translation { b_in, b_out } = &func.kind else {
+            panic!("expected translation, got {:?}", func.kind)
+        };
+        assert_eq!(b_in.to_string(), "pm");
+        assert_eq!(b_out.to_string(), "std");
+    }
+
+    #[test]
+    fn fully_spanning_pred_becomes_tensor_with_id() {
+        let src = r"
+            qpu k(qs: qubit[3]) -> qubit[3] {
+                qs | std[2] & pm.flip
+            }
+        ";
+        let mut kernel = checked(src, "k", vec![]);
+        canonicalize(&mut kernel);
+        let TExprKind::Pipe { func, .. } = &body_expr(&kernel).kind else { panic!() };
+        let TExprKind::Tensor(parts) = &func.kind else {
+            panic!("expected tensor, got {:?}", func.kind)
+        };
+        assert!(matches!(parts[0].kind, TExprKind::Id { dim: 2 }));
+    }
+
+    #[test]
+    fn pred_of_translation_folds_into_bases() {
+        let src = r"
+            qpu k(qs: qubit[3]) -> qubit[3] {
+                qs | {'11'} & (std >> pm)
+            }
+        ";
+        let mut kernel = checked(src, "k", vec![]);
+        canonicalize(&mut kernel);
+        let TExprKind::Pipe { func, .. } = &body_expr(&kernel).kind else { panic!() };
+        let TExprKind::Translation { b_in, b_out } = &func.kind else {
+            panic!("expected translation, got {:?}", func.kind)
+        };
+        assert_eq!(b_in.to_string(), "{'11'} + std");
+        assert_eq!(b_out.to_string(), "{'11'} + pm");
+        // The type is unchanged by canonicalization.
+        assert_eq!(func.ty, Type::rev_func(3));
+    }
+
+    #[test]
+    fn adjoint_distributes_over_compose() {
+        let src = r"
+            qpu k(q: qubit) -> qubit {
+                q | ~((std >> pm) ** 2)
+            }
+        ";
+        let mut kernel = checked(src, "k", vec![]);
+        canonicalize(&mut kernel);
+        let TExprKind::Pipe { func, .. } = &body_expr(&kernel).kind else { panic!() };
+        let TExprKind::Compose(parts) = &func.kind else {
+            panic!("expected compose, got {:?}", func.kind)
+        };
+        // Each part became the reversed translation pm >> std.
+        for p in parts {
+            let TExprKind::Translation { b_in, .. } = &p.kind else { panic!() };
+            assert_eq!(b_in.to_string(), "pm");
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let src = r"
+            qpu k(qs: qubit[3]) -> qubit[3] {
+                qs | ~~({'11'} & ~(std >> pm))
+            }
+        ";
+        let mut kernel = checked(src, "k", vec![]);
+        canonicalize(&mut kernel);
+        let again = canonicalize(&mut kernel);
+        assert_eq!(again, 0, "second run changes nothing");
+    }
+}

@@ -1,0 +1,63 @@
+//! Frontend errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while lexing, parsing, expanding, or type checking a
+/// Qwerty program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset into the source.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parse error at a byte offset.
+    Parse {
+        /// Byte offset into the source.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// A dimension variable could not be inferred or evaluated.
+    Dimension(String),
+    /// A type error (includes linearity violations and basis
+    /// well-formedness).
+    Type(String),
+    /// Span equivalence failed for a basis translation (§4.1).
+    Span(String),
+    /// A name was not found.
+    Unbound(String),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            FrontendError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            FrontendError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+            FrontendError::Type(msg) => write!(f, "type error: {msg}"),
+            FrontendError::Span(msg) => write!(f, "span equivalence error: {msg}"),
+            FrontendError::Unbound(name) => write!(f, "unbound name: {name}"),
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+impl From<asdf_basis::BasisError> for FrontendError {
+    fn from(err: asdf_basis::BasisError) -> Self {
+        match err {
+            asdf_basis::BasisError::SpanMismatch(_)
+            | asdf_basis::BasisError::DimensionMismatch { .. }
+            | asdf_basis::BasisError::CannotFactor(_) => FrontendError::Span(err.to_string()),
+            other => FrontendError::Type(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Dimension-variable inference and kernel instantiation (§4, "AST
+//! expansion").
+//!
+//! "A Qwerty compiler should infer dimension variables based on the types
+//! of captures when possible — for example, Asdf infers N from the length
+//! of the captured secret bitstring" (Fig. 1). [`instantiate`] performs
+//! that inference, unifying declared parameter types against the shapes of
+//! the supplied captures, optionally seeded with explicit bindings.
+
+use crate::ast::{Program, TypeExpr};
+use crate::dims::DimExpr;
+use crate::error::FrontendError;
+use std::collections::HashMap;
+
+/// A value captured by a kernel at instantiation time, mirroring the
+/// arguments of the paper's `@qpu[N](f)` / `@classical[N](secret_str)`
+/// decorators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaptureValue {
+    /// A constant bit string (captures a `bit[N]` parameter).
+    Bits(Vec<bool>),
+    /// An instantiated classical function (captures a `cfunc[N, M]`
+    /// parameter). Nested captures must be `Bits`.
+    CFunc {
+        /// The `classical` item's name.
+        name: String,
+        /// Captures for its leading parameters.
+        captures: Vec<CaptureValue>,
+    },
+}
+
+impl CaptureValue {
+    /// Convenience: a bit string from `'0'`/`'1'` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on other characters.
+    pub fn bits_from_str(s: &str) -> CaptureValue {
+        CaptureValue::Bits(
+            s.chars()
+                .map(|c| match c {
+                    '0' => false,
+                    '1' => true,
+                    other => panic!("invalid bit character {other:?}"),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A fully resolved instantiation of a kernel: dimension bindings plus the
+/// classical-function instances bound to its capture parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelInstance {
+    /// Kernel dimension-variable bindings.
+    pub dims: HashMap<String, i64>,
+    /// One entry per kernel parameter: `Some` for `cfunc` captures.
+    pub classical_instances: Vec<Option<ClassicalInstance>>,
+}
+
+/// A resolved `classical` function instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassicalInstance {
+    /// The `classical` item's name.
+    pub func: String,
+    /// Its local dimension bindings.
+    pub dims: HashMap<String, i64>,
+    /// Bit values for its leading (capture) parameters.
+    pub capture_bits: Vec<Vec<bool>>,
+}
+
+/// Infers dimension variables and resolves captures for `kernel`.
+///
+/// `captures` bind to the kernel's leading parameters in order; remaining
+/// parameters must be runtime `qubit` registers. `explicit` seeds bindings
+/// for dimensions that cannot be inferred (the programmer "explicitly
+/// providing them", §4).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] when the kernel is unknown, captures mismatch
+/// parameter shapes, or a dimension cannot be determined.
+pub fn instantiate(
+    program: &Program,
+    kernel: &str,
+    captures: &[CaptureValue],
+    explicit: &HashMap<String, i64>,
+) -> Result<KernelInstance, FrontendError> {
+    let func = program
+        .qpu(kernel)
+        .ok_or_else(|| FrontendError::Unbound(format!("qpu kernel {kernel}")))?;
+    if captures.len() > func.params.len() {
+        return Err(FrontendError::Type(format!(
+            "kernel {kernel} takes {} parameters but {} captures were supplied",
+            func.params.len(),
+            captures.len()
+        )));
+    }
+
+    let mut dims = explicit.clone();
+    let mut classical_instances: Vec<Option<ClassicalInstance>> = Vec::new();
+
+    for (param, capture) in func.params.iter().zip(captures) {
+        match (&param.ty, capture) {
+            (TypeExpr::Bit(d), CaptureValue::Bits(bits)) => {
+                unify(d, bits.len() as i64, &mut dims)?;
+                classical_instances.push(None);
+            }
+            (TypeExpr::CFunc(d_in, d_out), CaptureValue::CFunc { name, captures }) => {
+                let instance =
+                    instantiate_classical(program, name, captures, d_in, d_out, &mut dims)?;
+                classical_instances.push(Some(instance));
+            }
+            (ty, capture) => {
+                return Err(FrontendError::Type(format!(
+                    "capture {capture:?} does not fit parameter {}: {ty:?}",
+                    param.name
+                )));
+            }
+        }
+    }
+    // Pad for non-captured parameters.
+    classical_instances.resize(func.params.len(), None);
+
+    // Every declared dimension variable must now be bound.
+    for var in &func.dim_vars {
+        if !dims.contains_key(var) {
+            return Err(FrontendError::Dimension(format!(
+                "dimension variable {var} of kernel {kernel} could not be inferred; \
+                 pass it explicitly"
+            )));
+        }
+    }
+    Ok(KernelInstance { dims, classical_instances })
+}
+
+/// Resolves a `classical` capture: infers the callee's local dimensions
+/// from its own captures (or backward from the kernel-side `cfunc[N, M]`
+/// type), and unifies the resulting signature with the kernel-side type.
+fn instantiate_classical(
+    program: &Program,
+    name: &str,
+    captures: &[CaptureValue],
+    d_in: &DimExpr,
+    d_out: &DimExpr,
+    kernel_dims: &mut HashMap<String, i64>,
+) -> Result<ClassicalInstance, FrontendError> {
+    let func = program
+        .classical(name)
+        .ok_or_else(|| FrontendError::Unbound(format!("classical function {name}")))?;
+    if captures.len() >= func.params.len() && !func.params.is_empty() {
+        return Err(FrontendError::Type(format!(
+            "classical function {name} needs at least one non-capture input"
+        )));
+    }
+
+    let mut local: HashMap<String, i64> = HashMap::new();
+    let mut capture_bits = Vec::new();
+    for (param, capture) in func.params.iter().zip(captures) {
+        let CaptureValue::Bits(bits) = capture else {
+            return Err(FrontendError::Type(format!(
+                "classical function {name} can only capture bit strings"
+            )));
+        };
+        let TypeExpr::Bit(d) = &param.ty else {
+            return Err(FrontendError::Type(format!(
+                "classical parameter {} must have a bit type to capture bits",
+                param.name
+            )));
+        };
+        unify(d, bits.len() as i64, &mut local)?;
+        capture_bits.push(bits.clone());
+    }
+
+    // Width of the non-capture inputs as a symbolic sum.
+    let input_dims: Vec<&DimExpr> = func.params[captures.len()..]
+        .iter()
+        .map(|p| match &p.ty {
+            TypeExpr::Bit(d) => Ok(d),
+            other => Err(FrontendError::Type(format!(
+                "classical parameters must be bits, found {other:?}"
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
+    let ret_dim = match &func.ret {
+        TypeExpr::Bit(d) => d,
+        other => {
+            return Err(FrontendError::Type(format!(
+                "classical functions return bits, found {other:?}"
+            )))
+        }
+    };
+
+    // Forward direction: local dims known -> bind kernel-side N, M.
+    let forward_in: Option<i64> = input_dims
+        .iter()
+        .map(|d| d.eval(&local).ok())
+        .sum::<Option<i64>>();
+    match forward_in {
+        Some(total) => unify(d_in, total, kernel_dims)?,
+        None => {
+            // Backward: kernel-side width known -> solve a single local var.
+            let total = d_in.eval(kernel_dims)?;
+            solve_sum(&input_dims, total, &mut local)?;
+        }
+    }
+    match ret_dim.eval(&local) {
+        Ok(out) => unify(d_out, out, kernel_dims)?,
+        Err(_) => {
+            let out = d_out.eval(kernel_dims)?;
+            unify(ret_dim, out, &mut local)?;
+        }
+    }
+
+    // All of the callee's dimension variables must now be bound.
+    for var in &func.dim_vars {
+        if !local.contains_key(var) {
+            return Err(FrontendError::Dimension(format!(
+                "dimension variable {var} of classical function {name} could not be inferred"
+            )));
+        }
+    }
+    Ok(ClassicalInstance { func: name.to_string(), dims: local, capture_bits })
+}
+
+/// Unifies a dimension expression against a concrete value: binds a bare
+/// variable, or checks an already-evaluable expression.
+fn unify(
+    d: &DimExpr,
+    value: i64,
+    bindings: &mut HashMap<String, i64>,
+) -> Result<(), FrontendError> {
+    match d {
+        DimExpr::Var(name) => match bindings.get(name) {
+            Some(&bound) if bound != value => Err(FrontendError::Dimension(format!(
+                "dimension variable {name} bound to both {bound} and {value}"
+            ))),
+            Some(_) => Ok(()),
+            None => {
+                bindings.insert(name.clone(), value);
+                Ok(())
+            }
+        },
+        other => {
+            let got = other.eval(bindings)?;
+            if got == value {
+                Ok(())
+            } else {
+                Err(FrontendError::Dimension(format!(
+                    "dimension {other} = {got} does not match required {value}"
+                )))
+            }
+        }
+    }
+}
+
+/// Solves `sum(dims) = total` when at most one addend is an unbound bare
+/// variable (possibly repeated).
+fn solve_sum(
+    dims: &[&DimExpr],
+    total: i64,
+    bindings: &mut HashMap<String, i64>,
+) -> Result<(), FrontendError> {
+    let mut known = 0i64;
+    let mut unknown: Option<(&str, i64)> = None;
+    for d in dims {
+        match d.eval(bindings) {
+            Ok(v) => known += v,
+            Err(_) => match d {
+                DimExpr::Var(name) => match &mut unknown {
+                    Some((existing, count)) if *existing == name.as_str() => *count += 1,
+                    Some(_) => {
+                        return Err(FrontendError::Dimension(
+                            "cannot infer multiple distinct dimension variables from one width"
+                                .to_string(),
+                        ))
+                    }
+                    None => unknown = Some((name.as_str(), 1)),
+                },
+                other => {
+                    return Err(FrontendError::Dimension(format!(
+                        "cannot solve for composite dimension {other}"
+                    )))
+                }
+            },
+        }
+    }
+    match unknown {
+        None => {
+            if known == total {
+                Ok(())
+            } else {
+                Err(FrontendError::Dimension(format!(
+                    "parameter widths sum to {known}, expected {total}"
+                )))
+            }
+        }
+        Some((name, count)) => {
+            let remaining = total - known;
+            if remaining % count != 0 || remaining < 0 {
+                return Err(FrontendError::Dimension(format!(
+                    "cannot split width {remaining} across {count} occurrences of {name}"
+                )));
+            }
+            bindings.insert(name.to_string(), remaining / count);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    const FIG1: &str = r"
+        classical f[N](secret: bit[N], x: bit[N]) -> bit {
+            (secret & x).xor_reduce()
+        }
+        qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+            'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+        }
+    ";
+
+    #[test]
+    fn infers_n_from_captured_secret() {
+        let program = parse_program(FIG1).unwrap();
+        let captures = vec![CaptureValue::CFunc {
+            name: "f".into(),
+            captures: vec![CaptureValue::bits_from_str("1010")],
+        }];
+        let inst = instantiate(&program, "kernel", &captures, &HashMap::new()).unwrap();
+        assert_eq!(inst.dims["N"], 4);
+        let classical = inst.classical_instances[0].as_ref().unwrap();
+        assert_eq!(classical.dims["N"], 4);
+        assert_eq!(classical.capture_bits[0], vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn backward_inference_from_explicit_kernel_dims() {
+        let src = r"
+            classical balanced[N](x: bit[N]) -> bit { x.xor_reduce() }
+            qpu dj[N](f: cfunc[N, 1]) -> bit[N] {
+                'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+            }
+        ";
+        let program = parse_program(src).unwrap();
+        let captures =
+            vec![CaptureValue::CFunc { name: "balanced".into(), captures: vec![] }];
+        let explicit: HashMap<String, i64> = [("N".to_string(), 8)].into();
+        let inst = instantiate(&program, "dj", &captures, &explicit).unwrap();
+        let classical = inst.classical_instances[0].as_ref().unwrap();
+        assert_eq!(classical.dims["N"], 8, "callee N solved from kernel N");
+    }
+
+    #[test]
+    fn missing_dimension_reported() {
+        let program = parse_program(FIG1).unwrap();
+        let err = instantiate(&program, "kernel", &[], &HashMap::new()).unwrap_err();
+        assert!(matches!(err, FrontendError::Dimension(_)), "{err}");
+    }
+
+    #[test]
+    fn conflicting_bindings_rejected() {
+        let src = r"
+            classical f[N](a: bit[N], x: bit[N]) -> bit { x.xor_reduce() }
+            qpu k[N](a: bit[N], f: cfunc[N, 1]) -> bit[N] {
+                'p'[N] | f.sign | std[N].measure
+            }
+        ";
+        let program = parse_program(src).unwrap();
+        let captures = vec![
+            CaptureValue::bits_from_str("111"),
+            CaptureValue::CFunc {
+                name: "f".into(),
+                captures: vec![CaptureValue::bits_from_str("11111")],
+            },
+        ];
+        let err = instantiate(&program, "k", &captures, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, FrontendError::Dimension(_)), "{err}");
+    }
+}

@@ -1,0 +1,256 @@
+//! The shared post-optimizer: a stand-in for the Qiskit `-O3` transpiler
+//! the paper applies to *every* compiler's output before resource
+//! estimation (§8.3), so differences reflect synthesis quality rather than
+//! surface syntax.
+//!
+//! Passes (to fixpoint): adjacent inverse-gate cancellation, diagonal
+//! phase-gate merging (with renormalization to named Clifford/T gates),
+//! and `H·X·H`/`H·Z·H` conjugation rewriting.
+
+use asdf_ir::GateKind;
+use asdf_qcircuit::{Circuit, CircuitOp};
+
+/// Optimizes a circuit to fixpoint with the shared pass set.
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    for _ in 0..64 {
+        let next = one_pass(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn one_pass(circuit: &Circuit) -> Circuit {
+    let mut out: Vec<CircuitOp> = Vec::with_capacity(circuit.ops.len());
+    // last_touch[q] = index in `out` of the last op touching qubit q.
+    let mut last_touch: Vec<Option<usize>> = vec![None; circuit.num_qubits];
+
+    for op in &circuit.ops {
+        let qubits = op.qubits();
+        let candidate = match op {
+            CircuitOp::Gate { gate, controls, targets } => {
+                // All touched qubits must point at one previous gate with
+                // identical structure.
+                let prev_idx = qubits
+                    .iter()
+                    .map(|&q| last_touch[q])
+                    .collect::<Option<Vec<usize>>>()
+                    .and_then(|idxs| {
+                        idxs.windows(2).all(|w| w[0] == w[1]).then(|| idxs[0])
+                    });
+                prev_idx.and_then(|idx| match &out[idx] {
+                    CircuitOp::Gate {
+                        gate: prev_gate,
+                        controls: prev_controls,
+                        targets: prev_targets,
+                    } if prev_controls == controls && prev_targets == targets => {
+                        merge(*prev_gate, *gate).map(|merged| (idx, merged))
+                    }
+                    _ => None,
+                })
+            }
+            _ => None,
+        };
+
+        match candidate {
+            Some((idx, None)) => {
+                // Cancels to identity: remove the previous gate entirely.
+                out.remove(idx);
+                for entry in last_touch.iter_mut() {
+                    *entry = match *entry {
+                        Some(i) if i == idx => None,
+                        Some(i) if i > idx => Some(i - 1),
+                        other => other,
+                    };
+                }
+                // Recompute last-touch for the removed gate's qubits.
+                for &q in &qubits {
+                    last_touch[q] = out
+                        .iter()
+                        .enumerate()
+                        .rev()
+                        .find(|(_, o)| o.qubits().contains(&q))
+                        .map(|(i, _)| i);
+                }
+            }
+            Some((idx, Some(merged))) => {
+                if let CircuitOp::Gate { gate, .. } = &mut out[idx] {
+                    *gate = merged;
+                }
+            }
+            None => {
+                let idx = out.len();
+                out.push(op.clone());
+                for &q in &qubits {
+                    last_touch[q] = Some(idx);
+                }
+            }
+        }
+    }
+
+    let mut result = Circuit { num_qubits: circuit.num_qubits, ops: out };
+    h_conjugation(&mut result);
+    result
+}
+
+/// Combined gate for two adjacent gates on identical qubits; `Some(None)`
+/// means they cancel.
+fn merge(first: GateKind, second: GateKind) -> Option<Option<GateKind>> {
+    if first.cancels_with(second) {
+        return Some(None);
+    }
+    let phase = |g: GateKind| -> Option<f64> {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+        match g {
+            GateKind::Z => Some(PI),
+            GateKind::S => Some(FRAC_PI_2),
+            GateKind::Sdg => Some(-FRAC_PI_2),
+            GateKind::T => Some(FRAC_PI_4),
+            GateKind::Tdg => Some(-FRAC_PI_4),
+            GateKind::P(t) => Some(t),
+            _ => None,
+        }
+    };
+    if let (Some(a), Some(b)) = (phase(first), phase(second)) {
+        use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI, TAU};
+        let theta = (a + b).rem_euclid(TAU);
+        let close = |x: f64, y: f64| (x - y).abs() < 1e-9;
+        return Some(if close(theta, 0.0) || close(theta, TAU) {
+            None
+        } else if close(theta, PI) {
+            Some(GateKind::Z)
+        } else if close(theta, FRAC_PI_2) {
+            Some(GateKind::S)
+        } else if close(theta, 3.0 * FRAC_PI_2) {
+            Some(GateKind::Sdg)
+        } else if close(theta, FRAC_PI_4) {
+            Some(GateKind::T)
+        } else if close(theta, 7.0 * FRAC_PI_4) {
+            Some(GateKind::Tdg)
+        } else {
+            Some(GateKind::P(theta))
+        });
+    }
+    match (first, second) {
+        (GateKind::Rz(a), GateKind::Rz(b)) => Some(Some(GateKind::Rz(a + b))),
+        (GateKind::Rx(a), GateKind::Rx(b)) => Some(Some(GateKind::Rx(a + b))),
+        (GateKind::Ry(a), GateKind::Ry(b)) => Some(Some(GateKind::Ry(a + b))),
+        _ => None,
+    }
+}
+
+/// Rewrites uncontrolled H·X·H → Z and H·Z·H → X runs in place.
+fn h_conjugation(circuit: &mut Circuit) {
+    let mut i = 0;
+    while i + 2 < circuit.ops.len() {
+        let window: Vec<Option<(GateKind, usize)>> = (i..i + 3)
+            .map(|k| match &circuit.ops[k] {
+                CircuitOp::Gate { gate, controls, targets }
+                    if controls.is_empty() && targets.len() == 1 =>
+                {
+                    Some((*gate, targets[0]))
+                }
+                _ => None,
+            })
+            .collect();
+        if let (Some((GateKind::H, a)), Some((mid, b)), Some((GateKind::H, c))) =
+            (window[0], window[1], window[2])
+        {
+            if a == b && b == c {
+                let swapped = match mid {
+                    GateKind::X => Some(GateKind::Z),
+                    GateKind::Z => Some(GateKind::X),
+                    _ => None,
+                };
+                if let Some(gate) = swapped {
+                    circuit.ops[i] = CircuitOp::Gate {
+                        gate,
+                        controls: vec![],
+                        targets: vec![a],
+                    };
+                    circuit.ops.remove(i + 2);
+                    circuit.ops.remove(i + 1);
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancels_adjacent_hadamards() {
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::H, &[], &[0]);
+        assert_eq!(optimize(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn merges_phases_through_chain() {
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::S, &[], &[0]);
+        // T T S = Z.
+        let opt = optimize(&c);
+        assert_eq!(opt.gate_count(), 1);
+        assert!(matches!(
+            opt.ops[0],
+            CircuitOp::Gate { gate: GateKind::Z, .. }
+        ));
+    }
+
+    #[test]
+    fn keeps_interleaved_gates() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]); // blocks the H pair
+        c.gate(GateKind::H, &[], &[0]);
+        assert_eq!(optimize(&c).gate_count(), 3);
+    }
+
+    #[test]
+    fn hxh_rewrites_to_z() {
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[], &[0]);
+        c.gate(GateKind::H, &[], &[0]);
+        let opt = optimize(&c);
+        assert_eq!(opt.gate_count(), 1);
+        assert!(matches!(opt.ops[0], CircuitOp::Gate { gate: GateKind::Z, .. }));
+    }
+
+    #[test]
+    fn cx_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::X, &[1], &[0]);
+        assert_eq!(optimize(&c).gate_count(), 1);
+    }
+
+    #[test]
+    fn optimization_preserves_unitary() {
+        // Random-ish circuit: optimized form must be equivalent.
+        let mut c = Circuit::new(3);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::H, &[], &[2]);
+        c.gate(GateKind::X, &[], &[2]);
+        c.gate(GateKind::H, &[], &[2]);
+        c.gate(GateKind::X, &[0], &[1]);
+        let opt = optimize(&c);
+        assert!(opt.gate_count() < c.gate_count());
+        assert!(asdf_sim::run::circuits_equivalent(&c, &opt, 1e-9));
+    }
+}

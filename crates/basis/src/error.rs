@@ -1,0 +1,72 @@
+//! Error types for basis validation and span checking.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while validating, parsing, factoring, or span-checking
+/// bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BasisError {
+    /// Basis syntax could not be parsed.
+    Parse(String),
+    /// A basis literal violated a well-formedness condition from §2.2
+    /// (duplicate eigenbits, mismatched vector dimensions, or mixed
+    /// primitive bases).
+    MalformedLiteral(String),
+    /// The two sides of a basis translation have different total dimension.
+    DimensionMismatch {
+        /// Total dimension of the left-hand basis.
+        left: usize,
+        /// Total dimension of the right-hand basis.
+        right: usize,
+    },
+    /// Span equivalence could not be proved: the offending basis-element
+    /// pair is reported in the message (Algorithm B1 failure).
+    SpanMismatch(String),
+    /// A factoring operation (Algorithms B2–B4) was impossible.
+    CannotFactor(String),
+    /// An operation required materializing exponentially many basis vectors
+    /// beyond the supported limit.
+    TooLarge(String),
+}
+
+impl BasisError {
+    pub(crate) fn parse(msg: impl Into<String>) -> Self {
+        BasisError::Parse(msg.into())
+    }
+
+    pub(crate) fn malformed(msg: impl Into<String>) -> Self {
+        BasisError::MalformedLiteral(msg.into())
+    }
+}
+
+impl fmt::Display for BasisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasisError::Parse(msg) => write!(f, "basis parse error: {msg}"),
+            BasisError::MalformedLiteral(msg) => write!(f, "malformed basis literal: {msg}"),
+            BasisError::DimensionMismatch { left, right } => write!(
+                f,
+                "basis dimension mismatch: left spans {left} qubit(s) but right spans {right}"
+            ),
+            BasisError::SpanMismatch(msg) => write!(f, "bases do not span the same space: {msg}"),
+            BasisError::CannotFactor(msg) => write!(f, "cannot factor basis element: {msg}"),
+            BasisError::TooLarge(msg) => write!(f, "basis too large to materialize: {msg}"),
+        }
+    }
+}
+
+impl Error for BasisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = BasisError::DimensionMismatch { left: 3, right: 2 };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('2'));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+}

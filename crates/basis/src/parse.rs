@@ -1,0 +1,335 @@
+//! A small parser for basis expressions, used by tests, documentation
+//! examples, and the IR printer round-trip.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! basis    := element ('+' element)*
+//! element  := atom ('[' int ']')?
+//! atom     := 'std' | 'pm' | 'ij' | 'fourier' | literal
+//! literal  := '{' vector (',' vector)* '}'
+//! vector   := '-'? quoted ('[' int ']')? ('@' float)?
+//! quoted   := '\'' [01pmij]+ '\''
+//! ```
+//!
+//! `[N]` after a built-in sets its dimension; after a literal or vector it
+//! is an `N`-fold tensor power. `@theta` attaches a phase in degrees;
+//! a leading `-` is shorthand for `@180`.
+
+use crate::{
+    Basis, BasisElem, BasisError, BasisLiteral, BasisVector, BitString, Phase, PrimitiveBasis,
+};
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), BasisError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(BasisError::parse(format!(
+                "expected {:?}, found {:?}",
+                c as char,
+                got.map(|b| b as char)
+            ))),
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn integer(&mut self) -> Result<usize, BasisError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(BasisError::parse("expected an integer"));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| BasisError::parse("integer out of range"))
+    }
+
+    fn float(&mut self) -> Result<f64, BasisError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos < self.src.len() && (self.src[self.pos] == b'-' || self.src[self.pos] == b'+')
+        {
+            self.pos += 1;
+        }
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| BasisError::parse("expected a number after '@'"))
+    }
+
+    fn quoted_vector(&mut self) -> Result<(PrimitiveBasis, BasisVector), BasisError> {
+        let negate = self.eat(b'-');
+        self.expect(b'\'')?;
+        let mut prim = None;
+        let mut bits = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => break,
+                Some(c) => {
+                    let (p, eig) = PrimitiveBasis::from_char(c as char).ok_or_else(|| {
+                        BasisError::parse(format!("invalid qubit character {:?}", c as char))
+                    })?;
+                    match prim {
+                        None => prim = Some(p),
+                        Some(existing) if existing != p => {
+                            return Err(BasisError::malformed(
+                                "all positions of a basis vector must share one primitive basis",
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                    bits.push(eig.eigenbit());
+                }
+                None => return Err(BasisError::parse("unterminated qubit literal")),
+            }
+        }
+        if bits.is_empty() {
+            return Err(BasisError::parse("empty qubit literal"));
+        }
+        // Optional tensor power: 'p'[3] means 'ppp'.
+        if self.eat(b'[') {
+            let n = self.integer()?;
+            self.expect(b']')?;
+            if n == 0 {
+                return Err(BasisError::parse("tensor power must be positive"));
+            }
+            let original = bits.clone();
+            for _ in 1..n {
+                bits.extend_from_slice(&original);
+            }
+        }
+        let mut phase = if negate { Some(Phase::PI) } else { None };
+        if self.eat(b'@') {
+            let degrees = self.float()?;
+            let radians = degrees.to_radians();
+            phase = Some(match phase {
+                Some(Phase::Const(existing)) => Phase::Const(existing + radians),
+                _ => Phase::Const(radians),
+            });
+        }
+        let vector = BasisVector { eigenbits: BitString::from_bits(bits), phase };
+        Ok((prim.expect("nonempty vector has a primitive basis"), vector))
+    }
+
+    fn literal(&mut self) -> Result<BasisLiteral, BasisError> {
+        self.expect(b'{')?;
+        let mut prim = None;
+        let mut vectors = Vec::new();
+        loop {
+            let (p, v) = self.quoted_vector()?;
+            match prim {
+                None => prim = Some(p),
+                Some(existing) if existing != p => {
+                    return Err(BasisError::malformed(
+                        "all vectors of a basis literal must share one primitive basis",
+                    ))
+                }
+                Some(_) => {}
+            }
+            vectors.push(v);
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')?;
+        BasisLiteral::new(prim.expect("literal has at least one vector"), vectors)
+    }
+
+    fn keyword(&mut self) -> Option<PrimitiveBasis> {
+        self.skip_ws();
+        for prim in [
+            PrimitiveBasis::Fourier,
+            PrimitiveBasis::Std,
+            PrimitiveBasis::Pm,
+            PrimitiveBasis::Ij,
+        ] {
+            let kw = prim.keyword().as_bytes();
+            if self.src[self.pos..].starts_with(kw) {
+                // Must not be followed by an identifier character.
+                let after = self.src.get(self.pos + kw.len());
+                if !matches!(after, Some(c) if c.is_ascii_alphanumeric() || *c == b'_') {
+                    self.pos += kw.len();
+                    return Some(prim);
+                }
+            }
+        }
+        None
+    }
+
+    fn element(&mut self, out: &mut Vec<BasisElem>) -> Result<(), BasisError> {
+        if let Some(prim) = self.keyword() {
+            let dim = if self.eat(b'[') {
+                let n = self.integer()?;
+                self.expect(b']')?;
+                n
+            } else {
+                1
+            };
+            if dim == 0 {
+                return Err(BasisError::parse("basis dimension must be positive"));
+            }
+            out.push(BasisElem::built_in(prim, dim));
+            Ok(())
+        } else if self.peek() == Some(b'{') {
+            let lit = self.literal()?;
+            let reps = if self.eat(b'[') {
+                let n = self.integer()?;
+                self.expect(b']')?;
+                n
+            } else {
+                1
+            };
+            if reps == 0 {
+                return Err(BasisError::parse("tensor power must be positive"));
+            }
+            for _ in 0..reps {
+                out.push(BasisElem::Literal(lit.clone()));
+            }
+            Ok(())
+        } else {
+            Err(BasisError::parse(format!(
+                "expected a basis element, found {:?}",
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn basis(&mut self) -> Result<Basis, BasisError> {
+        let mut elems = Vec::new();
+        self.element(&mut elems)?;
+        while self.eat(b'+') {
+            self.element(&mut elems)?;
+        }
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return Err(BasisError::parse(format!(
+                "trailing input starting at byte {}",
+                self.pos
+            )));
+        }
+        Ok(Basis::new(elems))
+    }
+}
+
+impl std::str::FromStr for Basis {
+    type Err = BasisError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Parser::new(s).basis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_builtins() {
+        let b: Basis = "std[2] + pm + fourier[3]".parse().unwrap();
+        assert_eq!(b.dim(), 6);
+        assert_eq!(b.elements().len(), 3);
+        assert!(matches!(
+            b.elements()[2],
+            BasisElem::BuiltIn { prim: PrimitiveBasis::Fourier, dim: 3 }
+        ));
+    }
+
+    #[test]
+    fn parses_fig3_left() {
+        let b: Basis = "{'p'} + fourier[3] + {'1'@45} + pm".parse().unwrap();
+        assert_eq!(b.dim(), 6);
+        assert!(b.has_phases());
+    }
+
+    #[test]
+    fn parses_fig3_right() {
+        let b: Basis = "{-'p'} + std[2] + ij + {-'11', '10'}".parse().unwrap();
+        assert_eq!(b.dim(), 6);
+        let BasisElem::Literal(last) = &b.elements()[3] else {
+            panic!("expected literal");
+        };
+        assert_eq!(last.len(), 2);
+        assert_eq!(last.vectors()[0].phase, Some(Phase::PI));
+    }
+
+    #[test]
+    fn parses_vector_power() {
+        let b: Basis = "{'p'[3]}".parse().unwrap();
+        assert_eq!(b.dim(), 3);
+        let b: Basis = "{'0','1'}[4]".parse().unwrap();
+        assert_eq!(b.dim(), 4);
+        assert_eq!(b.elements().len(), 4);
+    }
+
+    #[test]
+    fn rejects_mixed_prims_in_literal() {
+        assert!("{'0p'}".parse::<Basis>().is_err());
+        assert!("{'0','p'}".parse::<Basis>().is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!("std[2] x".parse::<Basis>().is_err());
+        assert!("std[0]".parse::<Basis>().is_err());
+        assert!("{}".parse::<Basis>().is_err());
+    }
+
+    #[test]
+    fn phase_degrees_to_radians() {
+        let b: Basis = "{'1'@90}".parse().unwrap();
+        let BasisElem::Literal(lit) = &b.elements()[0] else { panic!() };
+        let Some(Phase::Const(theta)) = lit.vectors()[0].phase else { panic!() };
+        assert!((theta - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negation_plus_phase_compose() {
+        let b: Basis = "{-'1'@180}".parse().unwrap();
+        let BasisElem::Literal(lit) = &b.elements()[0] else { panic!() };
+        let Some(Phase::Const(theta)) = lit.vectors()[0].phase else { panic!() };
+        assert!((theta - std::f64::consts::TAU).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Primitive bases and eigenstates (§2.1–2.2 of the paper).
+
+use std::fmt;
+
+/// One of the four primitive bases every Qwerty basis is grounded in.
+///
+/// `Std` is the Z eigenbasis `|0>/|1>`, `Pm` the X eigenbasis `|+>/|->`,
+/// `Ij` the Y eigenbasis `|i>/|j>`, and `Fourier` the N-qubit Fourier basis.
+/// `Fourier` is *inseparable*: an N-qubit Fourier basis cannot be written as
+/// a tensor product of smaller Fourier bases (though its *span* factors,
+/// Lemma B.1), which matters during standardization (Algorithm E6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrimitiveBasis {
+    /// The Z eigenbasis, `|0>` / `|1>`.
+    Std,
+    /// The X eigenbasis, `|+>` / `|->` (written `p` / `m` in literals).
+    Pm,
+    /// The Y eigenbasis, `|i>` / `|j>`.
+    Ij,
+    /// The N-qubit Fourier basis (§5.1 of Nielsen & Chuang).
+    Fourier,
+}
+
+impl PrimitiveBasis {
+    /// Whether an N-dimensional instance is a tensor product of N
+    /// one-dimensional instances. True for all primitive bases but `Fourier`.
+    pub fn is_separable(self) -> bool {
+        !matches!(self, PrimitiveBasis::Fourier)
+    }
+
+    /// The characters used for this basis's plus/minus eigenstates in qubit
+    /// literals (`None` for `Fourier`, which has no literal syntax).
+    pub fn chars(self) -> Option<(char, char)> {
+        match self {
+            PrimitiveBasis::Std => Some(('0', '1')),
+            PrimitiveBasis::Pm => Some(('p', 'm')),
+            PrimitiveBasis::Ij => Some(('i', 'j')),
+            PrimitiveBasis::Fourier => None,
+        }
+    }
+
+    /// Maps a qubit-literal character (`0`, `1`, `p`, `m`, `i`, `j`) to its
+    /// primitive basis and eigenstate.
+    pub fn from_char(c: char) -> Option<(PrimitiveBasis, Eigenstate)> {
+        Some(match c {
+            '0' => (PrimitiveBasis::Std, Eigenstate::Plus),
+            '1' => (PrimitiveBasis::Std, Eigenstate::Minus),
+            'p' => (PrimitiveBasis::Pm, Eigenstate::Plus),
+            'm' => (PrimitiveBasis::Pm, Eigenstate::Minus),
+            'i' => (PrimitiveBasis::Ij, Eigenstate::Plus),
+            'j' => (PrimitiveBasis::Ij, Eigenstate::Minus),
+            _ => return None,
+        })
+    }
+
+    /// The Qwerty keyword naming this built-in basis.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            PrimitiveBasis::Std => "std",
+            PrimitiveBasis::Pm => "pm",
+            PrimitiveBasis::Ij => "ij",
+            PrimitiveBasis::Fourier => "fourier",
+        }
+    }
+}
+
+impl fmt::Display for PrimitiveBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Whether a basis-vector position is the plus (+1) or minus (−1) eigenstate
+/// of the corresponding Pauli (§2.1).
+///
+/// The *eigenbit* of a position is set iff the position is the minus
+/// eigenstate, so `Eigenstate::Minus` corresponds to eigenbit 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Eigenstate {
+    /// Plus eigenstate: `|0>`, `|+>`, or `|i>`; eigenbit 0.
+    Plus,
+    /// Minus eigenstate: `|1>`, `|->`, or `|j>`; eigenbit 1.
+    Minus,
+}
+
+impl Eigenstate {
+    /// The eigenbit for this eigenstate (`Minus` ↦ `true`).
+    pub fn eigenbit(self) -> bool {
+        matches!(self, Eigenstate::Minus)
+    }
+
+    /// Inverse of [`Eigenstate::eigenbit`].
+    pub fn from_eigenbit(bit: bool) -> Self {
+        if bit {
+            Eigenstate::Minus
+        } else {
+            Eigenstate::Plus
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_round_trip() {
+        for c in ['0', '1', 'p', 'm', 'i', 'j'] {
+            let (prim, eig) = PrimitiveBasis::from_char(c).unwrap();
+            let (plus, minus) = prim.chars().unwrap();
+            let back = if eig.eigenbit() { minus } else { plus };
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn fourier_has_no_chars() {
+        assert!(PrimitiveBasis::Fourier.chars().is_none());
+        assert!(!PrimitiveBasis::Fourier.is_separable());
+        assert!(PrimitiveBasis::Std.is_separable());
+    }
+
+    #[test]
+    fn unknown_char_rejected() {
+        assert!(PrimitiveBasis::from_char('q').is_none());
+        assert!(PrimitiveBasis::from_char('2').is_none());
+    }
+
+    #[test]
+    fn eigenbit_round_trip() {
+        assert_eq!(Eigenstate::from_eigenbit(true), Eigenstate::Minus);
+        assert_eq!(Eigenstate::from_eigenbit(false), Eigenstate::Plus);
+        assert!(Eigenstate::Minus.eigenbit());
+        assert!(!Eigenstate::Plus.eigenbit());
+    }
+}

@@ -1,0 +1,307 @@
+//! Span-equivalence checking for basis translations (§4.1 and Appendix B).
+//!
+//! A basis translation `b_in >> b_out` type checks only when
+//! `span(b_in) = span(b_out)`. Even simple bases may be exponentially large
+//! (`{'0','1'}[64]` has 2^64 vectors), so [`check_span_equiv`] works by
+//! *factoring* (Algorithms B2–B4) rather than expansion, running in
+//! `O(k^2 log k)` where `k` is the number of AST nodes in the translation
+//! (Theorem B.6). [`check_span_equiv_naive`] is the exponential baseline the
+//! paper contrasts with, kept for the complexity ablation benchmark.
+
+use crate::{Basis, BasisElem, BasisError, BitString};
+use std::collections::VecDeque;
+
+/// Algorithm B1: proves `span(b_in) = span(b_out)` or reports why not.
+///
+/// Both bases are normalized first (phases removed, vectors sorted). Two
+/// deques of basis elements are consumed front-to-back; at each step the
+/// heads must be identical, both fully spanning, or factorable (Algorithm
+/// B2) so the comparison can continue on the remainder.
+///
+/// # Errors
+///
+/// - [`BasisError::DimensionMismatch`] if the total dimensions differ
+///   (which also covers a deque emptying early, line 18).
+/// - [`BasisError::SpanMismatch`] if a pair of heads is neither identical
+///   nor both fully spanning (line 10).
+/// - [`BasisError::CannotFactor`] if factoring fails (line 15).
+///
+/// # Example
+///
+/// ```
+/// use asdf_basis::{Basis, span::check_span_equiv};
+///
+/// let lhs: Basis = "{'p'} + fourier[3] + {'1'@45} + pm".parse()?;
+/// let rhs: Basis = "{-'p'} + std[2] + ij + {-'11','10'}".parse()?;
+/// check_span_equiv(&lhs, &rhs)?; // the worked example of Fig. 3
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_span_equiv(b_in: &Basis, b_out: &Basis) -> Result<(), BasisError> {
+    if b_in.dim() != b_out.dim() {
+        return Err(BasisError::DimensionMismatch { left: b_in.dim(), right: b_out.dim() });
+    }
+    // Lines 1-2: normalize every element of both sides.
+    let mut ldeque: VecDeque<BasisElem> =
+        b_in.elements().iter().map(BasisElem::normalized).collect();
+    let mut rdeque: VecDeque<BasisElem> =
+        b_out.elements().iter().map(BasisElem::normalized).collect();
+
+    // Line 3: loop while both deques are nonempty.
+    while let (Some(l), Some(r)) = (ldeque.pop_front(), rdeque.pop_front()) {
+        if l.dim() == r.dim() {
+            // Line 7: identical, or both fully span.
+            if l.identical(&r) || (l.fully_spans() && r.fully_spans()) {
+                continue;
+            }
+            return Err(BasisError::SpanMismatch(format!(
+                "elements {l} and {r} are neither identical nor both fully spanning"
+            )));
+        }
+        // Lines 12-13: factor the smaller element out of the larger.
+        let (big, small, bigdeque) = if l.dim() > r.dim() {
+            (l, r, &mut ldeque)
+        } else {
+            (r, l, &mut rdeque)
+        };
+        factor_element(big, &small, bigdeque)?;
+    }
+
+    // Lines 18-19: leftover elements mean a dimension mismatch. The upfront
+    // dimension check makes this unreachable, but keep the guard to mirror
+    // the published algorithm.
+    if !ldeque.is_empty() || !rdeque.is_empty() {
+        return Err(BasisError::DimensionMismatch { left: b_in.dim(), right: b_out.dim() });
+    }
+    Ok(())
+}
+
+/// Algorithm B2: factors `small` out of `big`, pushing the remainder to the
+/// front of `big`'s deque.
+///
+/// Case analysis:
+/// 1. both fully span → remainder is `prim(big)[delta]` (Lemmas B.1/B.2);
+/// 2. `small` fully spans, `big` is a literal → Algorithm B3;
+/// 3. both are literals → Algorithm B4;
+/// 4. anything else → failure.
+fn factor_element(
+    big: BasisElem,
+    small: &BasisElem,
+    bigdeque: &mut VecDeque<BasisElem>,
+) -> Result<(), BasisError> {
+    let delta = big.dim() - small.dim();
+    debug_assert!(delta > 0);
+
+    if big.fully_spans() && small.fully_spans() {
+        // Lines 1-5 of Algorithm B2. For fourier this relies on Lemma B.1
+        // (the *span* factors even though the basis is inseparable).
+        bigdeque.push_front(BasisElem::built_in(big.prim(), delta));
+        return Ok(());
+    }
+    match (&big, small) {
+        (BasisElem::Literal(big_lit), small_elem) if small_elem.fully_spans() => {
+            // Lines 6-9: Algorithm B3.
+            let remainder = big_lit.factor_fully_spanning(small_elem.dim())?;
+            bigdeque.push_front(BasisElem::Literal(remainder));
+            Ok(())
+        }
+        (BasisElem::Literal(big_lit), BasisElem::Literal(small_lit)) => {
+            // Lines 10-13: Algorithm B4.
+            let remainder = big_lit.factor_literal(small_lit)?;
+            bigdeque.push_front(BasisElem::Literal(remainder));
+            Ok(())
+        }
+        _ => Err(BasisError::CannotFactor(format!(
+            "cannot factor {small} from {big}"
+        ))),
+    }
+}
+
+/// The naive exponential span check the paper's introduction warns against:
+/// expand each side into its full set of basis vectors (products of lists of
+/// vectors) and compare the sets.
+///
+/// Restricted to `std`-only bases, where two sets of computational basis
+/// vectors span the same subspace iff the sets are equal. Kept as the
+/// baseline for the `span_checking` ablation benchmark; do not use in the
+/// compiler.
+///
+/// # Errors
+///
+/// Returns [`BasisError::TooLarge`] above 2^20 vectors and
+/// [`BasisError::MalformedLiteral`] for non-`std` elements.
+pub fn check_span_equiv_naive(b_in: &Basis, b_out: &Basis) -> Result<(), BasisError> {
+    if b_in.dim() != b_out.dim() {
+        return Err(BasisError::DimensionMismatch { left: b_in.dim(), right: b_out.dim() });
+    }
+    let mut lhs = expand_std(b_in)?;
+    let mut rhs = expand_std(b_out)?;
+    lhs.sort();
+    rhs.sort();
+    if lhs == rhs {
+        Ok(())
+    } else {
+        Err(BasisError::SpanMismatch(
+            "expanded vector sets differ".to_string(),
+        ))
+    }
+}
+
+fn expand_std(basis: &Basis) -> Result<Vec<BitString>, BasisError> {
+    const LIMIT: usize = 1 << 20;
+    let mut acc: Vec<BitString> = vec![BitString::zeros(0)];
+    for elem in basis.elements() {
+        let vectors: Vec<BitString> = match elem {
+            BasisElem::BuiltIn { prim: crate::PrimitiveBasis::Std, dim } => {
+                if *dim > 20 {
+                    return Err(BasisError::TooLarge(format!("std[{dim}]")));
+                }
+                (0..(1u128 << dim)).map(|v| BitString::from_value(v, *dim)).collect()
+            }
+            BasisElem::Literal(lit) if lit.prim() == crate::PrimitiveBasis::Std => {
+                lit.vectors().iter().map(|v| v.eigenbits.clone()).collect()
+            }
+            other => {
+                return Err(BasisError::malformed(format!(
+                    "naive span check supports std-only bases, found {other}"
+                )))
+            }
+        };
+        if acc.len().saturating_mul(vectors.len()) > LIMIT {
+            return Err(BasisError::TooLarge(format!(
+                "naive expansion exceeds {LIMIT} vectors"
+            )));
+        }
+        acc = acc
+            .iter()
+            .flat_map(|pre| vectors.iter().map(move |v| pre.concat(v)))
+            .collect();
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis(s: &str) -> Basis {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fig3_example() {
+        // The worked example of Fig. 3.
+        let lhs = basis("{'p'} + fourier[3] + {'1'@45} + pm");
+        let rhs = basis("{-'p'} + std[2] + ij + {-'11','10'}");
+        check_span_equiv(&lhs, &rhs).unwrap();
+    }
+
+    #[test]
+    fn sixty_four_qubit_flip_is_fast() {
+        // {'0','1'}[64] >> {'1','0'}[64]: 2^64 vectors, checked in poly time.
+        let lhs = basis("{'0','1'}[64]");
+        let rhs = basis("{'1','0'}[64]");
+        check_span_equiv(&lhs, &rhs).unwrap();
+    }
+
+    #[test]
+    fn swap_example() {
+        let lhs = basis("{'01','10'}");
+        let rhs = basis("{'10','01'}");
+        check_span_equiv(&lhs, &rhs).unwrap();
+    }
+
+    #[test]
+    fn builtin_vs_literal_spans() {
+        check_span_equiv(&basis("std[2]"), &basis("{'00','01','10','11'}")).unwrap();
+        check_span_equiv(&basis("std[2]"), &basis("pm[2]")).unwrap();
+        check_span_equiv(&basis("fourier[2]"), &basis("std + ij")).unwrap();
+    }
+
+    #[test]
+    fn proper_subspace_mismatch() {
+        assert!(check_span_equiv(&basis("{'0'}"), &basis("{'1'}")).is_err());
+        // Same span on one qubit, but differing literals must be identical.
+        check_span_equiv(&basis("{'1'}"), &basis("{'1'}")).unwrap();
+        // A subspace literal never matches a fully-spanning basis.
+        assert!(check_span_equiv(&basis("std"), &basis("{'1'}")).is_err());
+    }
+
+    #[test]
+    fn different_prims_same_subspace_shape_mismatch() {
+        // span({'p'}) != span({'0'}) even though both are one-dimensional.
+        assert!(check_span_equiv(&basis("{'p'}"), &basis("{'0'}")).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let err = check_span_equiv(&basis("std[2]"), &basis("std[3]")).unwrap_err();
+        assert!(matches!(err, BasisError::DimensionMismatch { left: 2, right: 3 }));
+    }
+
+    #[test]
+    fn factoring_across_misaligned_elements() {
+        // {'1'} + std vs {'10','11'}: requires Algorithm B4.
+        check_span_equiv(&basis("{'1'} + std"), &basis("{'10','11'}")).unwrap();
+        // {'01','10'} + {'0','1'} vs the merged four-vector literal (Fig. 9).
+        check_span_equiv(
+            &basis("{'01','10'} + {'0','1'}"),
+            &basis("{'010','011','100','101'}"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn fourier_span_factors() {
+        // Lemma B.1: span(fourier[3]) = span(fourier[1]) (x) span(fourier[2]).
+        check_span_equiv(&basis("fourier[3]"), &basis("fourier + fourier[2]")).unwrap();
+        check_span_equiv(&basis("std + fourier[3]"), &basis("fourier[3] + std")).unwrap();
+    }
+
+    #[test]
+    fn entangled_literal_does_not_factor() {
+        // {'00','11'} spans a 2D subspace that is not a tensor product.
+        assert!(check_span_equiv(&basis("{'00','11'}"), &basis("{'0'} + {'0','1'}")).is_err());
+        // But it equals itself even with reordered vectors and phases.
+        check_span_equiv(&basis("{'00','11'}"), &basis("{-'11','00'}")).unwrap();
+    }
+
+    #[test]
+    fn phases_do_not_affect_span() {
+        check_span_equiv(&basis("{'p'[3]}"), &basis("{-'p'[3]}")).unwrap();
+        check_span_equiv(&basis("{'1'@45}"), &basis("{'1'}")).unwrap();
+    }
+
+    #[test]
+    fn naive_agrees_with_fast_on_std() {
+        let cases = [
+            ("{'0','1'}[4]", "{'1','0'}[4]", true),
+            ("{'01','10'}", "{'10','01'}", true),
+            ("{'1'} + std", "{'10','11'}", true),
+            ("{'00','11'}", "{'0'} + {'0','1'}", false),
+            ("std[3]", "{'0','1'}[3]", true),
+        ];
+        for (l, r, expect) in cases {
+            let lb = basis(l);
+            let rb = basis(r);
+            assert_eq!(check_span_equiv(&lb, &rb).is_ok(), expect, "fast: {l} vs {r}");
+            assert_eq!(
+                check_span_equiv_naive(&lb, &rb).is_ok(),
+                expect,
+                "naive: {l} vs {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn grover_diffuser_basis_checks() {
+        // {'p'[N]} >> {-'p'[N]} for a large N: single-vector literals with a
+        // phase difference span the same line.
+        check_span_equiv(&basis("{'p'[64]}"), &basis("{-'p'[64]}")).unwrap();
+    }
+
+    #[test]
+    fn period_finding_shape() {
+        check_span_equiv(&basis("fourier[8]"), &basis("std[8]")).unwrap();
+        check_span_equiv(&basis("pm[8]"), &basis("std[8]")).unwrap();
+    }
+}

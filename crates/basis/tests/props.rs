@@ -1,0 +1,176 @@
+//! Property-based tests for basis structure and span checking.
+
+use asdf_basis::{span, Basis, BasisElem, BasisLiteral, BasisVector, BitString, Phase, PrimitiveBasis};
+use proptest::prelude::*;
+
+fn arb_prim() -> impl Strategy<Value = PrimitiveBasis> {
+    prop_oneof![
+        Just(PrimitiveBasis::Std),
+        Just(PrimitiveBasis::Pm),
+        Just(PrimitiveBasis::Ij),
+    ]
+}
+
+/// A random well-formed basis literal of dimension 1..=4.
+fn arb_literal() -> impl Strategy<Value = BasisLiteral> {
+    (arb_prim(), 1usize..=4).prop_flat_map(|(prim, dim)| {
+        let total = 1usize << dim;
+        proptest::sample::subsequence((0..total).collect::<Vec<_>>(), 1..=total).prop_map(
+            move |values| {
+                let vectors = values
+                    .into_iter()
+                    .map(|v| BasisVector::new(BitString::from_value(v as u128, dim)))
+                    .collect();
+                BasisLiteral::new(prim, vectors).expect("distinct values form a literal")
+            },
+        )
+    })
+}
+
+fn arb_elem() -> impl Strategy<Value = BasisElem> {
+    prop_oneof![
+        (arb_prim(), 1usize..=4).prop_map(|(p, d)| BasisElem::built_in(p, d)),
+        (1usize..=3).prop_map(|d| BasisElem::built_in(PrimitiveBasis::Fourier, d)),
+        arb_literal().prop_map(BasisElem::Literal),
+    ]
+}
+
+fn arb_basis() -> impl Strategy<Value = Basis> {
+    proptest::collection::vec(arb_elem(), 1..=5).prop_map(Basis::new)
+}
+
+/// A random std-only basis element of exactly `dim` qubits.
+fn arb_std_elem_of_dim(dim: usize) -> BoxedStrategy<BasisElem> {
+    let total = 1usize << dim;
+    let literal = proptest::sample::subsequence((0..total).collect::<Vec<_>>(), 1..=total)
+        .prop_map(move |values| {
+            let vectors = values
+                .into_iter()
+                .map(|v| BasisVector::new(BitString::from_value(v as u128, dim)))
+                .collect();
+            BasisElem::Literal(BasisLiteral::new(PrimitiveBasis::Std, vectors).unwrap())
+        });
+    prop_oneof![
+        Just(BasisElem::built_in(PrimitiveBasis::Std, dim)),
+        literal,
+    ]
+    .boxed()
+}
+
+/// A random std-only basis of exactly `dim` qubits, split into random
+/// elements of dimension at most 3.
+fn arb_std_basis_of_dim(dim: usize) -> BoxedStrategy<Basis> {
+    proptest::collection::vec(any::<bool>(), dim.saturating_sub(1))
+        .prop_flat_map(move |cuts| {
+            let mut chunk_dims = Vec::new();
+            let mut cur = 1;
+            for cut in cuts {
+                if cut || cur == 3 {
+                    chunk_dims.push(cur);
+                    cur = 1;
+                } else {
+                    cur += 1;
+                }
+            }
+            chunk_dims.push(cur);
+            chunk_dims
+                .into_iter()
+                .map(arb_std_elem_of_dim)
+                .collect::<Vec<_>>()
+                .prop_map(Basis::new)
+        })
+        .boxed()
+}
+
+/// A pair of std-only bases of equal total dimension.
+fn arb_std_basis_pair() -> impl Strategy<Value = (Basis, Basis)> {
+    (1usize..=6)
+        .prop_flat_map(|dim| (arb_std_basis_of_dim(dim), arb_std_basis_of_dim(dim)))
+}
+
+/// A literal that carries random phases on random vectors.
+fn arb_phased_literal() -> impl Strategy<Value = BasisLiteral> {
+    (arb_literal(), proptest::collection::vec(proptest::option::of(-6.0f64..6.0), 16))
+        .prop_map(|(lit, phases)| {
+            let vectors = lit
+                .vectors()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| BasisVector {
+                    eigenbits: v.eigenbits.clone(),
+                    phase: phases[i % phases.len()].map(Phase::Const),
+                })
+                .collect();
+            BasisLiteral::new(lit.prim(), vectors).unwrap()
+        })
+}
+
+proptest! {
+    /// Every basis spans itself (Algorithm B1 reflexivity).
+    #[test]
+    fn span_equiv_reflexive(b in arb_basis()) {
+        span::check_span_equiv(&b, &b).unwrap();
+    }
+
+    /// Span equivalence is symmetric.
+    #[test]
+    fn span_equiv_symmetric(a in arb_basis(), b in arb_basis()) {
+        let ab = span::check_span_equiv(&a, &b).is_ok();
+        let ba = span::check_span_equiv(&b, &a).is_ok();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Phases never affect spans: a phased literal spans its phase-free form.
+    #[test]
+    fn phases_invisible_to_span(lit in arb_phased_literal()) {
+        let phased = Basis::literal(lit.clone());
+        let bare = Basis::literal(lit.normalized());
+        span::check_span_equiv(&phased, &bare).unwrap();
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_idempotent(b in arb_basis()) {
+        let once = b.normalized();
+        let twice = once.normalized();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Tensor products of literals factor back into their factors.
+    #[test]
+    fn product_factors_back(pre in arb_literal(), suf in arb_literal()) {
+        prop_assume!(pre.prim() == suf.prim());
+        let prod = pre.product(&suf).unwrap();
+        let (p, s) = prod.factor_prefix(pre.dim()).unwrap();
+        let (pn, pren) = (p.normalized(), pre.normalized());
+        let (sn, sufn) = (s.normalized(), suf.normalized());
+        prop_assert_eq!(pn.vectors(), pren.vectors());
+        prop_assert_eq!(sn.vectors(), sufn.vectors());
+    }
+
+    /// The fast checker agrees with the naive exponential expansion on
+    /// std-only bases.
+    #[test]
+    fn fast_matches_naive_on_std((l, r) in arb_std_basis_pair()) {
+        let fast = span::check_span_equiv(&l, &r).is_ok();
+        let naive = span::check_span_equiv_naive(&l, &r).is_ok();
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// A tensor power of a fully-spanning literal spans the built-in basis
+    /// of the same primitive basis and dimension.
+    #[test]
+    fn full_literal_power_spans_builtin(prim in arb_prim(), n in 1usize..=5) {
+        let flip = BasisLiteral::new(
+            prim,
+            vec![
+                BasisVector::new(BitString::from_value(1, 1)),
+                BasisVector::new(BitString::from_value(0, 1)),
+            ],
+        )
+        .unwrap();
+        let powered = Basis::literal(flip).power(n);
+        let builtin = Basis::built_in(prim, n);
+        span::check_span_equiv(&powered, &builtin).unwrap();
+    }
+}

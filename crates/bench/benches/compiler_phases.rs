@@ -1,0 +1,122 @@
+//! Compiler-phase and design-choice ablation benches:
+//!
+//! - end-to-end compile times per benchmark (the pipeline of Fig. 2);
+//! - Selinger vs V-chain multi-control decomposition (§6.5's design
+//!   choice, visible in Grover's costs);
+//! - peephole on/off impact on gate counts and compile time;
+//! - inlining on/off (Table 1's configurations) compile time.
+
+use asdf_baselines::Benchmark;
+use asdf_bench::{asdf_circuit, qwerty_program};
+use asdf_core::{CompileOptions, Compiler};
+use asdf_logic::{synth, Permutation};
+use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
+use asdf_qcircuit::Circuit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn compile_with(benchmark: &Benchmark, options: &CompileOptions) {
+    let (src, kernel, captures, dims) = qwerty_program(benchmark);
+    let mut options = options.clone();
+    options.dims.extend(dims);
+    Compiler::compile(&src, kernel, &captures, &options).unwrap();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        for (name, benchmark) in Benchmark::paper_suite(n) {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &benchmark,
+                |b, benchmark| {
+                    b.iter(|| compile_with(benchmark, &CompileOptions::default()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_inlining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inlining");
+    group.sample_size(10);
+    let benchmark = Benchmark::Bv { secret: (0..16).map(|i| i % 2 == 0).collect() };
+    group.bench_function("opt", |b| {
+        b.iter(|| compile_with(&benchmark, &CompileOptions::default()));
+    });
+    group.bench_function("no_opt", |b| {
+        b.iter(|| compile_with(&benchmark, &CompileOptions::no_opt()));
+    });
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    group.sample_size(20);
+    for k in [8usize, 16, 32] {
+        let mut circuit = Circuit::new(k + 1);
+        let controls: Vec<usize> = (0..k).collect();
+        circuit.gate(asdf_ir::GateKind::X, &controls, &[k]);
+        group.bench_with_input(BenchmarkId::new("selinger", k), &circuit, |b, circuit| {
+            b.iter(|| decompose(circuit, DecomposeStyle::Selinger));
+        });
+        group.bench_with_input(BenchmarkId::new("vchain", k), &circuit, |b, circuit| {
+            b.iter(|| decompose(circuit, DecomposeStyle::VChain));
+        });
+    }
+    group.finish();
+}
+
+fn bench_peephole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peephole");
+    group.sample_size(10);
+    let benchmark = Benchmark::Grover { n: 8, iterations: 4 };
+    group.bench_function("on", |b| {
+        b.iter(|| compile_with(&benchmark, &CompileOptions::default()));
+    });
+    group.bench_function("off", |b| {
+        let mut options = CompileOptions::default();
+        options.peephole = false;
+        b.iter(|| compile_with(&benchmark, &options));
+    });
+    // Report the gate-count impact once (stdout, not a timing).
+    let with = asdf_circuit(&benchmark);
+    let (src, kernel, captures, dims) = qwerty_program(&benchmark);
+    let mut options = CompileOptions::default();
+    options.peephole = false;
+    options.dims = dims;
+    let without = Compiler::compile(&src, kernel, &captures, &options)
+        .unwrap()
+        .circuit
+        .unwrap();
+    println!(
+        "peephole gate counts: on = {}, off = {}",
+        with.gate_count(),
+        without.gate_count()
+    );
+    group.finish();
+}
+
+fn bench_reversible_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reversible_synthesis");
+    group.sample_size(20);
+    for bits in [4usize, 6, 8] {
+        let table: Vec<usize> = (0..(1usize << bits)).rev().collect();
+        let perm = Permutation::from_table(table).unwrap();
+        group.bench_with_input(BenchmarkId::new("bidirectional", bits), &perm, |b, perm| {
+            b.iter(|| synth::synthesize(perm));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_inlining,
+    bench_decompose,
+    bench_peephole,
+    bench_reversible_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation bench: factoring-based span checking (§4.1, Algorithms B1–B4)
+//! against the naive exponential expansion the paper's introduction warns
+//! about. The polynomial algorithm handles 64-qubit translations that the
+//! naive approach cannot touch.
+
+use asdf_basis::{span, Basis};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bases(k: usize) -> (Basis, Basis) {
+    let lhs: Basis = format!("{{'0','1'}}[{k}]").parse().unwrap();
+    let rhs: Basis = format!("{{'1','0'}}[{k}]").parse().unwrap();
+    (lhs, rhs)
+}
+
+fn bench_span(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_checking");
+    group.sample_size(20);
+    for k in [2usize, 4, 8, 16, 64] {
+        let (lhs, rhs) = bases(k);
+        group.bench_with_input(BenchmarkId::new("factoring", k), &k, |b, _| {
+            b.iter(|| span::check_span_equiv(&lhs, &rhs).unwrap());
+        });
+        // The naive checker is exponential; only feasible for small k.
+        if k <= 16 {
+            group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+                b.iter(|| span::check_span_equiv_naive(&lhs, &rhs).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let lhs: Basis = "{'p'} + fourier[3] + {'1'@45} + pm".parse().unwrap();
+    let rhs: Basis = "{-'p'} + std[2] + ij + {-'11','10'}".parse().unwrap();
+    c.bench_function("span_checking/fig3_example", |b| {
+        b.iter(|| span::check_span_equiv(&lhs, &rhs).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_span, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Output generation (§7): OpenQASM 3 and QIR.
+//!
+//! - [`qasm`]: OpenQASM 3 text from the straight-line [`Circuit`] form
+//!   (after reg2mem), ready for tools in the IBM ecosystem.
+//! - [`qir`]: QIR — LLVM IR text — from the QCircuit-dialect module. Two
+//!   profiles, as in the paper: the *Base Profile* (a straight-line gate
+//!   sequence with `inttoptr` qubit indices, no dynamic allocation) and the
+//!   *Unrestricted Profile* (dynamic qubit allocation, callables via
+//!   `__quantum__rt__callable_*` intrinsics, structured control flow
+//!   lowered to branches). Table 1 counts `callable_create` /
+//!   `callable_invoke` occurrences in the emitted text, which
+//!   [`qir::count_callable_intrinsics`] reproduces.
+//!
+//! [`Circuit`]: asdf_qcircuit::Circuit
+
+pub mod qasm;
+pub mod qir;
+
+pub use qasm::circuit_to_qasm;
+pub use qir::{count_callable_intrinsics, module_to_qir_base, module_to_qir_unrestricted};

@@ -1,0 +1,131 @@
+//! OpenQASM 3 emission (§7).
+//!
+//! "From QCircuit IR, Asdf can produce OpenQASM 3 using a process akin to
+//! reg2mem in QSSA, in which SSA values are converted to quantum register
+//! accesses." The register conversion lives in `asdf-qcircuit::reg2mem`;
+//! this module renders the resulting [`Circuit`].
+
+use asdf_ir::GateKind;
+use asdf_qcircuit::{Circuit, CircuitOp};
+use std::fmt::Write as _;
+
+/// Renders a circuit as an OpenQASM 3 program.
+pub fn circuit_to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 3.0;\n");
+    out.push_str("include \"stdgates.inc\";\n\n");
+    let _ = writeln!(out, "qubit[{}] q;", circuit.num_qubits.max(1));
+    let bits = circuit.num_bits();
+    if bits > 0 {
+        let _ = writeln!(out, "bit[{bits}] c;");
+    }
+    out.push('\n');
+    for op in &circuit.ops {
+        match op {
+            CircuitOp::Gate { gate, controls, targets } => {
+                emit_gate(&mut out, *gate, controls, targets);
+            }
+            CircuitOp::Measure { qubit, bit } => {
+                let _ = writeln!(out, "c[{bit}] = measure q[{qubit}];");
+            }
+            CircuitOp::Reset { qubit } => {
+                let _ = writeln!(out, "reset q[{qubit}];");
+            }
+        }
+    }
+    out
+}
+
+fn emit_gate(out: &mut String, gate: GateKind, controls: &[usize], targets: &[usize]) {
+    let name = base_name(gate);
+    let params = gate
+        .param()
+        .map(|theta| format!("({theta:.12})"))
+        .unwrap_or_default();
+    // Prefer stdgates names for common controlled forms.
+    let (prefix, name) = match (gate, controls.len()) {
+        (_, 0) => (String::new(), name.to_string()),
+        (GateKind::X, 1) => (String::new(), "cx".to_string()),
+        (GateKind::X, 2) => (String::new(), "ccx".to_string()),
+        (GateKind::Z, 1) => (String::new(), "cz".to_string()),
+        (GateKind::Y, 1) => (String::new(), "cy".to_string()),
+        (GateKind::H, 1) => (String::new(), "ch".to_string()),
+        (GateKind::P(_), 1) => (String::new(), "cp".to_string()),
+        (GateKind::Swap, 1) => (String::new(), "cswap".to_string()),
+        (_, n) => (format!("ctrl({n}) @ "), name.to_string()),
+    };
+    let qubits: Vec<String> = controls
+        .iter()
+        .chain(targets.iter())
+        .map(|q| format!("q[{q}]"))
+        .collect();
+    let _ = writeln!(out, "{prefix}{name}{params} {};", qubits.join(", "));
+}
+
+fn base_name(gate: GateKind) -> &'static str {
+    match gate {
+        GateKind::P(_) => "p",
+        GateKind::Sxdg => "sxdg",
+        other => other.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_named_gates() {
+        let mut c = Circuit::new(3);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::X, &[0, 1], &[2]);
+        c.gate(GateKind::P(0.5), &[0], &[1]);
+        c.measure(2, 0);
+        c.reset(1);
+        let qasm = circuit_to_qasm(&c);
+        assert!(qasm.starts_with("OPENQASM 3.0;"));
+        assert!(qasm.contains("qubit[3] q;"));
+        assert!(qasm.contains("bit[1] c;"));
+        assert!(qasm.contains("h q[0];"));
+        assert!(qasm.contains("cx q[0], q[1];"));
+        assert!(qasm.contains("ccx q[0], q[1], q[2];"));
+        assert!(qasm.contains("cp(0.5"));
+        assert!(qasm.contains("c[0] = measure q[2];"));
+        assert!(qasm.contains("reset q[1];"));
+    }
+
+    #[test]
+    fn multi_control_uses_ctrl_modifier() {
+        let mut c = Circuit::new(4);
+        c.gate(GateKind::Z, &[0, 1, 2], &[3]);
+        let qasm = circuit_to_qasm(&c);
+        assert!(qasm.contains("ctrl(3) @ z q[0], q[1], q[2], q[3];"));
+    }
+
+    #[test]
+    fn compiled_bv_renders(){
+        let src = r"
+            classical f[N](secret: bit[N], x: bit[N]) -> bit {
+                (secret & x).xor_reduce()
+            }
+            qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+                'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+            }
+        ";
+        let captures = vec![asdf_ast::expand::CaptureValue::CFunc {
+            name: "f".into(),
+            captures: vec![asdf_ast::expand::CaptureValue::bits_from_str("101")],
+        }];
+        let compiled = asdf_core::Compiler::compile(
+            src,
+            "kernel",
+            &captures,
+            &asdf_core::CompileOptions::default(),
+        )
+        .unwrap();
+        let qasm = circuit_to_qasm(&compiled.circuit.unwrap());
+        assert!(qasm.contains("measure"));
+        assert!(qasm.contains("h q["));
+    }
+}

@@ -1,0 +1,248 @@
+//! The end-to-end compiler driver (Fig. 2).
+//!
+//! ```text
+//! Qwerty source → AST (parse, expand, typecheck, canonicalize)
+//!   → Qwerty IR (lower, lift lambdas, canonicalize, inline/specialize)
+//!   → QCircuit IR (convert, peephole)
+//!   → Circuit (reg2mem, decompose)
+//! ```
+//!
+//! The `inline` option mirrors the paper's evaluation configurations:
+//! `Asdf (Opt)` inlines everything into one function (zero QIR callables);
+//! `Asdf (No Opt)` leaves the functional structure intact, exercising
+//! specializations and QIR callable emission (Table 1).
+
+use crate::canon::{lift_lambdas, qwerty_canonicalizer};
+use crate::convert::convert_module;
+use crate::error::CoreError;
+use crate::lower::lower_kernel;
+use crate::special::generate_specializations;
+use asdf_ast::canon::canonicalize as ast_canonicalize;
+use asdf_ast::expand::{instantiate, CaptureValue};
+use asdf_ast::parse::parse_program;
+use asdf_ast::tast::{TExpr, TExprKind, TKernel, TStmt};
+use asdf_ast::typecheck::typecheck_kernel;
+use asdf_ir::inline::{remove_dead_private_funcs, InlineSpecializer, Inliner};
+use asdf_ir::{Func, IrError, Module};
+use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
+use asdf_qcircuit::peephole::run_peephole;
+use asdf_qcircuit::reg2mem::lower_to_circuit;
+use asdf_qcircuit::Circuit;
+use std::collections::HashMap;
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Run the inlining pipeline (§5.4). Disabled for the Table 1
+    /// "No Opt" configuration.
+    pub inline: bool,
+    /// Run the QCircuit peephole optimizations (§6.5).
+    pub peephole: bool,
+    /// Decompose multi-controlled gates in the final circuit.
+    pub decompose: Option<DecomposeStyle>,
+    /// Explicit dimension-variable bindings (when inference from captures
+    /// is not enough).
+    pub dims: HashMap<String, i64>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            inline: true,
+            peephole: true,
+            decompose: Some(DecomposeStyle::Selinger),
+            dims: HashMap::new(),
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The paper's `Asdf (No Opt)` configuration: no inlining, no peephole;
+    /// callables are emitted for function values.
+    pub fn no_opt() -> Self {
+        CompileOptions { inline: false, peephole: false, decompose: None, dims: HashMap::new() }
+    }
+
+    /// Sets a dimension binding.
+    pub fn with_dim(mut self, name: &str, value: i64) -> Self {
+        self.dims.insert(name.to_string(), value);
+        self
+    }
+}
+
+/// The result of compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The QCircuit-dialect module (input to QASM/QIR codegen).
+    pub module: Module,
+    /// The entry kernel's symbol name.
+    pub entry: String,
+    /// The straight-line circuit, when inlining fully linearized the entry
+    /// kernel (None when callables or control flow remain).
+    pub circuit: Option<Circuit>,
+    /// The typed AST of the entry kernel (useful for oracles/tests).
+    pub kernel: TKernel,
+}
+
+/// The ASDF compiler.
+#[derive(Debug, Default)]
+pub struct Compiler;
+
+impl Compiler {
+    /// Compiles `kernel` from `source` with the given captures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for any frontend, transformation, or synthesis
+    /// failure.
+    pub fn compile(
+        source: &str,
+        kernel_name: &str,
+        captures: &[CaptureValue],
+        options: &CompileOptions,
+    ) -> Result<Compiled, CoreError> {
+        let program = parse_program(source)?;
+
+        // §4: expansion (dimvar inference) + type checking + AST canon.
+        let instance = instantiate(&program, kernel_name, captures, &options.dims)?;
+        let mut kernel = typecheck_kernel(&program, kernel_name, &instance)?;
+        ast_canonicalize(&mut kernel);
+
+        // §5.1: lowering (the entry kernel plus any kernels it references).
+        let mut module = Module::new();
+        for referenced in referenced_kernels(&kernel) {
+            if module.contains(&referenced) {
+                continue;
+            }
+            let sub_instance = instantiate(&program, &referenced, &[], &options.dims)?;
+            let mut sub = typecheck_kernel(&program, &referenced, &sub_instance)?;
+            ast_canonicalize(&mut sub);
+            lower_kernel(&sub, &mut module)?;
+        }
+        lower_kernel(&kernel, &mut module)?;
+        asdf_ir::verify::verify_module(&module)?;
+
+        // §5.4: lift lambdas, canonicalize, inline (or specialize). In the
+        // No Opt configuration the indirect-to-direct canonicalization and
+        // inlining are skipped entirely, so the functional structure
+        // survives as QIR callables (Table 1); direct `call adj/pred` ops
+        // that already exist still get specializations generated (§6.2).
+        lift_lambdas(&mut module)?;
+        asdf_ir::verify::verify_module(&module)?;
+        if options.inline {
+            let mut canon = qwerty_canonicalizer();
+            let inliner = Inliner::default();
+            for _ in 0..64 {
+                let canon_changed = canon.run(&mut module) > 0;
+                let inlined = inliner
+                    .run(&mut module, &Specializer)
+                    .map_err(CoreError::from)?;
+                if !canon_changed && inlined == 0 {
+                    break;
+                }
+            }
+            remove_dead_private_funcs(&mut module);
+        } else {
+            generate_specializations(&mut module)?;
+        }
+        asdf_ir::verify::verify_module(&module)?;
+
+        // §6: dialect conversion to QCircuit IR.
+        convert_module(&mut module)?;
+        asdf_ir::verify::verify_module(&module)?;
+
+        // §6.5: peephole optimizations.
+        if options.peephole {
+            run_peephole(&mut module);
+            asdf_ir::verify::verify_module(&module)?;
+        }
+
+        // §7 front half: reg2mem when the kernel is straight-line.
+        let entry = module
+            .expect_func(kernel_name)
+            .map_err(CoreError::from)?;
+        let circuit = match lower_to_circuit(entry) {
+            Ok(raw) => match options.decompose {
+                Some(style) => Some(decompose(&raw, style)),
+                None => Some(raw),
+            },
+            Err(_) => None,
+        };
+
+        Ok(Compiled {
+            module,
+            entry: kernel_name.to_string(),
+            circuit,
+            kernel,
+        })
+    }
+}
+
+/// Kernels referenced as function values from the body.
+fn referenced_kernels(kernel: &TKernel) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(e: &TExpr, out: &mut Vec<String>) {
+        match &e.kind {
+            TExprKind::KernelRef { name } => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            TExprKind::Adjoint(f) => walk(f, out),
+            TExprKind::Pred { func, .. } => walk(func, out),
+            TExprKind::Tensor(parts) | TExprKind::Compose(parts) => {
+                for p in parts {
+                    walk(p, out);
+                }
+            }
+            TExprKind::Pipe { value, func } => {
+                walk(value, out);
+                walk(func, out);
+            }
+            TExprKind::Cond { cond, then_f, else_f } => {
+                walk(cond, out);
+                walk(then_f, out);
+                walk(else_f, out);
+            }
+            _ => {}
+        }
+    }
+    for stmt in &kernel.body {
+        match stmt {
+            TStmt::Let { value, .. } => walk(value, &mut out),
+            TStmt::Expr(e) => walk(e, &mut out),
+        }
+    }
+    out
+}
+
+/// The inliner hook: builds adjoint/predicated callee bodies on demand
+/// using the §5.2/§5.3 routines.
+struct Specializer;
+
+impl InlineSpecializer for Specializer {
+    fn specialize(
+        &self,
+        callee: &Func,
+        adj: bool,
+        pred: Option<&asdf_basis::Basis>,
+        _module: &Module,
+    ) -> Result<Func, IrError> {
+        let to_ir = |e: CoreError| IrError::Unsupported(e.to_string());
+        let mut spec = if adj {
+            crate::adjoint::adjoint_func(callee, &format!("{}__adj_tmp", callee.name))
+                .map_err(to_ir)?
+        } else {
+            callee.clone()
+        };
+        if let Some(pred) = pred {
+            spec = crate::predicate::predicate_func(
+                &spec,
+                pred,
+                &format!("{}__pred_tmp", callee.name),
+            )
+            .map_err(to_ir)?;
+        }
+        Ok(spec)
+    }
+}

@@ -1,0 +1,49 @@
+//! Compiler-core errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised during lowering, transformation, or synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Frontend failure (parse/typecheck), forwarded.
+    Frontend(String),
+    /// IR verification or transformation failure, forwarded.
+    Ir(String),
+    /// Basis synthesis failure (alignment, standardization, permutation).
+    Synthesis(String),
+    /// A construct valid in the language but outside what this compiler
+    /// build supports.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Frontend(m) => write!(f, "frontend error: {m}"),
+            CoreError::Ir(m) => write!(f, "ir error: {m}"),
+            CoreError::Synthesis(m) => write!(f, "synthesis error: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<asdf_ir::IrError> for CoreError {
+    fn from(e: asdf_ir::IrError) -> Self {
+        CoreError::Ir(e.to_string())
+    }
+}
+
+impl From<asdf_ast::FrontendError> for CoreError {
+    fn from(e: asdf_ast::FrontendError) -> Self {
+        CoreError::Frontend(e.to_string())
+    }
+}
+
+impl From<asdf_basis::BasisError> for CoreError {
+    fn from(e: asdf_basis::BasisError) -> Self {
+        CoreError::Synthesis(e.to_string())
+    }
+}

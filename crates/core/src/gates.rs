@@ -1,0 +1,58 @@
+//! Shared gate-emission context: tracks the current SSA value at each
+//! qubit position while pushing QCircuit `gate` ops.
+
+use asdf_ir::func::BlockBuilder;
+use asdf_ir::{GateKind, OpKind, Type, Value};
+
+/// Emits gates over a positional register of SSA qubit values.
+pub(crate) struct GateCtx<'a, 'b> {
+    /// The builder receiving ops.
+    pub bb: &'a mut BlockBuilder<'b>,
+    /// Current SSA value per qubit position.
+    pub values: Vec<Value>,
+}
+
+impl GateCtx<'_, '_> {
+    /// Emits one gate, threading the per-position values.
+    pub fn gate(&mut self, gate: GateKind, controls: &[usize], targets: &[usize]) {
+        let mut operands: Vec<Value> = Vec::with_capacity(controls.len() + targets.len());
+        operands.extend(controls.iter().map(|&p| self.values[p]));
+        operands.extend(targets.iter().map(|&p| self.values[p]));
+        let result_tys = vec![Type::Qubit; operands.len()];
+        let results = self.bb.push(
+            OpKind::Gate { gate, num_controls: controls.len() },
+            operands,
+            result_tys,
+        );
+        for (i, &p) in controls.iter().chain(targets.iter()).enumerate() {
+            self.values[p] = results[i];
+        }
+    }
+
+    /// Runs `body` inside an X-conjugation making the `(position, bit)`
+    /// pattern a plain positive-control set. A position required to be
+    /// both 0 and 1 is unsatisfiable: the body is skipped entirely.
+    pub fn under_controls(
+        &mut self,
+        mut pattern: Vec<(usize, bool)>,
+        body: impl FnOnce(&mut Self, &[usize]),
+    ) {
+        pattern.sort_unstable();
+        pattern.dedup();
+        let positions: Vec<usize> = pattern.iter().map(|(p, _)| *p).collect();
+        let mut unique = positions.clone();
+        unique.dedup();
+        if unique.len() != positions.len() {
+            return;
+        }
+        let flips: Vec<usize> =
+            pattern.iter().filter(|(_, bit)| !bit).map(|(p, _)| *p).collect();
+        for &p in &flips {
+            self.gate(GateKind::X, &[], &[p]);
+        }
+        body(self, &unique);
+        for &p in &flips {
+            self.gate(GateKind::X, &[], &[p]);
+        }
+    }
+}

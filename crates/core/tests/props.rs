@@ -1,0 +1,117 @@
+//! Property-based tests for the compiler core: synthesized basis
+//! translations implement exactly the advertised unitary, and the §5.2
+//! adjoint construction inverts it.
+
+use asdf_core::{CompileOptions, Compiler};
+use asdf_sim::{unitary_of, StateVector};
+use proptest::prelude::*;
+
+/// A random translation between two orderings of the same std vector set,
+/// as Qwerty source. Returns (source, dim, vector pairs).
+fn arb_std_translation() -> impl Strategy<Value = (String, usize, Vec<(usize, usize)>)> {
+    (1usize..=3).prop_flat_map(|dim| {
+        let total = 1usize << dim;
+        proptest::sample::subsequence((0..total).collect::<Vec<_>>(), 1..=total)
+            .prop_flat_map(move |values| {
+                let k = values.len();
+                (Just(values), proptest::sample::select((0..k).collect::<Vec<_>>()))
+                    .prop_flat_map(move |(values, _)| {
+                        Just(values.clone()).prop_shuffle().prop_map(move |shuffled| {
+                            let fmt = |v: usize| format!("'{:0width$b}'", v, width = dim);
+                            let lhs: Vec<String> =
+                                values.iter().map(|&v| fmt(v)).collect();
+                            let rhs: Vec<String> =
+                                shuffled.iter().map(|&v| fmt(v)).collect();
+                            let src = format!(
+                                "qpu k(qs: qubit[{dim}]) -> qubit[{dim}] {{\n\
+                                     qs | {{{}}} >> {{{}}}\n\
+                                 }}",
+                                lhs.join(","),
+                                rhs.join(",")
+                            );
+                            let pairs: Vec<(usize, usize)> = values
+                                .iter()
+                                .zip(&shuffled)
+                                .map(|(&a, &b)| (a, b))
+                                .collect();
+                            (src, dim, pairs)
+                        })
+                    })
+            })
+    })
+}
+
+fn translation_unitary(src: &str, dim: usize) -> Vec<StateVector> {
+    let compiled = Compiler::compile(src, "k", &[], &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("compiling {src}: {e}"));
+    let circuit = compiled.circuit.expect("translations linearize");
+    // Pad inputs: the circuit may allocate ancillas beyond the data qubits.
+    assert!(circuit.num_qubits >= dim);
+    unitary_of(&circuit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A std-literal translation maps in-vector k to out-vector k and acts
+    /// as identity on the orthogonal complement (§2.2's definition).
+    #[test]
+    fn std_translations_realize_vector_maps((src, dim, pairs) in arb_std_translation()) {
+        let unitary = translation_unitary(&src, dim);
+        let n = unitary[0].num_qubits();
+        let shift = n - dim;
+        let mapped: std::collections::HashMap<usize, usize> =
+            pairs.iter().copied().collect();
+        for x in 0..(1usize << dim) {
+            let expected = mapped.get(&x).copied().unwrap_or(x);
+            let column = &unitary[x << shift];
+            let expected_state = StateVector::basis(n, expected << shift);
+            prop_assert!(
+                column.approx_eq_global_phase(&expected_state, 1e-8),
+                "{src}: |{x:b}> mapped wrongly"
+            );
+        }
+    }
+
+    /// `~(b1 >> b2)` composed after `b1 >> b2` is the identity, for random
+    /// std translations (exercising AST canonicalization's adjoint rewrite
+    /// plus synthesis).
+    #[test]
+    fn adjoint_inverts_translation((src, dim, _pairs) in arb_std_translation()) {
+        // Rewrite the source to apply the translation then its adjoint.
+        let body_start = src.find("qs |").expect("body");
+        let body_end = src.rfind('\n').expect("newline");
+        let trans = src[body_start + 5..body_end].trim();
+        let roundtrip = format!(
+            "qpu k(qs: qubit[{dim}]) -> qubit[{dim}] {{\n qs | {trans} | ~({trans})\n}}"
+        );
+        let unitary = translation_unitary(&roundtrip, dim);
+        let n = unitary[0].num_qubits();
+        let shift = n - dim;
+        for x in 0..(1usize << dim) {
+            let column = &unitary[x << shift];
+            let expected = StateVector::basis(n, x << shift);
+            prop_assert!(
+                column.approx_eq_global_phase(&expected, 1e-8),
+                "{roundtrip}: |{x:b}> not restored"
+            );
+        }
+    }
+
+    /// Translating into pm and measuring in pm is the same as measuring in
+    /// std directly (the measurement-rotation path matches translation
+    /// synthesis).
+    #[test]
+    fn measure_in_basis_consistent(bits in proptest::collection::vec(any::<bool>(), 1..=3)) {
+        let dim = bits.len();
+        let prep: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let src = format!(
+            "qpu k() -> bit[{dim}] {{\n '{prep}' | std[{dim}] >> pm[{dim}] | pm[{dim}].measure\n}}"
+        );
+        let compiled = Compiler::compile(&src, "k", &[], &CompileOptions::default()).unwrap();
+        let circuit = compiled.circuit.unwrap();
+        let counts = asdf_sim::sample(&circuit, 24, 3);
+        prop_assert_eq!(counts.len(), 1, "deterministic round trip");
+        prop_assert!(counts.contains_key(prep.as_str()), "{:?}", counts);
+    }
+}

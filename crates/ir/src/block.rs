@@ -1,0 +1,71 @@
+//! Blocks and regions.
+
+use crate::op::Op;
+use crate::value::Value;
+
+/// A basic block: arguments plus a straight-line op list ending in a
+/// terminator.
+///
+/// ASDF's pipeline aims for single-block functions ("aggressive inlining
+/// aiming to linearize the computation", §1), with structured control flow
+/// expressed by `scf.if` regions rather than CFG edges.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Block arguments (function parameters for entry blocks; captures and
+    /// lambda parameters for lambda bodies).
+    pub args: Vec<Value>,
+    /// Operations in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl Block {
+    /// The terminator, if the block is non-empty and properly terminated.
+    pub fn terminator(&self) -> Option<&Op> {
+        self.ops.last().filter(|op| op.is_terminator())
+    }
+
+    /// Mutable terminator access.
+    pub fn terminator_mut(&mut self) -> Option<&mut Op> {
+        self.ops.last_mut().filter(|op| op.is_terminator())
+    }
+}
+
+/// A region: a list of blocks owned by an op. Always a single block in this
+/// pipeline, matching the paper's "single basic block making up the callee
+/// function body" (§5.4).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Region {
+    /// The blocks of the region.
+    pub blocks: Vec<Block>,
+}
+
+impl Region {
+    /// A region holding one block.
+    pub fn single(block: Block) -> Self {
+        Region { blocks: vec![block] }
+    }
+
+    /// The sole block of a single-block region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not have exactly one block.
+    pub fn only_block(&self) -> &Block {
+        assert_eq!(self.blocks.len(), 1, "expected a single-block region");
+        &self.blocks[0]
+    }
+
+    /// Mutable access to the sole block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not have exactly one block.
+    pub fn only_block_mut(&mut self) -> &mut Block {
+        assert_eq!(self.blocks.len(), 1, "expected a single-block region");
+        &mut self.blocks[0]
+    }
+}
+
+/// A path from a function's entry block down to a (possibly nested) block:
+/// each step is (op index in current block, region index, block index).
+pub type BlockPath = Vec<(usize, usize, usize)>;

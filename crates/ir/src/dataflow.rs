@@ -1,0 +1,117 @@
+//! A small forward dataflow framework for single-block functions.
+//!
+//! ASDF "runs an intraprocedural dataflow analysis that maps each MLIR
+//! value of type qubit or qbundle to a list of qubit indices" when
+//! predicating blocks (§5.3). Blocks here are SSA and straight-line, so one
+//! forward pass in op order reaches the fixpoint; the framework exists to
+//! keep analyses declarative (facts per value, one transfer function per
+//! op), in the spirit of MLIR's dataflow tutorial the paper cites.
+
+use crate::block::Block;
+use crate::func::Func;
+use crate::op::Op;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A forward, per-value analysis over one block.
+pub trait ForwardAnalysis {
+    /// The lattice fact attached to each value.
+    type Fact: Clone;
+
+    /// The fact for a block argument.
+    fn arg_fact(&mut self, func: &Func, arg: Value) -> Self::Fact;
+
+    /// Given the facts of an op's operands, produce facts for its results.
+    /// `None` entries mean the operand had no fact (e.g. classical values in
+    /// a qubit-index analysis).
+    fn transfer(
+        &mut self,
+        func: &Func,
+        op: &Op,
+        operand_facts: &[Option<&Self::Fact>],
+    ) -> Vec<Option<Self::Fact>>;
+}
+
+/// Runs `analysis` over `block` (front to back) and returns the fact map.
+pub fn analyze_block<A: ForwardAnalysis>(
+    func: &Func,
+    block: &Block,
+    analysis: &mut A,
+) -> HashMap<Value, A::Fact> {
+    let mut facts: HashMap<Value, A::Fact> = HashMap::new();
+    for &arg in &block.args {
+        let fact = analysis.arg_fact(func, arg);
+        facts.insert(arg, fact);
+    }
+    for op in &block.ops {
+        let operand_facts: Vec<Option<&A::Fact>> =
+            op.operands.iter().map(|v| facts.get(v)).collect();
+        let result_facts = analysis.transfer(func, op, &operand_facts);
+        debug_assert_eq!(result_facts.len(), op.results.len(), "transfer arity");
+        for (value, fact) in op.results.iter().zip(result_facts) {
+            if let Some(fact) = fact {
+                facts.insert(*value, fact);
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncBuilder, Visibility};
+    use crate::op::OpKind;
+    use crate::types::{FuncType, Type};
+
+    /// A toy analysis: tracks which block argument each qubit value came
+    /// from, following gate ops positionally.
+    struct Provenance;
+
+    impl ForwardAnalysis for Provenance {
+        type Fact = usize;
+
+        fn arg_fact(&mut self, func: &Func, arg: Value) -> usize {
+            let _ = func;
+            arg.index()
+        }
+
+        fn transfer(
+            &mut self,
+            _func: &Func,
+            op: &Op,
+            operand_facts: &[Option<&usize>],
+        ) -> Vec<Option<usize>> {
+            match op.kind {
+                OpKind::Gate { .. } => operand_facts.iter().map(|f| f.copied()).collect(),
+                _ => vec![None; op.results.len()],
+            }
+        }
+    }
+
+    #[test]
+    fn facts_flow_through_gates() {
+        let mut b = FuncBuilder::new(
+            "f",
+            FuncType::new(
+                vec![Type::Qubit, Type::Qubit],
+                vec![Type::Qubit, Type::Qubit],
+                true,
+            ),
+            Visibility::Public,
+        );
+        let (a0, a1) = (b.args()[0], b.args()[1]);
+        let mut bb = b.block();
+        let out = bb.push(
+            OpKind::Gate { gate: crate::gate::GateKind::X, num_controls: 1 },
+            vec![a0, a1],
+            vec![Type::Qubit, Type::Qubit],
+        );
+        bb.push(OpKind::Return, vec![out[0], out[1]], vec![]);
+        let func = b.finish();
+
+        let facts = analyze_block(&func, &func.body, &mut Provenance);
+        assert_eq!(facts[&out[0]], a0.index());
+        assert_eq!(facts[&out[1]], a1.index());
+    }
+}

@@ -1,0 +1,32 @@
+//! IR-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by IR construction, verification, or transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The verifier found a malformed module; the message names the
+    /// function and op.
+    Verify(String),
+    /// A symbol was referenced but not defined in the module.
+    UnknownSymbol(String),
+    /// Inlining failed (e.g. recursion bound exceeded).
+    Inline(String),
+    /// A construct is valid IR but unsupported by a transformation
+    /// (e.g. adjointing an op with no adjoint form).
+    Unsupported(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Verify(msg) => write!(f, "ir verification failed: {msg}"),
+            IrError::UnknownSymbol(name) => write!(f, "unknown symbol @{name}"),
+            IrError::Inline(msg) => write!(f, "inlining failed: {msg}"),
+            IrError::Unsupported(msg) => write!(f, "unsupported ir construct: {msg}"),
+        }
+    }
+}
+
+impl Error for IrError {}

@@ -1,0 +1,53 @@
+//! An SSA intermediate-representation kernel standing in for the MLIR
+//! framework in the ASDF compiler reproduction.
+//!
+//! The published ASDF implements two custom MLIR dialects — the *Qwerty
+//! dialect* (§5) and the *QCircuit dialect* (§6) — alongside MLIR's built-in
+//! `arith`, `scf`, and `func` dialects. Rust has no mature MLIR bindings, so
+//! this crate rebuilds the required infrastructure:
+//!
+//! - [`Type`]s and structured op payloads ([`OpKind`]) for all five dialects,
+//!   statically registered in one enum for exhaustive matching;
+//! - [`Op`]s with operands, results, and nested single-block [`Region`]s
+//!   (used by `lambda` and `scf.if`);
+//! - [`Func`]tions with a per-function SSA value arena and a single entry
+//!   block (control flow is structured, as in the paper's pipeline);
+//! - a [`Module`] of functions;
+//! - a verifier enforcing op signatures **and qubit linearity** (each
+//!   `qubit`/`qbundle` value used exactly once), mirroring Qwerty's linear
+//!   type system at the IR level;
+//! - a canonicalization driver running [`rewrite::RewritePattern`]s to a
+//!   fixpoint plus classical dead-code elimination;
+//! - an [`inline::Inliner`] with a specialization hook so the Qwerty-level
+//!   adjoint/predication transforms (implemented in `asdf-core`) can run
+//!   when `call adj`/`call pred` ops are inlined (§5.4);
+//! - a small forward [`dataflow`] framework used by the qubit-index
+//!   analysis of §5.3.
+//!
+//! Quantum ops have no side effects; qubits flow through operations, making
+//! dependencies explicit (§5). That dataflow style is what lets every
+//! optimization here be simple DAG-to-DAG rewriting.
+
+pub mod block;
+pub mod clone;
+pub mod dataflow;
+pub mod error;
+pub mod func;
+pub mod gate;
+pub mod inline;
+pub mod module;
+pub mod op;
+pub mod print;
+pub mod rewrite;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use block::{Block, Region};
+pub use error::IrError;
+pub use func::{Func, FuncBuilder, Visibility};
+pub use gate::GateKind;
+pub use module::Module;
+pub use op::{Op, OpKind};
+pub use types::{FuncType, Type};
+pub use value::Value;

@@ -1,0 +1,269 @@
+//! The canonicalization driver: applies rewrite patterns to a fixpoint,
+//! then sweeps classically-dead ops.
+//!
+//! MLIR's canonicalizer "simplifies IR to better enable optimizations (e.g.,
+//! through constant folding and dead code elimination)" (§3); ASDF
+//! additionally registers the Qwerty-specific patterns of §5.4 (implemented
+//! in `asdf-core`). This driver is dialect-agnostic: patterns are trait
+//! objects consulted for every op in every block.
+
+use crate::block::BlockPath;
+use crate::func::Func;
+use crate::module::Module;
+use crate::types::FuncType;
+use std::collections::HashMap;
+
+/// A read-only snapshot of module-level symbols, available to patterns
+/// while a function is mutably borrowed.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    sigs: HashMap<String, FuncType>,
+}
+
+impl SymbolTable {
+    /// Builds the snapshot from a module.
+    pub fn from_module(module: &Module) -> Self {
+        SymbolTable {
+            sigs: module
+                .funcs()
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.clone()))
+                .collect(),
+        }
+    }
+
+    /// Looks up a symbol's signature.
+    pub fn signature(&self, name: &str) -> Option<&FuncType> {
+        self.sigs.get(name)
+    }
+}
+
+/// A DAG-to-DAG rewrite applied during canonicalization.
+pub trait RewritePattern {
+    /// A stable name for debugging and statistics.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to rewrite the op at `block[op_idx]`; returns whether the IR
+    /// changed. After any change the driver rescans the function, so
+    /// patterns may freely splice ops and invalidate indices beyond
+    /// `op_idx`.
+    fn match_and_rewrite(
+        &self,
+        func: &mut Func,
+        path: &BlockPath,
+        op_idx: usize,
+        symbols: &SymbolTable,
+    ) -> bool;
+}
+
+/// Applies patterns to every op of every function until nothing changes,
+/// interleaved with classical dead-code elimination (like MLIR's
+/// canonicalizer).
+#[derive(Default)]
+pub struct Canonicalizer {
+    patterns: Vec<Box<dyn RewritePattern>>,
+    /// Fired-pattern counts from the last run, by pattern name.
+    pub stats: HashMap<&'static str, usize>,
+}
+
+impl Canonicalizer {
+    /// An empty canonicalizer (only DCE).
+    pub fn new() -> Self {
+        Canonicalizer::default()
+    }
+
+    /// Registers a pattern.
+    pub fn add_pattern(&mut self, pattern: Box<dyn RewritePattern>) -> &mut Self {
+        self.patterns.push(pattern);
+        self
+    }
+
+    /// Runs to a fixpoint; returns the total number of pattern firings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern keeps reporting changes beyond a large iteration
+    /// bound, which indicates a non-terminating rewrite pair.
+    pub fn run(&mut self, module: &mut Module) -> usize {
+        self.stats.clear();
+        let mut total = 0usize;
+        for round in 0.. {
+            assert!(round < 10_000, "canonicalization did not reach a fixpoint");
+            let symbols = SymbolTable::from_module(module);
+            let mut changed = false;
+            for name in module.func_names() {
+                let func = module.func_mut(&name).expect("name snapshot is stable");
+                while self.rewrite_once(func, &symbols) {
+                    changed = true;
+                    total += 1;
+                }
+                if dce_func(func) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Scans the function and fires at most one pattern.
+    fn rewrite_once(&mut self, func: &mut Func, symbols: &SymbolTable) -> bool {
+        for path in func.block_paths() {
+            let len = func.block_at(&path).ops.len();
+            for op_idx in 0..len {
+                for pattern in &self.patterns {
+                    if pattern.match_and_rewrite(func, &path, op_idx, symbols) {
+                        *self.stats.entry(pattern.name()).or_default() += 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Removes pure classical ops whose results are all unused, iterating until
+/// stable. Quantum (linear) ops are never removed: an unused linear result
+/// is a verifier error, not dead code.
+pub fn dce_func(func: &mut Func) -> bool {
+    let mut changed_any = false;
+    loop {
+        // Count uses of every value across the whole function.
+        let mut use_counts = vec![0usize; func.num_values()];
+        count_uses(&func.body, &mut use_counts);
+
+        // Remove from at most one block per round: deleting ops shifts op
+        // indices, which invalidates the paths of nested blocks.
+        let mut removed = false;
+        for path in func.block_paths() {
+            let block = func.block_at(&path);
+            let dead: Vec<usize> = block
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(_, op)| {
+                    op.kind.is_pure_classical()
+                        && !op.results.is_empty()
+                        && op.results.iter().all(|r| use_counts[r.index()] == 0)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if !dead.is_empty() {
+                let block = func.block_at_mut(&path);
+                for &i in dead.iter().rev() {
+                    block.ops.remove(i);
+                }
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            return changed_any;
+        }
+        changed_any = true;
+    }
+}
+
+fn count_uses(block: &crate::block::Block, counts: &mut [usize]) {
+    for op in &block.ops {
+        for v in &op.operands {
+            counts[v.index()] += 1;
+        }
+        for region in &op.regions {
+            for nested in &region.blocks {
+                count_uses(nested, counts);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncBuilder, Visibility};
+    use crate::op::{Op, OpKind};
+    use crate::types::Type;
+
+    /// A toy pattern: folds `fadd(const a, const b)` into a constant.
+    struct FoldFAdd;
+
+    impl RewritePattern for FoldFAdd {
+        fn name(&self) -> &'static str {
+            "fold-fadd"
+        }
+
+        fn match_and_rewrite(
+            &self,
+            func: &mut Func,
+            path: &BlockPath,
+            op_idx: usize,
+            _symbols: &SymbolTable,
+        ) -> bool {
+            let block = func.block_at(&path.clone());
+            let op = &block.ops[op_idx];
+            if !matches!(op.kind, OpKind::FAdd) {
+                return false;
+            }
+            let find_const = |v: crate::value::Value| -> Option<f64> {
+                block.ops.iter().find_map(|o| match o.kind {
+                    OpKind::ConstF64 { value } if o.results.contains(&v) => Some(value),
+                    _ => None,
+                })
+            };
+            let (Some(a), Some(b)) = (find_const(op.operands[0]), find_const(op.operands[1]))
+            else {
+                return false;
+            };
+            let result = op.results[0];
+            let block = func.block_at_mut(path);
+            block.ops[op_idx] = Op::new(OpKind::ConstF64 { value: a + b }, vec![], vec![result]);
+            true
+        }
+    }
+
+    #[test]
+    fn canonicalizer_folds_and_dces() {
+        let mut b = FuncBuilder::new(
+            "f",
+            FuncType::new(vec![], vec![Type::F64], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let a = bb.push(OpKind::ConstF64 { value: 1.5 }, vec![], vec![Type::F64]);
+        let c = bb.push(OpKind::ConstF64 { value: 2.5 }, vec![], vec![Type::F64]);
+        let sum = bb.push(OpKind::FAdd, vec![a[0], c[0]], vec![Type::F64]);
+        bb.push(OpKind::Return, vec![sum[0]], vec![]);
+        let mut module = Module::new();
+        module.add_func(b.finish());
+
+        let mut canon = Canonicalizer::new();
+        canon.add_pattern(Box::new(FoldFAdd));
+        let fired = canon.run(&mut module);
+        assert_eq!(fired, 1);
+
+        let func = module.func("f").unwrap();
+        // After folding + DCE only the folded constant and return remain.
+        assert_eq!(func.body.ops.len(), 2);
+        assert!(matches!(func.body.ops[0].kind, OpKind::ConstF64 { value } if (value - 4.0).abs() < 1e-12));
+        crate::verify::verify_module(&module).unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_used_and_quantum_ops() {
+        let mut b = FuncBuilder::new(
+            "g",
+            FuncType::new(vec![], vec![Type::Qubit], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let _unused = bb.push(OpKind::ConstF64 { value: 0.0 }, vec![], vec![Type::F64]);
+        let q = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
+        bb.push(OpKind::Return, vec![q[0]], vec![]);
+        let mut func = b.finish();
+        assert!(dce_func(&mut func));
+        assert_eq!(func.body.ops.len(), 2, "qalloc and return survive");
+    }
+}

@@ -1,0 +1,150 @@
+//! IR types across all registered dialects (§5 "Qwerty IR Types",
+//! §6 "QCircuit IR Types", plus the MLIR built-ins the paper uses).
+
+use std::fmt;
+
+/// The signature of a function value or symbol.
+///
+/// Qwerty function types may be *reversible* (`T1 -rev-> T2`, §2.2), which
+/// the type checker uses to restrict what reversible functions may call and
+/// the compiler uses to decide which functions can be adjointed or
+/// predicated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuncType {
+    /// Parameter types.
+    pub inputs: Vec<Type>,
+    /// Result types.
+    pub results: Vec<Type>,
+    /// Whether the function is reversible (`rev`).
+    pub reversible: bool,
+}
+
+impl FuncType {
+    /// A new (ir)reversible function type.
+    pub fn new(inputs: Vec<Type>, results: Vec<Type>, reversible: bool) -> Self {
+        FuncType { inputs, results, reversible }
+    }
+
+    /// The canonical reversible `qbundle[n] -rev-> qbundle[n]` signature that
+    /// adjointing and predication operate on (§2.2).
+    pub fn rev_qbundle(n: usize) -> Self {
+        FuncType::new(vec![Type::QBundle(n)], vec![Type::QBundle(n)], true)
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, t) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")?;
+        f.write_str(if self.reversible { " -rev-> (" } else { " -> (" })?;
+        for (i, t) in self.results.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A type in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Qwerty dialect: a tuple of N qubits, `qbundle[N]`.
+    QBundle(usize),
+    /// Qwerty dialect: a tuple of N classical bits, `bitbundle[N]`.
+    BitBundle(usize),
+    /// A function value type (Qwerty dialect).
+    Func(Box<FuncType>),
+    /// QCircuit dialect: a single qubit (`%Qubit*` in QIR).
+    Qubit,
+    /// QCircuit dialect: `array<T>[N]` (`%Array*` in QIR).
+    Array(Box<Type>, usize),
+    /// QCircuit dialect: a callable value (`%Callable*` in QIR).
+    Callable,
+    /// MLIR built-in `f64` (phase angles).
+    F64,
+    /// MLIR built-in `i1` (measurement results, conditions).
+    I1,
+}
+
+impl Type {
+    /// A function type value.
+    pub fn func(ty: FuncType) -> Self {
+        Type::Func(Box::new(ty))
+    }
+
+    /// Whether values of this type are *linear*: they must be used exactly
+    /// once. Qwerty's linear qubit typing (§4) is enforced at the IR level
+    /// by the verifier for these types. `qbundle[0]` is the unit value
+    /// produced by `discard` and is freely droppable.
+    pub fn is_linear(&self) -> bool {
+        match self {
+            Type::QBundle(n) => *n > 0,
+            Type::Qubit => true,
+            Type::Array(elem, n) => *n > 0 && elem.is_linear(),
+            _ => false,
+        }
+    }
+
+    /// The number of qubits a value of this type carries (0 for classical
+    /// types).
+    pub fn qubit_count(&self) -> usize {
+        match self {
+            Type::QBundle(n) => *n,
+            Type::Qubit => 1,
+            Type::Array(elem, n) => elem.qubit_count() * n,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::QBundle(n) => write!(f, "qbundle[{n}]"),
+            Type::BitBundle(n) => write!(f, "bitbundle[{n}]"),
+            Type::Func(ty) => write!(f, "{ty}"),
+            Type::Qubit => f.write_str("qubit"),
+            Type::Array(t, n) => write!(f, "array<{t}>[{n}]"),
+            Type::Callable => f.write_str("callable"),
+            Type::F64 => f.write_str("f64"),
+            Type::I1 => f.write_str("i1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearity() {
+        assert!(Type::QBundle(3).is_linear());
+        assert!(Type::Qubit.is_linear());
+        assert!(Type::Array(Box::new(Type::Qubit), 2).is_linear());
+        assert!(!Type::BitBundle(3).is_linear());
+        assert!(!Type::F64.is_linear());
+        assert!(!Type::func(FuncType::rev_qbundle(1)).is_linear());
+    }
+
+    #[test]
+    fn qubit_counts() {
+        assert_eq!(Type::QBundle(4).qubit_count(), 4);
+        assert_eq!(Type::Array(Box::new(Type::Qubit), 3).qubit_count(), 3);
+        assert_eq!(Type::I1.qubit_count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::QBundle(2).to_string(), "qbundle[2]");
+        let ty = FuncType::rev_qbundle(2);
+        assert_eq!(ty.to_string(), "(qbundle[2]) -rev-> (qbundle[2])");
+    }
+}

@@ -1,0 +1,34 @@
+//! SSA values.
+
+use std::fmt;
+
+/// An SSA value identifier, scoped to one [`Func`]'s value arena.
+///
+/// Values are created by [`FuncBuilder`] methods and typed by the function's
+/// arena; a `Value` from one function must never be used in another (the
+/// verifier will catch out-of-range ids, but not cross-function confusion
+/// of in-range ids).
+///
+/// [`Func`]: crate::Func
+/// [`FuncBuilder`]: crate::FuncBuilder
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub(crate) u32);
+
+impl Value {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a value from a raw arena index. Intended for analyses
+    /// that store per-value data in dense vectors.
+    pub fn from_index(index: usize) -> Self {
+        Value(u32::try_from(index).expect("value index overflow"))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}

@@ -1,0 +1,735 @@
+//! Module verification: op signatures, structural rules, and qubit
+//! linearity.
+//!
+//! The Qwerty type system enforces linear use of qubits at the AST level
+//! (§4); the IR verifier re-enforces the same invariant after every pass,
+//! which catches transformation bugs early: any quantum value must be used
+//! exactly once and cannot be discarded.
+
+use crate::block::Block;
+use crate::error::IrError;
+use crate::func::Func;
+use crate::module::Module;
+use crate::op::{Op, OpKind};
+use crate::types::{FuncType, Type};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns [`IrError::Verify`] naming the offending function and op on the
+/// first violation found.
+pub fn verify_module(module: &Module) -> Result<(), IrError> {
+    for func in module.funcs() {
+        verify_func(func, Some(module))
+            .map_err(|e| IrError::Verify(format!("in @{}: {e}", func.name)))?;
+    }
+    Ok(())
+}
+
+/// Verifies one function. Pass the module when available so symbol
+/// references (`call`, `func_const`, `callable_create`) are checked too.
+///
+/// # Errors
+///
+/// Returns [`IrError::Verify`] on the first violation.
+pub fn verify_func(func: &Func, module: Option<&Module>) -> Result<(), IrError> {
+    let ctx = Ctx { func, module };
+    ctx.verify_block(&func.body, &func.ty.results, &HashSet::new(), &HashSet::new())
+        .map_err(IrError::Verify)
+}
+
+struct Ctx<'a> {
+    func: &'a Func,
+    module: Option<&'a Module>,
+}
+
+impl Ctx<'_> {
+    fn ty(&self, v: Value) -> &Type {
+        self.func.value_type(v)
+    }
+
+    /// Verifies a block given the result types its terminator must return,
+    /// the classical values visible from enclosing scopes, and any outer
+    /// *linear* values this block is responsible for consuming exactly once
+    /// (`scf.if` branch regions receive the linear values the branch
+    /// consumes, per the Appendix C inlining pattern).
+    fn verify_block(
+        &self,
+        block: &Block,
+        expected_results: &[Type],
+        outer_classical: &HashSet<Value>,
+        outer_linear: &HashSet<Value>,
+    ) -> Result<(), String> {
+        // Structural: non-empty, terminator last and only last.
+        let Some(last) = block.ops.last() else {
+            return Err("block has no terminator".to_string());
+        };
+        if !last.is_terminator() {
+            return Err(format!("block does not end in a terminator (ends in {})", last.kind.mnemonic()));
+        }
+        for op in &block.ops[..block.ops.len() - 1] {
+            if op.is_terminator() {
+                return Err(format!("terminator {} in the middle of a block", op.kind.mnemonic()));
+            }
+        }
+
+        // Definedness + linearity bookkeeping. Outer linear values lent to
+        // this block must be consumed exactly once, like block arguments.
+        let mut defined: HashSet<Value> = block.args.iter().copied().collect();
+        defined.extend(outer_linear.iter().copied());
+        let mut linear_uses: HashMap<Value, usize> = block
+            .args
+            .iter()
+            .chain(outer_linear.iter())
+            .filter(|v| self.ty(**v).is_linear())
+            .map(|v| (*v, 0usize))
+            .collect();
+
+        for (idx, op) in block.ops.iter().enumerate() {
+            for &operand in &op.operands {
+                if operand.index() >= self.func.num_values() {
+                    return Err(format!("op {idx} ({}) uses out-of-arena value {operand}", op.kind.mnemonic()));
+                }
+                if !defined.contains(&operand) {
+                    if self.ty(operand).is_linear() {
+                        return Err(format!(
+                            "op {idx} ({}) uses linear value {operand} not defined in this block",
+                            op.kind.mnemonic()
+                        ));
+                    }
+                    if !outer_classical.contains(&operand) {
+                        return Err(format!(
+                            "op {idx} ({}) uses undefined value {operand}",
+                            op.kind.mnemonic()
+                        ));
+                    }
+                }
+                if let Some(count) = linear_uses.get_mut(&operand) {
+                    *count += 1;
+                }
+            }
+
+            self.check_op(op, expected_results)
+                .map_err(|e| format!("op {idx} ({}): {e}", op.kind.mnemonic()))?;
+
+            if !op.regions.is_empty() {
+                // Linear values from enclosing scopes may flow into scf.if
+                // branch regions (each branch consumes them exactly once,
+                // and both branches must agree); lambdas may never capture
+                // linear values (their bodies run later).
+                let mut outer_linear_used: Vec<Value> = op
+                    .transitive_uses()
+                    .into_iter()
+                    .filter(|v| {
+                        !op.operands.contains(v)
+                            && defined.contains(v)
+                            && self.ty(*v).is_linear()
+                    })
+                    .collect();
+                // A value consumed once per branch is one use of the
+                // scf.if as a whole.
+                outer_linear_used.sort_unstable();
+                outer_linear_used.dedup();
+                if matches!(op.kind, OpKind::Lambda { .. }) && !outer_linear_used.is_empty() {
+                    return Err(format!(
+                        "op {idx} (lambda) captures linear value {} inside its region",
+                        outer_linear_used[0]
+                    ));
+                }
+                if matches!(op.kind, OpKind::ScfIf) && !outer_linear_used.is_empty() {
+                    // Each branch must use exactly the same outer linear
+                    // values; verified per-region below. Count once here.
+                    let mut sets: Vec<HashSet<Value>> = Vec::new();
+                    for region in &op.regions {
+                        let mut set = HashSet::new();
+                        for b in &region.blocks {
+                            collect_outer_uses(b, &mut set);
+                        }
+                        set.retain(|v| outer_linear_used.contains(v));
+                        sets.push(set);
+                    }
+                    if sets.len() == 2 && sets[0] != sets[1] {
+                        return Err(format!(
+                            "op {idx} (scf.if): branches consume different linear values"
+                        ));
+                    }
+                    for v in &outer_linear_used {
+                        if let Some(count) = linear_uses.get_mut(v) {
+                            *count += 1;
+                        }
+                    }
+                }
+                let mut visible: HashSet<Value> = outer_classical.clone();
+                visible.extend(defined.iter().filter(|v| !self.ty(**v).is_linear()));
+                let lent: HashSet<Value> = if matches!(op.kind, OpKind::ScfIf) {
+                    outer_linear_used.iter().copied().collect()
+                } else {
+                    HashSet::new()
+                };
+                let nested_results: Vec<Type> = match &op.kind {
+                    OpKind::ScfIf => {
+                        op.results.iter().map(|v| self.ty(*v).clone()).collect()
+                    }
+                    OpKind::Lambda { func_ty } => func_ty.results.clone(),
+                    _ => Vec::new(),
+                };
+                for region in &op.regions {
+                    for nested in &region.blocks {
+                        self.verify_block(nested, &nested_results, &visible, &lent)
+                            .map_err(|e| format!("op {idx} ({}): in region: {e}", op.kind.mnemonic()))?;
+                    }
+                }
+            }
+
+            for &result in &op.results {
+                if !defined.insert(result) {
+                    return Err(format!("op {idx} redefines value {result}"));
+                }
+                if self.ty(result).is_linear() {
+                    linear_uses.insert(result, 0);
+                }
+            }
+        }
+
+        for (value, count) in linear_uses {
+            if count != 1 {
+                return Err(format!(
+                    "linear value {value} ({}) used {count} times; must be exactly once",
+                    self.ty(value)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-op signature checks.
+    fn check_op(&self, op: &Op, expected_results: &[Type]) -> Result<(), String> {
+        let operand_tys: Vec<&Type> = op.operands.iter().map(|v| self.ty(*v)).collect();
+        let result_tys: Vec<&Type> = op.results.iter().map(|v| self.ty(*v)).collect();
+        let expect = |cond: bool, msg: &str| -> Result<(), String> {
+            if cond {
+                Ok(())
+            } else {
+                Err(msg.to_string())
+            }
+        };
+
+        match &op.kind {
+            OpKind::QbPrep { dim, .. } => {
+                expect(op.operands.is_empty(), "qbprep takes no operands")?;
+                expect(
+                    result_tys.len() == 1 && *result_tys[0] == Type::QBundle(*dim),
+                    "qbprep yields one qbundle of its dimension",
+                )
+            }
+            OpKind::QbDiscard | OpKind::QbDiscardZ => {
+                expect(
+                    operand_tys.len() == 1 && matches!(operand_tys[0], Type::QBundle(_)),
+                    "discard takes one qbundle",
+                )?;
+                expect(op.results.is_empty(), "discard yields nothing")
+            }
+            OpKind::QbTrans { basis_in, basis_out } => {
+                let Some(Type::QBundle(n)) = operand_tys.first().copied() else {
+                    return Err("qbtrans operand 0 must be a qbundle".to_string());
+                };
+                expect(basis_in.dim() == *n && basis_out.dim() == *n,
+                    "qbtrans basis dimensions must match the qbundle")?;
+                expect(
+                    operand_tys[1..].iter().all(|t| **t == Type::F64),
+                    "qbtrans phase operands must be f64",
+                )?;
+                expect(
+                    result_tys.len() == 1 && *result_tys[0] == Type::QBundle(*n),
+                    "qbtrans yields one qbundle of the same dimension",
+                )
+            }
+            OpKind::QbMeas { basis } => {
+                let Some(Type::QBundle(n)) = operand_tys.first().copied() else {
+                    return Err("qbmeas takes a qbundle".to_string());
+                };
+                expect(basis.dim() == *n, "qbmeas basis dimension must match")?;
+                expect(
+                    result_tys.len() == 1 && *result_tys[0] == Type::BitBundle(*n),
+                    "qbmeas yields a bitbundle of the same dimension",
+                )
+            }
+            OpKind::QbPack => {
+                // Zero operands produce the unit bundle qbundle[0] (the
+                // result of `discard`).
+                expect(
+                    operand_tys.iter().all(|t| **t == Type::Qubit),
+                    "qbpack takes qubits",
+                )?;
+                expect(
+                    result_tys.len() == 1
+                        && *result_tys[0] == Type::QBundle(op.operands.len()),
+                    "qbpack yields qbundle[N]",
+                )
+            }
+            OpKind::QbUnpack => {
+                let Some(Type::QBundle(n)) = operand_tys.first().copied() else {
+                    return Err("qbunpack takes a qbundle".to_string());
+                };
+                expect(
+                    result_tys.len() == *n && result_tys.iter().all(|t| **t == Type::Qubit),
+                    "qbunpack yields N qubits",
+                )
+            }
+            OpKind::BitPack => {
+                expect(
+                    operand_tys.iter().all(|t| **t == Type::I1),
+                    "bitpack takes i1s",
+                )?;
+                expect(
+                    result_tys.len() == 1
+                        && *result_tys[0] == Type::BitBundle(op.operands.len()),
+                    "bitpack yields bitbundle[N]",
+                )
+            }
+            OpKind::BitUnpack => {
+                let Some(Type::BitBundle(n)) = operand_tys.first().copied() else {
+                    return Err("bitunpack takes a bitbundle".to_string());
+                };
+                expect(
+                    result_tys.len() == *n && result_tys.iter().all(|t| **t == Type::I1),
+                    "bitunpack yields N i1s",
+                )
+            }
+            OpKind::FuncConst { symbol } => {
+                if let Some(module) = self.module {
+                    let target = module
+                        .func(symbol)
+                        .ok_or_else(|| format!("func_const references unknown @{symbol}"))?;
+                    expect(
+                        result_tys.len() == 1
+                            && *result_tys[0] == Type::func(target.ty.clone()),
+                        "func_const result type must match the symbol's signature",
+                    )?;
+                }
+                Ok(())
+            }
+            OpKind::FuncAdj => {
+                let Some(Type::Func(ft)) = operand_tys.first().copied() else {
+                    return Err("func_adj takes a function value".to_string());
+                };
+                expect(ft.reversible, "func_adj requires a reversible function")?;
+                expect(
+                    result_tys.len() == 1 && *result_tys[0] == Type::Func(ft.clone()),
+                    "func_adj preserves the function type",
+                )
+            }
+            OpKind::FuncPred { pred } => {
+                let Some(Type::Func(ft)) = operand_tys.first().copied() else {
+                    return Err("func_pred takes a function value".to_string());
+                };
+                let n = rev_qbundle_dim(ft)
+                    .ok_or("func_pred requires qbundle[N] -rev-> qbundle[N]")?;
+                let m = pred.dim();
+                expect(
+                    result_tys.len() == 1
+                        && *result_tys[0] == Type::func(FuncType::rev_qbundle(m + n)),
+                    "func_pred yields qbundle[M+N] -rev-> qbundle[M+N]",
+                )
+            }
+            OpKind::Call { callee, adj, pred } => {
+                let Some(module) = self.module else { return Ok(()) };
+                let target = module
+                    .func(callee)
+                    .ok_or_else(|| format!("call references unknown @{callee}"))?;
+                let effective = effective_call_type(&target.ty, *adj, pred.as_ref())?;
+                check_signature(&effective, &operand_tys, &result_tys)
+            }
+            OpKind::CallIndirect => {
+                let Some(Type::Func(ft)) = operand_tys.first().copied() else {
+                    return Err("call_indirect operand 0 must be a function value".to_string());
+                };
+                check_signature(ft, &operand_tys[1..], &result_tys)
+            }
+            OpKind::Lambda { func_ty } => {
+                expect(op.regions.len() == 1, "lambda has one region")?;
+                let block = op.regions[0].only_block();
+                expect(
+                    block.args.len() == op.operands.len() + func_ty.inputs.len(),
+                    "lambda block args must be captures ++ params",
+                )?;
+                for (cap, arg) in op.operands.iter().zip(&block.args) {
+                    expect(
+                        self.ty(*cap) == self.ty(*arg),
+                        "lambda capture/arg type mismatch",
+                    )?;
+                    expect(
+                        !self.ty(*cap).is_linear(),
+                        "lambda cannot capture linear values",
+                    )?;
+                }
+                for (input, arg) in func_ty
+                    .inputs
+                    .iter()
+                    .zip(&block.args[op.operands.len()..])
+                {
+                    expect(input == self.ty(*arg), "lambda param type mismatch")?;
+                }
+                expect(
+                    result_tys.len() == 1 && *result_tys[0] == Type::func(func_ty.clone()),
+                    "lambda yields its function type",
+                )
+            }
+            OpKind::Return | OpKind::Yield => {
+                expect(op.results.is_empty(), "terminators yield nothing")?;
+                expect(
+                    operand_tys.len() == expected_results.len()
+                        && operand_tys
+                            .iter()
+                            .zip(expected_results)
+                            .all(|(a, b)| **a == *b),
+                    "terminator operands must match the enclosing result types",
+                )
+            }
+            OpKind::ScfIf => {
+                expect(
+                    operand_tys.len() == 1 && *operand_tys[0] == Type::I1,
+                    "scf.if takes one i1",
+                )?;
+                expect(op.regions.len() == 2, "scf.if has then and else regions")
+            }
+            OpKind::ConstF64 { .. } => expect(
+                op.operands.is_empty() && result_tys.len() == 1 && *result_tys[0] == Type::F64,
+                "f64 constant",
+            ),
+            OpKind::ConstI1 { .. } => expect(
+                op.operands.is_empty() && result_tys.len() == 1 && *result_tys[0] == Type::I1,
+                "i1 constant",
+            ),
+            OpKind::FAdd | OpKind::FSub | OpKind::FMul | OpKind::FDiv => expect(
+                operand_tys.len() == 2
+                    && operand_tys.iter().all(|t| **t == Type::F64)
+                    && result_tys.len() == 1
+                    && *result_tys[0] == Type::F64,
+                "binary f64 arithmetic",
+            ),
+            OpKind::FNeg => expect(
+                operand_tys.len() == 1
+                    && *operand_tys[0] == Type::F64
+                    && result_tys.len() == 1
+                    && *result_tys[0] == Type::F64,
+                "unary f64 negation",
+            ),
+            OpKind::XorI1 | OpKind::AndI1 => expect(
+                operand_tys.len() == 2
+                    && operand_tys.iter().all(|t| **t == Type::I1)
+                    && result_tys.len() == 1
+                    && *result_tys[0] == Type::I1,
+                "binary i1 logic",
+            ),
+            OpKind::NotI1 => expect(
+                operand_tys.len() == 1
+                    && *operand_tys[0] == Type::I1
+                    && result_tys.len() == 1
+                    && *result_tys[0] == Type::I1,
+                "unary i1 logic",
+            ),
+            OpKind::QAlloc => expect(
+                op.operands.is_empty() && result_tys.len() == 1 && *result_tys[0] == Type::Qubit,
+                "qalloc yields one qubit",
+            ),
+            OpKind::QFree | OpKind::QFreeZ => expect(
+                operand_tys.len() == 1
+                    && *operand_tys[0] == Type::Qubit
+                    && op.results.is_empty(),
+                "qfree takes one qubit",
+            ),
+            OpKind::Gate { gate, num_controls } => {
+                let total = num_controls + gate.num_targets();
+                expect(
+                    operand_tys.len() == total
+                        && operand_tys.iter().all(|t| **t == Type::Qubit),
+                    "gate takes controls + targets qubits",
+                )?;
+                expect(
+                    result_tys.len() == total && result_tys.iter().all(|t| **t == Type::Qubit),
+                    "gate yields a new state per operand qubit",
+                )
+            }
+            OpKind::Measure => expect(
+                operand_tys.len() == 1
+                    && *operand_tys[0] == Type::Qubit
+                    && result_tys.len() == 2
+                    && *result_tys[0] == Type::Qubit
+                    && *result_tys[1] == Type::I1,
+                "measure yields (qubit, i1)",
+            ),
+            OpKind::ArrPack => {
+                let Some(first) = operand_tys.first() else {
+                    return Err("arrpack needs at least one element".to_string());
+                };
+                expect(
+                    operand_tys.iter().all(|t| t == first),
+                    "arrpack elements must share a type",
+                )?;
+                expect(
+                    result_tys.len() == 1
+                        && *result_tys[0]
+                            == Type::Array(Box::new((*first).clone()), op.operands.len()),
+                    "arrpack yields array<T>[N]",
+                )
+            }
+            OpKind::ArrUnpack => {
+                let Some(Type::Array(elem, n)) = operand_tys.first().copied() else {
+                    return Err("arrunpack takes an array".to_string());
+                };
+                expect(
+                    result_tys.len() == *n && result_tys.iter().all(|t| *t == &**elem),
+                    "arrunpack yields N elements",
+                )
+            }
+            OpKind::CallableCreate { symbol } => {
+                if let Some(module) = self.module {
+                    if !module.contains(symbol) {
+                        return Err(format!("callable_create references unknown @{symbol}"));
+                    }
+                }
+                expect(
+                    result_tys.len() == 1 && *result_tys[0] == Type::Callable,
+                    "callable_create yields a callable",
+                )
+            }
+            OpKind::CallableAdjoint | OpKind::CallableControl { .. } => expect(
+                operand_tys.len() == 1
+                    && *operand_tys[0] == Type::Callable
+                    && result_tys.len() == 1
+                    && *result_tys[0] == Type::Callable,
+                "callable modifiers take and yield a callable",
+            ),
+            OpKind::CallableInvoke => expect(
+                !operand_tys.is_empty() && *operand_tys[0] == Type::Callable,
+                "callable_invoke operand 0 must be a callable",
+            ),
+        }
+    }
+}
+
+/// Collects values used in `block` (transitively through regions) that are
+/// not defined inside it.
+fn collect_outer_uses(block: &Block, out: &mut HashSet<Value>) {
+    let mut defined: HashSet<Value> = block.args.iter().copied().collect();
+    for op in &block.ops {
+        for v in &op.operands {
+            if !defined.contains(v) {
+                out.insert(*v);
+            }
+        }
+        for region in &op.regions {
+            for nested in &region.blocks {
+                // Nested defines shadow; approximate by recursing with the
+                // same accumulator and filtering at the call site.
+                collect_outer_uses(nested, out);
+            }
+        }
+        defined.extend(op.results.iter().copied());
+    }
+    out.retain(|v| !defined.contains(v));
+}
+
+/// For `qbundle[N] -rev-> qbundle[N]` types, returns `N`.
+pub fn rev_qbundle_dim(ft: &FuncType) -> Option<usize> {
+    if !ft.reversible {
+        return None;
+    }
+    match (ft.inputs.as_slice(), ft.results.as_slice()) {
+        ([Type::QBundle(a)], [Type::QBundle(b)]) if a == b => Some(*a),
+        _ => None,
+    }
+}
+
+/// The signature a `call [adj] [pred(b)] @f` must satisfy (§5, §6.2): `adj`
+/// preserves the type; `pred(b)` widens `qbundle[N]` to `qbundle[M+N]`.
+///
+/// # Errors
+///
+/// Returns a message when `adj`/`pred` are applied to an incompatible
+/// signature.
+pub fn effective_call_type(
+    base: &FuncType,
+    adj: bool,
+    pred: Option<&asdf_basis::Basis>,
+) -> Result<FuncType, String> {
+    let mut ty = base.clone();
+    if adj && !ty.reversible {
+        return Err("adjoint call of an irreversible function".to_string());
+    }
+    if let Some(pred) = pred {
+        let n = rev_qbundle_dim(&ty)
+            .ok_or("predicated call requires qbundle[N] -rev-> qbundle[N]")?;
+        ty = FuncType::rev_qbundle(pred.dim() + n);
+    }
+    Ok(ty)
+}
+
+fn check_signature(
+    ft: &FuncType,
+    args: &[&Type],
+    results: &[&Type],
+) -> Result<(), String> {
+    if args.len() != ft.inputs.len()
+        || args.iter().zip(&ft.inputs).any(|(a, b)| **a != *b)
+    {
+        return Err("call arguments do not match the callee signature".to_string());
+    }
+    if results.len() != ft.results.len()
+        || results.iter().zip(&ft.results).any(|(a, b)| **a != *b)
+    {
+        return Err("call results do not match the callee signature".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncBuilder, Visibility};
+    use asdf_basis::{Basis, PrimitiveBasis};
+
+    fn verify(func: Func) -> Result<(), IrError> {
+        verify_func(&func, None)
+    }
+
+    #[test]
+    fn accepts_simple_kernel() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![], vec![Type::BitBundle(1)], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let q = bb.push(
+            OpKind::QbPrep {
+                prim: PrimitiveBasis::Std,
+                eigenstate: asdf_basis::Eigenstate::Plus,
+                dim: 1,
+            },
+            vec![],
+            vec![Type::QBundle(1)],
+        );
+        let m = bb.push(
+            OpKind::QbMeas { basis: Basis::built_in(PrimitiveBasis::Std, 1) },
+            vec![q[0]],
+            vec![Type::BitBundle(1)],
+        );
+        bb.push(OpKind::Return, vec![m[0]], vec![]);
+        verify(b.finish()).unwrap();
+    }
+
+    #[test]
+    fn rejects_double_use_of_qubit() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::QBundle(1)], vec![], false),
+            Visibility::Public,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        bb.push(OpKind::QbDiscard, vec![arg], vec![]);
+        bb.push(OpKind::QbDiscard, vec![arg], vec![]);
+        bb.push(OpKind::Return, vec![], vec![]);
+        let err = verify(b.finish()).unwrap_err();
+        assert!(err.to_string().contains("used 2 times"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dropped_qubit() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::QBundle(1)], vec![], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        bb.push(OpKind::Return, vec![], vec![]);
+        let err = verify(b.finish()).unwrap_err();
+        assert!(err.to_string().contains("used 0 times"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![], vec![], false),
+            Visibility::Public,
+        );
+        b.block().push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
+        let err = verify(b.finish()).unwrap_err();
+        assert!(err.to_string().contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn rejects_basis_dim_mismatch() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::rev_qbundle(2),
+            Visibility::Public,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        let t = bb.push(
+            OpKind::QbTrans {
+                basis_in: Basis::built_in(PrimitiveBasis::Std, 1),
+                basis_out: Basis::built_in(PrimitiveBasis::Pm, 1),
+            },
+            vec![arg],
+            vec![Type::QBundle(2)],
+        );
+        bb.push(OpKind::Return, vec![t[0]], vec![]);
+        let err = verify(b.finish()).unwrap_err();
+        assert!(err.to_string().contains("dimensions"), "{err}");
+    }
+
+    #[test]
+    fn rejects_call_to_unknown_symbol() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![], vec![], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        bb.push(
+            OpKind::Call { callee: "ghost".into(), adj: false, pred: None },
+            vec![],
+            vec![],
+        );
+        bb.push(OpKind::Return, vec![], vec![]);
+        let mut m = Module::new();
+        m.add_func(b.finish());
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn gate_signature_checked() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::Qubit, Type::Qubit], vec![Type::Qubit, Type::Qubit], false),
+            Visibility::Public,
+        );
+        let (c, t) = (b.args()[0], b.args()[1]);
+        let mut bb = b.block();
+        let out = bb.push(
+            OpKind::Gate { gate: crate::gate::GateKind::X, num_controls: 1 },
+            vec![c, t],
+            vec![Type::Qubit, Type::Qubit],
+        );
+        bb.push(OpKind::Return, vec![out[0], out[1]], vec![]);
+        verify(b.finish()).unwrap();
+    }
+
+    #[test]
+    fn pred_call_type_widens() {
+        let base = FuncType::rev_qbundle(2);
+        let pred = Basis::built_in(PrimitiveBasis::Std, 3);
+        let ty = effective_call_type(&base, false, Some(&pred)).unwrap();
+        assert_eq!(ty, FuncType::rev_qbundle(5));
+        let irrev = FuncType::new(vec![Type::QBundle(1)], vec![Type::BitBundle(1)], false);
+        assert!(effective_call_type(&irrev, true, None).is_err());
+    }
+}

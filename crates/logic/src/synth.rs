@@ -1,0 +1,229 @@
+//! Transformation-based reversible synthesis.
+//!
+//! ASDF lowers the permutation core of a basis translation with "the
+//! multidirectional transformation-based synthesis algorithm [33, 50]
+//! implemented in the Tweedledum library" (§6.3). This module implements
+//! the Miller–Maslov–Dueck algorithm [33]: walk truth-table rows in
+//! increasing order and append MCX gates that fix each row without
+//! disturbing already-fixed rows; plus the bidirectional refinement [50]
+//! that may fix a row from the *input* side when that is cheaper.
+
+use crate::gate::{McxGate, RevCircuit};
+use crate::perm::Permutation;
+
+/// Synthesizes `perm` with the bidirectional transformation-based
+/// algorithm (the default, like tweedledum).
+pub fn synthesize(perm: &Permutation) -> RevCircuit {
+    synthesize_with(perm, Direction::Bidirectional)
+}
+
+/// Which sides of the truth table the algorithm may fix rows from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Classic MMD: always transform the output value toward the row index.
+    Unidirectional,
+    /// Per row, pick the cheaper of output-side and input-side fixing [50].
+    Bidirectional,
+}
+
+/// Synthesizes `perm` into an MCX cascade.
+///
+/// The returned circuit `C` satisfies `C.to_permutation() == *perm` with
+/// line 0 carrying the most significant bit.
+pub fn synthesize_with(perm: &Permutation, direction: Direction) -> RevCircuit {
+    let n = perm.num_bits();
+    let size = 1usize << n;
+    let mut table = perm.table().to_vec();
+
+    // Gates prepended at the circuit front (input side), in application
+    // order, and gates for the circuit back (output side), collected in
+    // the order applied to the table (so reversed on assembly).
+    let mut front: Vec<MaskGate> = Vec::new();
+    let mut back: Vec<MaskGate> = Vec::new();
+
+    for x in 0..size {
+        let y = table[x];
+        if y == x {
+            continue;
+        }
+        // Output side: transform y into x.
+        let out_gates = fix_value_gates(y, x);
+        let out_cost: usize = out_gates.iter().map(|g| g.cmask.count_ones() as usize).sum();
+
+        let use_input = if direction == Direction::Bidirectional {
+            // Input side: transform x into the row currently mapping to x.
+            let x_in = table.iter().position(|&v| v == x).expect("bijection");
+            let in_gates = fix_value_gates(x, x_in);
+            let in_cost: usize =
+                in_gates.iter().map(|g| g.cmask.count_ones() as usize).sum();
+            if in_cost < out_cost { Some(in_gates) } else { None }
+        } else {
+            None
+        };
+
+        match use_input {
+            Some(in_gates) => {
+                // `fix_value_gates` lists gates so the *first* one acts on x
+                // first; an input-side update composes on the right
+                // (f <- f o g), so the table must absorb them in reverse:
+                // f o g_r o ... o g_1 applied to x runs g_1 first.
+                for g in in_gates.into_iter().rev() {
+                    let old = table.clone();
+                    for (v, slot) in table.iter_mut().enumerate() {
+                        *slot = old[g.apply(v)];
+                    }
+                    front.push(g);
+                }
+            }
+            None => {
+                for g in out_gates {
+                    // f <- g o f : map every output through the gate.
+                    for slot in table.iter_mut() {
+                        *slot = g.apply(*slot);
+                    }
+                    back.push(g);
+                }
+            }
+        }
+        debug_assert_eq!(table[x], x);
+    }
+    debug_assert!(table.iter().enumerate().all(|(i, &v)| i == v));
+
+    let mut circuit = RevCircuit::new(n);
+    for g in front.iter().chain(back.iter().rev()) {
+        circuit.push(g.to_mcx(n));
+    }
+    circuit
+}
+
+/// An MCX over integer bit masks (bit `n-1-l` of the mask is line `l`).
+#[derive(Debug, Clone, Copy)]
+struct MaskGate {
+    cmask: usize,
+    tmask: usize,
+}
+
+impl MaskGate {
+    fn apply(self, v: usize) -> usize {
+        if v & self.cmask == self.cmask {
+            v ^ self.tmask
+        } else {
+            v
+        }
+    }
+
+    fn to_mcx(self, n: usize) -> McxGate {
+        let target = (0..n)
+            .find(|l| self.tmask >> (n - 1 - l) & 1 == 1)
+            .expect("target mask has one bit");
+        let controls = (0..n)
+            .filter(|l| self.cmask >> (n - 1 - l) & 1 == 1)
+            .map(|l| (l, true))
+            .collect();
+        McxGate { controls, target }
+    }
+}
+
+/// MMD per-row gate construction: gates (applied in order) transforming
+/// `cur` into `goal`, touching no value `v < min(cur, goal)` whose bits do
+/// not cover the controls. First turns on missing bits (controls = the ones
+/// of the evolving value), then turns off excess bits (controls = the other
+/// ones of the evolving value).
+fn fix_value_gates(mut cur: usize, goal: usize) -> Vec<MaskGate> {
+    let mut gates = Vec::new();
+    let mut need_on = goal & !cur;
+    while need_on != 0 {
+        let bit = need_on & need_on.wrapping_neg();
+        gates.push(MaskGate { cmask: cur, tmask: bit });
+        cur |= bit;
+        need_on &= !bit;
+    }
+    let mut need_off = cur & !goal;
+    while need_off != 0 {
+        let bit = need_off & need_off.wrapping_neg();
+        gates.push(MaskGate { cmask: cur & !bit, tmask: bit });
+        cur &= !bit;
+        need_off &= !bit;
+    }
+    debug_assert_eq!(cur, goal);
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(perm: &Permutation, direction: Direction) -> RevCircuit {
+        let circuit = synthesize_with(perm, direction);
+        assert_eq!(&circuit.to_permutation(), perm, "direction {direction:?}");
+        circuit
+    }
+
+    #[test]
+    fn identity_needs_no_gates() {
+        let p = Permutation::identity(3);
+        assert!(synthesize(&p).gates.is_empty());
+    }
+
+    #[test]
+    fn swap_example_from_paper() {
+        // {'01','10'} >> {'10','01'} is a SWAP (§2.2).
+        let p = Permutation::from_partial(2, &[(0b01, 0b10), (0b10, 0b01)]).unwrap();
+        let c = check(&p, Direction::Bidirectional);
+        assert!(!c.gates.is_empty());
+    }
+
+    #[test]
+    fn fig9_permutations() {
+        // Fig. 9 right element: |0> -> |1>, |1> -> |0> (an X gate).
+        let p = Permutation::from_partial(1, &[(0, 1), (1, 0)]).unwrap();
+        let c = check(&p, Direction::Bidirectional);
+        assert_eq!(c.gates.len(), 1);
+        assert!(c.gates[0].controls.is_empty());
+        // Fig. 9 left element: 00->00, 01->10, 10->01, 11->11.
+        let p = Permutation::from_partial(2, &[(0b01, 0b10), (0b10, 0b01)]).unwrap();
+        check(&p, Direction::Unidirectional);
+    }
+
+    #[test]
+    fn all_three_bit_cycles() {
+        // A handful of structured 3-bit permutations.
+        let rotate = Permutation::from_table((0..8).map(|x| (x + 1) % 8).collect()).unwrap();
+        check(&rotate, Direction::Unidirectional);
+        check(&rotate, Direction::Bidirectional);
+        let reverse = Permutation::from_table((0..8).rev().collect()).unwrap();
+        check(&reverse, Direction::Unidirectional);
+        check(&reverse, Direction::Bidirectional);
+    }
+
+    #[test]
+    fn bidirectional_not_worse_on_known_hard_case() {
+        // The classic MMD example benefits from input-side fixing.
+        let p = Permutation::from_table(vec![1, 0, 3, 2, 5, 7, 4, 6]).unwrap();
+        let uni = check(&p, Direction::Unidirectional);
+        let bi = check(&p, Direction::Bidirectional);
+        assert!(bi.control_cost() <= uni.control_cost());
+    }
+
+    #[test]
+    fn exhaustive_two_bit_permutations() {
+        // All 24 permutations of 2 bits synthesize correctly.
+        let items = [0usize, 1, 2, 3];
+        let mut count = 0;
+        for a in items {
+            for b in items {
+                for c in items {
+                    for d in items {
+                        let table = vec![a, b, c, d];
+                        if let Ok(p) = Permutation::from_table(table) {
+                            check(&p, Direction::Unidirectional);
+                            check(&p, Direction::Bidirectional);
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 24);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests: synthesis realizes arbitrary permutations, and
+//! both embeddings agree with direct network evaluation.
+
+use asdf_logic::synth::{synthesize_with, Direction};
+use asdf_logic::{embed, EmbedStyle, Permutation, Signal, Xag};
+use proptest::prelude::*;
+
+fn arb_permutation(bits: usize) -> impl Strategy<Value = Permutation> {
+    Just((0..(1usize << bits)).collect::<Vec<_>>())
+        .prop_shuffle()
+        .prop_map(|table| Permutation::from_table(table).expect("shuffle is a bijection"))
+}
+
+/// A recipe for a random XAG: a list of binary ops over the accumulated
+/// signal pool.
+#[derive(Debug, Clone)]
+enum OpRecipe {
+    And(usize, usize, bool, bool),
+    Xor(usize, usize, bool, bool),
+}
+
+fn arb_xag(inputs: usize, max_ops: usize) -> impl Strategy<Value = Xag> {
+    let op = prop_oneof![
+        (0usize..64, 0usize..64, any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ia, ib)| OpRecipe::And(a, b, ia, ib)),
+        (0usize..64, 0usize..64, any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, ia, ib)| OpRecipe::Xor(a, b, ia, ib)),
+    ];
+    (
+        proptest::collection::vec(op, 1..=max_ops),
+        proptest::collection::vec(0usize..64, 1..=3),
+    )
+        .prop_map(move |(ops, out_picks)| {
+            let mut g = Xag::new(inputs);
+            let mut pool: Vec<Signal> = (0..inputs).map(|i| g.input(i)).collect();
+            for op in ops {
+                let next = match op {
+                    OpRecipe::And(a, b, ia, ib) => {
+                        let sa = pool[a % pool.len()];
+                        let sb = pool[b % pool.len()];
+                        let sa = if ia { sa.not() } else { sa };
+                        let sb = if ib { sb.not() } else { sb };
+                        g.and2(sa, sb)
+                    }
+                    OpRecipe::Xor(a, b, ia, ib) => {
+                        let sa = pool[a % pool.len()];
+                        let sb = pool[b % pool.len()];
+                        let sa = if ia { sa.not() } else { sa };
+                        let sb = if ib { sb.not() } else { sb };
+                        g.xor2(sa, sb)
+                    }
+                };
+                pool.push(next);
+            }
+            let outputs = out_picks
+                .into_iter()
+                .map(|k| pool[k % pool.len()])
+                .collect();
+            g.set_outputs(outputs);
+            g
+        })
+}
+
+proptest! {
+    /// Both synthesis directions realize random 3-bit permutations.
+    #[test]
+    fn synthesis_realizes_permutation_3(perm in arb_permutation(3)) {
+        for direction in [Direction::Unidirectional, Direction::Bidirectional] {
+            let circuit = synthesize_with(&perm, direction);
+            prop_assert_eq!(&circuit.to_permutation(), &perm);
+        }
+    }
+
+    /// And 4-bit permutations.
+    #[test]
+    fn synthesis_realizes_permutation_4(perm in arb_permutation(4)) {
+        let circuit = synthesize_with(&perm, Direction::Bidirectional);
+        prop_assert_eq!(&circuit.to_permutation(), &perm);
+    }
+
+    /// Synthesized circuits invert cleanly: running the reversed cascade
+    /// undoes the permutation (all gates are self-inverse).
+    #[test]
+    fn reversed_cascade_inverts(perm in arb_permutation(3)) {
+        let circuit = synthesize_with(&perm, Direction::Bidirectional);
+        let mut reversed = asdf_logic::RevCircuit::new(circuit.lines);
+        for g in circuit.gates.iter().rev() {
+            reversed.push(g.clone());
+        }
+        let composed = reversed.to_permutation().compose(&circuit.to_permutation());
+        prop_assert!(composed.is_identity());
+    }
+
+    /// Both embedding styles compute the network function, accumulate into
+    /// y, preserve inputs, and restore ancillas — on random networks and
+    /// all inputs.
+    #[test]
+    fn embeddings_match_eval(xag in arb_xag(4, 12), y_seed in any::<u8>()) {
+        for style in [EmbedStyle::InPlaceXor, EmbedStyle::AncillaPerNode] {
+            let emb = embed::embed_xor(&xag, style).unwrap();
+            let n = xag.num_inputs();
+            for x in 0..(1usize << n) {
+                let bits: Vec<bool> = (0..n).map(|i| (x >> (n - 1 - i)) & 1 == 1).collect();
+                let expected = xag.eval(&bits);
+                // Random initial y to exercise the XOR-accumulation contract.
+                let mut state = vec![false; emb.circuit.lines];
+                for (line, &v) in emb.input_lines.iter().zip(&bits) {
+                    state[*line] = v;
+                }
+                for (k, &line) in emb.output_lines.iter().enumerate() {
+                    state[line] = (y_seed >> (k % 8)) & 1 == 1;
+                }
+                let before: Vec<bool> = emb.output_lines.iter().map(|&l| state[l]).collect();
+                let out = emb.circuit.run(&state);
+                for (k, &line) in emb.output_lines.iter().enumerate() {
+                    prop_assert_eq!(out[line], before[k] ^ expected[k]);
+                }
+                for (&line, &v) in emb.input_lines.iter().zip(&bits) {
+                    prop_assert_eq!(out[line], v);
+                }
+                for &line in &emb.ancilla_lines {
+                    prop_assert!(!out[line]);
+                }
+            }
+        }
+    }
+
+    /// The tweedledum-style embedding uses no more ancillas than the
+    /// Quipper-style one whenever no scratch demotion was needed, i.e. when
+    /// its ancilla count equals the live-AND count (the §8.3 cost
+    /// relationship; scratch demotions are a rare conflict fallback).
+    #[test]
+    fn in_place_never_more_ancillas(xag in arb_xag(4, 12)) {
+        let a = embed::embed_xor(&xag, EmbedStyle::InPlaceXor).unwrap();
+        let b = embed::embed_xor(&xag, EmbedStyle::AncillaPerNode).unwrap();
+        prop_assume!(a.ancilla_lines.len() == xag.live_and_nodes().len());
+        prop_assert!(a.ancilla_lines.len() <= b.ancilla_lines.len());
+    }
+}

@@ -1,0 +1,320 @@
+//! The straight-line circuit form: the final, register-addressed shape of
+//! a compiled kernel.
+
+use asdf_ir::GateKind;
+use std::fmt;
+
+/// One operation of a straight-line circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitOp {
+    /// A (possibly controlled) gate.
+    Gate {
+        /// The base gate.
+        gate: GateKind,
+        /// Control qubit indices (all positive controls).
+        controls: Vec<usize>,
+        /// Target qubit indices (`gate.num_targets()` of them).
+        targets: Vec<usize>,
+    },
+    /// Standard-basis measurement into classical bit `bit`.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Destination classical bit.
+        bit: usize,
+    },
+    /// Reset a qubit to |0>.
+    Reset {
+        /// The qubit.
+        qubit: usize,
+    },
+}
+
+impl CircuitOp {
+    /// All qubit indices the op touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            CircuitOp::Gate { controls, targets, .. } => {
+                controls.iter().chain(targets.iter()).copied().collect()
+            }
+            CircuitOp::Measure { qubit, .. } | CircuitOp::Reset { qubit } => vec![*qubit],
+        }
+    }
+}
+
+/// A straight-line, register-addressed quantum circuit.
+///
+/// # Example
+///
+/// ```
+/// use asdf_ir::GateKind;
+/// use asdf_qcircuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.gate(GateKind::H, &[], &[0]);
+/// c.gate(GateKind::X, &[0], &[1]); // CX
+/// c.measure(0, 0);
+/// c.measure(1, 1);
+/// assert_eq!(c.num_qubits, 2);
+/// assert_eq!(c.num_bits(), 2);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    /// Number of qubit registers.
+    pub num_qubits: usize,
+    /// Ops in execution order.
+    pub ops: Vec<CircuitOp>,
+}
+
+impl Circuit {
+    /// An empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, ops: Vec::new() }
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range, repeated, or the target count
+    /// does not match the gate.
+    pub fn gate(&mut self, gate: GateKind, controls: &[usize], targets: &[usize]) {
+        assert_eq!(targets.len(), gate.num_targets(), "target arity for {gate}");
+        let mut seen = Vec::with_capacity(controls.len() + targets.len());
+        for &q in controls.iter().chain(targets) {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert!(!seen.contains(&q), "duplicate qubit {q} in gate");
+            seen.push(q);
+        }
+        self.ops.push(CircuitOp::Gate {
+            gate,
+            controls: controls.to_vec(),
+            targets: targets.to_vec(),
+        });
+    }
+
+    /// Appends a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range.
+    pub fn measure(&mut self, qubit: usize, bit: usize) {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        self.ops.push(CircuitOp::Measure { qubit, bit });
+    }
+
+    /// Appends a reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range.
+    pub fn reset(&mut self, qubit: usize) {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        self.ops.push(CircuitOp::Reset { qubit });
+    }
+
+    /// Adds a fresh qubit register, returning its index.
+    pub fn add_qubit(&mut self) -> usize {
+        self.num_qubits += 1;
+        self.num_qubits - 1
+    }
+
+    /// Number of classical bits (one past the largest measurement
+    /// destination).
+    pub fn num_bits(&self) -> usize {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                CircuitOp::Measure { bit, .. } => Some(bit + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total gate count (excluding measurements and resets).
+    pub fn gate_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, CircuitOp::Gate { .. })).count()
+    }
+
+    /// Count of gates acting on two or more qubits (controls included).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, CircuitOp::Gate { .. }) && op.qubits().len() >= 2)
+            .count()
+    }
+
+    /// T-gate count: `T`/`Tdg` gates plus `P(±π/4)` phases.
+    pub fn t_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| {
+                matches!(op, CircuitOp::Gate { gate, controls, .. }
+                    if controls.is_empty() && is_t_like(*gate))
+            })
+            .count()
+    }
+
+    /// Count of non-Clifford rotations other than T (arbitrary `P`, `Rx`,
+    /// `Ry`, `Rz` angles), which fault-tolerant hardware synthesizes at
+    /// extra cost.
+    pub fn rotation_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| match op {
+                CircuitOp::Gate { gate, .. } => gate.param().is_some() && !is_clifford_angle(*gate) && !is_t_like(*gate),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Number of measurements.
+    pub fn measure_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, CircuitOp::Measure { .. })).count()
+    }
+
+    /// Circuit depth: the length of the longest chain of ops sharing
+    /// qubits, computed by greedy per-qubit scheduling.
+    pub fn depth(&self) -> usize {
+        let mut avail = vec![0usize; self.num_qubits];
+        let mut depth = 0usize;
+        for op in &self.ops {
+            let qubits = op.qubits();
+            let start = qubits.iter().map(|&q| avail[q]).max().unwrap_or(0);
+            let end = start + 1;
+            for q in qubits {
+                avail[q] = end;
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Appends all ops of `other`, whose qubit `i` maps to `mapping[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is too short or out of range.
+    pub fn append_mapped(&mut self, other: &Circuit, mapping: &[usize]) {
+        assert!(mapping.len() >= other.num_qubits, "mapping too short");
+        for op in &other.ops {
+            match op {
+                CircuitOp::Gate { gate, controls, targets } => {
+                    let c: Vec<usize> = controls.iter().map(|&q| mapping[q]).collect();
+                    let t: Vec<usize> = targets.iter().map(|&q| mapping[q]).collect();
+                    self.gate(*gate, &c, &t);
+                }
+                CircuitOp::Measure { qubit, bit } => self.measure(mapping[*qubit], *bit),
+                CircuitOp::Reset { qubit } => self.reset(mapping[*qubit]),
+            }
+        }
+    }
+}
+
+fn is_t_like(gate: GateKind) -> bool {
+    match gate {
+        GateKind::T | GateKind::Tdg => true,
+        GateKind::P(theta) | GateKind::Rz(theta) => {
+            let quarter = std::f64::consts::FRAC_PI_4;
+            ((theta.abs() - quarter).abs() < 1e-9) && !is_clifford_angle(gate)
+        }
+        _ => false,
+    }
+}
+
+fn is_clifford_angle(gate: GateKind) -> bool {
+    match gate.param() {
+        Some(theta) => {
+            let half = std::f64::consts::FRAC_PI_2;
+            let ratio = theta / half;
+            (ratio - ratio.round()).abs() < 1e-9
+        }
+        None => true,
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} ops]", self.num_qubits, self.ops.len())?;
+        for op in &self.ops {
+            match op {
+                CircuitOp::Gate { gate, controls, targets } => {
+                    write!(f, "  {gate}")?;
+                    if !controls.is_empty() {
+                        write!(f, " ctrl{controls:?}")?;
+                    }
+                    writeln!(f, " {targets:?}")?;
+                }
+                CircuitOp::Measure { qubit, bit } => writeln!(f, "  measure q{qubit} -> c{bit}")?,
+                CircuitOp::Reset { qubit } => writeln!(f, "  reset q{qubit}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics() {
+        let mut c = Circuit::new(3);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::T, &[], &[1]);
+        c.gate(GateKind::Tdg, &[], &[1]);
+        c.gate(GateKind::X, &[0, 1], &[2]);
+        c.gate(GateKind::P(0.3), &[], &[0]);
+        c.measure(2, 0);
+        assert_eq!(c.gate_count(), 5);
+        assert_eq!(c.t_count(), 2);
+        assert_eq!(c.rotation_count(), 1);
+        assert_eq!(c.two_qubit_gate_count(), 1);
+        assert_eq!(c.measure_count(), 1);
+        assert_eq!(c.num_bits(), 1);
+    }
+
+    #[test]
+    fn depth_respects_parallelism() {
+        let mut c = Circuit::new(4);
+        // Two disjoint CX gates: depth 1.
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::X, &[2], &[3]);
+        assert_eq!(c.depth(), 1);
+        // A gate overlapping both layers pushes depth to 2.
+        c.gate(GateKind::X, &[1], &[2]);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn p_quarter_counts_as_t() {
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::P(std::f64::consts::FRAC_PI_4), &[], &[0]);
+        assert_eq!(c.t_count(), 1);
+        assert_eq!(c.rotation_count(), 0);
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::P(std::f64::consts::FRAC_PI_2), &[], &[0]);
+        assert_eq!(c.t_count(), 0, "P(pi/2) is Clifford (S)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn rejects_duplicate_qubits() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::X, &[1], &[1]);
+    }
+
+    #[test]
+    fn append_mapped_remaps() {
+        let mut inner = Circuit::new(2);
+        inner.gate(GateKind::X, &[0], &[1]);
+        let mut outer = Circuit::new(4);
+        outer.append_mapped(&inner, &[3, 1]);
+        assert_eq!(
+            outer.ops[0],
+            CircuitOp::Gate { gate: GateKind::X, controls: vec![3], targets: vec![1] }
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! QCircuit-level machinery (§6, §6.5, §7 of the ASDF paper): the
+//! straight-line [`Circuit`] form, the `reg2mem` conversion from SSA to
+//! register accesses, gate-level peephole optimizations (including the
+//! relaxed peephole of Fig. 10), and multi-controlled-gate decomposition
+//! using Selinger's controlled-iX scheme.
+//!
+//! The pipeline position: `asdf-core` lowers Qwerty IR into QCircuit
+//! dialect ops (defined in `asdf-ir`); [`peephole`] cleans redundancies
+//! left by systematic lowering; [`reg2mem`] converts SSA values to
+//! register indices "using a process akin to reg2mem in QSSA" (§7);
+//! [`decompose`] rewrites multi-controlled gates for a fault-tolerant
+//! gate set.
+
+pub mod circuit;
+pub mod decompose;
+pub mod peephole;
+pub mod reg2mem;
+
+pub use circuit::{Circuit, CircuitOp};
+pub use decompose::DecomposeStyle;

@@ -1,0 +1,629 @@
+//! Gate-level peephole optimizations on QCircuit-dialect IR (§6.5).
+//!
+//! Implemented as [`RewritePattern`]s for the canonicalization driver:
+//!
+//! - [`CancelGates`]: cancels adjacent Hermitian (self-adjoint) or mutually
+//!   inverse gates, and merges adjacent diagonal phase gates (renormalizing
+//!   to named Clifford/T gates) — "cancelling out adjacent Hermitian
+//!   gates";
+//! - [`HConjugation`]: rewrites `H·X·H` to `Z` (and `H·Z·H` to `X`);
+//! - [`RelaxedPeephole`]: the relaxed peephole optimization of Liu, Bello,
+//!   and Zhou shown in Fig. 10 — a multi-controlled X targeting a fresh
+//!   `|−⟩` ancilla becomes a multi-controlled Z without the ancilla, which
+//!   "is especially useful for simplifying instances of f.sign";
+//! - [`UnpackPack`] / [`PackUnpack`]: removes `unpack(pack(...))` and
+//!   `pack(unpack(...))` pairs for qbundles, bitbundles, and arrays (§6.1).
+
+use asdf_ir::block::BlockPath;
+use asdf_ir::rewrite::{Canonicalizer, RewritePattern, SymbolTable};
+use asdf_ir::{Func, GateKind, Module, OpKind, Value};
+
+/// Builds a canonicalizer loaded with every QCircuit peephole pattern.
+pub fn peephole_canonicalizer() -> Canonicalizer {
+    let mut canon = Canonicalizer::new();
+    canon.add_pattern(Box::new(UnpackPack));
+    canon.add_pattern(Box::new(PackUnpack));
+    canon.add_pattern(Box::new(CancelGates));
+    canon.add_pattern(Box::new(HConjugation));
+    canon.add_pattern(Box::new(RelaxedPeephole));
+    canon
+}
+
+/// Runs all peephole patterns to a fixpoint; returns pattern firings.
+pub fn run_peephole(module: &mut Module) -> usize {
+    peephole_canonicalizer().run(module)
+}
+
+/// Finds the defining op of `value` by scanning backwards from
+/// `before_idx` (adjacent-gate patterns almost always find it within a few
+/// ops, so this beats building a whole-block map per query).
+fn find_def(block: &asdf_ir::Block, before_idx: usize, value: Value) -> Option<(usize, usize)> {
+    for i in (0..before_idx).rev() {
+        if let Some(j) = block.ops[i].results.iter().position(|r| *r == value) {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+/// Use count of `value` within one straight-line block (cheaper than
+/// scanning the whole function; peephole runs on post-inlining blocks).
+fn block_use_count(block: &asdf_ir::Block, value: Value) -> usize {
+    let mut count = 0;
+    for op in &block.ops {
+        count += op.operands.iter().filter(|v| **v == value).count();
+        for region in &op.regions {
+            for nested in &region.blocks {
+                count += block_use_count(nested, value);
+            }
+        }
+    }
+    count
+}
+
+/// Removes the ops at `indices` (any order) from the block.
+fn remove_ops(func: &mut Func, path: &BlockPath, mut indices: Vec<usize>) {
+    indices.sort_unstable();
+    indices.dedup();
+    let block = func.block_at_mut(path);
+    for idx in indices.into_iter().rev() {
+        block.ops.remove(idx);
+    }
+}
+
+/// Normalizes a diagonal phase angle to a named gate when it hits a
+/// special value.
+fn named_phase(theta: f64) -> Option<GateKind> {
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI, TAU};
+    let theta = theta.rem_euclid(TAU);
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+    if close(theta, 0.0) || close(theta, TAU) {
+        None // identity; caller removes the gate
+    } else if close(theta, PI) {
+        Some(GateKind::Z)
+    } else if close(theta, FRAC_PI_2) {
+        Some(GateKind::S)
+    } else if close(theta, 3.0 * FRAC_PI_2) {
+        Some(GateKind::Sdg)
+    } else if close(theta, FRAC_PI_4) {
+        Some(GateKind::T)
+    } else if close(theta, 7.0 * FRAC_PI_4) {
+        Some(GateKind::Tdg)
+    } else {
+        Some(GateKind::P(theta))
+    }
+}
+
+/// The diagonal-phase angle of a gate, if it is `diag(1, e^{i theta})`.
+fn phase_angle(gate: GateKind) -> Option<f64> {
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    match gate {
+        GateKind::Z => Some(PI),
+        GateKind::S => Some(FRAC_PI_2),
+        GateKind::Sdg => Some(-FRAC_PI_2),
+        GateKind::T => Some(FRAC_PI_4),
+        GateKind::Tdg => Some(-FRAC_PI_4),
+        GateKind::P(t) => Some(t),
+        _ => None,
+    }
+}
+
+/// If `second` directly follows `first` on identical qubits, the combined
+/// gate (or `None` for identity).
+fn merge_gates(first: GateKind, second: GateKind) -> Option<Option<GateKind>> {
+    if first.cancels_with(second) {
+        return Some(None);
+    }
+    if let (Some(a), Some(b)) = (phase_angle(first), phase_angle(second)) {
+        return Some(named_phase(a + b));
+    }
+    if let (GateKind::Rz(a), GateKind::Rz(b)) = (first, second) {
+        return Some(Some(GateKind::Rz(a + b)));
+    }
+    if let (GateKind::Rx(a), GateKind::Rx(b)) = (first, second) {
+        return Some(Some(GateKind::Rx(a + b)));
+    }
+    if let (GateKind::Ry(a), GateKind::Ry(b)) = (first, second) {
+        return Some(Some(GateKind::Ry(a + b)));
+    }
+    None
+}
+
+/// Cancels or merges a gate with the gate defining all of its operands.
+pub struct CancelGates;
+
+impl RewritePattern for CancelGates {
+    fn name(&self) -> &'static str {
+        "qcircuit-cancel-gates"
+    }
+
+    fn match_and_rewrite(
+        &self,
+        func: &mut Func,
+        path: &BlockPath,
+        op_idx: usize,
+        _symbols: &SymbolTable,
+    ) -> bool {
+        let block = func.block_at(path);
+        let op2 = &block.ops[op_idx];
+        let OpKind::Gate { gate: g2, num_controls: nc2 } = op2.kind else {
+            return false;
+        };
+        // Every operand must be the positional result of one earlier gate.
+        let Some((idx1, 0)) = op2
+            .operands
+            .first()
+            .and_then(|v| find_def(block, op_idx, *v))
+        else {
+            return false;
+        };
+        let op1 = &block.ops[idx1];
+        let OpKind::Gate { gate: g1, num_controls: nc1 } = op1.kind else {
+            return false;
+        };
+        if nc1 != nc2 || op1.results.len() != op2.operands.len() {
+            return false;
+        }
+        for (pos, operand) in op2.operands.iter().enumerate() {
+            if op1.results.get(pos) != Some(operand) {
+                return false;
+            }
+            if block_use_count(block, *operand) != 1 {
+                return false;
+            }
+        }
+        let Some(merged) = merge_gates(g1, g2) else {
+            return false;
+        };
+
+        let op1_operands = op1.operands.clone();
+        let op2_results = op2.results.clone();
+        match merged {
+            None => {
+                // Identity: rewire consumers of op2 to op1's inputs.
+                remove_ops(func, path, vec![idx1, op_idx]);
+                for (result, replacement) in op2_results.into_iter().zip(op1_operands) {
+                    func.replace_all_uses(result, replacement);
+                }
+            }
+            Some(gate) => {
+                // Merge into a single gate occupying op1's slot.
+                let block = func.block_at_mut(path);
+                block.ops[idx1] = asdf_ir::Op::new(
+                    OpKind::Gate { gate, num_controls: nc1 },
+                    op1_operands,
+                    op2_results.clone(),
+                );
+                block.ops.remove(op_idx);
+            }
+        }
+        true
+    }
+}
+
+/// `H · g · H` → conjugated gate (X↔Z) on a single uncontrolled qubit.
+pub struct HConjugation;
+
+impl RewritePattern for HConjugation {
+    fn name(&self) -> &'static str {
+        "qcircuit-h-conjugation"
+    }
+
+    fn match_and_rewrite(
+        &self,
+        func: &mut Func,
+        path: &BlockPath,
+        op_idx: usize,
+        _symbols: &SymbolTable,
+    ) -> bool {
+        let block = func.block_at(path);
+        // op3 = H
+        let op3 = &block.ops[op_idx];
+        let OpKind::Gate { gate: GateKind::H, num_controls: 0 } = op3.kind else {
+            return false;
+        };
+        let Some((idx2, 0)) = find_def(block, op_idx, op3.operands[0]) else { return false };
+        let op2 = &block.ops[idx2];
+        let OpKind::Gate { gate: mid, num_controls: 0 } = op2.kind else {
+            return false;
+        };
+        let swapped = match mid {
+            GateKind::X => GateKind::Z,
+            GateKind::Z => GateKind::X,
+            _ => return false,
+        };
+        let Some((idx1, 0)) = find_def(block, idx2, op2.operands[0]) else { return false };
+        let op1 = &block.ops[idx1];
+        let OpKind::Gate { gate: GateKind::H, num_controls: 0 } = op1.kind else {
+            return false;
+        };
+        if block_use_count(block, op1.results[0]) != 1
+            || block_use_count(block, op2.results[0]) != 1
+        {
+            return false;
+        }
+
+        let input = op1.operands[0];
+        let output = op3.results[0];
+        let block = func.block_at_mut(path);
+        block.ops[op_idx] = asdf_ir::Op::new(
+            OpKind::Gate { gate: swapped, num_controls: 0 },
+            vec![input],
+            vec![output],
+        );
+        remove_ops(func, path, vec![idx1, idx2]);
+        true
+    }
+}
+
+/// Fig. 10: a multi-controlled X whose target is a fresh `|−⟩` ancilla
+/// (`qalloc; x; h` before, `h; x; qfreez` after) becomes a multi-controlled
+/// Z on the controls alone.
+pub struct RelaxedPeephole;
+
+impl RewritePattern for RelaxedPeephole {
+    fn name(&self) -> &'static str {
+        "qcircuit-relaxed-peephole"
+    }
+
+    fn match_and_rewrite(
+        &self,
+        func: &mut Func,
+        path: &BlockPath,
+        op_idx: usize,
+        _symbols: &SymbolTable,
+    ) -> bool {
+        let block = func.block_at(path);
+        let mcx = &block.ops[op_idx];
+        let OpKind::Gate { gate: GateKind::X, num_controls: nc } = mcx.kind else {
+            return false;
+        };
+        if nc == 0 {
+            return false;
+        }
+        // Trace the target back: H <- X <- qalloc.
+        let target_in = *mcx.operands.last().expect("gate has operands");
+        let single_gate = |v: Value, want: GateKind| -> Option<usize> {
+            let (idx, pos) = find_def(block, op_idx, v)?;
+            if pos != 0 {
+                return None;
+            }
+            let op = &block.ops[idx];
+            match op.kind {
+                OpKind::Gate { gate, num_controls: 0 } if gate == want => Some(idx),
+                _ => None,
+            }
+        };
+        let Some(h_pre) = single_gate(target_in, GateKind::H) else {
+            return false;
+        };
+        let Some(x_pre) = single_gate(block.ops[h_pre].operands[0], GateKind::X) else {
+            return false;
+        };
+        let Some((alloc_idx, 0)) = find_def(block, x_pre, block.ops[x_pre].operands[0]) else {
+            return false;
+        };
+        if !matches!(block.ops[alloc_idx].kind, OpKind::QAlloc) {
+            return false;
+        }
+        // Trace the target forward: H -> X -> qfreez, each single-use.
+        let target_out = *mcx.results.last().expect("gate has results");
+        let single_user = |v: Value| -> Option<usize> {
+            if block_use_count(block, v) != 1 {
+                return None;
+            }
+            block.ops.iter().position(|op| op.operands.contains(&v))
+        };
+        let Some(h_post) = single_user(target_out) else {
+            return false;
+        };
+        if !matches!(block.ops[h_post].kind, OpKind::Gate { gate: GateKind::H, num_controls: 0 }) {
+            return false;
+        }
+        let Some(x_post) = single_user(block.ops[h_post].results[0]) else {
+            return false;
+        };
+        if !matches!(block.ops[x_post].kind, OpKind::Gate { gate: GateKind::X, num_controls: 0 }) {
+            return false;
+        }
+        let Some(free_idx) = single_user(block.ops[x_post].results[0]) else {
+            return false;
+        };
+        if !matches!(block.ops[free_idx].kind, OpKind::QFreeZ | OpKind::QFree) {
+            return false;
+        }
+        // Intermediate prep results must be single-use too.
+        if block_use_count(block, block.ops[alloc_idx].results[0]) != 1
+            || block_use_count(block, block.ops[x_pre].results[0]) != 1
+            || block_use_count(block, block.ops[h_pre].results[0]) != 1
+        {
+            return false;
+        }
+
+        let controls: Vec<Value> = mcx.operands[..nc].to_vec();
+        let control_results: Vec<Value> = mcx.results[..nc].to_vec();
+        let block = func.block_at_mut(path);
+        // Replace the MCX with an MCZ on the controls (last control becomes
+        // the Z target).
+        block.ops[op_idx] = asdf_ir::Op::new(
+            OpKind::Gate { gate: GateKind::Z, num_controls: nc - 1 },
+            controls,
+            control_results,
+        );
+        remove_ops(
+            func,
+            path,
+            vec![alloc_idx, x_pre, h_pre, h_post, x_post, free_idx],
+        );
+        true
+    }
+}
+
+/// `unpack(pack(xs))` → `xs` (for qbundles, bitbundles, arrays).
+pub struct UnpackPack;
+
+impl RewritePattern for UnpackPack {
+    fn name(&self) -> &'static str {
+        "unpack-of-pack"
+    }
+
+    fn match_and_rewrite(
+        &self,
+        func: &mut Func,
+        path: &BlockPath,
+        op_idx: usize,
+        _symbols: &SymbolTable,
+    ) -> bool {
+        let block = func.block_at(path);
+        let unpack = &block.ops[op_idx];
+        let pack_kind = match unpack.kind {
+            OpKind::QbUnpack => OpKind::QbPack,
+            OpKind::BitUnpack => OpKind::BitPack,
+            OpKind::ArrUnpack => OpKind::ArrPack,
+            _ => return false,
+        };
+        let Some((pack_idx, 0)) = find_def(block, op_idx, unpack.operands[0]) else {
+            return false;
+        };
+        let pack = &block.ops[pack_idx];
+        if pack.kind != pack_kind || pack.results.len() != 1 {
+            return false;
+        }
+        if block_use_count(block, pack.results[0]) != 1
+            || pack.operands.len() != unpack.results.len()
+        {
+            return false;
+        }
+        let sources = pack.operands.clone();
+        let sinks = unpack.results.clone();
+        remove_ops(func, path, vec![pack_idx, op_idx]);
+        for (sink, source) in sinks.into_iter().zip(sources) {
+            func.replace_all_uses(sink, source);
+        }
+        true
+    }
+}
+
+/// `pack(unpack(x))` in order → `x`.
+pub struct PackUnpack;
+
+impl RewritePattern for PackUnpack {
+    fn name(&self) -> &'static str {
+        "pack-of-unpack"
+    }
+
+    fn match_and_rewrite(
+        &self,
+        func: &mut Func,
+        path: &BlockPath,
+        op_idx: usize,
+        _symbols: &SymbolTable,
+    ) -> bool {
+        let block = func.block_at(path);
+        let pack = &block.ops[op_idx];
+        let unpack_kind = match pack.kind {
+            OpKind::QbPack => OpKind::QbUnpack,
+            OpKind::BitPack => OpKind::BitUnpack,
+            OpKind::ArrPack => OpKind::ArrUnpack,
+            _ => return false,
+        };
+        if pack.operands.is_empty() {
+            return false;
+        }
+        // All operands must be the in-order results of one unpack.
+        let Some((unpack_idx, 0)) = find_def(block, op_idx, pack.operands[0]) else {
+            return false;
+        };
+        let unpack = &block.ops[unpack_idx];
+        if unpack.kind != unpack_kind || unpack.results != pack.operands {
+            return false;
+        }
+        if unpack.results.iter().any(|r| block_use_count(block, *r) != 1) {
+            return false;
+        }
+        let source = unpack.operands[0];
+        let sink = pack.results[0];
+        remove_ops(func, path, vec![unpack_idx, op_idx]);
+        func.replace_all_uses(sink, source);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_ir::{FuncBuilder, FuncType, Type, Visibility};
+
+    fn run_one(func: Func) -> (Module, usize) {
+        let mut module = Module::new();
+        module.add_func(func);
+        let fired = run_peephole(&mut module);
+        asdf_ir::verify::verify_module(&module).unwrap();
+        (module, fired)
+    }
+
+    fn gate_func(build: impl FnOnce(&mut asdf_ir::func::BlockBuilder<'_>, Value) -> Value) -> Func {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::Qubit], vec![Type::Qubit], true),
+            Visibility::Public,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        let out = build(&mut bb, arg);
+        bb.push(OpKind::Return, vec![out], vec![]);
+        b.finish()
+    }
+
+    fn push_gate(
+        bb: &mut asdf_ir::func::BlockBuilder<'_>,
+        gate: GateKind,
+        q: Value,
+    ) -> Value {
+        bb.push(OpKind::Gate { gate, num_controls: 0 }, vec![q], vec![Type::Qubit])[0]
+    }
+
+    #[test]
+    fn hermitian_pair_cancels() {
+        let func = gate_func(|bb, q| {
+            let a = push_gate(bb, GateKind::H, q);
+            push_gate(bb, GateKind::H, a)
+        });
+        let (module, fired) = run_one(func);
+        assert!(fired >= 1);
+        let f = module.func("k").unwrap();
+        assert_eq!(f.body.ops.len(), 1, "only return remains");
+    }
+
+    #[test]
+    fn s_pair_merges_to_z() {
+        let func = gate_func(|bb, q| {
+            let a = push_gate(bb, GateKind::S, q);
+            push_gate(bb, GateKind::S, a)
+        });
+        let (module, _) = run_one(func);
+        let f = module.func("k").unwrap();
+        assert_eq!(f.body.ops.len(), 2);
+        assert!(matches!(
+            f.body.ops[0].kind,
+            OpKind::Gate { gate: GateKind::Z, .. }
+        ));
+    }
+
+    #[test]
+    fn t_pair_merges_to_s() {
+        let func = gate_func(|bb, q| {
+            let a = push_gate(bb, GateKind::T, q);
+            push_gate(bb, GateKind::T, a)
+        });
+        let (module, _) = run_one(func);
+        assert!(matches!(
+            module.func("k").unwrap().body.ops[0].kind,
+            OpKind::Gate { gate: GateKind::S, .. }
+        ));
+    }
+
+    #[test]
+    fn phase_merge_to_identity() {
+        let func = gate_func(|bb, q| {
+            let a = push_gate(bb, GateKind::P(0.7), q);
+            push_gate(bb, GateKind::P(-0.7), a)
+        });
+        let (module, _) = run_one(func);
+        assert_eq!(module.func("k").unwrap().body.ops.len(), 1);
+    }
+
+    #[test]
+    fn hxh_becomes_z() {
+        let func = gate_func(|bb, q| {
+            let a = push_gate(bb, GateKind::H, q);
+            let b = push_gate(bb, GateKind::X, a);
+            push_gate(bb, GateKind::H, b)
+        });
+        let (module, _) = run_one(func);
+        let f = module.func("k").unwrap();
+        assert_eq!(f.body.ops.len(), 2);
+        assert!(matches!(
+            f.body.ops[0].kind,
+            OpKind::Gate { gate: GateKind::Z, num_controls: 0 }
+        ));
+    }
+
+    #[test]
+    fn controlled_cancellation_requires_matching_controls() {
+        // CX then CX with the same control/target cancels.
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::Qubit, Type::Qubit], vec![Type::Qubit, Type::Qubit], true),
+            Visibility::Public,
+        );
+        let (c, t) = (b.args()[0], b.args()[1]);
+        let mut bb = b.block();
+        let g1 = bb.push(
+            OpKind::Gate { gate: GateKind::X, num_controls: 1 },
+            vec![c, t],
+            vec![Type::Qubit, Type::Qubit],
+        );
+        let g2 = bb.push(
+            OpKind::Gate { gate: GateKind::X, num_controls: 1 },
+            vec![g1[0], g1[1]],
+            vec![Type::Qubit, Type::Qubit],
+        );
+        bb.push(OpKind::Return, vec![g2[0], g2[1]], vec![]);
+        let (module, _) = run_one(b.finish());
+        assert_eq!(module.func("k").unwrap().body.ops.len(), 1);
+    }
+
+    #[test]
+    fn relaxed_peephole_fig10() {
+        // The Fig. 10 shape: |-> ancilla target of a CCX.
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::Qubit, Type::Qubit], vec![Type::Qubit, Type::Qubit], true),
+            Visibility::Public,
+        );
+        let (c0, c1) = (b.args()[0], b.args()[1]);
+        let mut bb = b.block();
+        let anc = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit])[0];
+        let x1 = push_gate(&mut bb, GateKind::X, anc);
+        let h1 = push_gate(&mut bb, GateKind::H, x1);
+        let mcx = bb.push(
+            OpKind::Gate { gate: GateKind::X, num_controls: 2 },
+            vec![c0, c1, h1],
+            vec![Type::Qubit, Type::Qubit, Type::Qubit],
+        );
+        let h2 = push_gate(&mut bb, GateKind::H, mcx[2]);
+        let x2 = push_gate(&mut bb, GateKind::X, h2);
+        bb.push(OpKind::QFreeZ, vec![x2], vec![]);
+        bb.push(OpKind::Return, vec![mcx[0], mcx[1]], vec![]);
+        let (module, fired) = run_one(b.finish());
+        assert!(fired >= 1);
+        let f = module.func("k").unwrap();
+        // One CZ (Z with 1 control) + return.
+        assert_eq!(f.body.ops.len(), 2, "{f}");
+        assert!(matches!(
+            f.body.ops[0].kind,
+            OpKind::Gate { gate: GateKind::Z, num_controls: 1 }
+        ));
+    }
+
+    #[test]
+    fn unpack_pack_cleanup() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::rev_qbundle(2),
+            Visibility::Public,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        let qs = bb.push(OpKind::QbUnpack, vec![arg], vec![Type::Qubit, Type::Qubit]);
+        let packed = bb.push(OpKind::QbPack, vec![qs[0], qs[1]], vec![Type::QBundle(2)]);
+        let qs2 = bb.push(OpKind::QbUnpack, vec![packed[0]], vec![Type::Qubit, Type::Qubit]);
+        let repacked = bb.push(OpKind::QbPack, vec![qs2[0], qs2[1]], vec![Type::QBundle(2)]);
+        bb.push(OpKind::Return, vec![repacked[0]], vec![]);
+        let (module, fired) = run_one(b.finish());
+        assert!(fired >= 1);
+        let f = module.func("k").unwrap();
+        assert_eq!(f.body.ops.len(), 1, "everything folded away:\n{f}");
+    }
+}

@@ -1,0 +1,227 @@
+//! SSA-to-register conversion ("a process akin to reg2mem in QSSA", §7).
+//!
+//! OpenQASM 3 has no SSA values, so qubit dataflow must become register
+//! accesses: each `qalloc` claims a register (reusing freed registers via a
+//! free list), gates thread each operand qubit's register through to the
+//! corresponding result, and `qfree`/`qfreez` return registers to the
+//! pool.
+
+use crate::circuit::Circuit;
+use asdf_ir::{Func, IrError, OpKind, Type, Value};
+use std::collections::HashMap;
+
+/// Converts a fully-lowered, straight-line QCircuit-dialect function into a
+/// [`Circuit`].
+///
+/// The function must contain only `qalloc`, `qfree`, `qfreez`, `gate`,
+/// `measure`, classical constants, and `return`; anything else (calls,
+/// callables, control flow) means inlining did not finish, which mirrors
+/// the paper's note that OpenQASM 3 generation "is currently dependent on
+/// inlining succeeding" (§7).
+///
+/// # Errors
+///
+/// Returns [`IrError::Unsupported`] when a non-straight-line op remains.
+pub fn lower_to_circuit(func: &Func) -> Result<Circuit, IrError> {
+    let mut circuit = Circuit::new(0);
+    // Values map to register lists: single qubits map to one register,
+    // qbundle values (function arguments and pack results) to several.
+    let mut regs_of: HashMap<Value, Vec<usize>> = HashMap::new();
+    let mut free_list: Vec<usize> = Vec::new();
+    let mut next_bit = 0usize;
+
+    // Classical bit ordering: if the function returns a bitbundle built by
+    // a final bitpack, the pack's operand order defines the output bit
+    // indices (measurements may occur in any order).
+    let mut bit_index_of: HashMap<Value, usize> = HashMap::new();
+    if let Some(ret) = func.body.terminator() {
+        for ret_operand in &ret.operands {
+            for op in &func.body.ops {
+                if matches!(op.kind, OpKind::BitPack) && op.results.contains(ret_operand) {
+                    for (i, bit) in op.operands.iter().enumerate() {
+                        bit_index_of.insert(*bit, i);
+                    }
+                }
+            }
+        }
+    }
+
+    // Function arguments of qubit/qbundle type get dedicated registers
+    // (kernels with qubit parameters, e.g. a standalone subroutine).
+    for &arg in &func.body.args {
+        match func.value_type(arg) {
+            Type::Qubit => {
+                let reg = circuit.add_qubit();
+                regs_of.insert(arg, vec![reg]);
+            }
+            Type::QBundle(n) => {
+                let regs: Vec<usize> = (0..*n).map(|_| circuit.add_qubit()).collect();
+                regs_of.insert(arg, regs);
+            }
+            _ => {}
+        }
+    }
+
+    for (idx, op) in func.body.ops.iter().enumerate() {
+        match &op.kind {
+            OpKind::QAlloc => {
+                let reg = free_list.pop().unwrap_or_else(|| circuit.add_qubit());
+                regs_of.insert(op.results[0], vec![reg]);
+            }
+            OpKind::QFree => {
+                let reg = single_reg(&regs_of, op.operands[0], idx)?;
+                circuit.reset(reg);
+                free_list.push(reg);
+            }
+            OpKind::QFreeZ => {
+                let reg = single_reg(&regs_of, op.operands[0], idx)?;
+                free_list.push(reg);
+            }
+            OpKind::QbUnpack => {
+                let regs = regs_of
+                    .get(&op.operands[0])
+                    .cloned()
+                    .ok_or_else(|| untracked(op.operands[0], idx))?;
+                for (result, reg) in op.results.iter().zip(regs) {
+                    regs_of.insert(*result, vec![reg]);
+                }
+            }
+            OpKind::QbPack => {
+                let mut regs = Vec::with_capacity(op.operands.len());
+                for v in &op.operands {
+                    regs.extend(regs_of.get(v).cloned().ok_or_else(|| untracked(*v, idx))?);
+                }
+                regs_of.insert(op.results[0], regs);
+            }
+            OpKind::Gate { gate, num_controls } => {
+                let regs: Vec<usize> = op
+                    .operands
+                    .iter()
+                    .map(|v| single_reg(&regs_of, *v, idx))
+                    .collect::<Result<_, _>>()?;
+                circuit.gate(*gate, &regs[..*num_controls], &regs[*num_controls..]);
+                for (operand_reg, result) in regs.iter().zip(&op.results) {
+                    regs_of.insert(*result, vec![*operand_reg]);
+                }
+            }
+            OpKind::Measure => {
+                let r = single_reg(&regs_of, op.operands[0], idx)?;
+                let bit = bit_index_of.get(&op.results[1]).copied().unwrap_or_else(|| {
+                    let b = next_bit;
+                    next_bit += 1;
+                    b
+                });
+                circuit.measure(r, bit);
+                regs_of.insert(op.results[0], vec![r]);
+            }
+            OpKind::Return => {}
+            // Classical bookkeeping ops carry no quantum state.
+            OpKind::BitPack | OpKind::BitUnpack => {}
+            OpKind::ConstF64 { .. } | OpKind::ConstI1 { .. } => {}
+            other => {
+                return Err(IrError::Unsupported(format!(
+                    "op {} survives lowering; inlining/lowering incomplete",
+                    other.mnemonic()
+                )))
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+fn single_reg(
+    map: &HashMap<Value, Vec<usize>>,
+    v: Value,
+    idx: usize,
+) -> Result<usize, IrError> {
+    match map.get(&v) {
+        Some(regs) if regs.len() == 1 => Ok(regs[0]),
+        Some(regs) => Err(IrError::Unsupported(format!(
+            "op {idx} expects a single qubit but value {v} carries {} registers",
+            regs.len()
+        ))),
+        None => Err(untracked(v, idx)),
+    }
+}
+
+fn untracked(v: Value, idx: usize) -> IrError {
+    IrError::Unsupported(format!("op {idx} reads qubit value {v} with no register"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_ir::{FuncBuilder, FuncType, GateKind, Visibility};
+
+    #[test]
+    fn allocates_and_reuses_registers() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![], vec![Type::I1, Type::I1], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        // First qubit: H then measure, then free.
+        let q0 = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
+        let h0 = bb.push(
+            OpKind::Gate { gate: GateKind::H, num_controls: 0 },
+            vec![q0[0]],
+            vec![Type::Qubit],
+        );
+        let m0 = bb.push(OpKind::Measure, vec![h0[0]], vec![Type::Qubit, Type::I1]);
+        bb.push(OpKind::QFree, vec![m0[0]], vec![]);
+        // Second qubit: allocated after the free, reuses register 0.
+        let q1 = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
+        let m1 = bb.push(OpKind::Measure, vec![q1[0]], vec![Type::Qubit, Type::I1]);
+        bb.push(OpKind::QFreeZ, vec![m1[0]], vec![]);
+        bb.push(OpKind::Return, vec![m0[1], m1[1]], vec![]);
+        let func = b.finish();
+        asdf_ir::verify::verify_func(&func, None).unwrap();
+
+        let circuit = lower_to_circuit(&func).unwrap();
+        assert_eq!(circuit.num_qubits, 1, "freed register was reused");
+        assert_eq!(circuit.num_bits(), 2);
+        assert_eq!(circuit.measure_count(), 2);
+        // qfree emitted a reset.
+        assert!(circuit.ops.iter().any(|op| matches!(op, crate::circuit::CircuitOp::Reset { .. })));
+    }
+
+    #[test]
+    fn gate_controls_map_through() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![], vec![], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let a = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
+        let c = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
+        let g = bb.push(
+            OpKind::Gate { gate: GateKind::X, num_controls: 1 },
+            vec![a[0], c[0]],
+            vec![Type::Qubit, Type::Qubit],
+        );
+        bb.push(OpKind::QFreeZ, vec![g[0]], vec![]);
+        bb.push(OpKind::QFreeZ, vec![g[1]], vec![]);
+        bb.push(OpKind::Return, vec![], vec![]);
+        let circuit = lower_to_circuit(&b.finish()).unwrap();
+        assert_eq!(circuit.num_qubits, 2);
+        let crate::circuit::CircuitOp::Gate { controls, targets, .. } = &circuit.ops[0] else {
+            panic!()
+        };
+        assert_eq!((controls[0], targets[0]), (0, 1));
+    }
+
+    #[test]
+    fn rejects_unlowered_ops() {
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![], vec![], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        bb.push(OpKind::CallableCreate { symbol: "f".into() }, vec![], vec![Type::Callable]);
+        bb.push(OpKind::Return, vec![], vec![]);
+        assert!(lower_to_circuit(&b.finish()).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! A dense state-vector quantum simulator for validating ASDF-compiled
+//! circuits.
+//!
+//! The published evaluation executes generated programs with qir-runner or
+//! QIR-EE (§7); this crate is the local-simulation substrate of the
+//! reproduction. It executes the straight-line [`Circuit`] form directly:
+//! the same circuits that are emitted as OpenQASM 3 / QIR.
+//!
+//! Conventions: qubit 0 is the *leftmost* qubit of Qwerty literals and the
+//! most significant bit of basis-state indices, matching `asdf-basis`
+//! eigenbit order.
+//!
+//! [`Circuit`]: asdf_qcircuit::Circuit
+
+pub mod complex;
+pub mod dynamic;
+pub mod run;
+pub mod state;
+
+pub use complex::Complex;
+pub use dynamic::{run_dynamic, ArgValue, DynamicRun};
+pub use run::{sample, unitary_of, RunResult, Simulator};
+pub use state::StateVector;

@@ -1,0 +1,284 @@
+//! Circuit execution: single shots, sampling, and unitary extraction.
+
+use crate::state::StateVector;
+use asdf_qcircuit::{Circuit, CircuitOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The outcome of one shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Classical bits, indexed by measurement destination.
+    pub bits: Vec<bool>,
+    /// The post-circuit state.
+    pub state: StateVector,
+}
+
+impl RunResult {
+    /// The measured bits as a `'0'`/`'1'` string.
+    pub fn bit_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+/// Executes circuits with seeded randomness for reproducible tests.
+#[derive(Debug)]
+pub struct Simulator {
+    rng: StdRng,
+}
+
+impl Simulator {
+    /// A simulator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Runs one shot of the circuit from |0...0>.
+    pub fn run(&mut self, circuit: &Circuit) -> RunResult {
+        self.run_from(circuit, StateVector::zero(circuit.num_qubits))
+    }
+
+    /// Runs one shot starting from a caller-prepared state (for kernels
+    /// with qubit arguments, e.g. teleportation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state size does not match the circuit.
+    pub fn run_from(&mut self, circuit: &Circuit, mut state: StateVector) -> RunResult {
+        assert_eq!(state.num_qubits(), circuit.num_qubits, "state size mismatch");
+        let mut bits = vec![false; circuit.num_bits()];
+        for op in &circuit.ops {
+            match op {
+                CircuitOp::Gate { gate, controls, targets } => {
+                    state.apply(*gate, controls, targets);
+                }
+                CircuitOp::Measure { qubit, bit } => {
+                    let p1 = state.prob_one(*qubit);
+                    let outcome = self.rng.gen_bool(p1.clamp(0.0, 1.0));
+                    state.collapse(*qubit, outcome);
+                    bits[*bit] = outcome;
+                }
+                CircuitOp::Reset { qubit } => {
+                    let p1 = state.prob_one(*qubit);
+                    if p1 > 1e-12 {
+                        let outcome = self.rng.gen_bool(p1.clamp(0.0, 1.0));
+                        state.collapse(*qubit, outcome);
+                        if outcome {
+                            state.apply(asdf_ir::GateKind::X, &[], &[*qubit]);
+                        }
+                    }
+                }
+            }
+        }
+        RunResult { bits, state }
+    }
+}
+
+/// Runs `shots` shots and histograms the measured bit strings.
+pub fn sample(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usize> {
+    let mut sim = Simulator::new(seed);
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for _ in 0..shots {
+        let result = sim.run(circuit);
+        *counts.entry(result.bit_string()).or_default() += 1;
+    }
+    counts
+}
+
+/// The full unitary of a measurement-free circuit, as columns indexed by
+/// input basis state. Exponential; for verification of small circuits.
+///
+/// # Panics
+///
+/// Panics if the circuit measures or resets, or has more than 12 qubits.
+pub fn unitary_of(circuit: &Circuit) -> Vec<StateVector> {
+    assert!(circuit.num_qubits <= 12, "unitary extraction is exponential");
+    assert!(
+        circuit
+            .ops
+            .iter()
+            .all(|op| matches!(op, CircuitOp::Gate { .. })),
+        "unitary extraction requires a measurement-free circuit"
+    );
+    (0..(1usize << circuit.num_qubits))
+        .map(|index| {
+            let mut state = StateVector::basis(circuit.num_qubits, index);
+            for op in &circuit.ops {
+                if let CircuitOp::Gate { gate, controls, targets } = op {
+                    state.apply(*gate, controls, targets);
+                }
+            }
+            state
+        })
+        .collect()
+}
+
+/// Whether two measurement-free circuits implement the same unitary up to
+/// a single global phase.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, eps: f64) -> bool {
+    if a.num_qubits != b.num_qubits {
+        return false;
+    }
+    let ua = unitary_of(a);
+    let ub = unitary_of(b);
+    columns_match(&ua, &ub, eps)
+}
+
+/// Whether two circuits agree (up to one shared global phase) on every
+/// input whose qubits at and beyond `data_qubits` are |0> — the contract
+/// for ancilla-using decompositions, which are only defined on the
+/// zero-ancilla subspace (the ancillas must also return to |0>).
+pub fn circuits_equivalent_on_zero_ancillas(
+    a: &Circuit,
+    b: &Circuit,
+    data_qubits: usize,
+    eps: f64,
+) -> bool {
+    if a.num_qubits != b.num_qubits || data_qubits > a.num_qubits {
+        return false;
+    }
+    let n = a.num_qubits;
+    let shift = n - data_qubits;
+    let apply_all = |c: &Circuit, index: usize| -> StateVector {
+        let mut state = StateVector::basis(n, index << shift);
+        for op in &c.ops {
+            if let CircuitOp::Gate { gate, controls, targets } = op {
+                state.apply(*gate, controls, targets);
+            }
+        }
+        state
+    };
+    let ua: Vec<StateVector> = (0..(1usize << data_qubits)).map(|i| apply_all(a, i)).collect();
+    let ub: Vec<StateVector> = (0..(1usize << data_qubits)).map(|i| apply_all(b, i)).collect();
+    columns_match(&ua, &ub, eps)
+}
+
+fn columns_match(ua: &[StateVector], ub: &[StateVector], eps: f64) -> bool {
+    // Find the shared phase from the first column with weight, then demand
+    // exact correspondence under that single phase.
+    let mut phase: Option<crate::Complex> = None;
+    for (ca, cb) in ua.iter().zip(ub) {
+        for (x, y) in ca.amplitudes().iter().zip(cb.amplitudes()) {
+            if x.abs() > eps || y.abs() > eps {
+                match phase {
+                    None => {
+                        if x.abs() < eps || y.abs() < eps {
+                            return false;
+                        }
+                        let ratio = *x * y.conj();
+                        phase = Some(crate::Complex::from_angle(ratio.im.atan2(ratio.re)));
+                    }
+                    Some(p) => {
+                        if !x.approx_eq(p * *y, eps) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_ir::GateKind;
+    // (circuits_equivalent_on_zero_ancillas is the decomposition contract)
+    use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
+
+    #[test]
+    fn deterministic_circuit_measures_deterministically() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::X, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.measure(0, 0);
+        c.measure(1, 1);
+        let counts = sample(&c, 50, 7);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts["11"], 50);
+    }
+
+    #[test]
+    fn bell_sampling_is_correlated() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.measure(0, 0);
+        c.measure(1, 1);
+        let counts = sample(&c, 400, 13);
+        assert!(counts.keys().all(|k| k == "00" || k == "11"));
+        assert!(counts["00"] > 100 && counts["11"] > 100);
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::H, &[], &[0]);
+        c.reset(0);
+        c.measure(0, 0);
+        let counts = sample(&c, 64, 5);
+        assert_eq!(counts["0"], 64);
+    }
+
+    /// The decomposition correctness gate: every multi-control lowering is
+    /// exactly unitary-equivalent to the native multi-controlled gate.
+    #[test]
+    fn decompositions_are_exact() {
+        for style in [DecomposeStyle::Selinger, DecomposeStyle::VChain] {
+            for k in 2..=4 {
+                let mut native = Circuit::new(k + 1);
+                let controls: Vec<usize> = (0..k).collect();
+                native.gate(GateKind::X, &controls, &[k]);
+                let lowered = decompose(&native, style);
+                // Pad the native circuit with the ancillas the lowering
+                // introduced (identity on them); equivalence is required on
+                // the zero-ancilla subspace.
+                let mut padded = Circuit::new(lowered.num_qubits);
+                padded.gate(GateKind::X, &controls, &[k]);
+                assert!(
+                    circuits_equivalent_on_zero_ancillas(&padded, &lowered, k + 1, 1e-9),
+                    "mcx k={k} style={style:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_unitaries_are_exact() {
+        let cases: Vec<(GateKind, usize)> = vec![
+            (GateKind::H, 1),
+            (GateKind::H, 2),
+            (GateKind::S, 2),
+            (GateKind::P(0.77), 2),
+            (GateKind::Z, 3),
+            (GateKind::Y, 1),
+            (GateKind::Sx, 1),
+            (GateKind::Ry(0.3), 1),
+            (GateKind::Rx(1.1), 2),
+        ];
+        for (gate, k) in cases {
+            let mut native = Circuit::new(k + 1);
+            let controls: Vec<usize> = (0..k).collect();
+            native.gate(gate, &controls, &[k]);
+            let lowered = decompose(&native, DecomposeStyle::Selinger);
+            let mut padded = Circuit::new(lowered.num_qubits);
+            padded.gate(gate, &controls, &[k]);
+            assert!(
+                circuits_equivalent_on_zero_ancillas(&padded, &lowered, k + 1, 1e-9),
+                "controlled {gate} with {k} controls"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_swap_is_exact() {
+        let mut native = Circuit::new(3);
+        native.gate(GateKind::Swap, &[0], &[1, 2]);
+        let lowered = decompose(&native, DecomposeStyle::Selinger);
+        let mut padded = Circuit::new(lowered.num_qubits);
+        padded.gate(GateKind::Swap, &[0], &[1, 2]);
+        assert!(circuits_equivalent_on_zero_ancillas(&padded, &lowered, 3, 1e-9));
+    }
+}

@@ -1,0 +1,318 @@
+//! Dense state vectors and gate application.
+
+use crate::complex::Complex;
+use asdf_ir::GateKind;
+use std::f64::consts::FRAC_PI_4;
+
+/// A pure state of `n` qubits as `2^n` amplitudes.
+///
+/// Qubit 0 is the most significant bit of the amplitude index (matching
+/// the eigenbit convention of `asdf-basis`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros state |0...0>.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 26` (the vector would not fit in memory).
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        amps[0] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// A computational basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn basis(num_qubits: usize, index: usize) -> Self {
+        let mut s = StateVector::zero(num_qubits);
+        assert!(index < s.amps.len(), "basis index out of range");
+        s.amps[0] = Complex::ZERO;
+        s.amps[index] = Complex::ONE;
+        s
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// The probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    fn qubit_mask(&self, qubit: usize) -> usize {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        1usize << (self.num_qubits - 1 - qubit)
+    }
+
+    /// Applies a (possibly controlled) gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicated qubits.
+    pub fn apply(&mut self, gate: GateKind, controls: &[usize], targets: &[usize]) {
+        assert_eq!(targets.len(), gate.num_targets(), "target arity");
+        let cmask: usize = controls.iter().map(|&c| self.qubit_mask(c)).sum();
+        match gate {
+            GateKind::Swap => {
+                let (a, b) = (self.qubit_mask(targets[0]), self.qubit_mask(targets[1]));
+                let size = self.amps.len();
+                for i in 0..size {
+                    // Swap |..a=1,b=0..> with |..a=0,b=1..> once.
+                    if i & cmask == cmask && i & a != 0 && i & b == 0 {
+                        let j = (i & !a) | b;
+                        self.amps.swap(i, j);
+                    }
+                }
+            }
+            single => {
+                let [[m00, m01], [m10, m11]] = matrix_1q(single);
+                let t = self.qubit_mask(targets[0]);
+                let size = self.amps.len();
+                for i in 0..size {
+                    // Visit each (|..0..>, |..1..>) pair once via its lower
+                    // index, applying only where controls are satisfied.
+                    if i & t == 0 && i & cmask == cmask {
+                        let j = i | t;
+                        let a0 = self.amps[i];
+                        let a1 = self.amps[j];
+                        self.amps[i] = m00 * a0 + m01 * a1;
+                        self.amps[j] = m10 * a0 + m11 * a1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The probability that `qubit` measures 1.
+    pub fn prob_one(&self, qubit: usize) -> f64 {
+        let mask = self.qubit_mask(qubit);
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Collapses `qubit` to `outcome`, renormalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has (near-)zero probability.
+    pub fn collapse(&mut self, qubit: usize, outcome: bool) {
+        let mask = self.qubit_mask(qubit);
+        let p = if outcome { self.prob_one(qubit) } else { 1.0 - self.prob_one(qubit) };
+        assert!(p > 1e-12, "collapsing onto a zero-probability branch");
+        let norm = 1.0 / p.sqrt();
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            let bit = i & mask != 0;
+            if bit == outcome {
+                *amp = amp.scale(norm);
+            } else {
+                *amp = Complex::ZERO;
+            }
+        }
+    }
+
+    /// Whether two states are equal up to a global phase.
+    pub fn approx_eq_global_phase(&self, other: &StateVector, eps: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // Align phases on the largest-magnitude amplitude.
+        let pivot = (0..self.amps.len())
+            .max_by(|&a, &b| {
+                self.amps[a]
+                    .norm_sqr()
+                    .partial_cmp(&self.amps[b].norm_sqr())
+                    .expect("amplitudes are finite")
+            })
+            .expect("nonempty state");
+        if self.amps[pivot].abs() < eps && other.amps[pivot].abs() < eps {
+            return self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(a, b)| a.approx_eq(*b, eps));
+        }
+        if other.amps[pivot].abs() < eps {
+            return false;
+        }
+        let ratio = self.amps[pivot] * other.amps[pivot].conj();
+        let phase = Complex::from_angle(ratio.im.atan2(ratio.re));
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .all(|(a, b)| a.approx_eq(phase * *b, eps))
+    }
+
+    /// Total probability (should be 1 for a normalized state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// A new state with one more qubit appended (as the least significant
+    /// index position) in |0>. Used by dynamic allocation.
+    pub fn with_appended_zero_qubit(&self) -> StateVector {
+        let mut amps = vec![Complex::ZERO; self.amps.len() * 2];
+        for (i, a) in self.amps.iter().enumerate() {
+            amps[i * 2] = *a;
+        }
+        StateVector { num_qubits: self.num_qubits + 1, amps }
+    }
+}
+
+/// The 2x2 matrix of a single-target gate.
+fn matrix_1q(gate: GateKind) -> [[Complex; 2]; 2] {
+    let zero = Complex::ZERO;
+    let one = Complex::ONE;
+    let i = Complex::I;
+    let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+    match gate {
+        GateKind::X => [[zero, one], [one, zero]],
+        GateKind::Y => [[zero, -i], [i, zero]],
+        GateKind::Z => [[one, zero], [zero, -one]],
+        GateKind::H => [[h, h], [h, -h]],
+        GateKind::S => [[one, zero], [zero, i]],
+        GateKind::Sdg => [[one, zero], [zero, -i]],
+        GateKind::T => [[one, zero], [zero, Complex::from_angle(FRAC_PI_4)]],
+        GateKind::Tdg => [[one, zero], [zero, Complex::from_angle(-FRAC_PI_4)]],
+        GateKind::Sx => {
+            let p = Complex::new(0.5, 0.5);
+            let m = Complex::new(0.5, -0.5);
+            [[p, m], [m, p]]
+        }
+        GateKind::Sxdg => {
+            let p = Complex::new(0.5, 0.5);
+            let m = Complex::new(0.5, -0.5);
+            [[m, p], [p, m]]
+        }
+        GateKind::P(theta) => [[one, zero], [zero, Complex::from_angle(theta)]],
+        GateKind::Rx(theta) => {
+            let c = Complex::new((theta / 2.0).cos(), 0.0);
+            let s = Complex::new(0.0, -(theta / 2.0).sin());
+            [[c, s], [s, c]]
+        }
+        GateKind::Ry(theta) => {
+            let c = Complex::new((theta / 2.0).cos(), 0.0);
+            let s = Complex::new((theta / 2.0).sin(), 0.0);
+            [[c, -s], [s, c]]
+        }
+        GateKind::Rz(theta) => [
+            [Complex::from_angle(-theta / 2.0), zero],
+            [zero, Complex::from_angle(theta / 2.0)],
+        ],
+        GateKind::Swap => unreachable!("swap handled separately"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut s = StateVector::zero(2);
+        s.apply(GateKind::X, &[], &[0]);
+        assert!(approx(s.probability(0b10), 1.0));
+        s.apply(GateKind::X, &[], &[1]);
+        assert!(approx(s.probability(0b11), 1.0));
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut s = StateVector::zero(2);
+        s.apply(GateKind::H, &[], &[0]);
+        s.apply(GateKind::X, &[0], &[1]);
+        assert!(approx(s.probability(0b00), 0.5));
+        assert!(approx(s.probability(0b11), 0.5));
+        assert!(approx(s.probability(0b01), 0.0));
+        assert!(approx(s.prob_one(0), 0.5));
+    }
+
+    #[test]
+    fn controlled_gate_respects_control() {
+        let mut s = StateVector::zero(2); // |00>
+        s.apply(GateKind::X, &[0], &[1]); // control 0 is |0>: no-op
+        assert!(approx(s.probability(0b00), 1.0));
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut s = StateVector::basis(2, 0b10);
+        s.apply(GateKind::Swap, &[], &[0, 1]);
+        assert!(approx(s.probability(0b01), 1.0));
+        // Controlled swap with |0> control is inert.
+        let mut s = StateVector::basis(3, 0b010);
+        s.apply(GateKind::Swap, &[0], &[1, 2]);
+        assert!(approx(s.probability(0b010), 1.0));
+        // With |1> control it swaps.
+        let mut s = StateVector::basis(3, 0b110);
+        s.apply(GateKind::Swap, &[0], &[1, 2]);
+        assert!(approx(s.probability(0b101), 1.0));
+    }
+
+    #[test]
+    fn hsh_and_phases() {
+        // S|+> = |i>: probability of 1 stays 1/2, phases differ.
+        let mut s = StateVector::zero(1);
+        s.apply(GateKind::H, &[], &[0]);
+        s.apply(GateKind::S, &[], &[0]);
+        assert!(approx(s.prob_one(0), 0.5));
+        assert!(s.amplitudes()[1].approx_eq(Complex::new(0.0, std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let mut a = StateVector::zero(1);
+        a.apply(GateKind::Sx, &[], &[0]);
+        a.apply(GateKind::Sx, &[], &[0]);
+        let mut b = StateVector::zero(1);
+        b.apply(GateKind::X, &[], &[0]);
+        assert!(a.approx_eq_global_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn collapse_normalizes() {
+        let mut s = StateVector::zero(2);
+        s.apply(GateKind::H, &[], &[0]);
+        s.apply(GateKind::X, &[0], &[1]);
+        s.collapse(0, true);
+        assert!(approx(s.probability(0b11), 1.0));
+        assert!(approx(s.norm(), 1.0));
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let mut a = StateVector::zero(1);
+        a.apply(GateKind::H, &[], &[0]);
+        let mut b = a.clone();
+        // Z then X then Z then X = -identity (global phase).
+        b.apply(GateKind::Z, &[], &[0]);
+        b.apply(GateKind::X, &[], &[0]);
+        b.apply(GateKind::Z, &[], &[0]);
+        b.apply(GateKind::X, &[], &[0]);
+        assert!(a.approx_eq_global_phase(&b, 1e-10));
+        assert_ne!(a, b, "bitwise different due to the -1 phase");
+    }
+}

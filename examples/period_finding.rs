@@ -1,0 +1,51 @@
+//! QFT-based period finding with a bitmask oracle (§8.1): measuring the
+//! `fourier[N]` register yields multiples of the frequency `2^N / r`.
+//!
+//! ```text
+//! cargo run --example period_finding [n] [kept-low-bits]
+//! ```
+
+use qwerty_asdf::ast::expand::CaptureValue;
+use qwerty_asdf::core::{CompileOptions, Compiler};
+use qwerty_asdf::sim::sample;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let kept: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    assert!(kept < n, "must mask off at least one high bit");
+
+    // Keep the low `kept` bits: f(x + 2^kept) = f(x), so the period is
+    // r = 2^kept and measured frequencies are multiples of 2^n / r.
+    let mask: String = (0..n).map(|i| if i >= n - kept { '1' } else { '0' }).collect();
+    let period = 1usize << kept;
+    let freq = (1usize << n) / period;
+
+    let source = r"
+        classical f[N](mask: bit[N], x: bit[N]) -> bit[N] { x & mask }
+
+        qpu period[N](f: cfunc[N, N]) -> bit[2*N] {
+            'p'[N] + '0'[N] | f.xor | fourier[N].measure + std[N].measure
+        }
+    ";
+    let captures = vec![CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(&mask)],
+    }];
+    let compiled = Compiler::compile(source, "period", &captures, &CompileOptions::default())?;
+    let circuit = compiled.circuit.expect("period finding inlines");
+
+    println!("mask = {mask}, true period r = {period}, frequency spacing = {freq}");
+    let counts = sample(&circuit, 256, 77);
+    let mut freqs: Vec<(usize, usize)> = counts
+        .iter()
+        .map(|(bits, count)| (usize::from_str_radix(&bits[..n], 2).unwrap(), *count))
+        .collect();
+    freqs.sort();
+    println!("measured QFT-register values (should all be multiples of {freq}):");
+    for (y, count) in &freqs {
+        println!("  y = {y:>4}: {count} shots");
+        assert_eq!(y % freq, 0, "y = {y} is not a multiple of {freq}");
+    }
+    println!("\nperiod recovered: r = 2^n / gcd spacing = {period}");
+    Ok(())
+}

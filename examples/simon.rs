@@ -1,0 +1,99 @@
+//! Simon's algorithm end-to-end: the quantum kernel collects equations
+//! `y · s = 0`, and classical Gaussian elimination over GF(2) recovers the
+//! secret (the standard hybrid loop).
+//!
+//! ```text
+//! cargo run --example simon [secret-bits]
+//! ```
+
+use qwerty_asdf::ast::expand::CaptureValue;
+use qwerty_asdf::core::{CompileOptions, Compiler};
+use qwerty_asdf::sim::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secret_str = std::env::args().nth(1).unwrap_or_else(|| "1100".to_string());
+    let n = secret_str.len();
+    assert!(secret_str.starts_with('1'), "this oracle family needs s[0] = 1");
+
+    let source = r"
+        classical f[N](s: bit[N], x: bit[N]) -> bit[N] {
+            x ^ (x[0].repeat(N) & s)
+        }
+
+        qpu simon[N](f: cfunc[N, N]) -> bit[2*N] {
+            'p'[N] + '0'[N] | f.xor | (pm[N] >> std[N]) + id[N] | std[2*N].measure
+        }
+    ";
+    let captures = vec![CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(&secret_str)],
+    }];
+    let compiled = Compiler::compile(source, "simon", &captures, &CompileOptions::default())?;
+    let circuit = compiled.circuit.expect("simon inlines");
+
+    // Collect independent equations y . s = 0 (mod 2).
+    let mut sim = Simulator::new(1234);
+    let mut rows: Vec<Vec<bool>> = Vec::new();
+    let mut samples = 0usize;
+    while rank(&rows) < n - 1 && samples < 200 {
+        let run = sim.run(&circuit);
+        let y = run.bits[..n].to_vec();
+        samples += 1;
+        if y.iter().any(|&b| b) {
+            rows.push(y);
+        }
+    }
+    println!("collected {} equations in {samples} samples", rows.len());
+
+    // Solve: the nullspace of the row space contains s.
+    let s = solve_nullspace(&rows, n).expect("nullspace vector exists");
+    let recovered: String = s.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    println!("recovered secret: {recovered}");
+    assert_eq!(recovered, secret_str);
+    Ok(())
+}
+
+/// GF(2) row rank.
+fn rank(rows: &[Vec<bool>]) -> usize {
+    let mut m: Vec<Vec<bool>> = rows.to_vec();
+    let mut r = 0usize;
+    let cols = m.first().map(|row| row.len()).unwrap_or(0);
+    for c in 0..cols {
+        if let Some(pivot) = (r..m.len()).find(|&i| m[i][c]) {
+            m.swap(r, pivot);
+            for i in 0..m.len() {
+                if i != r && m[i][c] {
+                    let (a, b) = if i < r {
+                        let (lo, hi) = m.split_at_mut(r);
+                        (&mut lo[i], &hi[0])
+                    } else {
+                        let (lo, hi) = m.split_at_mut(i);
+                        (&mut hi[0], &lo[r])
+                    };
+                    for k in 0..cols {
+                        a[k] ^= b[k];
+                    }
+                }
+            }
+            r += 1;
+        }
+    }
+    r
+}
+
+/// A nonzero vector orthogonal to all rows (brute force over small n).
+fn solve_nullspace(rows: &[Vec<bool>], n: usize) -> Option<Vec<bool>> {
+    for v in 1..(1usize << n) {
+        let candidate: Vec<bool> = (0..n).map(|i| (v >> (n - 1 - i)) & 1 == 1).collect();
+        let orthogonal = rows.iter().all(|row| {
+            row.iter()
+                .zip(&candidate)
+                .fold(false, |acc, (&a, &b)| acc ^ (a && b))
+                == false
+        });
+        if orthogonal {
+            return Some(candidate);
+        }
+    }
+    None
+}
