@@ -73,10 +73,9 @@ fn rewrite(e: &mut TExpr) -> usize {
         TExprKind::Adjoint(inner) => match &inner.kind {
             TExprKind::Adjoint(f) => Some(f.kind.clone()),
             // ~(b1 >> b2)  ->  b2 >> b1
-            TExprKind::Translation { b_in, b_out } => Some(TExprKind::Translation {
-                b_in: b_out.clone(),
-                b_out: b_in.clone(),
-            }),
+            TExprKind::Translation { b_in, b_out } => {
+                Some(TExprKind::Translation { b_in: b_out.clone(), b_out: b_in.clone() })
+            }
             // ~id  ->  id
             TExprKind::Id { dim } => Some(TExprKind::Id { dim: *dim }),
             // ~(f1 ; f2)  ->  ~f2 ; ~f1
@@ -84,20 +83,14 @@ fn rewrite(e: &mut TExpr) -> usize {
                 parts
                     .iter()
                     .rev()
-                    .map(|p| TExpr {
-                        kind: TExprKind::Adjoint(Box::new(p.clone())),
-                        ty: p.ty,
-                    })
+                    .map(|p| TExpr { kind: TExprKind::Adjoint(Box::new(p.clone())), ty: p.ty })
                     .collect(),
             )),
             // ~(f1 + f2)  ->  ~f1 + ~f2
             TExprKind::Tensor(parts) => Some(TExprKind::Tensor(
                 parts
                     .iter()
-                    .map(|p| TExpr {
-                        kind: TExprKind::Adjoint(Box::new(p.clone())),
-                        ty: p.ty,
-                    })
+                    .map(|p| TExpr { kind: TExprKind::Adjoint(Box::new(p.clone())), ty: p.ty })
                     .collect(),
             )),
             _ => None,
@@ -119,9 +112,7 @@ fn rewrite(e: &mut TExpr) -> usize {
                         b_out: basis.tensor(b_out),
                     }),
                     // b & id  ->  id
-                    TExprKind::Id { dim } => {
-                        Some(TExprKind::Id { dim: basis.dim() + dim })
-                    }
+                    TExprKind::Id { dim } => Some(TExprKind::Id { dim: basis.dim() + dim }),
                     _ => None,
                 }
             }

@@ -113,10 +113,7 @@ impl AngleExpr {
     ///
     /// Returns [`FrontendError::Dimension`] on unbound variables or
     /// division by zero.
-    pub fn eval_radians(
-        &self,
-        bindings: &HashMap<String, i64>,
-    ) -> Result<f64, FrontendError> {
+    pub fn eval_radians(&self, bindings: &HashMap<String, i64>) -> Result<f64, FrontendError> {
         Ok(self.eval_degrees(bindings)?.to_radians())
     }
 
@@ -176,10 +173,8 @@ mod tests {
         );
         let r = e.eval_radians(&bind(&[("N", 2)])).unwrap();
         assert!((r - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
-        let zero_div = AngleExpr::Div(
-            Box::new(AngleExpr::Degrees(1.0)),
-            Box::new(AngleExpr::Degrees(0.0)),
-        );
+        let zero_div =
+            AngleExpr::Div(Box::new(AngleExpr::Degrees(1.0)), Box::new(AngleExpr::Degrees(0.0)));
         assert!(zero_div.eval_radians(&bind(&[])).is_err());
     }
 }

@@ -192,10 +192,8 @@ fn instantiate_classical(
     };
 
     // Forward direction: local dims known -> bind kernel-side N, M.
-    let forward_in: Option<i64> = input_dims
-        .iter()
-        .map(|d| d.eval(&local).ok())
-        .sum::<Option<i64>>();
+    let forward_in: Option<i64> =
+        input_dims.iter().map(|d| d.eval(&local).ok()).sum::<Option<i64>>();
     match forward_in {
         Some(total) => unify(d_in, total, kernel_dims)?,
         None => {
@@ -345,8 +343,7 @@ mod tests {
             }
         ";
         let program = parse_program(src).unwrap();
-        let captures =
-            vec![CaptureValue::CFunc { name: "balanced".into(), captures: vec![] }];
+        let captures = vec![CaptureValue::CFunc { name: "balanced".into(), captures: vec![] }];
         let explicit: HashMap<String, i64> = [("N".to_string(), 8)].into();
         let inst = instantiate(&program, "dj", &captures, &explicit).unwrap();
         let classical = inst.classical_instances[0].as_ref().unwrap();

@@ -169,9 +169,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                 tokens.push(Token { kind, offset: start });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {
@@ -257,10 +255,7 @@ mod tests {
 
     #[test]
     fn float_vs_method_dot() {
-        assert_eq!(
-            kinds("1.5"),
-            vec![TokenKind::Float(1.5), TokenKind::Eof]
-        );
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float(1.5), TokenKind::Eof]);
         let ks = kinds("x.measure");
         assert_eq!(ks[1], TokenKind::Dot);
         // An integer followed by a method-ish dot stays an integer.
@@ -274,11 +269,7 @@ mod tests {
         let ks = kinds("a # comment | nonsense\nb");
         assert_eq!(
             ks,
-            vec![
-                TokenKind::Ident("a".into()),
-                TokenKind::Ident("b".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
         );
     }
 

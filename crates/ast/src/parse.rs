@@ -93,11 +93,7 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            self.error(format!(
-                "expected {}, found {}",
-                kind.describe(),
-                self.peek().describe()
-            ))
+            self.error(format!("expected {}, found {}", kind.describe(), self.peek().describe()))
         }
     }
 
@@ -378,9 +374,7 @@ impl Parser {
                 self.expect(TokenKind::RBracket)?;
                 expr = match expr {
                     // `std[2]`: dimension of a built-in basis.
-                    Expr::BuiltinBasis(prim, DimExpr::Const(1)) => {
-                        Expr::BuiltinBasis(prim, dim)
-                    }
+                    Expr::BuiltinBasis(prim, DimExpr::Const(1)) => Expr::BuiltinBasis(prim, dim),
                     other => Expr::Pow(Box::new(other), dim),
                 };
             } else if self.eat(&TokenKind::Dot) {
@@ -398,11 +392,10 @@ impl Parser {
             } else if self.eat(&TokenKind::At) {
                 let angle = self.angle_atom()?;
                 expr = match expr {
-                    Expr::QLit { chars, phase: None } => {
-                        Expr::QLit { chars, phase: Some(angle) }
-                    }
+                    Expr::QLit { chars, phase: None } => Expr::QLit { chars, phase: Some(angle) },
                     other => {
-                        return self.error(format!("@phase applies to qubit literals, not {other:?}"));
+                        return self
+                            .error(format!("@phase applies to qubit literals, not {other:?}"));
                     }
                 };
             } else {
@@ -461,11 +454,7 @@ impl Parser {
             } else {
                 None
             };
-            let phase = if self.eat(&TokenKind::At) {
-                Some(self.angle_atom()?)
-            } else {
-                None
-            };
+            let phase = if self.eat(&TokenKind::At) { Some(self.angle_atom()?) } else { None };
             vectors.push(VectorSyntax { chars, power, negated, phase });
             if !self.eat(&TokenKind::Comma) {
                 break;
@@ -560,10 +549,9 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(e)
             }
-            other => self.error(format!(
-                "expected a classical expression, found {}",
-                other.describe()
-            )),
+            other => {
+                self.error(format!("expected a classical expression, found {}", other.describe()))
+            }
         }
     }
 
@@ -608,10 +596,9 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(e)
             }
-            other => self.error(format!(
-                "expected a dimension expression, found {}",
-                other.describe()
-            )),
+            other => {
+                self.error(format!("expected a dimension expression, found {}", other.describe()))
+            }
         }
     }
 
@@ -685,8 +672,7 @@ fn builtin_basis_keyword(name: &str) -> Option<PrimitiveBasis> {
 fn parse_qlit_chars(body: &str) -> Result<Vec<QubitChar>, String> {
     body.chars()
         .map(|c| {
-            PrimitiveBasis::from_char(c)
-                .ok_or_else(|| format!("invalid qubit character {c:?}"))
+            PrimitiveBasis::from_char(c).ok_or_else(|| format!("invalid qubit character {c:?}"))
         })
         .collect()
 }

@@ -192,15 +192,19 @@ fn eval_cexpr(
             .get(name.as_str())
             .cloned()
             .ok_or_else(|| format!("unbound classical variable {name}"))?,
-        CExpr::And(a, b) => zip_bits(eval_cexpr(a, env, dims)?, eval_cexpr(b, env, dims)?, |x, y| x & y)?,
-        CExpr::Or(a, b) => zip_bits(eval_cexpr(a, env, dims)?, eval_cexpr(b, env, dims)?, |x, y| x | y)?,
-        CExpr::Xor(a, b) => zip_bits(eval_cexpr(a, env, dims)?, eval_cexpr(b, env, dims)?, |x, y| x ^ y)?,
+        CExpr::And(a, b) => {
+            zip_bits(eval_cexpr(a, env, dims)?, eval_cexpr(b, env, dims)?, |x, y| x & y)?
+        }
+        CExpr::Or(a, b) => {
+            zip_bits(eval_cexpr(a, env, dims)?, eval_cexpr(b, env, dims)?, |x, y| x | y)?
+        }
+        CExpr::Xor(a, b) => {
+            zip_bits(eval_cexpr(a, env, dims)?, eval_cexpr(b, env, dims)?, |x, y| x ^ y)?
+        }
         CExpr::Not(a) => eval_cexpr(a, env, dims)?.into_iter().map(|b| !b).collect(),
         CExpr::Index(a, idx) => {
             let bits = eval_cexpr(a, env, dims)?;
-            let i = idx
-                .eval_usize(dims)
-                .map_err(|e| e.to_string())?;
+            let i = idx.eval_usize(dims).map_err(|e| e.to_string())?;
             vec![*bits.get(i).ok_or_else(|| format!("bit index {i} out of range"))?]
         }
         CExpr::Repeat(a, n) => {

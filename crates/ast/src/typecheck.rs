@@ -33,12 +33,8 @@ pub fn typecheck_kernel(
         .qpu(kernel)
         .ok_or_else(|| FrontendError::Unbound(format!("qpu kernel {kernel}")))?;
 
-    let mut checker = Checker {
-        program,
-        dims: &instance.dims,
-        env: HashMap::new(),
-        classical: Vec::new(),
-    };
+    let mut checker =
+        Checker { program, dims: &instance.dims, env: HashMap::new(), classical: Vec::new() };
 
     // Bind parameters: cfunc captures become classical instances; qubit
     // parameters become linear runtime bindings.
@@ -46,18 +42,16 @@ pub fn typecheck_kernel(
     for (idx, param) in func.params.iter().enumerate() {
         match &param.ty {
             TypeExpr::CFunc(_, _) => {
-                let inst = instance
-                    .classical_instances
-                    .get(idx)
-                    .and_then(|c| c.as_ref())
-                    .ok_or_else(|| {
-                        FrontendError::Type(format!(
-                            "parameter {} requires a classical function capture",
-                            param.name
-                        ))
-                    })?;
-                let classical_idx =
-                    checker.instantiate_classical(&param.name, &inst.func, inst)?;
+                let inst =
+                    instance.classical_instances.get(idx).and_then(|c| c.as_ref()).ok_or_else(
+                        || {
+                            FrontendError::Type(format!(
+                                "parameter {} requires a classical function capture",
+                                param.name
+                            ))
+                        },
+                    )?;
+                let classical_idx = checker.instantiate_classical(&param.name, &inst.func, inst)?;
                 checker.env.insert(
                     param.name.clone(),
                     Binding { ty: None, consumed: false, classical: Some(classical_idx) },
@@ -122,11 +116,7 @@ pub fn typecheck_kernel(
                 for (name, k) in &bound {
                     checker.env.insert(
                         name.clone(),
-                        Binding {
-                            ty: Some(Type::Value(*k)),
-                            consumed: false,
-                            classical: None,
-                        },
+                        Binding { ty: Some(Type::Value(*k)), consumed: false, classical: None },
                     );
                 }
                 body.push(TStmt::Let { names: bound, value });
@@ -165,13 +155,7 @@ pub fn typecheck_kernel(
         }
     }
 
-    Ok(TKernel {
-        name: kernel.to_string(),
-        params,
-        ret,
-        body,
-        classical: checker.classical,
-    })
+    Ok(TKernel { name: kernel.to_string(), params, ret, body, classical: checker.classical })
 }
 
 struct Binding {
@@ -224,9 +208,7 @@ impl Checker<'_> {
         }
         let n_in: usize = params[inst.capture_bits.len()..].iter().map(|(_, w)| *w).sum();
         let TypeExpr::Bit(ret_d) = &func.ret else {
-            return Err(FrontendError::Type(
-                "classical functions must return bits".to_string(),
-            ));
+            return Err(FrontendError::Type("classical functions must return bits".to_string()));
         };
         let n_out = ret_d.eval_usize(&inst.dims)?;
         if n_out == 0 || n_in == 0 {
@@ -344,8 +326,7 @@ impl Checker<'_> {
                             Some(_) => {}
                         }
                     }
-                    let eigenbits =
-                        BitString::from_bits(chars.iter().map(|(_, e)| e.eigenbit()));
+                    let eigenbits = BitString::from_bits(chars.iter().map(|(_, e)| e.eigenbit()));
                     let mut radians = 0.0f64;
                     let mut has_phase = false;
                     if v.negated {
@@ -361,10 +342,8 @@ impl Checker<'_> {
                         phase: has_phase.then_some(Phase::Const(radians)),
                     });
                 }
-                let lit = BasisLiteral::new(
-                    prim.expect("parser guarantees nonempty literals"),
-                    parsed,
-                )?;
+                let lit =
+                    BasisLiteral::new(prim.expect("parser guarantees nonempty literals"), parsed)?;
                 Ok(Basis::literal(lit))
             }
             Expr::Tensor(a, b) => Ok(self.resolve_basis(a)?.tensor(&self.resolve_basis(b)?)),
@@ -375,9 +354,9 @@ impl Checker<'_> {
                 }
                 Ok(self.resolve_basis(a)?.power(n))
             }
-            other => Err(FrontendError::Type(format!(
-                "expected a basis expression, found {other:?}"
-            ))),
+            other => {
+                Err(FrontendError::Type(format!("expected a basis expression, found {other:?}")))
+            }
         }
     }
 
@@ -420,10 +399,7 @@ impl Checker<'_> {
                             )));
                         }
                         Ok(TExpr {
-                            kind: TExprKind::Pipe {
-                                value: Box::new(value),
-                                func: Box::new(func),
-                            },
+                            kind: TExprKind::Pipe { value: Box::new(value), func: Box::new(func) },
                             ty: Type::Value(output),
                         })
                     }
@@ -439,9 +415,9 @@ impl Checker<'_> {
                             ty: Type::Func { input: fi, output, rev: fr && rev },
                         })
                     }
-                    Type::Basis(_) => Err(FrontendError::Type(
-                        "a basis cannot be piped".to_string(),
-                    )),
+                    Type::Basis(_) => {
+                        Err(FrontendError::Type("a basis cannot be piped".to_string()))
+                    }
                 }
             }
             Expr::Tensor(a, b) => {
@@ -513,10 +489,7 @@ impl Checker<'_> {
                             "zero-fold repetition needs a qubit endofunction".to_string(),
                         ));
                     };
-                    return Ok(TExpr {
-                        kind: TExprKind::Id { dim: n },
-                        ty: Type::rev_func(n),
-                    });
+                    return Ok(TExpr { kind: TExprKind::Id { dim: n }, ty: Type::rev_func(n) });
                 }
                 let ty = f.ty;
                 Ok(TExpr { kind: TExprKind::Compose(vec![f; k]), ty })
@@ -527,10 +500,7 @@ impl Checker<'_> {
                 // §4.1: span equivalence checking.
                 span::check_span_equiv(&b_in, &b_out)?;
                 let n = b_in.dim();
-                Ok(TExpr {
-                    kind: TExprKind::Translation { b_in, b_out },
-                    ty: Type::rev_func(n),
-                })
+                Ok(TExpr { kind: TExprKind::Translation { b_in, b_out }, ty: Type::rev_func(n) })
             }
             Expr::Adjoint(f) => {
                 let f = self.check(f)?;
@@ -563,9 +533,7 @@ impl Checker<'_> {
                     ));
                 }
                 let (ValueKind::Qubit(n), ValueKind::Qubit(m)) = (input, output) else {
-                    return Err(FrontendError::Type(
-                        "& requires a qubit endofunction".to_string(),
-                    ));
+                    return Err(FrontendError::Type("& requires a qubit endofunction".to_string()));
                 };
                 if n != m {
                     return Err(FrontendError::Type(
@@ -606,10 +574,7 @@ impl Checker<'_> {
                 let basis = self.resolve_basis(b)?;
                 let (b_in, b_out) = flip_translation(&basis)?;
                 let n = b_in.dim();
-                Ok(TExpr {
-                    kind: TExprKind::Translation { b_in, b_out },
-                    ty: Type::rev_func(n),
-                })
+                Ok(TExpr { kind: TExprKind::Translation { b_in, b_out }, ty: Type::rev_func(n) })
             }
             Expr::Sign(f) => {
                 let idx = self.classical_ref(f, ".sign")?;
@@ -627,10 +592,7 @@ impl Checker<'_> {
                 let idx = self.classical_ref(f, ".xor")?;
                 let inst = &self.classical[idx];
                 let n = inst.n_in + inst.n_out;
-                Ok(TExpr {
-                    kind: TExprKind::XorEmbed { classical: idx },
-                    ty: Type::rev_func(n),
-                })
+                Ok(TExpr { kind: TExprKind::XorEmbed { classical: idx }, ty: Type::rev_func(n) })
             }
             Expr::Id(d) => {
                 let n = self.dim(d)?;
@@ -731,13 +693,10 @@ impl Checker<'_> {
                 "{what} applies to a captured classical function"
             )));
         };
-        let binding = self
-            .env
-            .get(name)
-            .ok_or_else(|| FrontendError::Unbound(name.clone()))?;
-        binding.classical.ok_or_else(|| {
-            FrontendError::Type(format!("{name} is not a classical function"))
-        })
+        let binding = self.env.get(name).ok_or_else(|| FrontendError::Unbound(name.clone()))?;
+        binding
+            .classical
+            .ok_or_else(|| FrontendError::Type(format!("{name} is not a classical function")))
     }
 
     fn tensor_typed(&mut self, a: TExpr, b: TExpr) -> Result<TExpr, FrontendError> {
@@ -779,9 +738,7 @@ fn flatten_tensor(e: TExpr, out: &mut Vec<TExpr>) {
 /// `{v1,v2}.flip` is `{v1,v2} >> {v2,v1}`.
 fn flip_translation(basis: &Basis) -> Result<(Basis, Basis), FrontendError> {
     if basis.elements().len() != 1 {
-        return Err(FrontendError::Type(
-            ".flip applies to a single basis element".to_string(),
-        ));
+        return Err(FrontendError::Type(".flip applies to a single basis element".to_string()));
     }
     match &basis.elements()[0] {
         asdf_basis::BasisElem::BuiltIn { prim, dim: 1 } => {
@@ -817,9 +774,9 @@ pub fn check_cexpr(
     dims: &HashMap<String, i64>,
 ) -> Result<usize, FrontendError> {
     Ok(match e {
-        CExpr::Var(name) => *widths
-            .get(name)
-            .ok_or_else(|| FrontendError::Unbound(name.clone()))?,
+        CExpr::Var(name) => {
+            *widths.get(name).ok_or_else(|| FrontendError::Unbound(name.clone()))?
+        }
         CExpr::And(a, b) | CExpr::Or(a, b) | CExpr::Xor(a, b) => {
             let wa = check_cexpr(a, widths, dims)?;
             let wb = check_cexpr(b, widths, dims)?;
@@ -844,9 +801,7 @@ pub fn check_cexpr(
         CExpr::Repeat(a, n) => {
             let w = check_cexpr(a, widths, dims)?;
             if w != 1 {
-                return Err(FrontendError::Type(
-                    ".repeat() applies to single bits".to_string(),
-                ));
+                return Err(FrontendError::Type(".repeat() applies to single bits".to_string()));
             }
             n.eval_usize(dims)?
         }
@@ -863,7 +818,12 @@ mod tests {
     use crate::expand::{instantiate, CaptureValue};
     use crate::parse::parse_program;
 
-    fn check_kernel(src: &str, kernel: &str, captures: Vec<CaptureValue>, n: Option<i64>) -> Result<TKernel, FrontendError> {
+    fn check_kernel(
+        src: &str,
+        kernel: &str,
+        captures: Vec<CaptureValue>,
+        n: Option<i64>,
+    ) -> Result<TKernel, FrontendError> {
         let program = parse_program(src).unwrap();
         let explicit: HashMap<String, i64> =
             n.map(|v| [("N".to_string(), v)].into()).unwrap_or_default();

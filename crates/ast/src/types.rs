@@ -96,18 +96,9 @@ mod tests {
 
     #[test]
     fn tensor_rules() {
-        assert_eq!(
-            ValueKind::Qubit(2).tensor(ValueKind::Qubit(3)).unwrap(),
-            ValueKind::Qubit(5)
-        );
-        assert_eq!(
-            ValueKind::Bit(1).tensor(ValueKind::Bit(1)).unwrap(),
-            ValueKind::Bit(2)
-        );
-        assert_eq!(
-            ValueKind::Bit(4).tensor(ValueKind::Qubit(0)).unwrap(),
-            ValueKind::Bit(4)
-        );
+        assert_eq!(ValueKind::Qubit(2).tensor(ValueKind::Qubit(3)).unwrap(), ValueKind::Qubit(5));
+        assert_eq!(ValueKind::Bit(1).tensor(ValueKind::Bit(1)).unwrap(), ValueKind::Bit(2));
+        assert_eq!(ValueKind::Bit(4).tensor(ValueKind::Qubit(0)).unwrap(), ValueKind::Bit(4));
         assert!(ValueKind::Qubit(1).tensor(ValueKind::Bit(1)).is_err());
     }
 

@@ -61,8 +61,8 @@ impl Benchmark {
         if n > 1 {
             simon_secret[1] = true;
         }
-        let grover_iters = (((PI / 4.0) * ((1u64 << n.min(20)) as f64).sqrt()) as usize)
-            .clamp(1, 12);
+        let grover_iters =
+            (((PI / 4.0) * ((1u64 << n.min(20)) as f64).sqrt()) as usize).clamp(1, 12);
         let mask: Vec<bool> = (0..n).map(|i| i >= n / 2).collect();
         vec![
             ("bv", Benchmark::Bv { secret: alternating }),
@@ -136,8 +136,8 @@ fn append_mcx(circuit: &mut Circuit, gates: &[McxGate], line_to_qubit: &[usize])
 /// Quipper-style phase oracle via an ancilla-per-node Bennett embedding
 /// into a |−⟩ target.
 fn quipper_oracle_sign(circuit: &mut Circuit, xag: &Xag, inputs: &[usize], minus: usize) {
-    let embedding = embed::embed_xor(xag, EmbedStyle::AncillaPerNode)
-        .expect("benchmark oracles embed");
+    let embedding =
+        embed::embed_xor(xag, EmbedStyle::AncillaPerNode).expect("benchmark oracles embed");
     let mut line_to_qubit: Vec<usize> = Vec::with_capacity(embedding.circuit.lines);
     line_to_qubit.extend(inputs.iter().copied());
     line_to_qubit.push(minus);
@@ -149,8 +149,8 @@ fn quipper_oracle_sign(circuit: &mut Circuit, xag: &Xag, inputs: &[usize], minus
 
 /// Quipper-style XOR oracle writing into an output register.
 fn quipper_oracle_xor(circuit: &mut Circuit, xag: &Xag, inputs: &[usize], outputs: &[usize]) {
-    let embedding = embed::embed_xor(xag, EmbedStyle::AncillaPerNode)
-        .expect("benchmark oracles embed");
+    let embedding =
+        embed::embed_xor(xag, EmbedStyle::AncillaPerNode).expect("benchmark oracles embed");
     let mut line_to_qubit: Vec<usize> = Vec::with_capacity(embedding.circuit.lines);
     line_to_qubit.extend(inputs.iter().copied());
     line_to_qubit.extend(outputs.iter().copied());
@@ -183,12 +183,8 @@ fn bv(secret: &[bool], style: BaselineStyle) -> Circuit {
         }
         BaselineStyle::Quipper => {
             let mut xag = Xag::new(n);
-            let terms: Vec<Signal> = secret
-                .iter()
-                .enumerate()
-                .filter(|(_, &s)| s)
-                .map(|(i, _)| xag.input(i))
-                .collect();
+            let terms: Vec<Signal> =
+                secret.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| xag.input(i)).collect();
             let out = xag.xor_many(terms);
             xag.set_outputs(vec![out]);
             let inputs: Vec<usize> = (0..n).collect();
@@ -308,15 +304,8 @@ fn period(n: usize, mask: &[bool], style: BaselineStyle) -> Circuit {
         }
         BaselineStyle::Quipper => {
             let mut xag = Xag::new(n);
-            let outs: Vec<Signal> = (0..n)
-                .map(|i| {
-                    if mask[i] {
-                        xag.input(i)
-                    } else {
-                        xag.const_false()
-                    }
-                })
-                .collect();
+            let outs: Vec<Signal> =
+                (0..n).map(|i| if mask[i] { xag.input(i) } else { xag.const_false() }).collect();
             xag.set_outputs(outs);
             let inputs: Vec<usize> = (0..n).collect();
             let outputs: Vec<usize> = (n..2 * n).collect();
@@ -376,8 +365,7 @@ mod tests {
     #[test]
     fn grover_baselines_amplify() {
         for style in [BaselineStyle::Qiskit, BaselineStyle::QSharp, BaselineStyle::Quipper] {
-            let circuit =
-                build_circuit(&Benchmark::Grover { n: 4, iterations: 3 }, style);
+            let circuit = build_circuit(&Benchmark::Grover { n: 4, iterations: 3 }, style);
             let counts = sample(&optimize(&circuit), 100, 7);
             let hits = counts.get("1111").copied().unwrap_or(0);
             assert!(hits > 75, "style {style:?}: {counts:?}");
@@ -392,10 +380,7 @@ mod tests {
             let counts = sample(&optimize(&circuit), 64, 11);
             for bits in counts.keys() {
                 let y: Vec<bool> = bits[..3].chars().map(|c| c == '1').collect();
-                let dot = y
-                    .iter()
-                    .zip(&secret)
-                    .fold(false, |acc, (&a, &b)| acc ^ (a && b));
+                let dot = y.iter().zip(&secret).fold(false, |acc, (&a, &b)| acc ^ (a && b));
                 assert!(!dot, "style {style:?}: sample {bits}");
             }
         }
@@ -404,7 +389,8 @@ mod tests {
     #[test]
     fn quipper_uses_more_qubits_on_xor_oracles() {
         let secret: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
-        let qiskit = build_circuit(&Benchmark::Bv { secret: secret.clone() }, BaselineStyle::Qiskit);
+        let qiskit =
+            build_circuit(&Benchmark::Bv { secret: secret.clone() }, BaselineStyle::Qiskit);
         let quipper = build_circuit(&Benchmark::Bv { secret }, BaselineStyle::Quipper);
         assert!(
             quipper.num_qubits > qiskit.num_qubits,

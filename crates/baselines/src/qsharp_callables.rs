@@ -52,13 +52,9 @@ mod tests {
         // The paper's Table 1 Q# column.
         let cases = Benchmark::paper_suite(16);
         let expected = [(5, 8), (4, 4), (6, 4), (4, 4), (12, 16)];
-        for ((name, bench), expect) in cases.iter().zip([
-            expected[0],
-            expected[1],
-            expected[2],
-            expected[3],
-            expected[4],
-        ]) {
+        for ((name, bench), expect) in
+            cases.iter().zip([expected[0], expected[1], expected[2], expected[3], expected[4]])
+        {
             assert_eq!(qsharp_callable_counts(bench), expect, "{name}");
         }
     }

@@ -38,9 +38,7 @@ fn one_pass(circuit: &Circuit) -> Circuit {
                     .iter()
                     .map(|&q| last_touch[q])
                     .collect::<Option<Vec<usize>>>()
-                    .and_then(|idxs| {
-                        idxs.windows(2).all(|w| w[0] == w[1]).then(|| idxs[0])
-                    });
+                    .and_then(|idxs| idxs.windows(2).all(|w| w[0] == w[1]).then(|| idxs[0]));
                 prev_idx.and_then(|idx| match &out[idx] {
                     CircuitOp::Gate {
                         gate: prev_gate,
@@ -166,11 +164,7 @@ fn h_conjugation(circuit: &mut Circuit) {
                     _ => None,
                 };
                 if let Some(gate) = swapped {
-                    circuit.ops[i] = CircuitOp::Gate {
-                        gate,
-                        controls: vec![],
-                        targets: vec![a],
-                    };
+                    circuit.ops[i] = CircuitOp::Gate { gate, controls: vec![], targets: vec![a] };
                     circuit.ops.remove(i + 2);
                     circuit.ops.remove(i + 1);
                     continue;
@@ -202,10 +196,7 @@ mod tests {
         // T T S = Z.
         let opt = optimize(&c);
         assert_eq!(opt.gate_count(), 1);
-        assert!(matches!(
-            opt.ops[0],
-            CircuitOp::Gate { gate: GateKind::Z, .. }
-        ));
+        assert!(matches!(opt.ops[0], CircuitOp::Gate { gate: GateKind::Z, .. }));
     }
 
     #[test]

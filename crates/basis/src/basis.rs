@@ -254,8 +254,8 @@ mod tests {
 
     #[test]
     fn dims_add_up() {
-        let b = Basis::built_in(PrimitiveBasis::Pm, 2)
-            .tensor(&Basis::built_in(PrimitiveBasis::Std, 3));
+        let b =
+            Basis::built_in(PrimitiveBasis::Pm, 2).tensor(&Basis::built_in(PrimitiveBasis::Std, 3));
         assert_eq!(b.dim(), 5);
         assert_eq!(b.power(3).dim(), 15);
     }

@@ -129,9 +129,7 @@ impl BitString {
     /// Panics if the lengths differ.
     pub fn xor(&self, other: &BitString) -> BitString {
         assert_eq!(self.len(), other.len(), "xor requires equal lengths");
-        BitString {
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a ^ b).collect(),
-        }
+        BitString { bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a ^ b).collect() }
     }
 }
 

@@ -25,10 +25,7 @@ impl BasisLiteral {
     /// Returns [`BasisError::MalformedLiteral`] if the literal is empty, the
     /// primitive basis is `fourier`, vector dimensions differ, or eigenbits
     /// repeat.
-    pub fn new(
-        prim: PrimitiveBasis,
-        vectors: Vec<BasisVector>,
-    ) -> Result<Self, BasisError> {
+    pub fn new(prim: PrimitiveBasis, vectors: Vec<BasisVector>) -> Result<Self, BasisError> {
         if vectors.is_empty() {
             return Err(BasisError::malformed("literal must contain at least one vector"));
         }
@@ -42,9 +39,7 @@ impl BasisLiteral {
             return Err(BasisError::malformed("basis vectors must have at least one qubit"));
         }
         if vectors.iter().any(|v| v.dim() != dim) {
-            return Err(BasisError::malformed(
-                "all vector dimensions in a literal must be equal",
-            ));
+            return Err(BasisError::malformed("all vector dimensions in a literal must be equal"));
         }
         let mut seen: Vec<&BitString> = vectors.iter().map(|v| &v.eigenbits).collect();
         seen.sort();
@@ -81,9 +76,8 @@ impl BasisLiteral {
                 "materializing {prim}[{dim}] would require 2^{dim} vectors"
             )));
         }
-        let vectors = (0..(1u128 << dim))
-            .map(|v| BasisVector::new(BitString::from_value(v, dim)))
-            .collect();
+        let vectors =
+            (0..(1u128 << dim)).map(|v| BasisVector::new(BitString::from_value(v, dim))).collect();
         BasisLiteral::new(prim, vectors)
     }
 
@@ -180,10 +174,8 @@ impl BasisLiteral {
                         ))
                     }
                 };
-                vectors.push(BasisVector {
-                    eigenbits: pre.eigenbits.concat(&suf.eigenbits),
-                    phase,
-                });
+                vectors
+                    .push(BasisVector { eigenbits: pre.eigenbits.concat(&suf.eigenbits), phase });
             }
         }
         BasisLiteral::new(self.prim, vectors)
@@ -206,17 +198,11 @@ impl BasisLiteral {
     /// # Panics
     ///
     /// Panics if `n` is zero or at least the literal's dimension.
-    pub fn factor_prefix(
-        &self,
-        n: usize,
-    ) -> Result<(BasisLiteral, BasisLiteral), BasisError> {
+    pub fn factor_prefix(&self, n: usize) -> Result<(BasisLiteral, BasisLiteral), BasisError> {
         assert!(n > 0 && n < self.dim(), "factor point must be interior");
         let m = self.len();
-        let mut pairs: Vec<(BitString, BitString)> = self
-            .vectors
-            .iter()
-            .map(|v| v.eigenbits.split_at(n))
-            .collect();
+        let mut pairs: Vec<(BitString, BitString)> =
+            self.vectors.iter().map(|v| v.eigenbits.split_at(n)).collect();
         pairs.sort();
 
         let mut prefixes: Vec<BitString> = pairs.iter().map(|(p, _)| p.clone()).collect();
@@ -251,14 +237,10 @@ impl BasisLiteral {
             }
         }
 
-        let pre = BasisLiteral::new(
-            self.prim,
-            prefixes.into_iter().map(BasisVector::new).collect(),
-        )?;
-        let suf = BasisLiteral::new(
-            self.prim,
-            suffixes.into_iter().map(BasisVector::new).collect(),
-        )?;
+        let pre =
+            BasisLiteral::new(self.prim, prefixes.into_iter().map(BasisVector::new).collect())?;
+        let suf =
+            BasisLiteral::new(self.prim, suffixes.into_iter().map(BasisVector::new).collect())?;
         Ok((pre, suf))
     }
 
@@ -305,14 +287,10 @@ impl BasisLiteral {
                 )));
             }
         }
-        let pre = BasisLiteral::new(
-            self.prim,
-            prefixes.into_iter().map(BasisVector::new).collect(),
-        )?;
-        let suf = BasisLiteral::new(
-            self.prim,
-            suffixes.into_iter().map(BasisVector::new).collect(),
-        )?;
+        let pre =
+            BasisLiteral::new(self.prim, prefixes.into_iter().map(BasisVector::new).collect())?;
+        let suf =
+            BasisLiteral::new(self.prim, suffixes.into_iter().map(BasisVector::new).collect())?;
         Ok((pre, suf))
     }
 
@@ -398,11 +376,8 @@ mod tests {
     use crate::Phase;
 
     fn lit(prim: PrimitiveBasis, vecs: &[&str]) -> BasisLiteral {
-        BasisLiteral::new(
-            prim,
-            vecs.iter().map(|s| BasisVector::new(s.parse().unwrap())).collect(),
-        )
-        .unwrap()
+        BasisLiteral::new(prim, vecs.iter().map(|s| BasisVector::new(s.parse().unwrap())).collect())
+            .unwrap()
     }
 
     #[test]
@@ -410,18 +385,12 @@ mod tests {
         assert!(BasisLiteral::new(PrimitiveBasis::Std, vec![]).is_err());
         let dup = BasisLiteral::new(
             PrimitiveBasis::Std,
-            vec![
-                BasisVector::new("01".parse().unwrap()),
-                BasisVector::new("01".parse().unwrap()),
-            ],
+            vec![BasisVector::new("01".parse().unwrap()), BasisVector::new("01".parse().unwrap())],
         );
         assert!(dup.is_err());
         let ragged = BasisLiteral::new(
             PrimitiveBasis::Std,
-            vec![
-                BasisVector::new("01".parse().unwrap()),
-                BasisVector::new("0".parse().unwrap()),
-            ],
+            vec![BasisVector::new("01".parse().unwrap()), BasisVector::new("0".parse().unwrap())],
         );
         assert!(ragged.is_err());
         assert!(BasisLiteral::new(

@@ -85,8 +85,7 @@ impl<'a> Parser<'a> {
     fn float(&mut self) -> Result<f64, BasisError> {
         self.skip_ws();
         let start = self.pos;
-        if self.pos < self.src.len() && (self.src[self.pos] == b'-' || self.src[self.pos] == b'+')
-        {
+        if self.pos < self.src.len() && (self.src[self.pos] == b'-' || self.src[self.pos] == b'+') {
             self.pos += 1;
         }
         while self.pos < self.src.len()
@@ -180,12 +179,9 @@ impl<'a> Parser<'a> {
 
     fn keyword(&mut self) -> Option<PrimitiveBasis> {
         self.skip_ws();
-        for prim in [
-            PrimitiveBasis::Fourier,
-            PrimitiveBasis::Std,
-            PrimitiveBasis::Pm,
-            PrimitiveBasis::Ij,
-        ] {
+        for prim in
+            [PrimitiveBasis::Fourier, PrimitiveBasis::Std, PrimitiveBasis::Pm, PrimitiveBasis::Ij]
+        {
             let kw = prim.keyword().as_bytes();
             if self.src[self.pos..].starts_with(kw) {
                 // Must not be followed by an identifier character.
@@ -245,10 +241,7 @@ impl<'a> Parser<'a> {
         }
         self.skip_ws();
         if self.pos != self.src.len() {
-            return Err(BasisError::parse(format!(
-                "trailing input starting at byte {}",
-                self.pos
-            )));
+            return Err(BasisError::parse(format!("trailing input starting at byte {}", self.pos)));
         }
         Ok(Basis::new(elems))
     }

@@ -58,11 +58,8 @@ pub fn check_span_equiv(b_in: &Basis, b_out: &Basis) -> Result<(), BasisError> {
             )));
         }
         // Lines 12-13: factor the smaller element out of the larger.
-        let (big, small, bigdeque) = if l.dim() > r.dim() {
-            (l, r, &mut ldeque)
-        } else {
-            (r, l, &mut rdeque)
-        };
+        let (big, small, bigdeque) =
+            if l.dim() > r.dim() { (l, r, &mut ldeque) } else { (r, l, &mut rdeque) };
         factor_element(big, &small, bigdeque)?;
     }
 
@@ -110,9 +107,7 @@ fn factor_element(
             bigdeque.push_front(BasisElem::Literal(remainder));
             Ok(())
         }
-        _ => Err(BasisError::CannotFactor(format!(
-            "cannot factor {small} from {big}"
-        ))),
+        _ => Err(BasisError::CannotFactor(format!("cannot factor {small} from {big}"))),
     }
 }
 
@@ -140,9 +135,7 @@ pub fn check_span_equiv_naive(b_in: &Basis, b_out: &Basis) -> Result<(), BasisEr
     if lhs == rhs {
         Ok(())
     } else {
-        Err(BasisError::SpanMismatch(
-            "expanded vector sets differ".to_string(),
-        ))
+        Err(BasisError::SpanMismatch("expanded vector sets differ".to_string()))
     }
 }
 
@@ -167,14 +160,9 @@ fn expand_std(basis: &Basis) -> Result<Vec<BitString>, BasisError> {
             }
         };
         if acc.len().saturating_mul(vectors.len()) > LIMIT {
-            return Err(BasisError::TooLarge(format!(
-                "naive expansion exceeds {LIMIT} vectors"
-            )));
+            return Err(BasisError::TooLarge(format!("naive expansion exceeds {LIMIT} vectors")));
         }
-        acc = acc
-            .iter()
-            .flat_map(|pre| vectors.iter().map(move |v| pre.concat(v)))
-            .collect();
+        acc = acc.iter().flat_map(|pre| vectors.iter().map(move |v| pre.concat(v))).collect();
     }
     Ok(acc)
 }
@@ -243,11 +231,8 @@ mod tests {
         // {'1'} + std vs {'10','11'}: requires Algorithm B4.
         check_span_equiv(&basis("{'1'} + std"), &basis("{'10','11'}")).unwrap();
         // {'01','10'} + {'0','1'} vs the merged four-vector literal (Fig. 9).
-        check_span_equiv(
-            &basis("{'01','10'} + {'0','1'}"),
-            &basis("{'010','011','100','101'}"),
-        )
-        .unwrap();
+        check_span_equiv(&basis("{'01','10'} + {'0','1'}"), &basis("{'010','011','100','101'}"))
+            .unwrap();
     }
 
     #[test]
@@ -284,11 +269,7 @@ mod tests {
             let lb = basis(l);
             let rb = basis(r);
             assert_eq!(check_span_equiv(&lb, &rb).is_ok(), expect, "fast: {l} vs {r}");
-            assert_eq!(
-                check_span_equiv_naive(&lb, &rb).is_ok(),
-                expect,
-                "naive: {l} vs {r}"
-            );
+            assert_eq!(check_span_equiv_naive(&lb, &rb).is_ok(), expect, "naive: {l} vs {r}");
         }
     }
 

@@ -90,9 +90,7 @@ impl BasisVector {
     /// Panics if `prim` is [`PrimitiveBasis::Fourier`], which has no literal
     /// character syntax.
     pub fn display_in(&self, prim: PrimitiveBasis) -> String {
-        let (plus, minus) = prim
-            .chars()
-            .expect("fourier basis vectors have no literal syntax");
+        let (plus, minus) = prim.chars().expect("fourier basis vectors have no literal syntax");
         let mut s = String::with_capacity(self.dim() + 4);
         s.push('\'');
         for bit in self.eigenbits.iter() {

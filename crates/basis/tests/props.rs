@@ -1,14 +1,12 @@
 //! Property-based tests for basis structure and span checking.
 
-use asdf_basis::{span, Basis, BasisElem, BasisLiteral, BasisVector, BitString, Phase, PrimitiveBasis};
+use asdf_basis::{
+    span, Basis, BasisElem, BasisLiteral, BasisVector, BitString, Phase, PrimitiveBasis,
+};
 use proptest::prelude::*;
 
 fn arb_prim() -> impl Strategy<Value = PrimitiveBasis> {
-    prop_oneof![
-        Just(PrimitiveBasis::Std),
-        Just(PrimitiveBasis::Pm),
-        Just(PrimitiveBasis::Ij),
-    ]
+    prop_oneof![Just(PrimitiveBasis::Std), Just(PrimitiveBasis::Pm), Just(PrimitiveBasis::Ij),]
 }
 
 /// A random well-formed basis literal of dimension 1..=4.
@@ -50,11 +48,7 @@ fn arb_std_elem_of_dim(dim: usize) -> BoxedStrategy<BasisElem> {
                 .collect();
             BasisElem::Literal(BasisLiteral::new(PrimitiveBasis::Std, vectors).unwrap())
         });
-    prop_oneof![
-        Just(BasisElem::built_in(PrimitiveBasis::Std, dim)),
-        literal,
-    ]
-    .boxed()
+    prop_oneof![Just(BasisElem::built_in(PrimitiveBasis::Std, dim)), literal,].boxed()
 }
 
 /// A random std-only basis of exactly `dim` qubits, split into random
@@ -73,25 +67,20 @@ fn arb_std_basis_of_dim(dim: usize) -> BoxedStrategy<Basis> {
                 }
             }
             chunk_dims.push(cur);
-            chunk_dims
-                .into_iter()
-                .map(arb_std_elem_of_dim)
-                .collect::<Vec<_>>()
-                .prop_map(Basis::new)
+            chunk_dims.into_iter().map(arb_std_elem_of_dim).collect::<Vec<_>>().prop_map(Basis::new)
         })
         .boxed()
 }
 
 /// A pair of std-only bases of equal total dimension.
 fn arb_std_basis_pair() -> impl Strategy<Value = (Basis, Basis)> {
-    (1usize..=6)
-        .prop_flat_map(|dim| (arb_std_basis_of_dim(dim), arb_std_basis_of_dim(dim)))
+    (1usize..=6).prop_flat_map(|dim| (arb_std_basis_of_dim(dim), arb_std_basis_of_dim(dim)))
 }
 
 /// A literal that carries random phases on random vectors.
 fn arb_phased_literal() -> impl Strategy<Value = BasisLiteral> {
-    (arb_literal(), proptest::collection::vec(proptest::option::of(-6.0f64..6.0), 16))
-        .prop_map(|(lit, phases)| {
+    (arb_literal(), proptest::collection::vec(proptest::option::of(-6.0f64..6.0), 16)).prop_map(
+        |(lit, phases)| {
             let vectors = lit
                 .vectors()
                 .iter()
@@ -102,7 +91,8 @@ fn arb_phased_literal() -> impl Strategy<Value = BasisLiteral> {
                 })
                 .collect();
             BasisLiteral::new(lit.prim(), vectors).unwrap()
-        })
+        },
+    )
 }
 
 proptest! {

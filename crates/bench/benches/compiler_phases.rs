@@ -1,5 +1,8 @@
 //! Compiler-phase and design-choice ablation benches:
 //!
+//! - per-pass wall-clock breakdown of the Fig. 2 pipeline, read directly
+//!   from the [`asdf_core::PassStatistics`] every compile records — no
+//!   re-running of ad-hoc pipeline slices;
 //! - end-to-end compile times per benchmark (the pipeline of Fig. 2);
 //! - Selinger vs V-chain multi-control decomposition (§6.5's design
 //!   choice, visible in Grover's costs);
@@ -7,18 +10,43 @@
 //! - inlining on/off (Table 1's configurations) compile time.
 
 use asdf_baselines::Benchmark;
-use asdf_bench::{asdf_circuit, qwerty_program};
-use asdf_core::{CompileOptions, Compiler};
+use asdf_bench::qwerty_program;
+use asdf_core::{CompileOptions, Compiled, Compiler, PassStatistics};
 use asdf_logic::{synth, Permutation};
 use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
 use asdf_qcircuit::Circuit;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::time::Duration;
 
-fn compile_with(benchmark: &Benchmark, options: &CompileOptions) {
+fn compile_with(benchmark: &Benchmark, options: &CompileOptions) -> Compiled {
     let (src, kernel, captures, dims) = qwerty_program(benchmark);
     let mut options = options.clone();
     options.dims.extend(dims);
-    Compiler::compile(&src, kernel, &captures, &options).unwrap();
+    Compiler::compile(&src, kernel, &captures, &options).unwrap()
+}
+
+/// Per-pass timing of the full pipeline, from the statistics the compiler
+/// already collected during a single run per benchmark.
+fn bench_pass_phases(_c: &mut Criterion) {
+    println!("\npass-phase breakdown (from PassStatistics, one compile each):");
+    // Timing noise matters less than the shape; verification is part of the
+    // measured pipeline in the default options, exactly as users run it.
+    let mut totals: BTreeMap<String, Duration> = BTreeMap::new();
+    for n in [8usize, 16] {
+        for (name, benchmark) in Benchmark::paper_suite(n) {
+            let compiled = compile_with(&benchmark, &CompileOptions::default());
+            println!("\n--- {name} (n = {n}) ---");
+            print!("{}", compiled.stats.render_table());
+            for stat in compiled.stats.iter() {
+                *totals.entry(stat.name.clone()).or_default() += stat.duration;
+            }
+        }
+    }
+    println!("\naggregate time per pass across the suite:");
+    for (pass, duration) in &totals {
+        println!("{pass:<28} {duration:>12.3?}");
+    }
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -26,13 +54,9 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     for n in [8usize, 16] {
         for (name, benchmark) in Benchmark::paper_suite(n) {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &benchmark,
-                |b, benchmark| {
-                    b.iter(|| compile_with(benchmark, &CompileOptions::default()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &benchmark, |b, benchmark| {
+                b.iter(|| compile_with(benchmark, &CompileOptions::default()));
+            });
         }
     }
     group.finish();
@@ -49,6 +73,14 @@ fn bench_inlining(c: &mut Criterion) {
         b.iter(|| compile_with(&benchmark, &CompileOptions::no_opt()));
     });
     group.finish();
+    // The two configurations are just two declarative pipelines; show the
+    // inline fixpoint's share of Opt compile time from the statistics.
+    let stats: PassStatistics = compile_with(&benchmark, &CompileOptions::default()).stats;
+    let fixpoint = stats.duration_of(asdf_core::passes::CANONICALIZE_INLINE);
+    println!(
+        "inlining: canonicalize-inline fixpoint took {fixpoint:.3?} of {:.3?} total",
+        stats.total_duration()
+    );
 }
 
 fn bench_decompose(c: &mut Criterion) {
@@ -76,25 +108,28 @@ fn bench_peephole(c: &mut Criterion) {
         b.iter(|| compile_with(&benchmark, &CompileOptions::default()));
     });
     group.bench_function("off", |b| {
-        let mut options = CompileOptions::default();
-        options.peephole = false;
+        let options = CompileOptions { peephole: false, ..Default::default() };
         b.iter(|| compile_with(&benchmark, &options));
     });
-    // Report the gate-count impact once (stdout, not a timing).
-    let with = asdf_circuit(&benchmark);
-    let (src, kernel, captures, dims) = qwerty_program(&benchmark);
-    let mut options = CompileOptions::default();
-    options.peephole = false;
-    options.dims = dims;
-    let without = Compiler::compile(&src, kernel, &captures, &options)
-        .unwrap()
-        .circuit
-        .unwrap();
+    // Report the gate-count impact and the per-pattern firing counts the
+    // peephole pass recorded (stdout, not a timing). One compile per
+    // configuration supplies both the circuit and the statistics.
+    let on = compile_with(&benchmark, &CompileOptions::default());
+    let options = CompileOptions { peephole: false, ..Default::default() };
+    let without = compile_with(&benchmark, &options).circuit.unwrap();
     println!(
         "peephole gate counts: on = {}, off = {}",
-        with.gate_count(),
+        on.circuit.as_ref().unwrap().gate_count(),
         without.gate_count()
     );
+    for stat in on.stats.iter() {
+        if stat.name == asdf_qcircuit::peephole::PEEPHOLE_PASS_NAME {
+            println!("peephole pattern firings ({} total):", stat.changes);
+            for (pattern, count) in &stat.detail {
+                println!("  {pattern:<28} {count}");
+            }
+        }
+    }
     group.finish();
 }
 
@@ -113,6 +148,7 @@ fn bench_reversible_synthesis(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_pass_phases,
     bench_pipeline,
     bench_inlining,
     bench_decompose,

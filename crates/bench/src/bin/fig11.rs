@@ -8,8 +8,7 @@ use asdf_bench::{figure_points, Which};
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
         if args.is_empty() {
             vec![16, 32, 64, 128]
         } else {

@@ -45,7 +45,9 @@ impl Which {
 }
 
 /// The Qwerty source for a benchmark, with kernel name and captures.
-pub fn qwerty_program(benchmark: &Benchmark) -> (String, &'static str, Vec<CaptureValue>, HashMap<String, i64>) {
+pub fn qwerty_program(
+    benchmark: &Benchmark,
+) -> (String, &'static str, Vec<CaptureValue>, HashMap<String, i64>) {
     let mut dims = HashMap::new();
     match benchmark {
         Benchmark::Bv { secret } => {
@@ -70,8 +72,7 @@ pub fn qwerty_program(benchmark: &Benchmark) -> (String, &'static str, Vec<Captu
                     'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
                 }
             ";
-            let captures =
-                vec![CaptureValue::CFunc { name: "balanced".into(), captures: vec![] }];
+            let captures = vec![CaptureValue::CFunc { name: "balanced".into(), captures: vec![] }];
             dims.insert("N".to_string(), *n as i64);
             (src.to_string(), "kernel", captures, dims)
         }
@@ -82,8 +83,7 @@ pub fn qwerty_program(benchmark: &Benchmark) -> (String, &'static str, Vec<Captu
                     'p'[N] | (f.sign | {'p'[N]} >> {-'p'[N]}) ** I | std[N].measure
                 }
             ";
-            let captures =
-                vec![CaptureValue::CFunc { name: "oracle".into(), captures: vec![] }];
+            let captures = vec![CaptureValue::CFunc { name: "oracle".into(), captures: vec![] }];
             dims.insert("N".to_string(), *n as i64);
             dims.insert("I".to_string(), *iterations as i64);
             (src.to_string(), "kernel", captures, dims)
@@ -127,8 +127,7 @@ pub fn qwerty_program(benchmark: &Benchmark) -> (String, &'static str, Vec<Captu
 /// Panics if compilation fails (benchmarks are known-good programs).
 pub fn asdf_circuit(benchmark: &Benchmark) -> Circuit {
     let (src, kernel, captures, dims) = qwerty_program(benchmark);
-    let mut options = CompileOptions::default();
-    options.dims = dims;
+    let options = CompileOptions { dims, ..Default::default() };
     let compiled = Compiler::compile(&src, kernel, &captures, &options)
         .unwrap_or_else(|e| panic!("compiling {benchmark:?}: {e}"));
     compiled.circuit.unwrap_or_else(|| panic!("{benchmark:?} did not linearize"))
@@ -161,10 +160,7 @@ pub struct FigPoint {
 /// The figure benchmarks: BV, Grover, Simon, Period (Deutsch–Jozsa is
 /// omitted as in the paper: "virtually identical to Bernstein–Vazirani").
 pub fn figure_benchmarks(n: usize) -> Vec<(&'static str, Benchmark)> {
-    Benchmark::paper_suite(n)
-        .into_iter()
-        .filter(|(name, _)| *name != "dj")
-        .collect()
+    Benchmark::paper_suite(n).into_iter().filter(|(name, _)| *name != "dj").collect()
 }
 
 /// Computes all Figure 11/12 data points for the given input sizes.
@@ -215,8 +211,7 @@ pub fn table1_rows(n: usize) -> Vec<Table1Row> {
                 .expect("unrestricted QIR always emits");
             let asdf_no_opt = asdf_codegen::count_callable_intrinsics(&qir);
 
-            let mut opt = CompileOptions::default();
-            opt.dims = dims;
+            let opt = CompileOptions { dims, ..Default::default() };
             let compiled = Compiler::compile(&src, kernel, &captures, &opt)
                 .unwrap_or_else(|e| panic!("opt {name}: {e}"));
             let qir = asdf_codegen::module_to_qir_unrestricted(&compiled.module)
@@ -284,15 +279,8 @@ mod tests {
         let params = SurfaceCodeParams::default();
         let phys = |w: Which| estimate(&circuit_for(w, &benchmark), &params).physical_qubits;
         let asdf = phys(Which::Asdf);
-        let best_baseline = Which::ALL[1..]
-            .iter()
-            .map(|&w| phys(w))
-            .min()
-            .unwrap();
+        let best_baseline = Which::ALL[1..].iter().map(|&w| phys(w)).min().unwrap();
         // Within 2x of the best baseline qualifies as "keeping pace".
-        assert!(
-            asdf <= best_baseline * 2,
-            "asdf {asdf} vs best baseline {best_baseline}"
-        );
+        assert!(asdf <= best_baseline * 2, "asdf {asdf} vs best baseline {best_baseline}");
     }
 }

@@ -38,10 +38,7 @@ pub fn circuit_to_qasm(circuit: &Circuit) -> String {
 
 fn emit_gate(out: &mut String, gate: GateKind, controls: &[usize], targets: &[usize]) {
     let name = base_name(gate);
-    let params = gate
-        .param()
-        .map(|theta| format!("({theta:.12})"))
-        .unwrap_or_default();
+    let params = gate.param().map(|theta| format!("({theta:.12})")).unwrap_or_default();
     // Prefer stdgates names for common controlled forms.
     let (prefix, name) = match (gate, controls.len()) {
         (_, 0) => (String::new(), name.to_string()),
@@ -54,11 +51,8 @@ fn emit_gate(out: &mut String, gate: GateKind, controls: &[usize], targets: &[us
         (GateKind::Swap, 1) => (String::new(), "cswap".to_string()),
         (_, n) => (format!("ctrl({n}) @ "), name.to_string()),
     };
-    let qubits: Vec<String> = controls
-        .iter()
-        .chain(targets.iter())
-        .map(|q| format!("q[{q}]"))
-        .collect();
+    let qubits: Vec<String> =
+        controls.iter().chain(targets.iter()).map(|q| format!("q[{q}]")).collect();
     let _ = writeln!(out, "{prefix}{name}{params} {};", qubits.join(", "));
 }
 
@@ -104,7 +98,7 @@ mod tests {
     }
 
     #[test]
-    fn compiled_bv_renders(){
+    fn compiled_bv_renders() {
         let src = r"
             classical f[N](secret: bit[N], x: bit[N]) -> bit {
                 (secret & x).xor_reduce()

@@ -83,7 +83,11 @@ fn circuit_to_base_qir(circuit: &Circuit, entry: &str) -> String {
                 result_idx = result_idx.max(bit + 1);
             }
             CircuitOp::Reset { qubit } => {
-                let _ = writeln!(out, "  call void @__quantum__qis__reset__body(%Qubit* {})", q(*qubit));
+                let _ = writeln!(
+                    out,
+                    "  call void @__quantum__qis__reset__body(%Qubit* {})",
+                    q(*qubit)
+                );
             }
         }
     }
@@ -334,7 +338,10 @@ fn emit_op(e: &mut Emitter<'_>, func: &Func, op: &asdf_ir::Op) -> Result<(), IrE
         }
         OpKind::CallableAdjoint => {
             let c = e.name(op.operands[0]);
-            let _ = writeln!(e.out, "  call void @__quantum__rt__callable_make_adjoint(%Callable* {c})");
+            let _ = writeln!(
+                e.out,
+                "  call void @__quantum__rt__callable_make_adjoint(%Callable* {c})"
+            );
             e.names.insert(op.results[0], c);
         }
         OpKind::CallableControl { .. } => {
@@ -348,9 +355,17 @@ fn emit_op(e: &mut Emitter<'_>, func: &Func, op: &asdf_ir::Op) -> Result<(), IrE
         OpKind::CallableInvoke => {
             let c = e.name(op.operands[0]);
             let args = e.fresh("argtup");
-            let _ = writeln!(e.out, "  {args} = call %Tuple* @__quantum__rt__tuple_create(i64 {})", op.operands.len() - 1);
+            let _ = writeln!(
+                e.out,
+                "  {args} = call %Tuple* @__quantum__rt__tuple_create(i64 {})",
+                op.operands.len() - 1
+            );
             let res = e.fresh("restup");
-            let _ = writeln!(e.out, "  {res} = call %Tuple* @__quantum__rt__tuple_create(i64 {})", op.results.len());
+            let _ = writeln!(
+                e.out,
+                "  {res} = call %Tuple* @__quantum__rt__tuple_create(i64 {})",
+                op.results.len()
+            );
             let _ = writeln!(
                 e.out,
                 "  call void @__quantum__rt__callable_invoke(%Callable* {c}, %Tuple* {args}, %Tuple* {res})"
@@ -358,7 +373,10 @@ fn emit_op(e: &mut Emitter<'_>, func: &Func, op: &asdf_ir::Op) -> Result<(), IrE
             for result in &op.results {
                 let r = e.name(*result);
                 let ty = llvm_type(func.value_type(*result));
-                let _ = writeln!(e.out, "  {r} = call {ty} @__quantum__rt__tuple_get(%Tuple* {res}, i64 0)");
+                let _ = writeln!(
+                    e.out,
+                    "  {r} = call {ty} @__quantum__rt__tuple_get(%Tuple* {res}, i64 0)"
+                );
             }
         }
         OpKind::Call { callee, .. } => {
@@ -399,8 +417,7 @@ fn emit_op(e: &mut Emitter<'_>, func: &Func, op: &asdf_ir::Op) -> Result<(), IrE
                 let block = region.only_block();
                 emit_ops(e, func, &block.ops[..block.ops.len() - 1])?;
                 let terminator = block.ops.last().expect("region has terminator");
-                let vals: Vec<String> =
-                    terminator.operands.iter().map(|v| e.name(*v)).collect();
+                let vals: Vec<String> = terminator.operands.iter().map(|v| e.name(*v)).collect();
                 yields.push((label.clone(), vals));
                 let _ = writeln!(e.out, "  br label %{merge_label}");
             }
@@ -435,21 +452,17 @@ fn emit_op(e: &mut Emitter<'_>, func: &Func, op: &asdf_ir::Op) -> Result<(), IrE
             let r = e.name(op.results[0]);
             let _ = writeln!(e.out, "  {r} = {instr} double {a}, {b}");
         }
-        OpKind::Return => {
-            match op.operands.as_slice() {
-                [] => e.out.push_str("  ret void\n"),
-                [v] => {
-                    let ty = llvm_type(func.value_type(*v));
-                    let n = e.name(*v);
-                    let _ = writeln!(e.out, "  ret {ty} {n}");
-                }
-                _ => {
-                    return Err(IrError::Unsupported(
-                        "multi-value returns are not emitted".to_string(),
-                    ))
-                }
+        OpKind::Return => match op.operands.as_slice() {
+            [] => e.out.push_str("  ret void\n"),
+            [v] => {
+                let ty = llvm_type(func.value_type(*v));
+                let n = e.name(*v);
+                let _ = writeln!(e.out, "  ret {ty} {n}");
             }
-        }
+            _ => {
+                return Err(IrError::Unsupported("multi-value returns are not emitted".to_string()))
+            }
+        },
         other => {
             return Err(IrError::Unsupported(format!(
                 "op {} reached QIR emission",

@@ -42,13 +42,8 @@ pub fn adjoint_func(func: &Func, new_name: &str) -> Result<Func, CoreError> {
 
     // 1. Stationary ops are cloned in original order (Fig. 4's yellow box).
     let mut stat_map: HashMap<Value, Value> = HashMap::new();
-    let stationary: Vec<Op> = func
-        .body
-        .ops
-        .iter()
-        .filter(|op| func.op_is_stationary(op))
-        .cloned()
-        .collect();
+    let stationary: Vec<Op> =
+        func.body.ops.iter().filter(|op| func.op_is_stationary(op)).cloned().collect();
     let mut new_ops = clone_ops_into(func, &stationary, &mut out, &mut stat_map);
 
     // 2. Quantum ops are rebuilt in reverse. `adj` maps an original value
@@ -66,10 +61,7 @@ pub fn adjoint_func(func: &Func, new_name: &str) -> Result<Func, CoreError> {
 
     // 3. The original argument's wire is the adjoint's result.
     let result = *adj.get(&func.body.args[0]).ok_or_else(|| {
-        CoreError::Ir(format!(
-            "@{}: argument wire not reconstructed during adjoint",
-            func.name
-        ))
+        CoreError::Ir(format!("@{}: argument wire not reconstructed during adjoint", func.name))
     })?;
     new_ops.push(Op::new(OpKind::Return, vec![result], vec![]));
     out.body.ops = new_ops;
@@ -125,21 +117,15 @@ fn build_adjoint_op(
             Ok(vec![Op::new(OpKind::QbUnpack, vec![input], results)])
         }
         OpKind::QbUnpack => {
-            let inputs: Vec<Value> = op
-                .results
-                .iter()
-                .map(|r| take(adj, *r))
-                .collect::<Result<_, _>>()?;
+            let inputs: Vec<Value> =
+                op.results.iter().map(|r| take(adj, *r)).collect::<Result<_, _>>()?;
             let result = out.new_value(src.value_type(op.operands[0]).clone());
             adj.insert(op.operands[0], result);
             Ok(vec![Op::new(OpKind::QbPack, inputs, vec![result])])
         }
         OpKind::Gate { gate, num_controls } => {
-            let inputs: Vec<Value> = op
-                .results
-                .iter()
-                .map(|r| take(adj, *r))
-                .collect::<Result<_, _>>()?;
+            let inputs: Vec<Value> =
+                op.results.iter().map(|r| take(adj, *r)).collect::<Result<_, _>>()?;
             let results: Vec<Value> = op
                 .operands
                 .iter()
@@ -190,23 +176,21 @@ fn build_adjoint_op(
                 Op::new(OpKind::CallIndirect, vec![adj_callee, input], vec![result]),
             ])
         }
-        OpKind::QbPrep { .. } | OpKind::QbMeas { .. } | OpKind::QbDiscard | OpKind::QFree
+        OpKind::QbPrep { .. }
+        | OpKind::QbMeas { .. }
+        | OpKind::QbDiscard
+        | OpKind::QFree
         | OpKind::Measure => Err(CoreError::Unsupported(format!(
             "op {} has no adjoint form (irreversible)",
             op.kind.mnemonic()
         ))),
-        other => Err(CoreError::Unsupported(format!(
-            "op {} is not adjointable",
-            other.mnemonic()
-        ))),
+        other => Err(CoreError::Unsupported(format!("op {} is not adjointable", other.mnemonic()))),
     }
 }
 
 fn map_stationary(v: Value, stat_map: &HashMap<Value, Value>) -> Result<Value, CoreError> {
     stat_map.get(&v).copied().ok_or_else(|| {
-        CoreError::Ir(format!(
-            "adjoint: classical operand {v} is not defined by a stationary op"
-        ))
+        CoreError::Ir(format!("adjoint: classical operand {v} is not defined by a stationary op"))
     })
 }
 
@@ -261,7 +245,7 @@ mod tests {
         let mut b = FuncBuilder::new("ph", FuncType::rev_qbundle(1), Visibility::Private);
         let arg = b.args()[0];
         let mut bb = b.block();
-        let pi = bb.push(OpKind::ConstF64 { value: 3.14 }, vec![], vec![Type::F64]);
+        let pi = bb.push(OpKind::ConstF64 { value: std::f64::consts::PI }, vec![], vec![Type::F64]);
         let two = bb.push(OpKind::ConstF64 { value: 2.0 }, vec![], vec![Type::F64]);
         let half = bb.push(OpKind::FDiv, vec![pi[0], two[0]], vec![Type::F64]);
         let b_in: asdf_basis::Basis = "{'0','1'@90}".parse().unwrap();
@@ -327,8 +311,7 @@ mod tests {
 
         let adj = adjoint_func(&func, "anc_adj").unwrap();
         asdf_ir::verify::verify_func(&adj, None).unwrap();
-        let kinds: Vec<&'static str> =
-            adj.body.ops.iter().map(|op| op.kind.mnemonic()).collect();
+        let kinds: Vec<&'static str> = adj.body.ops.iter().map(|op| op.kind.mnemonic()).collect();
         assert!(kinds.contains(&"qcirc.qalloc"));
         assert!(kinds.contains(&"qcirc.qfreez"));
     }
@@ -343,7 +326,9 @@ mod tests {
         let arg = b.args()[0];
         let mut bb = b.block();
         let meas = bb.push(
-            OpKind::QbMeas { basis: asdf_basis::Basis::built_in(asdf_basis::PrimitiveBasis::Std, 1) },
+            OpKind::QbMeas {
+                basis: asdf_basis::Basis::built_in(asdf_basis::PrimitiveBasis::Std, 1),
+            },
             vec![arg],
             vec![Type::BitBundle(1)],
         );

@@ -171,10 +171,7 @@ impl RewritePattern for FoldDoubleAdj {
             return false;
         }
         let inner = op.operands[0];
-        let Some(inner_op) = block.ops[..op_idx]
-            .iter()
-            .find(|o| o.results.contains(&inner))
-        else {
+        let Some(inner_op) = block.ops[..op_idx].iter().find(|o| o.results.contains(&inner)) else {
             return false;
         };
         if !matches!(inner_op.kind, OpKind::FuncAdj) {
@@ -215,9 +212,7 @@ impl RewritePattern for IndirectToDirect {
         let mut preds: Vec<asdf_basis::Basis> = Vec::new();
         let mut current = op.operands[0];
         let callee = loop {
-            let Some(def) = block.ops[..op_idx]
-                .iter()
-                .find(|o| o.results.contains(&current))
+            let Some(def) = block.ops[..op_idx].iter().find(|o| o.results.contains(&current))
             else {
                 return false;
             };
@@ -235,14 +230,11 @@ impl RewritePattern for IndirectToDirect {
             }
         };
         // Outermost predicates prepend leftmost.
-        let pred = preds
-            .into_iter()
-            .reduce(|outer, inner| outer.tensor(&inner));
+        let pred = preds.into_iter().reduce(|outer, inner| outer.tensor(&inner));
         let operands = op.operands[1..].to_vec();
         let results = op.results.clone();
         let block = func.block_at_mut(path);
-        block.ops[op_idx] =
-            Op::new(OpKind::Call { callee, adj, pred }, operands, results);
+        block.ops[op_idx] = Op::new(OpKind::Call { callee, adj, pred }, operands, results);
         true
     }
 }
@@ -284,11 +276,8 @@ impl RewritePattern for IfPushdown {
             op.results.iter().map(|r| func.value_type(*r).clone()).collect();
         let call_results = op.results.clone();
         let if_op = block.ops[if_idx].clone();
-        let yield_pos = if_op
-            .results
-            .iter()
-            .position(|r| *r == callee)
-            .expect("callee is an scf.if result");
+        let yield_pos =
+            if_op.results.iter().position(|r| *r == callee).expect("callee is an scf.if result");
 
         // Rebuild each region: call the yielded function, yield the call's
         // results instead.
@@ -303,11 +292,7 @@ impl RewritePattern for IfPushdown {
                 result_tys.iter().map(|t| func.new_value(t.clone())).collect();
             let mut call_operands = vec![yielded_func];
             call_operands.extend(args.iter().copied());
-            blk.ops.push(Op::new(
-                OpKind::CallIndirect,
-                call_operands,
-                inner_results.clone(),
-            ));
+            blk.ops.push(Op::new(OpKind::CallIndirect, call_operands, inner_results.clone()));
             // Yield the original values minus the consumed func, plus the
             // call results. (Qwerty lowering yields exactly one value, so
             // this is just the call results.)
@@ -323,12 +308,8 @@ impl RewritePattern for IfPushdown {
         let mut new_results: Vec<Value> = if_op.results.clone();
         new_results.remove(yield_pos);
         new_results.extend(call_results);
-        let new_if = Op::with_regions(
-            OpKind::ScfIf,
-            if_op.operands.clone(),
-            new_results,
-            new_regions,
-        );
+        let new_if =
+            Op::with_regions(OpKind::ScfIf, if_op.operands.clone(), new_results, new_regions);
         let block = func.block_at_mut(path);
         block.ops[op_idx] = new_if;
         block.ops.remove(if_idx);
@@ -371,11 +352,8 @@ impl RewritePattern for AdjPredIfPushdown {
         let wrapper_results = op.results.clone();
         let result_ty = func.value_type(op.results[0]).clone();
         let if_op = block.ops[if_idx].clone();
-        let yield_pos = if_op
-            .results
-            .iter()
-            .position(|r| *r == operand)
-            .expect("operand is an scf.if result");
+        let yield_pos =
+            if_op.results.iter().position(|r| *r == operand).expect("operand is an scf.if result");
 
         let mut new_regions = Vec::with_capacity(if_op.regions.len());
         for region in &if_op.regions {
@@ -395,12 +373,8 @@ impl RewritePattern for AdjPredIfPushdown {
 
         let mut new_results = if_op.results.clone();
         new_results[yield_pos] = wrapper_results[0];
-        let new_if = Op::with_regions(
-            OpKind::ScfIf,
-            if_op.operands.clone(),
-            new_results,
-            new_regions,
-        );
+        let new_if =
+            Op::with_regions(OpKind::ScfIf, if_op.operands.clone(), new_results, new_regions);
         let block = func.block_at_mut(path);
         block.ops[op_idx] = new_if;
         block.ops.remove(if_idx);

@@ -70,30 +70,20 @@ fn lower_cexpr(
             // a | b = ~(~a & ~b) over XAG primitives.
             let (va, vb) = (lower_cexpr(a, env, tc, xag)?, lower_cexpr(b, env, tc, xag)?);
             widths_match(&va, &vb)?;
-            va.into_iter()
-                .zip(vb)
-                .map(|(x, y)| xag.and2(x.not(), y.not()).not())
-                .collect()
+            va.into_iter().zip(vb).map(|(x, y)| xag.and2(x.not(), y.not()).not()).collect()
         }
         CExpr::Xor(a, b) => binary(e, a, b, env, tc, xag, Xag::xor2)?,
-        CExpr::Not(a) => lower_cexpr(a, env, tc, xag)?
-            .into_iter()
-            .map(Signal::not)
-            .collect(),
+        CExpr::Not(a) => lower_cexpr(a, env, tc, xag)?.into_iter().map(Signal::not).collect(),
         CExpr::Index(a, idx) => {
             let bits = lower_cexpr(a, env, tc, xag)?;
-            let i = idx
-                .eval_usize(&tc.dims)
-                .map_err(|e| CoreError::Frontend(e.to_string()))?;
+            let i = idx.eval_usize(&tc.dims).map_err(|e| CoreError::Frontend(e.to_string()))?;
             vec![*bits
                 .get(i)
                 .ok_or_else(|| CoreError::Frontend(format!("bit index {i} out of range")))?]
         }
         CExpr::Repeat(a, n) => {
             let bits = lower_cexpr(a, env, tc, xag)?;
-            let n = n
-                .eval_usize(&tc.dims)
-                .map_err(|e| CoreError::Frontend(e.to_string()))?;
+            let n = n.eval_usize(&tc.dims).map_err(|e| CoreError::Frontend(e.to_string()))?;
             vec![bits[0]; n]
         }
         CExpr::XorReduce(a) => {
@@ -126,11 +116,7 @@ fn widths_match(a: &[Signal], b: &[Signal]) -> Result<(), CoreError> {
     if a.len() == b.len() {
         Ok(())
     } else {
-        Err(CoreError::Frontend(format!(
-            "bitwise width mismatch: {} vs {}",
-            a.len(),
-            b.len()
-        )))
+        Err(CoreError::Frontend(format!("bitwise width mismatch: {} vs {}", a.len(), b.len())))
     }
 }
 
@@ -142,8 +128,7 @@ fn widths_match(a: &[Signal], b: &[Signal]) -> Result<(), CoreError> {
 /// Propagates network construction/embedding failures.
 pub fn xor_func(name: &str, tc: &TClassical) -> Result<Func, CoreError> {
     let xag = build_xag(tc)?;
-    let embedding = embed::embed_xor(&xag, EmbedStyle::InPlaceXor)
-        .map_err(CoreError::Synthesis)?;
+    let embedding = embed::embed_xor(&xag, EmbedStyle::InPlaceXor).map_err(CoreError::Synthesis)?;
     let width = tc.n_in + tc.n_out;
     let mut b = FuncBuilder::new(name, FuncType::rev_qbundle(width), Visibility::Private);
     let arg = b.args()[0];
@@ -166,8 +151,8 @@ pub fn xor_func(name: &str, tc: &TClassical) -> Result<Func, CoreError> {
     emit_rev_circuit(&mut ctx, &embedding.circuit.gates, &line_to_pos);
     let values = ctx.values;
 
-    for pos in width..width + ancilla_count {
-        bb.push_op(asdf_ir::Op::new(OpKind::QFreeZ, vec![values[pos]], vec![]));
+    for &ancilla in &values[width..width + ancilla_count] {
+        bb.push_op(asdf_ir::Op::new(OpKind::QFreeZ, vec![ancilla], vec![]));
     }
     let packed = bb.push(OpKind::QbPack, values[..width].to_vec(), vec![Type::QBundle(width)]);
     bb.push(OpKind::Return, vec![packed[0]], vec![]);
@@ -188,8 +173,7 @@ pub fn sign_func(name: &str, tc: &TClassical) -> Result<Func, CoreError> {
         ));
     }
     let xag = build_xag(tc)?;
-    let embedding = embed::embed_xor(&xag, EmbedStyle::InPlaceXor)
-        .map_err(CoreError::Synthesis)?;
+    let embedding = embed::embed_xor(&xag, EmbedStyle::InPlaceXor).map_err(CoreError::Synthesis)?;
     let width = tc.n_in;
     let mut b = FuncBuilder::new(name, FuncType::rev_qbundle(width), Visibility::Private);
     let arg = b.args()[0];
@@ -219,9 +203,8 @@ pub fn sign_func(name: &str, tc: &TClassical) -> Result<Func, CoreError> {
     ctx.gate(GateKind::X, &[], &[minus_pos]);
     let values = ctx.values;
 
-    bb.push_op(asdf_ir::Op::new(OpKind::QFreeZ, vec![values[minus_pos]], vec![]));
-    for pos in minus_pos + 1..values.len() {
-        bb.push_op(asdf_ir::Op::new(OpKind::QFreeZ, vec![values[pos]], vec![]));
+    for &scratch in &values[minus_pos..] {
+        bb.push_op(asdf_ir::Op::new(OpKind::QFreeZ, vec![scratch], vec![]));
     }
     let packed = bb.push(OpKind::QbPack, values[..width].to_vec(), vec![Type::QBundle(width)]);
     bb.push(OpKind::Return, vec![packed[0]], vec![]);
@@ -236,11 +219,8 @@ fn emit_rev_circuit(
     line_to_pos: &[usize],
 ) {
     for gate in gates {
-        let pattern: Vec<(usize, bool)> = gate
-            .controls
-            .iter()
-            .map(|&(line, positive)| (line_to_pos[line], positive))
-            .collect();
+        let pattern: Vec<(usize, bool)> =
+            gate.controls.iter().map(|&(line, positive)| (line_to_pos[line], positive)).collect();
         let target = line_to_pos[gate.target];
         ctx.under_controls(pattern, |ctx, controls| {
             ctx.gate(GateKind::X, controls, &[target]);
@@ -305,10 +285,8 @@ mod tests {
         let kinds: Vec<&OpKind> = func.body.ops.iter().map(|op| &op.kind).collect();
         assert!(kinds.iter().any(|k| matches!(k, OpKind::QAlloc)));
         assert!(kinds.iter().any(|k| matches!(k, OpKind::QFreeZ)));
-        let h_count = kinds
-            .iter()
-            .filter(|k| matches!(k, OpKind::Gate { gate: GateKind::H, .. }))
-            .count();
+        let h_count =
+            kinds.iter().filter(|k| matches!(k, OpKind::Gate { gate: GateKind::H, .. })).count();
         assert!(h_count >= 2, "prep and unprep Hadamards present");
     }
 }

@@ -2,30 +2,45 @@
 //!
 //! ```text
 //! Qwerty source → AST (parse, expand, typecheck, canonicalize)
-//!   → Qwerty IR (lower, lift lambdas, canonicalize, inline/specialize)
-//!   → QCircuit IR (convert, peephole)
+//!   → Qwerty IR (lower, then the declared pass pipeline)
+//!   → QCircuit IR (dialect conversion, peephole — also pipeline passes)
 //!   → Circuit (reg2mem, decompose)
 //! ```
 //!
-//! The `inline` option mirrors the paper's evaluation configurations:
-//! `Asdf (Opt)` inlines everything into one function (zero QIR callables);
-//! `Asdf (No Opt)` leaves the functional structure intact, exercising
-//! specializations and QIR callable emission (Table 1).
+//! The middle of the compiler is a declarative [`PassManager`] pipeline
+//! built by [`CompileOptions::pipeline`]; there is no hardcoded pass
+//! sequence in [`Compiler::compile`]. The paper's two evaluation
+//! configurations are two pipelines over the same [`asdf_ir::pass::Pass`]
+//! trait:
+//!
+//! - `Asdf (Opt)` (the default): lift-lambdas, a canonicalize+inline
+//!   fixpoint, dead-function elimination, dialect conversion, peephole —
+//!   everything inlines into one function (zero QIR callables);
+//! - `Asdf (No Opt)` ([`CompileOptions::no_opt`]): lift-lambdas,
+//!   specialization generation, dialect conversion — the functional
+//!   structure survives as QIR callables (Table 1).
+//!
+//! Each run records per-pass wall-clock timing and change counts in
+//! [`Compiled::stats`]; with [`CompileOptions::verify`] set (the default)
+//! the module is verified before the pipeline and after every pass,
+//! replacing the hand-placed `verify_module` calls of the pre-pass-manager
+//! driver.
 
-use crate::canon::{lift_lambdas, qwerty_canonicalizer};
-use crate::convert::convert_module;
 use crate::error::CoreError;
 use crate::lower::lower_kernel;
-use crate::special::generate_specializations;
+use crate::passes::{
+    qwerty_canonicalize_pass, ConvertPass, DeadFuncElimPass, InlinePass, LiftLambdasPass,
+    SpecializePass, CANONICALIZE_INLINE,
+};
 use asdf_ast::canon::canonicalize as ast_canonicalize;
 use asdf_ast::expand::{instantiate, CaptureValue};
 use asdf_ast::parse::parse_program;
 use asdf_ast::tast::{TExpr, TExprKind, TKernel, TStmt};
 use asdf_ast::typecheck::typecheck_kernel;
-use asdf_ir::inline::{remove_dead_private_funcs, InlineSpecializer, Inliner};
-use asdf_ir::{Func, IrError, Module};
+use asdf_ir::pass::{Fixpoint, PassManager, PassStatistics};
+use asdf_ir::Module;
 use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
-use asdf_qcircuit::peephole::run_peephole;
+use asdf_qcircuit::peephole::peephole_pass;
 use asdf_qcircuit::reg2mem::lower_to_circuit;
 use asdf_qcircuit::Circuit;
 use std::collections::HashMap;
@@ -40,6 +55,9 @@ pub struct CompileOptions {
     pub peephole: bool,
     /// Decompose multi-controlled gates in the final circuit.
     pub decompose: Option<DecomposeStyle>,
+    /// Verify the module before the pipeline and after every pass,
+    /// attributing failures to the offending pass.
+    pub verify: bool,
     /// Explicit dimension-variable bindings (when inference from captures
     /// is not enough).
     pub dims: HashMap<String, i64>,
@@ -51,6 +69,7 @@ impl Default for CompileOptions {
             inline: true,
             peephole: true,
             decompose: Some(DecomposeStyle::Selinger),
+            verify: true,
             dims: HashMap::new(),
         }
     }
@@ -60,13 +79,61 @@ impl CompileOptions {
     /// The paper's `Asdf (No Opt)` configuration: no inlining, no peephole;
     /// callables are emitted for function values.
     pub fn no_opt() -> Self {
-        CompileOptions { inline: false, peephole: false, decompose: None, dims: HashMap::new() }
+        CompileOptions {
+            inline: false,
+            peephole: false,
+            decompose: None,
+            verify: true,
+            dims: HashMap::new(),
+        }
     }
 
     /// Sets a dimension binding.
+    #[must_use]
     pub fn with_dim(mut self, name: &str, value: i64) -> Self {
         self.dims.insert(name.to_string(), value);
         self
+    }
+
+    /// Enables or disables verify-after-each-pass.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// The declarative pass pipeline these options select (the middle of
+    /// Fig. 2, between AST lowering and reg2mem).
+    ///
+    /// Inspect it with [`PassManager::pass_names`]; the driver runs exactly
+    /// this pipeline.
+    pub fn pipeline(&self) -> PassManager {
+        let mut pm = PassManager::new().with_verify_after_each(self.verify);
+        pm.add_pass(LiftLambdasPass);
+        if self.inline {
+            // §5.4: canonicalize (indirect→direct calls) and inline to a
+            // fixpoint — inlining exposes new canonicalization opportunities
+            // and vice versa. The round bound mirrors the bounded loop this
+            // replaces; hitting it leaves residual indirection, not an
+            // error.
+            pm.add_pass(
+                Fixpoint::new(
+                    CANONICALIZE_INLINE,
+                    vec![Box::new(qwerty_canonicalize_pass()), Box::new(InlinePass::default())],
+                )
+                .with_max_rounds(64),
+            );
+            pm.add_pass(DeadFuncElimPass);
+        } else {
+            // §6.2: direct `call adj/pred` ops still need their
+            // specializations generated even when nothing is inlined.
+            pm.add_pass(SpecializePass);
+        }
+        pm.add_pass(ConvertPass);
+        if self.peephole {
+            pm.add_pass(peephole_pass());
+        }
+        pm
     }
 }
 
@@ -82,6 +149,9 @@ pub struct Compiled {
     pub circuit: Option<Circuit>,
     /// The typed AST of the entry kernel (useful for oracles/tests).
     pub kernel: TKernel,
+    /// Per-pass wall-clock timing and change statistics from the pipeline
+    /// run (in execution order).
+    pub stats: PassStatistics,
 }
 
 /// The ASDF compiler.
@@ -120,47 +190,14 @@ impl Compiler {
             lower_kernel(&sub, &mut module)?;
         }
         lower_kernel(&kernel, &mut module)?;
-        asdf_ir::verify::verify_module(&module)?;
 
-        // §5.4: lift lambdas, canonicalize, inline (or specialize). In the
-        // No Opt configuration the indirect-to-direct canonicalization and
-        // inlining are skipped entirely, so the functional structure
-        // survives as QIR callables (Table 1); direct `call adj/pred` ops
-        // that already exist still get specializations generated (§6.2).
-        lift_lambdas(&mut module)?;
-        asdf_ir::verify::verify_module(&module)?;
-        if options.inline {
-            let mut canon = qwerty_canonicalizer();
-            let inliner = Inliner::default();
-            for _ in 0..64 {
-                let canon_changed = canon.run(&mut module) > 0;
-                let inlined = inliner
-                    .run(&mut module, &Specializer)
-                    .map_err(CoreError::from)?;
-                if !canon_changed && inlined == 0 {
-                    break;
-                }
-            }
-            remove_dead_private_funcs(&mut module);
-        } else {
-            generate_specializations(&mut module)?;
-        }
-        asdf_ir::verify::verify_module(&module)?;
-
-        // §6: dialect conversion to QCircuit IR.
-        convert_module(&mut module)?;
-        asdf_ir::verify::verify_module(&module)?;
-
-        // §6.5: peephole optimizations.
-        if options.peephole {
-            run_peephole(&mut module);
-            asdf_ir::verify::verify_module(&module)?;
-        }
+        // §5.4–§6.5: the declared pass pipeline (see
+        // [`CompileOptions::pipeline`]), instrumented with per-pass timing
+        // and verification.
+        let stats = options.pipeline().run(&mut module)?;
 
         // §7 front half: reg2mem when the kernel is straight-line.
-        let entry = module
-            .expect_func(kernel_name)
-            .map_err(CoreError::from)?;
+        let entry = module.expect_func(kernel_name).map_err(CoreError::from)?;
         let circuit = match lower_to_circuit(entry) {
             Ok(raw) => match options.decompose {
                 Some(style) => Some(decompose(&raw, style)),
@@ -169,12 +206,7 @@ impl Compiler {
             Err(_) => None,
         };
 
-        Ok(Compiled {
-            module,
-            entry: kernel_name.to_string(),
-            circuit,
-            kernel,
-        })
+        Ok(Compiled { module, entry: kernel_name.to_string(), circuit, kernel, stats })
     }
 }
 
@@ -183,11 +215,7 @@ fn referenced_kernels(kernel: &TKernel) -> Vec<String> {
     let mut out = Vec::new();
     fn walk(e: &TExpr, out: &mut Vec<String>) {
         match &e.kind {
-            TExprKind::KernelRef { name } => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
-            }
+            TExprKind::KernelRef { name } if !out.contains(name) => out.push(name.clone()),
             TExprKind::Adjoint(f) => walk(f, out),
             TExprKind::Pred { func, .. } => walk(func, out),
             TExprKind::Tensor(parts) | TExprKind::Compose(parts) => {
@@ -216,33 +244,49 @@ fn referenced_kernels(kernel: &TKernel) -> Vec<String> {
     out
 }
 
-/// The inliner hook: builds adjoint/predicated callee bodies on demand
-/// using the §5.2/§5.3 routines.
-struct Specializer;
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-impl InlineSpecializer for Specializer {
-    fn specialize(
-        &self,
-        callee: &Func,
-        adj: bool,
-        pred: Option<&asdf_basis::Basis>,
-        _module: &Module,
-    ) -> Result<Func, IrError> {
-        let to_ir = |e: CoreError| IrError::Unsupported(e.to_string());
-        let mut spec = if adj {
-            crate::adjoint::adjoint_func(callee, &format!("{}__adj_tmp", callee.name))
-                .map_err(to_ir)?
-        } else {
-            callee.clone()
-        };
-        if let Some(pred) = pred {
-            spec = crate::predicate::predicate_func(
-                &spec,
-                pred,
-                &format!("{}__pred_tmp", callee.name),
-            )
-            .map_err(to_ir)?;
-        }
-        Ok(spec)
+    #[test]
+    fn opt_and_no_opt_are_distinct_declarative_pipelines() {
+        let opt = CompileOptions::default().pipeline().pass_names();
+        assert_eq!(
+            opt,
+            [
+                "lift-lambdas",
+                "canonicalize-inline",
+                "remove-dead-private-funcs",
+                "convert-to-qcircuit",
+                "qcircuit-peephole"
+            ]
+        );
+        let no_opt = CompileOptions::no_opt().pipeline().pass_names();
+        assert_eq!(no_opt, ["lift-lambdas", "generate-specializations", "convert-to-qcircuit"]);
+    }
+
+    #[test]
+    fn stats_cover_every_declared_pass() {
+        let source = r"
+            qpu bell() -> bit[2] {
+                'p' + '0' | ('1' & std.flip) | std[2].measure
+            }
+        ";
+        let options = CompileOptions::default();
+        let compiled = Compiler::compile(source, "bell", &[], &options).unwrap();
+        let ran: Vec<String> = compiled.stats.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(ran, options.pipeline().pass_names());
+    }
+
+    #[test]
+    fn disabling_verify_skips_nothing_functional() {
+        let source = r"
+            qpu bell() -> bit[2] {
+                'p' + '0' | ('1' & std.flip) | std[2].measure
+            }
+        ";
+        let unverified = CompileOptions::default().with_verify(false);
+        let compiled = Compiler::compile(source, "bell", &[], &unverified).unwrap();
+        assert!(compiled.circuit.is_some());
     }
 }

@@ -34,13 +34,7 @@ pub fn convert_module(module: &mut Module) -> Result<(), CoreError> {
 fn convert_func(src: &Func) -> Result<Func, CoreError> {
     let mut builder = FuncBuilder::new(src.name.clone(), src.ty.clone(), src.visibility);
     let args = builder.args().to_vec();
-    let mut map: HashMap<Value, Value> = src
-        .body
-        .args
-        .iter()
-        .copied()
-        .zip(args)
-        .collect();
+    let mut map: HashMap<Value, Value> = src.body.args.iter().copied().zip(args).collect();
     let mut bb = builder.block();
     convert_ops(src, &src.body.ops, &mut bb, &mut map)?;
     Ok(builder.finish())
@@ -59,9 +53,7 @@ fn convert_ops(
 }
 
 fn get(map: &HashMap<Value, Value>, v: Value) -> Result<Value, CoreError> {
-    map.get(&v)
-        .copied()
-        .ok_or_else(|| CoreError::Ir(format!("conversion lost track of value {v}")))
+    map.get(&v).copied().ok_or_else(|| CoreError::Ir(format!("conversion lost track of value {v}")))
 }
 
 fn convert_op(
@@ -91,11 +83,8 @@ fn convert_op(
                 return Err(CoreError::Ir("discard of a non-bundle".into()));
             };
             let qubits = bb.push(OpKind::QbUnpack, vec![bundle], vec![Type::Qubit; n]);
-            let free_kind = if matches!(op.kind, OpKind::QbDiscard) {
-                OpKind::QFree
-            } else {
-                OpKind::QFreeZ
-            };
+            let free_kind =
+                if matches!(op.kind, OpKind::QbDiscard) { OpKind::QFree } else { OpKind::QFreeZ };
             for q in qubits {
                 bb.push(free_kind.clone(), vec![q], vec![]);
             }
@@ -128,15 +117,11 @@ fn convert_op(
             }
             let qubits = bb.push(OpKind::QbUnpack, vec![bundle], vec![Type::Qubit; n]);
             let resolve = |k: u32| -> Result<f64, CoreError> {
-                angles
-                    .get(k as usize)
-                    .copied()
-                    .flatten()
-                    .ok_or_else(|| {
-                        CoreError::Synthesis(format!(
-                            "phase operand {k} is not a compile-time constant"
-                        ))
-                    })
+                angles.get(k as usize).copied().flatten().ok_or_else(|| {
+                    CoreError::Synthesis(format!(
+                        "phase operand {k} is not a compile-time constant"
+                    ))
+                })
             };
             let out = emit_translation(bb, qubits, basis_in, basis_out, &resolve)?;
             let packed = bb.push(OpKind::QbPack, out, vec![Type::QBundle(n)]);
@@ -144,8 +129,11 @@ fn convert_op(
             Ok(())
         }
         OpKind::FuncConst { symbol } => {
-            let callable =
-                bb.push(OpKind::CallableCreate { symbol: symbol.clone() }, vec![], vec![Type::Callable]);
+            let callable = bb.push(
+                OpKind::CallableCreate { symbol: symbol.clone() },
+                vec![],
+                vec![Type::Callable],
+            );
             map.insert(op.results[0], callable[0]);
             Ok(())
         }
@@ -166,11 +154,8 @@ fn convert_op(
             Ok(())
         }
         OpKind::CallIndirect => {
-            let operands: Vec<Value> = op
-                .operands
-                .iter()
-                .map(|v| get(map, *v))
-                .collect::<Result<_, _>>()?;
+            let operands: Vec<Value> =
+                op.operands.iter().map(|v| get(map, *v)).collect::<Result<_, _>>()?;
             let result_tys: Vec<Type> =
                 op.results.iter().map(|r| src.value_type(*r).clone()).collect();
             let results = bb.push(OpKind::CallableInvoke, operands, result_tys);
@@ -184,11 +169,8 @@ fn convert_op(
         )),
         OpKind::ScfIf => {
             // Convert each region recursively.
-            let operands: Vec<Value> = op
-                .operands
-                .iter()
-                .map(|v| get(map, *v))
-                .collect::<Result<_, _>>()?;
+            let operands: Vec<Value> =
+                op.operands.iter().map(|v| get(map, *v)).collect::<Result<_, _>>()?;
             let mut regions = Vec::with_capacity(op.regions.len());
             for region in &op.regions {
                 let src_block = region.only_block();
@@ -213,11 +195,8 @@ fn convert_op(
         }
         // Everything else carries over with remapped values.
         _ => {
-            let operands: Vec<Value> = op
-                .operands
-                .iter()
-                .map(|v| get(map, *v))
-                .collect::<Result<_, _>>()?;
+            let operands: Vec<Value> =
+                op.operands.iter().map(|v| get(map, *v)).collect::<Result<_, _>>()?;
             let results: Vec<Value> = op
                 .results
                 .iter()

@@ -36,6 +36,12 @@ impl From<asdf_ir::IrError> for CoreError {
     }
 }
 
+impl From<asdf_ir::pass::PassError> for CoreError {
+    fn from(e: asdf_ir::pass::PassError) -> Self {
+        CoreError::Ir(e.to_string())
+    }
+}
+
 impl From<asdf_ast::FrontendError> for CoreError {
     fn from(e: asdf_ast::FrontendError) -> Self {
         CoreError::Frontend(e.to_string())

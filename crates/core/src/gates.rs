@@ -19,11 +19,8 @@ impl GateCtx<'_, '_> {
         operands.extend(controls.iter().map(|&p| self.values[p]));
         operands.extend(targets.iter().map(|&p| self.values[p]));
         let result_tys = vec![Type::Qubit; operands.len()];
-        let results = self.bb.push(
-            OpKind::Gate { gate, num_controls: controls.len() },
-            operands,
-            result_tys,
-        );
+        let results =
+            self.bb.push(OpKind::Gate { gate, num_controls: controls.len() }, operands, result_tys);
         for (i, &p) in controls.iter().chain(targets.iter()).enumerate() {
             self.values[p] = results[i];
         }
@@ -45,8 +42,7 @@ impl GateCtx<'_, '_> {
         if unique.len() != positions.len() {
             return;
         }
-        let flips: Vec<usize> =
-            pattern.iter().filter(|(_, bit)| !bit).map(|(p, _)| *p).collect();
+        let flips: Vec<usize> = pattern.iter().filter(|(_, bit)| !bit).map(|(p, _)| *p).collect();
         for &p in &flips {
             self.gate(GateKind::X, &[], &[p]);
         }

@@ -21,7 +21,10 @@
 //!   transformation-based permutation synthesis (Fig. 9);
 //! - [`convert`]: Qwerty IR → QCircuit IR dialect conversion (§6.1),
 //!   emitting QIR-callable ops when inlining is disabled;
-//! - [`compiler`]: the end-to-end driver (Fig. 2).
+//! - [`passes`]: the above transformations wrapped as named
+//!   [`asdf_ir::pass::Pass`]es;
+//! - [`compiler`]: the end-to-end driver (Fig. 2), expressed as a
+//!   declarative, instrumented pass pipeline.
 
 pub mod adjoint;
 pub mod canon;
@@ -31,9 +34,11 @@ pub mod convert;
 pub mod error;
 pub(crate) mod gates;
 pub mod lower;
+pub mod passes;
 pub mod predicate;
 pub mod special;
 pub mod synth;
 
-pub use compiler::{CompileOptions, Compiler, Compiled};
+pub use asdf_ir::pass::{PassStat, PassStatistics};
+pub use compiler::{CompileOptions, Compiled, Compiler};
 pub use error::CoreError;

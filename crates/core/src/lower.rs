@@ -60,19 +60,12 @@ pub fn lower_kernel(kernel: &TKernel, module: &mut Module) -> Result<(), CoreErr
     // Reversibility must agree with how the type checker types kernel
     // references: a qubit[N] -> qubit[N] kernel is callable reversibly.
     let total_in: usize = kernel.params.iter().map(|(_, k)| k.width()).sum();
-    let reversible = kernel
-        .params
-        .iter()
-        .all(|(_, k)| matches!(k, ValueKind::Qubit(_)))
+    let reversible = kernel.params.iter().all(|(_, k)| matches!(k, ValueKind::Qubit(_)))
         && kernel.ret == ValueKind::Qubit(total_in);
     let ty = FuncType::new(inputs, vec![map_kind(kernel.ret)], reversible);
     let mut builder = FuncBuilder::new(kernel.name.clone(), ty, Visibility::Public);
 
-    let mut ctx = LowerCtx {
-        env: HashMap::new(),
-        classical_names,
-        lambda_count: 0,
-    };
+    let mut ctx = LowerCtx { env: HashMap::new(), classical_names, lambda_count: 0 };
     for ((name, _), value) in kernel.params.iter().zip(builder.args().to_vec()) {
         ctx.env.insert(name.clone(), value);
     }
@@ -177,8 +170,7 @@ impl LowerCtx {
                 let AstType::Func { output, .. } = func.ty else {
                     return Err(CoreError::Ir("pipe target is not a function".into()));
                 };
-                let results =
-                    bb.push(OpKind::CallIndirect, vec![f, v], vec![map_kind(output)]);
+                let results = bb.push(OpKind::CallIndirect, vec![f, v], vec![map_kind(output)]);
                 Ok(results[0])
             }
             (kind, ty) => Err(CoreError::Unsupported(format!(
@@ -193,8 +185,7 @@ impl LowerCtx {
         chars: &[asdf_ast::ast::QubitChar],
     ) -> Value {
         // Group maximal runs of the same (primitive basis, eigenstate).
-        let mut runs: Vec<(asdf_basis::PrimitiveBasis, asdf_basis::Eigenstate, usize)> =
-            Vec::new();
+        let mut runs: Vec<(asdf_basis::PrimitiveBasis, asdf_basis::Eigenstate, usize)> = Vec::new();
         for &(prim, eig) in chars {
             match runs.last_mut() {
                 Some((p, e, n)) if *p == prim && *e == eig => *n += 1,
@@ -346,22 +337,16 @@ impl LowerCtx {
                     .sign
                     .clone()
                     .expect("sign function generated up front");
-                Ok(bb.push(
-                    OpKind::FuncConst { symbol: name },
-                    vec![],
-                    vec![Type::func(func_ty)],
-                )[0])
+                Ok(bb.push(OpKind::FuncConst { symbol: name }, vec![], vec![Type::func(func_ty)])
+                    [0])
             }
             TExprKind::XorEmbed { classical } => {
                 let name = self.classical_names[*classical]
                     .xor
                     .clone()
                     .expect("xor function generated up front");
-                Ok(bb.push(
-                    OpKind::FuncConst { symbol: name },
-                    vec![],
-                    vec![Type::func(func_ty)],
-                )[0])
+                Ok(bb.push(OpKind::FuncConst { symbol: name }, vec![], vec![Type::func(func_ty)])
+                    [0])
             }
             TExprKind::KernelRef { name } => Ok(bb.push(
                 OpKind::FuncConst { symbol: name.clone() },
@@ -377,13 +362,11 @@ impl LowerCtx {
                 // Lower each branch inside its own region.
                 let then_block = {
                     let mut err = None;
-                    let block = bb.subblock(vec![], |inner| {
-                        match self.lower_func(inner, then_f) {
-                            Ok(v) => {
-                                inner.push(OpKind::Yield, vec![v], vec![]);
-                            }
-                            Err(e) => err = Some(e),
+                    let block = bb.subblock(vec![], |inner| match self.lower_func(inner, then_f) {
+                        Ok(v) => {
+                            inner.push(OpKind::Yield, vec![v], vec![]);
                         }
+                        Err(e) => err = Some(e),
                     });
                     if let Some(e) = err {
                         return Err(e);
@@ -392,13 +375,11 @@ impl LowerCtx {
                 };
                 let else_block = {
                     let mut err = None;
-                    let block = bb.subblock(vec![], |inner| {
-                        match self.lower_func(inner, else_f) {
-                            Ok(v) => {
-                                inner.push(OpKind::Yield, vec![v], vec![]);
-                            }
-                            Err(e) => err = Some(e),
+                    let block = bb.subblock(vec![], |inner| match self.lower_func(inner, else_f) {
+                        Ok(v) => {
+                            inner.push(OpKind::Yield, vec![v], vec![]);
                         }
+                        Err(e) => err = Some(e),
                     });
                     if let Some(e) = err {
                         return Err(e);
@@ -412,9 +393,9 @@ impl LowerCtx {
                     vec![Region::single(then_block), Region::single(else_block)],
                 )[0])
             }
-            other => Err(CoreError::Unsupported(format!(
-                "cannot lower {other:?} as a function value"
-            ))),
+            other => {
+                Err(CoreError::Unsupported(format!("cannot lower {other:?} as a function value")))
+            }
         }
     }
 
@@ -455,10 +436,8 @@ impl LowerCtx {
         parts: &[TExpr],
         func_ty: FuncType,
     ) -> Result<Value, CoreError> {
-        let captures: Vec<Value> = parts
-            .iter()
-            .map(|p| self.lower_func(bb, p))
-            .collect::<Result<_, _>>()?;
+        let captures: Vec<Value> =
+            parts.iter().map(|p| self.lower_func(bb, p)).collect::<Result<_, _>>()?;
         let part_tys: Vec<(ValueKind, ValueKind)> = parts
             .iter()
             .map(|p| match p.ty {
@@ -467,16 +446,13 @@ impl LowerCtx {
             })
             .collect::<Result<_, _>>()?;
         let Type::QBundle(total_in) = func_ty.inputs[0].clone() else {
-            return Err(CoreError::Unsupported(
-                "function tensors take qubit inputs".to_string(),
-            ));
+            return Err(CoreError::Unsupported("function tensors take qubit inputs".to_string()));
         };
         let out_ty = func_ty.results[0].clone();
 
         Ok(self.lambda(bb, func_ty, captures, move |inner, args| {
             let (funcs, input) = args.split_at(args.len() - 1);
-            let qubits =
-                inner.push(OpKind::QbUnpack, vec![input[0]], vec![Type::Qubit; total_in]);
+            let qubits = inner.push(OpKind::QbUnpack, vec![input[0]], vec![Type::Qubit; total_in]);
             let mut offset = 0usize;
             let mut outputs: Vec<(Value, ValueKind)> = Vec::new();
             for (k, &(inp, outp)) in part_tys.iter().enumerate() {
@@ -529,10 +505,8 @@ impl LowerCtx {
         parts: &[TExpr],
         func_ty: FuncType,
     ) -> Result<Value, CoreError> {
-        let captures: Vec<Value> = parts
-            .iter()
-            .map(|p| self.lower_func(bb, p))
-            .collect::<Result<_, _>>()?;
+        let captures: Vec<Value> =
+            parts.iter().map(|p| self.lower_func(bb, p)).collect::<Result<_, _>>()?;
         let out_tys: Vec<Type> = parts
             .iter()
             .map(|p| match p.ty {
@@ -544,8 +518,7 @@ impl LowerCtx {
             let (funcs, input) = args.split_at(args.len() - 1);
             let mut v = input[0];
             for (k, out_ty) in out_tys.iter().enumerate() {
-                v = inner.push(OpKind::CallIndirect, vec![funcs[k], v], vec![out_ty.clone()])
-                    [0];
+                v = inner.push(OpKind::CallIndirect, vec![funcs[k], v], vec![out_ty.clone()])[0];
             }
             inner.push(OpKind::Return, vec![v], vec![]);
         }))
@@ -561,8 +534,7 @@ impl LowerCtx {
         body: impl FnOnce(&mut BlockBuilder<'_>, &[Value]),
     ) -> Value {
         self.lambda_count += 1;
-        let capture_tys: Vec<Type> =
-            captures.iter().map(|v| bb.value_type(*v).clone()).collect();
+        let capture_tys: Vec<Type> = captures.iter().map(|v| bb.value_type(*v).clone()).collect();
         let mut arg_tys = capture_tys;
         arg_tys.extend(func_ty.inputs.iter().cloned());
         let block = bb.subblock(arg_tys, |inner| {

@@ -12,10 +12,10 @@
 
 use crate::error::CoreError;
 use crate::gates::GateCtx;
+use asdf_basis::{Basis, BasisElem, PrimitiveBasis};
 use asdf_ir::dataflow::{analyze_block, ForwardAnalysis};
 use asdf_ir::func::BlockBuilder;
 use asdf_ir::{Func, FuncBuilder, FuncType, GateKind, Op, OpKind, Type, Value, Visibility};
-use asdf_basis::{Basis, BasisElem, PrimitiveBasis};
 use std::collections::HashMap;
 
 /// Builds the form of `func` predicated on `pred`: a function on
@@ -33,8 +33,7 @@ pub fn predicate_func(func: &Func, pred: &Basis, new_name: &str) -> Result<Func,
         ))
     })?;
     let m = pred.dim();
-    let mut builder =
-        FuncBuilder::new(new_name, FuncType::rev_qbundle(m + n), Visibility::Private);
+    let mut builder = FuncBuilder::new(new_name, FuncType::rev_qbundle(m + n), Visibility::Private);
     let arg = builder.args()[0];
 
     // Run the qubit-index analysis over the ORIGINAL block to find the
@@ -59,12 +58,7 @@ pub fn predicate_func(func: &Func, pred: &Basis, new_name: &str) -> Result<Func,
 
     // Rebuild the body with per-op predication.
     let payload_bundle = bb.push(OpKind::QbPack, payload.to_vec(), vec![Type::QBundle(n)]);
-    let mut state = PredState {
-        map: HashMap::new(),
-        pred_qubits,
-        pred_patterns,
-        pred: &std_pred,
-    };
+    let mut state = PredState { map: HashMap::new(), pred_qubits, pred_patterns, pred: &std_pred };
     state.map.insert(func.body.args[0], payload_bundle[0]);
 
     let terminator = func
@@ -82,9 +76,10 @@ pub fn predicate_func(func: &Func, pred: &Basis, new_name: &str) -> Result<Func,
     // Undo renaming swaps outside the predicate space (Fig. 5, bottom
     // right): for each swap, an uncontrolled SWAP followed by a predicated
     // SWAP.
-    let final_bundle = *state.map.get(&terminator.operands[0]).ok_or_else(|| {
-        CoreError::Ir("predication lost track of the result bundle".to_string())
-    })?;
+    let final_bundle = *state
+        .map
+        .get(&terminator.operands[0])
+        .ok_or_else(|| CoreError::Ir("predication lost track of the result bundle".to_string()))?;
     let mut payload_out = bb.push(OpKind::QbUnpack, vec![final_bundle], vec![Type::Qubit; n]);
     if !perm.iter().enumerate().all(|(i, &p)| i == p) {
         let mut values = state.pred_qubits.clone();
@@ -121,11 +116,8 @@ fn standardized_basis(pred: &Basis) -> Basis {
         .map(|e| match e {
             BasisElem::BuiltIn { dim, .. } => BasisElem::built_in(PrimitiveBasis::Std, *dim),
             BasisElem::Literal(lit) => BasisElem::Literal(
-                asdf_basis::BasisLiteral::new(
-                    PrimitiveBasis::Std,
-                    lit.vectors_without_phases(),
-                )
-                .expect("restripping a valid literal"),
+                asdf_basis::BasisLiteral::new(PrimitiveBasis::Std, lit.vectors_without_phases())
+                    .expect("restripping a valid literal"),
             ),
         })
         .collect();
@@ -144,9 +136,7 @@ fn pred_vector_patterns(pred: &Basis) -> Vec<Vec<(usize, bool)>> {
                 for base in &patterns {
                     for v in lit.vectors() {
                         let mut row = base.clone();
-                        row.extend(
-                            v.eigenbits.iter().enumerate().map(|(i, b)| (offset + i, b)),
-                        );
+                        row.extend(v.eigenbits.iter().enumerate().map(|(i, b)| (offset + i, b)));
                         next.push(row);
                     }
                 }
@@ -161,12 +151,7 @@ fn pred_vector_patterns(pred: &Basis) -> Vec<Vec<(usize, bool)>> {
 }
 
 /// Standardizes (or destandardizes) the predicate qubits to `std`.
-fn standardize_pred(
-    bb: &mut BlockBuilder<'_>,
-    qubits: &mut [Value],
-    pred: &Basis,
-    inverse: bool,
-) {
+fn standardize_pred(bb: &mut BlockBuilder<'_>, qubits: &mut [Value], pred: &Basis, inverse: bool) {
     let mut ctx = GateCtx { bb, values: qubits.to_vec() };
     let mut offset = 0usize;
     for elem in pred.elements() {
@@ -227,11 +212,8 @@ impl PredState<'_> {
         match &op.kind {
             // Stationary classical ops are cloned as-is.
             _ if src.op_is_stationary(op) => {
-                let operands: Vec<Value> = op
-                    .operands
-                    .iter()
-                    .map(|v| self.get(*v))
-                    .collect::<Result<_, _>>()?;
+                let operands: Vec<Value> =
+                    op.operands.iter().map(|v| self.get(*v)).collect::<Result<_, _>>()?;
                 let results: Vec<Value> = op
                     .results
                     .iter()
@@ -263,8 +245,7 @@ impl PredState<'_> {
                     bb.push(OpKind::QbUnpack, vec![payload], vec![Type::Qubit; width]);
                 let mut joined = self.pred_qubits.clone();
                 joined.extend(payload_qubits);
-                let bundle =
-                    bb.push(OpKind::QbPack, joined, vec![Type::QBundle(m + width)]);
+                let bundle = bb.push(OpKind::QbPack, joined, vec![Type::QBundle(m + width)]);
                 let mut operands = vec![bundle[0]];
                 for phase in &op.operands[1..] {
                     operands.push(self.get(*phase)?);
@@ -281,29 +262,22 @@ impl PredState<'_> {
                 let unpacked =
                     bb.push(OpKind::QbUnpack, vec![out[0]], vec![Type::Qubit; m + width]);
                 self.pred_qubits = unpacked[..m].to_vec();
-                let repacked = bb.push(
-                    OpKind::QbPack,
-                    unpacked[m..].to_vec(),
-                    vec![Type::QBundle(width)],
-                );
+                let repacked =
+                    bb.push(OpKind::QbPack, unpacked[m..].to_vec(), vec![Type::QBundle(width)]);
                 self.map.insert(op.results[0], repacked[0]);
                 Ok(())
             }
             OpKind::Gate { gate, num_controls } => {
                 // Per-op predication: the predicate qubits become extra
                 // controls (one emission per predicate vector).
-                let operands: Vec<Value> = op
-                    .operands
-                    .iter()
-                    .map(|v| self.get(*v))
-                    .collect::<Result<_, _>>()?;
+                let operands: Vec<Value> =
+                    op.operands.iter().map(|v| self.get(*v)).collect::<Result<_, _>>()?;
                 let m = self.pred_qubits.len();
                 let mut values = self.pred_qubits.clone();
                 values.extend(operands.iter().copied());
                 let mut ctx = GateCtx { bb, values };
                 let gate_controls: Vec<usize> = (m..m + num_controls).collect();
-                let gate_targets: Vec<usize> =
-                    (m + num_controls..m + op.operands.len()).collect();
+                let gate_targets: Vec<usize> = (m + num_controls..m + op.operands.len()).collect();
                 for pattern in self.pred_patterns.clone() {
                     ctx.under_controls(pattern, |ctx, pred_controls| {
                         let mut all = pred_controls.to_vec();
@@ -320,11 +294,8 @@ impl PredState<'_> {
             OpKind::QbPack | OpKind::QbUnpack => {
                 // Structural ops are unchanged (renaming is handled by the
                 // index analysis + swap cleanup).
-                let operands: Vec<Value> = op
-                    .operands
-                    .iter()
-                    .map(|v| self.get(*v))
-                    .collect::<Result<_, _>>()?;
+                let operands: Vec<Value> =
+                    op.operands.iter().map(|v| self.get(*v)).collect::<Result<_, _>>()?;
                 let results: Vec<Value> = op
                     .results
                     .iter()
@@ -362,11 +333,8 @@ impl PredState<'_> {
                 let unpacked =
                     bb.push(OpKind::QbUnpack, vec![out[0]], vec![Type::Qubit; m + width]);
                 self.pred_qubits = unpacked[..m].to_vec();
-                let repacked = bb.push(
-                    OpKind::QbPack,
-                    unpacked[m..].to_vec(),
-                    vec![Type::QBundle(width)],
-                );
+                let repacked =
+                    bb.push(OpKind::QbPack, unpacked[m..].to_vec(), vec![Type::QBundle(width)]);
                 self.map.insert(op.results[0], repacked[0]);
                 Ok(())
             }
@@ -379,8 +347,7 @@ impl PredState<'_> {
                 };
                 let width = asdf_ir::verify::rev_qbundle_dim(&inner_ty).ok_or_else(|| {
                     CoreError::Unsupported(
-                        "predicated call_indirect requires a reversible qubit function"
-                            .to_string(),
+                        "predicated call_indirect requires a reversible qubit function".to_string(),
                     )
                 })?;
                 let m = self.pred.dim();
@@ -404,22 +371,16 @@ impl PredState<'_> {
                 let unpacked =
                     bb.push(OpKind::QbUnpack, vec![out[0]], vec![Type::Qubit; m + width]);
                 self.pred_qubits = unpacked[..m].to_vec();
-                let repacked = bb.push(
-                    OpKind::QbPack,
-                    unpacked[m..].to_vec(),
-                    vec![Type::QBundle(width)],
-                );
+                let repacked =
+                    bb.push(OpKind::QbPack, unpacked[m..].to_vec(), vec![Type::QBundle(width)]);
                 self.map.insert(op.results[0], repacked[0]);
                 Ok(())
             }
             OpKind::QAlloc | OpKind::QFreeZ => {
                 // Ancillas are predicate-independent (they start and end at
                 // |0> either way).
-                let operands: Vec<Value> = op
-                    .operands
-                    .iter()
-                    .map(|v| self.get(*v))
-                    .collect::<Result<_, _>>()?;
+                let operands: Vec<Value> =
+                    op.operands.iter().map(|v| self.get(*v)).collect::<Result<_, _>>()?;
                 let results: Vec<Value> = op
                     .results
                     .iter()
@@ -432,10 +393,9 @@ impl PredState<'_> {
                 bb.push_op(Op::new(op.kind.clone(), operands, results));
                 Ok(())
             }
-            other => Err(CoreError::Unsupported(format!(
-                "op {} is not predicatable",
-                other.mnemonic()
-            ))),
+            other => {
+                Err(CoreError::Unsupported(format!("op {} is not predicatable", other.mnemonic())))
+            }
         }
     }
 }
@@ -463,11 +423,8 @@ fn renaming_permutation(func: &Func, n: usize) -> Result<Vec<usize>, CoreError> 
             op: &Op,
             operand_facts: &[Option<&Vec<usize>>],
         ) -> Vec<Option<Vec<usize>>> {
-            let flat: Vec<usize> = operand_facts
-                .iter()
-                .flatten()
-                .flat_map(|f| f.iter().copied())
-                .collect();
+            let flat: Vec<usize> =
+                operand_facts.iter().flatten().flat_map(|f| f.iter().copied()).collect();
             match &op.kind {
                 OpKind::QbPack => vec![Some(flat)],
                 OpKind::QbUnpack => {
@@ -487,7 +444,8 @@ fn renaming_permutation(func: &Func, n: usize) -> Result<Vec<usize>, CoreError> 
                         .iter()
                         .map(|r| {
                             let count = func.value_type(*r).qubit_count();
-                            let fact: Vec<usize> = remaining.drain(..count.min(remaining.len())).collect();
+                            let fact: Vec<usize> =
+                                remaining.drain(..count.min(remaining.len())).collect();
                             Some(fact)
                         })
                         .collect()
@@ -498,10 +456,8 @@ fn renaming_permutation(func: &Func, n: usize) -> Result<Vec<usize>, CoreError> 
 
     let mut analysis = IndexAnalysis { next: 0 };
     let facts = analyze_block(func, &func.body, &mut analysis);
-    let terminator = func
-        .body
-        .terminator()
-        .ok_or_else(|| CoreError::Ir("missing terminator".to_string()))?;
+    let terminator =
+        func.body.terminator().ok_or_else(|| CoreError::Ir("missing terminator".to_string()))?;
     let out = facts
         .get(&terminator.operands[0])
         .ok_or_else(|| CoreError::Ir("no index fact for the result".to_string()))?;
@@ -513,9 +469,7 @@ fn renaming_permutation(func: &Func, n: usize) -> Result<Vec<usize>, CoreError> 
     }
     // Ancilla indices cannot escape a reversible function.
     if out.iter().any(|&i| i >= n) {
-        return Err(CoreError::Ir(
-            "ancilla qubit escapes the function result".to_string(),
-        ));
+        return Err(CoreError::Ir("ancilla qubit escapes the function result".to_string()));
     }
     Ok(out.clone())
 }
@@ -596,10 +550,11 @@ mod tests {
         let predicated = predicate_func(&func, &pred, "flip_pred").unwrap();
         asdf_ir::verify::verify_func(&predicated, None).unwrap();
         // The X gained two controls.
-        assert!(predicated.body.ops.iter().any(|op| matches!(
-            op.kind,
-            OpKind::Gate { gate: GateKind::X, num_controls: 2 }
-        )));
+        assert!(predicated
+            .body
+            .ops
+            .iter()
+            .any(|op| matches!(op.kind, OpKind::Gate { gate: GateKind::X, num_controls: 2 })));
     }
 
     #[test]
@@ -635,10 +590,7 @@ mod tests {
         let arg = b.args()[0];
         let mut bb = b.block();
         let t = bb.push(
-            OpKind::QbTrans {
-                basis_in: "std".parse().unwrap(),
-                basis_out: "pm".parse().unwrap(),
-            },
+            OpKind::QbTrans { basis_in: "std".parse().unwrap(), basis_out: "pm".parse().unwrap() },
             vec![arg],
             vec![Type::QBundle(1)],
         );

@@ -74,14 +74,8 @@ pub fn generate_specializations(module: &mut Module) -> Result<usize, CoreError>
     unreachable!()
 }
 
-type FoundCall = (
-    String,
-    asdf_ir::block::BlockPath,
-    usize,
-    String,
-    bool,
-    Option<asdf_basis::Basis>,
-);
+type FoundCall =
+    (String, asdf_ir::block::BlockPath, usize, String, bool, Option<asdf_basis::Basis>);
 
 fn find_specialized_call(module: &Module) -> Option<FoundCall> {
     for func in module.funcs() {
@@ -179,10 +173,11 @@ mod tests {
         assert!(module.contains("h__adj"));
         // The adjoint of h applies Sdg.
         let h_adj = module.func("h__adj").unwrap();
-        assert!(h_adj.body.ops.iter().any(|op| matches!(
-            op.kind,
-            OpKind::Gate { gate: GateKind::Sdg, .. }
-        )));
+        assert!(h_adj
+            .body
+            .ops
+            .iter()
+            .any(|op| matches!(op.kind, OpKind::Gate { gate: GateKind::Sdg, .. })));
         // No specialized calls remain.
         for func in module.funcs() {
             for path in func.block_paths() {

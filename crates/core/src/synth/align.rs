@@ -40,9 +40,11 @@ impl AlignedPair {
             return false;
         }
         match (&self.elem_in, &self.elem_out) {
-            (BasisElem::Literal(a), BasisElem::Literal(b)) => {
-                a.vectors().iter().map(|v| &v.eigenbits).eq(b.vectors().iter().map(|v| &v.eigenbits))
-            }
+            (BasisElem::Literal(a), BasisElem::Literal(b)) => a
+                .vectors()
+                .iter()
+                .map(|v| &v.eigenbits)
+                .eq(b.vectors().iter().map(|v| &v.eigenbits)),
             _ => false,
         }
     }
@@ -52,9 +54,11 @@ impl AlignedPair {
     pub fn is_identity(&self) -> bool {
         match (&self.elem_in, &self.elem_out) {
             (BasisElem::BuiltIn { .. }, BasisElem::BuiltIn { .. }) => true,
-            (BasisElem::Literal(a), BasisElem::Literal(b)) => {
-                a.vectors().iter().map(|v| &v.eigenbits).eq(b.vectors().iter().map(|v| &v.eigenbits))
-            }
+            (BasisElem::Literal(a), BasisElem::Literal(b)) => a
+                .vectors()
+                .iter()
+                .map(|v| &v.eigenbits)
+                .eq(b.vectors().iter().map(|v| &v.eigenbits)),
             _ => false,
         }
     }
@@ -66,9 +70,8 @@ fn standardize_elem(e: &BasisElem) -> BasisElem {
     match e {
         BasisElem::BuiltIn { dim, .. } => BasisElem::built_in(PrimitiveBasis::Std, *dim),
         BasisElem::Literal(lit) => {
-            let stripped =
-                BasisLiteral::new(PrimitiveBasis::Std, lit.vectors_without_phases())
-                    .expect("restripping a valid literal");
+            let stripped = BasisLiteral::new(PrimitiveBasis::Std, lit.vectors_without_phases())
+                .expect("restripping a valid literal");
             BasisElem::Literal(stripped)
         }
     }
@@ -82,10 +85,8 @@ fn standardize_elem(e: &BasisElem) -> BasisElem {
 /// (enormous merged literals).
 pub fn align(b_in: &Basis, b_out: &Basis) -> Result<Vec<AlignedPair>, CoreError> {
     let mut pairs: Vec<AlignedPair> = Vec::new();
-    let mut ldeque: VecDeque<BasisElem> =
-        b_in.elements().iter().map(standardize_elem).collect();
-    let mut rdeque: VecDeque<BasisElem> =
-        b_out.elements().iter().map(standardize_elem).collect();
+    let mut ldeque: VecDeque<BasisElem> = b_in.elements().iter().map(standardize_elem).collect();
+    let mut rdeque: VecDeque<BasisElem> = b_out.elements().iter().map(standardize_elem).collect();
     let mut offset = 0usize;
 
     while let (Some(l), Some(r)) = (ldeque.pop_front(), rdeque.pop_front()) {
@@ -94,12 +95,8 @@ pub fn align(b_in: &Basis, b_out: &Basis) -> Result<Vec<AlignedPair>, CoreError>
             // the built-in side as a literal.
             let dim = l.dim();
             let (l, r) = match (&l, &r) {
-                (BasisElem::BuiltIn { .. }, BasisElem::Literal(_)) => {
-                    (materialize(&l)?, r.clone())
-                }
-                (BasisElem::Literal(_), BasisElem::BuiltIn { .. }) => {
-                    (l.clone(), materialize(&r)?)
-                }
+                (BasisElem::BuiltIn { .. }, BasisElem::Literal(_)) => (materialize(&l)?, r.clone()),
+                (BasisElem::Literal(_), BasisElem::BuiltIn { .. }) => (l.clone(), materialize(&r)?),
                 _ => (l.clone(), r.clone()),
             };
             pairs.push(AlignedPair { offset, elem_in: l, elem_out: r });
@@ -107,16 +104,12 @@ pub fn align(b_in: &Basis, b_out: &Basis) -> Result<Vec<AlignedPair>, CoreError>
             continue;
         }
 
-        let (big, small, bigdeque, big_is_left) = if l.dim() > r.dim() {
-            (l, r, &mut ldeque, true)
-        } else {
-            (r, l, &mut rdeque, false)
-        };
+        let (big, small, bigdeque, big_is_left) =
+            if l.dim() > r.dim() { (l, r, &mut ldeque, true) } else { (r, l, &mut rdeque, false) };
         let delta = big.dim() - small.dim();
         let dim_small = small.dim();
 
-        let (big_head, small_head, remainder): (BasisElem, BasisElem, BasisElem) = match &big
-        {
+        let (big_head, small_head, remainder): (BasisElem, BasisElem, BasisElem) = match &big {
             // Lines 17-24: big is std[N]: peel off std[dim small].
             BasisElem::BuiltIn { .. } => {
                 let factor = BasisElem::built_in(PrimitiveBasis::Std, dim_small);
@@ -125,11 +118,7 @@ pub fn align(b_in: &Basis, b_out: &Basis) -> Result<Vec<AlignedPair>, CoreError>
                 } else {
                     factor
                 };
-                (
-                    factor,
-                    small.clone(),
-                    BasisElem::built_in(PrimitiveBasis::Std, delta),
-                )
+                (factor, small.clone(), BasisElem::built_in(PrimitiveBasis::Std, delta))
             }
             // Lines 25-30: factor a literal prefix from big. Factoring must
             // preserve vector order (the order defines the permutation), so
@@ -137,11 +126,7 @@ pub fn align(b_in: &Basis, b_out: &Basis) -> Result<Vec<AlignedPair>, CoreError>
             BasisElem::Literal(lit) => match lit.factor_prefix_ordered(dim_small) {
                 Ok((prefix, suffix)) => {
                     let small_lit = materialize(&small)?;
-                    (
-                        BasisElem::Literal(prefix),
-                        small_lit,
-                        BasisElem::Literal(suffix),
-                    )
+                    (BasisElem::Literal(prefix), small_lit, BasisElem::Literal(suffix))
                 }
                 Err(_) => {
                     // Lines 31-34: merge the small side until dims match.
@@ -149,22 +134,16 @@ pub fn align(b_in: &Basis, b_out: &Basis) -> Result<Vec<AlignedPair>, CoreError>
                     let merged = merge_to_dim(small, big.dim(), smalldeque)?;
                     let big_lit = materialize(&big)?;
                     let dim = big.dim();
-                    let (elem_in, elem_out) = if big_is_left {
-                        (big_lit, merged)
-                    } else {
-                        (merged, big_lit)
-                    };
+                    let (elem_in, elem_out) =
+                        if big_is_left { (big_lit, merged) } else { (merged, big_lit) };
                     pairs.push(AlignedPair { offset, elem_in, elem_out });
                     offset += dim;
                     continue;
                 }
             },
         };
-        let (elem_in, elem_out) = if big_is_left {
-            (big_head, small_head)
-        } else {
-            (small_head, big_head)
-        };
+        let (elem_in, elem_out) =
+            if big_is_left { (big_head, small_head) } else { (small_head, big_head) };
         offset += dim_small;
         pairs.push(AlignedPair { offset: offset - dim_small, elem_in, elem_out });
         bigdeque.push_front(remainder);
@@ -207,18 +186,18 @@ fn merge_to_dim(
             let (prefix, suffix) = lit.factor_prefix(need).map_err(|e| {
                 CoreError::Synthesis(format!("cannot split element during merging: {e}"))
             })?;
-            acc = acc.product(&prefix).map_err(|e| {
-                CoreError::Synthesis(format!("merged literal too large: {e}"))
-            })?;
+            acc = acc
+                .product(&prefix)
+                .map_err(|e| CoreError::Synthesis(format!("merged literal too large: {e}")))?;
             deque.push_front(BasisElem::Literal(suffix));
         } else {
             let lit = match materialize(&next)? {
                 BasisElem::Literal(l) => l,
                 _ => unreachable!(),
             };
-            acc = acc.product(&lit).map_err(|e| {
-                CoreError::Synthesis(format!("merged literal too large: {e}"))
-            })?;
+            acc = acc
+                .product(&lit)
+                .map_err(|e| CoreError::Synthesis(format!("merged literal too large: {e}")))?;
         }
     }
     Ok(BasisElem::Literal(acc))
@@ -248,11 +227,8 @@ mod tests {
     fn appendix_f_merging_fallback() {
         // {'0','1'} + {'0','1'} >> {'00','10','01','11'}: the right side
         // cannot factor, so the left merges.
-        let pairs = align(
-            &basis("{'0','1'} + {'0','1'}"),
-            &basis("{'00','10','01','11'}"),
-        )
-        .unwrap();
+        let pairs =
+            align(&basis("{'0','1'} + {'0','1'}"), &basis("{'00','10','01','11'}")).unwrap();
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].dim(), 2);
         let BasisElem::Literal(l) = &pairs[0].elem_in else { panic!() };
@@ -262,11 +238,8 @@ mod tests {
     #[test]
     fn fig9_alignment() {
         // {'01','10'} + {'0','1'} >> {'101','100','011','010'}
-        let pairs = align(
-            &basis("{'01','10'} + {'0','1'}"),
-            &basis("{'101','100','011','010'}"),
-        )
-        .unwrap();
+        let pairs =
+            align(&basis("{'01','10'} + {'0','1'}"), &basis("{'101','100','011','010'}")).unwrap();
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].dim(), 2);
         assert_eq!(pairs[1].dim(), 1);

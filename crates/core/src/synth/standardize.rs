@@ -83,12 +83,11 @@ pub fn standardizations(b_in: &Basis, b_out: &Basis) -> (Vec<StdEntry>, Vec<StdE
             continue;
         }
         // Lines 16-30: factor or pad the bigger element.
-        let (mut big, small, bigstd, smallstd, bigdeque, big_is_left) =
-            if l.dim() > r.dim() {
-                (l, r, &mut lstd, &mut rstd, &mut ldeque, true)
-            } else {
-                (r, l, &mut rstd, &mut lstd, &mut rdeque, false)
-            };
+        let (mut big, small, bigstd, smallstd, bigdeque, big_is_left) = if l.dim() > r.dim() {
+            (l, r, &mut lstd, &mut rstd, &mut ldeque, true)
+        } else {
+            (r, l, &mut rstd, &mut lstd, &mut rdeque, false)
+        };
         let _ = big_is_left;
         let delta = big.dim() - small.dim();
         let big_separable = big.prim().map(PrimitiveBasis::is_separable);
@@ -96,17 +95,8 @@ pub fn standardizations(b_in: &Basis, b_out: &Basis) -> (Vec<StdEntry>, Vec<StdE
             (E6Elem::Real { prim, dim: _, offset }, Some(true)) => {
                 // Lines 20-24: a separable big element splits.
                 push_entry(smallstd, &small, small.dim(), kind);
-                bigstd.push(StdEntry {
-                    prim: *prim,
-                    dim: small.dim(),
-                    offset: *offset,
-                    kind,
-                });
-                big = E6Elem::Real {
-                    prim: *prim,
-                    dim: delta,
-                    offset: offset + small.dim(),
-                };
+                bigstd.push(StdEntry { prim: *prim, dim: small.dim(), offset: *offset, kind });
+                big = E6Elem::Real { prim: *prim, dim: delta, offset: offset + small.dim() };
                 bigdeque.push_front(big);
             }
             _ => {
@@ -182,8 +172,7 @@ mod tests {
     #[test]
     fn fig_e14_inseparable_fourier() {
         // std + fourier[3] >> fourier[3] + std
-        let (lstd, rstd) =
-            standardizations(&basis("std + fourier[3]"), &basis("fourier[3] + std"));
+        let (lstd, rstd) = standardizations(&basis("std + fourier[3]"), &basis("fourier[3] + std"));
         assert_eq!(
             entries(&lstd),
             vec![

@@ -43,8 +43,7 @@ pub fn emit_translation(
     let phases_out = collect_phases(b_out, resolve_phase)?;
     let (lstd, rstd) = standardizations(b_in, b_out);
     let aligned = align(b_in, b_out)?;
-    let predicates: Vec<&AlignedPair> =
-        aligned.iter().filter(|p| p.is_predicate()).collect();
+    let predicates: Vec<&AlignedPair> = aligned.iter().filter(|p| p.is_predicate()).collect();
     let combos = predicate_combinations(&predicates);
 
     let mut ctx = GateCtx { bb, values: qubits };
@@ -74,8 +73,7 @@ pub fn emit_translation(
                 for gate in &cascade.gates {
                     debug_assert!(gate.controls.iter().all(|(_, pos)| *pos));
                     let mut all_controls: Vec<usize> = controls.to_vec();
-                    all_controls
-                        .extend(gate.controls.iter().map(|(line, _)| pair.offset + line));
+                    all_controls.extend(gate.controls.iter().map(|(line, _)| pair.offset + line));
                     ctx.gate(GateKind::X, &all_controls, &[pair.offset + gate.target]);
                 }
             });
@@ -138,11 +136,7 @@ fn predicate_combinations(predicates: &[&AlignedPair]) -> Vec<Vec<(usize, bool)>
             for vector in lit.vectors() {
                 let mut extended = combo.clone();
                 extended.extend(
-                    vector
-                        .eigenbits
-                        .iter()
-                        .enumerate()
-                        .map(|(i, bit)| (pred.offset + i, bit)),
+                    vector.eigenbits.iter().enumerate().map(|(i, bit)| (pred.offset + i, bit)),
                 );
                 next.push(extended);
             }
@@ -155,8 +149,7 @@ fn predicate_combinations(predicates: &[&AlignedPair]) -> Vec<Vec<(usize, bool)>
 /// The partial permutation an aligned literal pair defines: in-vector k
 /// maps to out-vector k; everything else is fixed (§2.2).
 fn pair_permutation(pair: &AlignedPair) -> Result<Permutation, CoreError> {
-    let (BasisElem::Literal(l), BasisElem::Literal(r)) = (&pair.elem_in, &pair.elem_out)
-    else {
+    let (BasisElem::Literal(l), BasisElem::Literal(r)) = (&pair.elem_in, &pair.elem_out) else {
         return Err(CoreError::Synthesis(
             "aligned non-identity pair must be literal vs literal".to_string(),
         ));

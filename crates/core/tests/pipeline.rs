@@ -69,13 +69,9 @@ fn deutsch_jozsa_balanced_oracle() {
         }
     ";
     let captures = vec![CaptureValue::CFunc { name: "balanced".into(), captures: vec![] }];
-    let compiled = Compiler::compile(
-        src,
-        "dj",
-        &captures,
-        &CompileOptions::default().with_dim("N", 5),
-    )
-    .unwrap();
+    let compiled =
+        Compiler::compile(src, "dj", &captures, &CompileOptions::default().with_dim("N", 5))
+            .unwrap();
     let circuit = compiled.circuit.unwrap();
     // Balanced oracle: the all-zeros outcome has zero probability; the
     // parity oracle in fact always yields all-ones.
@@ -93,13 +89,9 @@ fn grover_amplifies_marked_item() {
         }
     ";
     let captures = vec![CaptureValue::CFunc { name: "oracle".into(), captures: vec![] }];
-    let compiled = Compiler::compile(
-        src,
-        "grover",
-        &captures,
-        &CompileOptions::default().with_dim("N", 4),
-    )
-    .unwrap();
+    let compiled =
+        Compiler::compile(src, "grover", &captures, &CompileOptions::default().with_dim("N", 4))
+            .unwrap();
     let circuit = compiled.circuit.unwrap();
     // After 3 iterations on 4 qubits, P(|1111>) ~ 0.96.
     let counts = sample(&circuit, 200, 11);
@@ -123,18 +115,14 @@ fn simon_samples_are_orthogonal_to_secret() {
         name: "f".into(),
         captures: vec![CaptureValue::bits_from_str("110")],
     }];
-    let compiled =
-        Compiler::compile(src, "simon", &captures, &CompileOptions::default()).unwrap();
+    let compiled = Compiler::compile(src, "simon", &captures, &CompileOptions::default()).unwrap();
     let circuit = compiled.circuit.unwrap();
     let mut sim = Simulator::new(23);
     let mut nontrivial = 0;
     for _ in 0..64 {
         let result = sim.run(&circuit);
         let y = &result.bits[..3];
-        let dot = y
-            .iter()
-            .zip(&secret)
-            .fold(false, |acc, (&a, &b)| acc ^ (a && b));
+        let dot = y.iter().zip(&secret).fold(false, |acc, (&a, &b)| acc ^ (a && b));
         assert!(!dot, "Simon sample y={y:?} not orthogonal to s");
         if y.iter().any(|&b| b) {
             nontrivial += 1;
@@ -159,8 +147,7 @@ fn period_finding_qft_runs() {
         name: "f".into(),
         captures: vec![CaptureValue::bits_from_str("011")],
     }];
-    let compiled =
-        Compiler::compile(src, "period", &captures, &CompileOptions::default()).unwrap();
+    let compiled = Compiler::compile(src, "period", &captures, &CompileOptions::default()).unwrap();
     let circuit = compiled.circuit.unwrap();
     let counts = sample(&circuit, 128, 31);
     let mut nonzero = 0usize;
@@ -249,13 +236,9 @@ fn adjoint_undoes_translation() {
 
 #[test]
 fn no_opt_configuration_emits_callables() {
-    let compiled = Compiler::compile(
-        BV_SRC,
-        "kernel",
-        &bv_captures("1010"),
-        &CompileOptions::no_opt(),
-    )
-    .unwrap();
+    let compiled =
+        Compiler::compile(BV_SRC, "kernel", &bv_captures("1010"), &CompileOptions::no_opt())
+            .unwrap();
     // Without inlining, the functional structure survives as callables
     // (Table 1's Asdf (No Opt) row has nonzero counts).
     let mut creates = 0;

@@ -11,17 +11,15 @@ use proptest::prelude::*;
 fn arb_std_translation() -> impl Strategy<Value = (String, usize, Vec<(usize, usize)>)> {
     (1usize..=3).prop_flat_map(|dim| {
         let total = 1usize << dim;
-        proptest::sample::subsequence((0..total).collect::<Vec<_>>(), 1..=total)
-            .prop_flat_map(move |values| {
+        proptest::sample::subsequence((0..total).collect::<Vec<_>>(), 1..=total).prop_flat_map(
+            move |values| {
                 let k = values.len();
-                (Just(values), proptest::sample::select((0..k).collect::<Vec<_>>()))
-                    .prop_flat_map(move |(values, _)| {
+                (Just(values), proptest::sample::select((0..k).collect::<Vec<_>>())).prop_flat_map(
+                    move |(values, _)| {
                         Just(values.clone()).prop_shuffle().prop_map(move |shuffled| {
                             let fmt = |v: usize| format!("'{:0width$b}'", v, width = dim);
-                            let lhs: Vec<String> =
-                                values.iter().map(|&v| fmt(v)).collect();
-                            let rhs: Vec<String> =
-                                shuffled.iter().map(|&v| fmt(v)).collect();
+                            let lhs: Vec<String> = values.iter().map(|&v| fmt(v)).collect();
+                            let rhs: Vec<String> = shuffled.iter().map(|&v| fmt(v)).collect();
                             let src = format!(
                                 "qpu k(qs: qubit[{dim}]) -> qubit[{dim}] {{\n\
                                      qs | {{{}}} >> {{{}}}\n\
@@ -29,15 +27,14 @@ fn arb_std_translation() -> impl Strategy<Value = (String, usize, Vec<(usize, us
                                 lhs.join(","),
                                 rhs.join(",")
                             );
-                            let pairs: Vec<(usize, usize)> = values
-                                .iter()
-                                .zip(&shuffled)
-                                .map(|(&a, &b)| (a, b))
-                                .collect();
+                            let pairs: Vec<(usize, usize)> =
+                                values.iter().zip(&shuffled).map(|(&a, &b)| (a, b)).collect();
                             (src, dim, pairs)
                         })
-                    })
-            })
+                    },
+                )
+            },
+        )
     })
 }
 

@@ -54,17 +54,18 @@ fn clone_op(src: &Func, op: &Op, dest: &mut Func, map: &mut HashMap<Value, Value
         .regions
         .iter()
         .map(|region| Region {
-            blocks: region
-                .blocks
-                .iter()
-                .map(|block| clone_block(src, block, dest, map))
-                .collect(),
+            blocks: region.blocks.iter().map(|block| clone_block(src, block, dest, map)).collect(),
         })
         .collect();
     Op { kind: op.kind.clone(), operands, results, regions }
 }
 
-fn clone_block(src: &Func, block: &Block, dest: &mut Func, map: &mut HashMap<Value, Value>) -> Block {
+fn clone_block(
+    src: &Func,
+    block: &Block,
+    dest: &mut Func,
+    map: &mut HashMap<Value, Value>,
+) -> Block {
     let args = block
         .args
         .iter()
@@ -81,8 +82,7 @@ fn clone_block(src: &Func, block: &Block, dest: &mut Func, map: &mut HashMap<Val
 /// Clones an entire function under a new name, preserving structure with a
 /// fresh, compact value arena. Used to create specializations.
 pub fn clone_func(src: &Func, new_name: impl Into<String>) -> Func {
-    let mut dest =
-        crate::func::FuncBuilder::new(new_name, src.ty.clone(), src.visibility).finish();
+    let mut dest = crate::func::FuncBuilder::new(new_name, src.ty.clone(), src.visibility).finish();
     let mut map = HashMap::new();
     let dest_args = dest.body.args.clone();
     for (src_arg, dest_arg) in src.body.args.iter().zip(dest_args) {

@@ -93,11 +93,7 @@ mod tests {
     fn facts_flow_through_gates() {
         let mut b = FuncBuilder::new(
             "f",
-            FuncType::new(
-                vec![Type::Qubit, Type::Qubit],
-                vec![Type::Qubit, Type::Qubit],
-                true,
-            ),
+            FuncType::new(vec![Type::Qubit, Type::Qubit], vec![Type::Qubit, Type::Qubit], true),
             Visibility::Public,
         );
         let (a0, a1) = (b.args()[0], b.args()[1]);

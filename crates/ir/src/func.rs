@@ -56,14 +56,8 @@ impl Func {
     /// values, so it stays in place when the quantum portion of the DAG is
     /// adjointed or predicated around it.
     pub fn op_is_stationary(&self, op: &Op) -> bool {
-        let no_linear_operand = op
-            .operands
-            .iter()
-            .all(|v| !self.value_type(*v).is_linear());
-        let no_linear_result = op
-            .results
-            .iter()
-            .all(|v| !self.value_type(*v).is_linear());
+        let no_linear_operand = op.operands.iter().all(|v| !self.value_type(*v).is_linear());
+        let no_linear_result = op.results.iter().all(|v| !self.value_type(*v).is_linear());
         no_linear_operand && no_linear_result && !op.is_terminator()
     }
 
@@ -263,9 +257,7 @@ impl<'a> BlockBuilder<'a> {
         regions: Vec<Region>,
     ) -> Vec<Value> {
         let results: Vec<Value> = result_tys.into_iter().map(|t| self.new_value(t)).collect();
-        self.block
-            .ops
-            .push(Op::with_regions(kind, operands, results.clone(), regions));
+        self.block.ops.push(Op::with_regions(kind, operands, results.clone(), regions));
         results
     }
 
@@ -277,11 +269,7 @@ impl<'a> BlockBuilder<'a> {
     /// Builds a nested single-block region body (for `lambda` / `scf.if`).
     /// The closure receives a builder for the new block whose arguments have
     /// the given types; the closure must push a terminator.
-    pub fn subblock(
-        &mut self,
-        arg_tys: Vec<Type>,
-        f: impl FnOnce(&mut BlockBuilder<'_>),
-    ) -> Block {
+    pub fn subblock(&mut self, arg_tys: Vec<Type>, f: impl FnOnce(&mut BlockBuilder<'_>)) -> Block {
         let mut args = Vec::new();
         for ty in arg_tys {
             let v = Value::from_index(self.value_types.len());

@@ -56,10 +56,7 @@ impl GateKind {
     /// Whether the gate is Hermitian (self-adjoint), so two adjacent copies
     /// cancel (§6.5's "cancelling out adjacent Hermitian gates").
     pub fn is_hermitian(self) -> bool {
-        matches!(
-            self,
-            GateKind::X | GateKind::Y | GateKind::Z | GateKind::H | GateKind::Swap
-        )
+        matches!(self, GateKind::X | GateKind::Y | GateKind::Z | GateKind::H | GateKind::Swap)
     }
 
     /// The adjoint (inverse) gate.

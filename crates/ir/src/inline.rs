@@ -150,9 +150,7 @@ fn inline_one(
         callee.clone()
     };
 
-    let caller = module
-        .func_mut(caller_name)
-        .expect("caller existed a moment ago");
+    let caller = module.func_mut(caller_name).expect("caller existed a moment ago");
     let (call_operands, call_results) = {
         let op = &caller.block_at(path).ops[op_idx];
         (op.operands.clone(), op.results.clone())
@@ -167,28 +165,18 @@ fn inline_one(
 
     // Map callee block args to call operands, then clone the body ops
     // (minus the terminator) into the caller's arena.
-    let mut map: HashMap<crate::value::Value, crate::value::Value> = body_func
-        .body
-        .args
-        .iter()
-        .copied()
-        .zip(call_operands)
-        .collect();
+    let mut map: HashMap<crate::value::Value, crate::value::Value> =
+        body_func.body.args.iter().copied().zip(call_operands).collect();
     let Some(terminator) = body_func.body.terminator() else {
         return Err(IrError::Inline(format!("@{callee_name} has no terminator")));
     };
     if !matches!(terminator.kind, OpKind::Return) {
-        return Err(IrError::Inline(format!(
-            "@{callee_name} does not end in a return"
-        )));
+        return Err(IrError::Inline(format!("@{callee_name} does not end in a return")));
     }
     let body_len = body_func.body.ops.len();
     let cloned = clone_ops_into(&body_func, &body_func.body.ops[..body_len - 1], caller, &mut map);
-    let return_vals: Vec<crate::value::Value> = body_func.body.ops[body_len - 1]
-        .operands
-        .iter()
-        .map(|v| map[v])
-        .collect();
+    let return_vals: Vec<crate::value::Value> =
+        body_func.body.ops[body_len - 1].operands.iter().map(|v| map[v]).collect();
 
     // Splice and rewire.
     let block = caller.block_at_mut(path);
@@ -306,11 +294,7 @@ mod tests {
 
         let main = module.func("main").unwrap();
         assert!(
-            !main
-                .body
-                .ops
-                .iter()
-                .any(|op| matches!(op.kind, OpKind::Call { .. })),
+            !main.body.ops.iter().any(|op| matches!(op.kind, OpKind::Call { .. })),
             "call was replaced by the body"
         );
         assert!(main.body.ops.iter().any(|op| matches!(op.kind, OpKind::Gate { .. })));

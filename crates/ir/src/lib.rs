@@ -22,7 +22,10 @@
 //!   adjoint/predication transforms (implemented in `asdf-core`) can run
 //!   when `call adj`/`call pred` ops are inlined (§5.4);
 //! - a small forward [`dataflow`] framework used by the qubit-index
-//!   analysis of §5.3.
+//!   analysis of §5.3;
+//! - a [`pass`] manager running declarative, instrumented pass pipelines
+//!   (per-pass wall-clock timing, change counts, verify-after-each-pass),
+//!   which the `asdf-core` driver uses to express the Fig. 2 pipeline.
 //!
 //! Quantum ops have no side effects; qubits flow through operations, making
 //! dependencies explicit (§5). That dataflow style is what lets every
@@ -37,6 +40,7 @@ pub mod gate;
 pub mod inline;
 pub mod module;
 pub mod op;
+pub mod pass;
 pub mod print;
 pub mod rewrite;
 pub mod types;
@@ -49,5 +53,8 @@ pub use func::{Func, FuncBuilder, Visibility};
 pub use gate::GateKind;
 pub use module::Module;
 pub use op::{Op, OpKind};
+pub use pass::{
+    Fixpoint, Pass, PassError, PassManager, PassOutcome, PassResult, PassStat, PassStatistics,
+};
 pub use types::{FuncType, Type};
 pub use value::Value;

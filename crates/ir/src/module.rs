@@ -115,7 +115,8 @@ mod tests {
     use crate::types::FuncType;
 
     fn stub(name: &str) -> Func {
-        let mut b = FuncBuilder::new(name, FuncType::new(vec![], vec![], false), Visibility::Private);
+        let mut b =
+            FuncBuilder::new(name, FuncType::new(vec![], vec![], false), Visibility::Private);
         b.block().push(OpKind::Return, vec![], vec![]);
         b.finish()
     }

@@ -164,9 +164,7 @@ fn kind_text(kind: &OpKind) -> String {
 
 fn kind_suffix(kind: &OpKind) -> Option<String> {
     match kind {
-        OpKind::QbTrans { basis_in, basis_out } => {
-            Some(format!("by {basis_in} >> {basis_out}"))
-        }
+        OpKind::QbTrans { basis_in, basis_out } => Some(format!("by {basis_in} >> {basis_out}")),
         OpKind::QbMeas { basis } => Some(format!("in {basis}")),
         OpKind::FuncPred { pred } => Some(format!("pred({pred})")),
         _ => None,
@@ -189,11 +187,7 @@ mod tests {
         );
         let mut bb = b.block();
         let prep = bb.push(
-            OpKind::QbPrep {
-                prim: PrimitiveBasis::Pm,
-                eigenstate: Eigenstate::Plus,
-                dim: 2,
-            },
+            OpKind::QbPrep { prim: PrimitiveBasis::Pm, eigenstate: Eigenstate::Plus, dim: 2 },
             vec![],
             vec![Type::QBundle(2)],
         );

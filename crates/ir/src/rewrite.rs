@@ -24,11 +24,7 @@ impl SymbolTable {
     /// Builds the snapshot from a module.
     pub fn from_module(module: &Module) -> Self {
         SymbolTable {
-            sigs: module
-                .funcs()
-                .iter()
-                .map(|f| (f.name.clone(), f.ty.clone()))
-                .collect(),
+            sigs: module.funcs().iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
         }
     }
 
@@ -247,7 +243,9 @@ mod tests {
         let func = module.func("f").unwrap();
         // After folding + DCE only the folded constant and return remain.
         assert_eq!(func.body.ops.len(), 2);
-        assert!(matches!(func.body.ops[0].kind, OpKind::ConstF64 { value } if (value - 4.0).abs() < 1e-12));
+        assert!(
+            matches!(func.body.ops[0].kind, OpKind::ConstF64 { value } if (value - 4.0).abs() < 1e-12)
+        );
         crate::verify::verify_module(&module).unwrap();
     }
 

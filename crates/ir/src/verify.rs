@@ -68,7 +68,10 @@ impl Ctx<'_> {
             return Err("block has no terminator".to_string());
         };
         if !last.is_terminator() {
-            return Err(format!("block does not end in a terminator (ends in {})", last.kind.mnemonic()));
+            return Err(format!(
+                "block does not end in a terminator (ends in {})",
+                last.kind.mnemonic()
+            ));
         }
         for op in &block.ops[..block.ops.len() - 1] {
             if op.is_terminator() {
@@ -91,7 +94,10 @@ impl Ctx<'_> {
         for (idx, op) in block.ops.iter().enumerate() {
             for &operand in &op.operands {
                 if operand.index() >= self.func.num_values() {
-                    return Err(format!("op {idx} ({}) uses out-of-arena value {operand}", op.kind.mnemonic()));
+                    return Err(format!(
+                        "op {idx} ({}) uses out-of-arena value {operand}",
+                        op.kind.mnemonic()
+                    ));
                 }
                 if !defined.contains(&operand) {
                     if self.ty(operand).is_linear() {
@@ -124,9 +130,7 @@ impl Ctx<'_> {
                     .transitive_uses()
                     .into_iter()
                     .filter(|v| {
-                        !op.operands.contains(v)
-                            && defined.contains(v)
-                            && self.ty(*v).is_linear()
+                        !op.operands.contains(v) && defined.contains(v) && self.ty(*v).is_linear()
                     })
                     .collect();
                 // A value consumed once per branch is one use of the
@@ -170,16 +174,15 @@ impl Ctx<'_> {
                     HashSet::new()
                 };
                 let nested_results: Vec<Type> = match &op.kind {
-                    OpKind::ScfIf => {
-                        op.results.iter().map(|v| self.ty(*v).clone()).collect()
-                    }
+                    OpKind::ScfIf => op.results.iter().map(|v| self.ty(*v).clone()).collect(),
                     OpKind::Lambda { func_ty } => func_ty.results.clone(),
                     _ => Vec::new(),
                 };
                 for region in &op.regions {
                     for nested in &region.blocks {
-                        self.verify_block(nested, &nested_results, &visible, &lent)
-                            .map_err(|e| format!("op {idx} ({}): in region: {e}", op.kind.mnemonic()))?;
+                        self.verify_block(nested, &nested_results, &visible, &lent).map_err(
+                            |e| format!("op {idx} ({}): in region: {e}", op.kind.mnemonic()),
+                        )?;
                     }
                 }
             }
@@ -236,8 +239,10 @@ impl Ctx<'_> {
                 let Some(Type::QBundle(n)) = operand_tys.first().copied() else {
                     return Err("qbtrans operand 0 must be a qbundle".to_string());
                 };
-                expect(basis_in.dim() == *n && basis_out.dim() == *n,
-                    "qbtrans basis dimensions must match the qbundle")?;
+                expect(
+                    basis_in.dim() == *n && basis_out.dim() == *n,
+                    "qbtrans basis dimensions must match the qbundle",
+                )?;
                 expect(
                     operand_tys[1..].iter().all(|t| **t == Type::F64),
                     "qbtrans phase operands must be f64",
@@ -260,13 +265,9 @@ impl Ctx<'_> {
             OpKind::QbPack => {
                 // Zero operands produce the unit bundle qbundle[0] (the
                 // result of `discard`).
+                expect(operand_tys.iter().all(|t| **t == Type::Qubit), "qbpack takes qubits")?;
                 expect(
-                    operand_tys.iter().all(|t| **t == Type::Qubit),
-                    "qbpack takes qubits",
-                )?;
-                expect(
-                    result_tys.len() == 1
-                        && *result_tys[0] == Type::QBundle(op.operands.len()),
+                    result_tys.len() == 1 && *result_tys[0] == Type::QBundle(op.operands.len()),
                     "qbpack yields qbundle[N]",
                 )
             }
@@ -280,13 +281,9 @@ impl Ctx<'_> {
                 )
             }
             OpKind::BitPack => {
+                expect(operand_tys.iter().all(|t| **t == Type::I1), "bitpack takes i1s")?;
                 expect(
-                    operand_tys.iter().all(|t| **t == Type::I1),
-                    "bitpack takes i1s",
-                )?;
-                expect(
-                    result_tys.len() == 1
-                        && *result_tys[0] == Type::BitBundle(op.operands.len()),
+                    result_tys.len() == 1 && *result_tys[0] == Type::BitBundle(op.operands.len()),
                     "bitpack yields bitbundle[N]",
                 )
             }
@@ -305,8 +302,7 @@ impl Ctx<'_> {
                         .func(symbol)
                         .ok_or_else(|| format!("func_const references unknown @{symbol}"))?;
                     expect(
-                        result_tys.len() == 1
-                            && *result_tys[0] == Type::func(target.ty.clone()),
+                        result_tys.len() == 1 && *result_tys[0] == Type::func(target.ty.clone()),
                         "func_const result type must match the symbol's signature",
                     )?;
                 }
@@ -326,8 +322,8 @@ impl Ctx<'_> {
                 let Some(Type::Func(ft)) = operand_tys.first().copied() else {
                     return Err("func_pred takes a function value".to_string());
                 };
-                let n = rev_qbundle_dim(ft)
-                    .ok_or("func_pred requires qbundle[N] -rev-> qbundle[N]")?;
+                let n =
+                    rev_qbundle_dim(ft).ok_or("func_pred requires qbundle[N] -rev-> qbundle[N]")?;
                 let m = pred.dim();
                 expect(
                     result_tys.len() == 1
@@ -357,20 +353,10 @@ impl Ctx<'_> {
                     "lambda block args must be captures ++ params",
                 )?;
                 for (cap, arg) in op.operands.iter().zip(&block.args) {
-                    expect(
-                        self.ty(*cap) == self.ty(*arg),
-                        "lambda capture/arg type mismatch",
-                    )?;
-                    expect(
-                        !self.ty(*cap).is_linear(),
-                        "lambda cannot capture linear values",
-                    )?;
+                    expect(self.ty(*cap) == self.ty(*arg), "lambda capture/arg type mismatch")?;
+                    expect(!self.ty(*cap).is_linear(), "lambda cannot capture linear values")?;
                 }
-                for (input, arg) in func_ty
-                    .inputs
-                    .iter()
-                    .zip(&block.args[op.operands.len()..])
-                {
+                for (input, arg) in func_ty.inputs.iter().zip(&block.args[op.operands.len()..]) {
                     expect(input == self.ty(*arg), "lambda param type mismatch")?;
                 }
                 expect(
@@ -382,10 +368,7 @@ impl Ctx<'_> {
                 expect(op.results.is_empty(), "terminators yield nothing")?;
                 expect(
                     operand_tys.len() == expected_results.len()
-                        && operand_tys
-                            .iter()
-                            .zip(expected_results)
-                            .all(|(a, b)| **a == *b),
+                        && operand_tys.iter().zip(expected_results).all(|(a, b)| **a == *b),
                     "terminator operands must match the enclosing result types",
                 )
             }
@@ -437,16 +420,13 @@ impl Ctx<'_> {
                 "qalloc yields one qubit",
             ),
             OpKind::QFree | OpKind::QFreeZ => expect(
-                operand_tys.len() == 1
-                    && *operand_tys[0] == Type::Qubit
-                    && op.results.is_empty(),
+                operand_tys.len() == 1 && *operand_tys[0] == Type::Qubit && op.results.is_empty(),
                 "qfree takes one qubit",
             ),
             OpKind::Gate { gate, num_controls } => {
                 let total = num_controls + gate.num_targets();
                 expect(
-                    operand_tys.len() == total
-                        && operand_tys.iter().all(|t| **t == Type::Qubit),
+                    operand_tys.len() == total && operand_tys.iter().all(|t| **t == Type::Qubit),
                     "gate takes controls + targets qubits",
                 )?;
                 expect(
@@ -562,25 +542,18 @@ pub fn effective_call_type(
         return Err("adjoint call of an irreversible function".to_string());
     }
     if let Some(pred) = pred {
-        let n = rev_qbundle_dim(&ty)
-            .ok_or("predicated call requires qbundle[N] -rev-> qbundle[N]")?;
+        let n =
+            rev_qbundle_dim(&ty).ok_or("predicated call requires qbundle[N] -rev-> qbundle[N]")?;
         ty = FuncType::rev_qbundle(pred.dim() + n);
     }
     Ok(ty)
 }
 
-fn check_signature(
-    ft: &FuncType,
-    args: &[&Type],
-    results: &[&Type],
-) -> Result<(), String> {
-    if args.len() != ft.inputs.len()
-        || args.iter().zip(&ft.inputs).any(|(a, b)| **a != *b)
-    {
+fn check_signature(ft: &FuncType, args: &[&Type], results: &[&Type]) -> Result<(), String> {
+    if args.len() != ft.inputs.len() || args.iter().zip(&ft.inputs).any(|(a, b)| **a != *b) {
         return Err("call arguments do not match the callee signature".to_string());
     }
-    if results.len() != ft.results.len()
-        || results.iter().zip(&ft.results).any(|(a, b)| **a != *b)
+    if results.len() != ft.results.len() || results.iter().zip(&ft.results).any(|(a, b)| **a != *b)
     {
         return Err("call results do not match the callee signature".to_string());
     }
@@ -654,11 +627,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_terminator() {
-        let mut b = FuncBuilder::new(
-            "k",
-            FuncType::new(vec![], vec![], false),
-            Visibility::Public,
-        );
+        let mut b = FuncBuilder::new("k", FuncType::new(vec![], vec![], false), Visibility::Public);
         b.block().push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
         let err = verify(b.finish()).unwrap_err();
         assert!(err.to_string().contains("terminator"), "{err}");
@@ -666,11 +635,7 @@ mod tests {
 
     #[test]
     fn rejects_basis_dim_mismatch() {
-        let mut b = FuncBuilder::new(
-            "k",
-            FuncType::rev_qbundle(2),
-            Visibility::Public,
-        );
+        let mut b = FuncBuilder::new("k", FuncType::rev_qbundle(2), Visibility::Public);
         let arg = b.args()[0];
         let mut bb = b.block();
         let t = bb.push(
@@ -688,17 +653,9 @@ mod tests {
 
     #[test]
     fn rejects_call_to_unknown_symbol() {
-        let mut b = FuncBuilder::new(
-            "k",
-            FuncType::new(vec![], vec![], false),
-            Visibility::Public,
-        );
+        let mut b = FuncBuilder::new("k", FuncType::new(vec![], vec![], false), Visibility::Public);
         let mut bb = b.block();
-        bb.push(
-            OpKind::Call { callee: "ghost".into(), adj: false, pred: None },
-            vec![],
-            vec![],
-        );
+        bb.push(OpKind::Call { callee: "ghost".into(), adj: false, pred: None }, vec![], vec![]);
         bb.push(OpKind::Return, vec![], vec![]);
         let mut m = Module::new();
         m.add_func(b.finish());

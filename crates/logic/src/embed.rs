@@ -214,21 +214,19 @@ fn schedule_in_place(
         if schedulable.is_empty() {
             return Err(pending);
         }
-        let free_pivot = |k: usize| -> Option<usize> {
-            supports[k].0.iter().copied().find(|w| {
-                !pending
-                    .iter()
-                    .any(|&other| other != k && supports[other].0.contains(w))
-            })
-        };
-        let (op_idx, pivot) = schedulable
-            .iter()
-            .copied()
-            .find_map(|k| free_pivot(k).map(|p| (k, p)))
-            .unwrap_or_else(|| {
-                let k = schedulable[0];
-                (k, supports[k].0[0])
-            });
+        let free_pivot =
+            |k: usize| -> Option<usize> {
+                supports[k].0.iter().copied().find(|w| {
+                    !pending.iter().any(|&other| other != k && supports[other].0.contains(w))
+                })
+            };
+        let (op_idx, pivot) =
+            schedulable.iter().copied().find_map(|k| free_pivot(k).map(|p| (k, p))).unwrap_or_else(
+                || {
+                    let k = schedulable[0];
+                    (k, supports[k].0[0])
+                },
+            );
         pending.retain(|&k| k != op_idx);
         used_pivots.push(pivot);
         order.push((op_idx, pivot));
@@ -243,11 +241,8 @@ fn schedule_in_place(
 fn embed_per_node(xag: &Xag) -> Result<Embedding, String> {
     let n = xag.num_inputs();
     let m = xag.outputs().len();
-    let gate_nodes: Vec<usize> = xag
-        .live_nodes()
-        .into_iter()
-        .filter(|&node| xag.is_and(node) || xag.is_xor(node))
-        .collect();
+    let gate_nodes: Vec<usize> =
+        xag.live_nodes().into_iter().filter(|&node| xag.is_and(node) || xag.is_xor(node)).collect();
     let lines = n + m + gate_nodes.len();
     let mut circuit = RevCircuit::new(lines);
 
@@ -270,10 +265,8 @@ fn embed_per_node(xag: &Xag) -> Result<Embedding, String> {
             }
         } else {
             // MCX with per-operand polarity.
-            let controls = operands
-                .iter()
-                .map(|s| (node_line[&s.node()], !s.is_inverted()))
-                .collect();
+            let controls =
+                operands.iter().map(|s| (node_line[&s.node()], !s.is_inverted())).collect();
             compute_gates.push(McxGate { controls, target: ancilla });
         }
         node_line.insert(node, ancilla);
@@ -368,12 +361,7 @@ mod tests {
         let emb = check(&and_reduce(5), EmbedStyle::InPlaceXor);
         // Exactly: compute MCX, copy CNOT, uncompute MCX.
         assert_eq!(emb.ancilla_lines.len(), 1);
-        let mcx_count = emb
-            .circuit
-            .gates
-            .iter()
-            .filter(|g| g.controls.len() == 5)
-            .count();
+        let mcx_count = emb.circuit.gates.iter().filter(|g| g.controls.len() == 5).count();
         assert_eq!(mcx_count, 2);
     }
 

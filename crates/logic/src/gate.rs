@@ -86,10 +86,7 @@ impl RevCircuit {
     /// Panics if the gate references lines outside the circuit.
     pub fn push(&mut self, gate: McxGate) {
         assert!(gate.target < self.lines, "target line out of range");
-        assert!(
-            gate.controls.iter().all(|&(l, _)| l < self.lines),
-            "control line out of range"
-        );
+        assert!(gate.controls.iter().all(|&(l, _)| l < self.lines), "control line out of range");
         assert!(
             gate.controls.iter().all(|&(l, _)| l != gate.target),
             "control may not equal target"
@@ -122,11 +119,10 @@ impl RevCircuit {
         let size = 1usize << self.lines;
         let mut table = Vec::with_capacity(size);
         for x in 0..size {
-            let bits: Vec<bool> = (0..self.lines).map(|i| (x >> (self.lines - 1 - i)) & 1 == 1).collect();
+            let bits: Vec<bool> =
+                (0..self.lines).map(|i| (x >> (self.lines - 1 - i)) & 1 == 1).collect();
             let out = self.run(&bits);
-            let y = out
-                .iter()
-                .fold(0usize, |acc, &b| (acc << 1) | usize::from(b));
+            let y = out.iter().fold(0usize, |acc, &b| (acc << 1) | usize::from(b));
             table.push(y);
         }
         Permutation::from_table(table).expect("reversible circuits are bijections")

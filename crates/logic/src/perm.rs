@@ -125,10 +125,7 @@ impl Permutation {
     /// Panics if the bit widths differ.
     pub fn compose(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.n, other.n, "composition requires equal widths");
-        Permutation {
-            n: self.n,
-            table: other.table.iter().map(|&y| self.table[y]).collect(),
-        }
+        Permutation { n: self.n, table: other.table.iter().map(|&y| self.table[y]).collect() }
     }
 
     /// Decomposes the permutation into transpositions (swaps), used when

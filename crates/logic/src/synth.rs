@@ -54,9 +54,12 @@ pub fn synthesize_with(perm: &Permutation, direction: Direction) -> RevCircuit {
             // Input side: transform x into the row currently mapping to x.
             let x_in = table.iter().position(|&v| v == x).expect("bijection");
             let in_gates = fix_value_gates(x, x_in);
-            let in_cost: usize =
-                in_gates.iter().map(|g| g.cmask.count_ones() as usize).sum();
-            if in_cost < out_cost { Some(in_gates) } else { None }
+            let in_cost: usize = in_gates.iter().map(|g| g.cmask.count_ones() as usize).sum();
+            if in_cost < out_cost {
+                Some(in_gates)
+            } else {
+                None
+            }
         } else {
             None
         };
@@ -113,13 +116,10 @@ impl MaskGate {
     }
 
     fn to_mcx(self, n: usize) -> McxGate {
-        let target = (0..n)
-            .find(|l| self.tmask >> (n - 1 - l) & 1 == 1)
-            .expect("target mask has one bit");
-        let controls = (0..n)
-            .filter(|l| self.cmask >> (n - 1 - l) & 1 == 1)
-            .map(|l| (l, true))
-            .collect();
+        let target =
+            (0..n).find(|l| self.tmask >> (n - 1 - l) & 1 == 1).expect("target mask has one bit");
+        let controls =
+            (0..n).filter(|l| self.cmask >> (n - 1 - l) & 1 == 1).map(|l| (l, true)).collect();
         McxGate { controls, target }
     }
 }

@@ -20,6 +20,7 @@ pub struct Signal {
 
 impl Signal {
     /// The complemented signal.
+    #[allow(clippy::should_implement_trait)] // named after XAG terminology
     pub fn not(self) -> Signal {
         Signal { node: self.node, inverted: !self.inverted }
     }
@@ -238,15 +239,12 @@ impl Xag {
                 Node::ConstFalse => false,
                 Node::Input(k) => inputs[*k as usize],
                 Node::And(ops) => ops.iter().all(|s| values[s.node()] ^ s.inverted),
-                Node::Xor(ops) => ops
-                    .iter()
-                    .fold(false, |acc, s| acc ^ (values[s.node()] ^ s.inverted)),
+                Node::Xor(ops) => {
+                    ops.iter().fold(false, |acc, s| acc ^ (values[s.node()] ^ s.inverted))
+                }
             };
         }
-        self.outputs
-            .iter()
-            .map(|s| values[s.node()] ^ s.inverted)
-            .collect()
+        self.outputs.iter().map(|s| values[s.node()] ^ s.inverted).collect()
     }
 
     /// AND nodes reachable from the outputs, in topological order. These

@@ -26,10 +26,7 @@ fn arb_xag(inputs: usize, max_ops: usize) -> impl Strategy<Value = Xag> {
         (0usize..64, 0usize..64, any::<bool>(), any::<bool>())
             .prop_map(|(a, b, ia, ib)| OpRecipe::Xor(a, b, ia, ib)),
     ];
-    (
-        proptest::collection::vec(op, 1..=max_ops),
-        proptest::collection::vec(0usize..64, 1..=3),
-    )
+    (proptest::collection::vec(op, 1..=max_ops), proptest::collection::vec(0usize..64, 1..=3))
         .prop_map(move |(ops, out_picks)| {
             let mut g = Xag::new(inputs);
             let mut pool: Vec<Signal> = (0..inputs).map(|i| g.input(i)).collect();
@@ -52,10 +49,7 @@ fn arb_xag(inputs: usize, max_ops: usize) -> impl Strategy<Value = Xag> {
                 };
                 pool.push(next);
             }
-            let outputs = out_picks
-                .into_iter()
-                .map(|k| pool[k % pool.len()])
-                .collect();
+            let outputs = out_picks.into_iter().map(|k| pool[k % pool.len()]).collect();
             g.set_outputs(outputs);
             g
         })

@@ -164,7 +164,9 @@ impl Circuit {
         self.ops
             .iter()
             .filter(|op| match op {
-                CircuitOp::Gate { gate, .. } => gate.param().is_some() && !is_clifford_angle(*gate) && !is_t_like(*gate),
+                CircuitOp::Gate { gate, .. } => {
+                    gate.param().is_some() && !is_clifford_angle(*gate) && !is_t_like(*gate)
+                }
                 _ => false,
             })
             .count()

@@ -36,11 +36,8 @@ pub enum DecomposeStyle {
 /// {1-qubit gates, CX, CZ, CP}. Multi-controlled gates allocate reusable
 /// ancilla registers appended after the original registers.
 pub fn decompose(circuit: &Circuit, style: DecomposeStyle) -> Circuit {
-    let mut out = Decomposer {
-        circuit: Circuit::new(circuit.num_qubits),
-        free_ancillas: Vec::new(),
-        style,
-    };
+    let mut out =
+        Decomposer { circuit: Circuit::new(circuit.num_qubits), free_ancillas: Vec::new(), style };
     for op in &circuit.ops {
         match op {
             CircuitOp::Gate { gate, controls, targets } => {
@@ -92,13 +89,9 @@ impl Decomposer {
                 self.g(GateKind::S, &[], &[targets[0]]);
             }
             (GateKind::S, _) => self.controlled_gate(GateKind::P(FRAC_PI_2), controls, targets),
-            (GateKind::Sdg, _) => {
-                self.controlled_gate(GateKind::P(-FRAC_PI_2), controls, targets)
-            }
+            (GateKind::Sdg, _) => self.controlled_gate(GateKind::P(-FRAC_PI_2), controls, targets),
             (GateKind::T, _) => self.controlled_gate(GateKind::P(FRAC_PI_4), controls, targets),
-            (GateKind::Tdg, _) => {
-                self.controlled_gate(GateKind::P(-FRAC_PI_4), controls, targets)
-            }
+            (GateKind::Tdg, _) => self.controlled_gate(GateKind::P(-FRAC_PI_4), controls, targets),
             (GateKind::P(theta), 1) => self.cp(theta, controls[0], targets[0]),
             (GateKind::P(theta), _) => {
                 // Multi-controlled phase: AND the controls into an ancilla,

@@ -15,8 +15,12 @@
 //!   `pack(unpack(...))` pairs for qbundles, bitbundles, and arrays (§6.1).
 
 use asdf_ir::block::BlockPath;
+use asdf_ir::pass::CanonicalizePass;
 use asdf_ir::rewrite::{Canonicalizer, RewritePattern, SymbolTable};
 use asdf_ir::{Func, GateKind, Module, OpKind, Value};
+
+/// The name under which [`peephole_pass`] reports statistics.
+pub const PEEPHOLE_PASS_NAME: &str = "qcircuit-peephole";
 
 /// Builds a canonicalizer loaded with every QCircuit peephole pattern.
 pub fn peephole_canonicalizer() -> Canonicalizer {
@@ -27,6 +31,12 @@ pub fn peephole_canonicalizer() -> Canonicalizer {
     canon.add_pattern(Box::new(HConjugation));
     canon.add_pattern(Box::new(RelaxedPeephole));
     canon
+}
+
+/// The peephole optimizations as a pipeline [`asdf_ir::pass::Pass`],
+/// reporting per-pattern firing counts in its statistics detail.
+pub fn peephole_pass() -> CanonicalizePass {
+    CanonicalizePass::new(PEEPHOLE_PASS_NAME, peephole_canonicalizer())
 }
 
 /// Runs all peephole patterns to a fixpoint; returns pattern firings.
@@ -150,11 +160,7 @@ impl RewritePattern for CancelGates {
             return false;
         };
         // Every operand must be the positional result of one earlier gate.
-        let Some((idx1, 0)) = op2
-            .operands
-            .first()
-            .and_then(|v| find_def(block, op_idx, *v))
-        else {
+        let Some((idx1, 0)) = op2.operands.first().and_then(|v| find_def(block, op_idx, *v)) else {
             return false;
         };
         let op1 = &block.ops[idx1];
@@ -350,11 +356,7 @@ impl RewritePattern for RelaxedPeephole {
             controls,
             control_results,
         );
-        remove_ops(
-            func,
-            path,
-            vec![alloc_idx, x_pre, h_pre, h_post, x_post, free_idx],
-        );
+        remove_ops(func, path, vec![alloc_idx, x_pre, h_pre, h_post, x_post, free_idx]);
         true
     }
 }
@@ -475,11 +477,7 @@ mod tests {
         b.finish()
     }
 
-    fn push_gate(
-        bb: &mut asdf_ir::func::BlockBuilder<'_>,
-        gate: GateKind,
-        q: Value,
-    ) -> Value {
+    fn push_gate(bb: &mut asdf_ir::func::BlockBuilder<'_>, gate: GateKind, q: Value) -> Value {
         bb.push(OpKind::Gate { gate, num_controls: 0 }, vec![q], vec![Type::Qubit])[0]
     }
 
@@ -504,10 +502,7 @@ mod tests {
         let (module, _) = run_one(func);
         let f = module.func("k").unwrap();
         assert_eq!(f.body.ops.len(), 2);
-        assert!(matches!(
-            f.body.ops[0].kind,
-            OpKind::Gate { gate: GateKind::Z, .. }
-        ));
+        assert!(matches!(f.body.ops[0].kind, OpKind::Gate { gate: GateKind::Z, .. }));
     }
 
     #[test]
@@ -543,10 +538,7 @@ mod tests {
         let (module, _) = run_one(func);
         let f = module.func("k").unwrap();
         assert_eq!(f.body.ops.len(), 2);
-        assert!(matches!(
-            f.body.ops[0].kind,
-            OpKind::Gate { gate: GateKind::Z, num_controls: 0 }
-        ));
+        assert!(matches!(f.body.ops[0].kind, OpKind::Gate { gate: GateKind::Z, num_controls: 0 }));
     }
 
     #[test]
@@ -601,19 +593,12 @@ mod tests {
         let f = module.func("k").unwrap();
         // One CZ (Z with 1 control) + return.
         assert_eq!(f.body.ops.len(), 2, "{f}");
-        assert!(matches!(
-            f.body.ops[0].kind,
-            OpKind::Gate { gate: GateKind::Z, num_controls: 1 }
-        ));
+        assert!(matches!(f.body.ops[0].kind, OpKind::Gate { gate: GateKind::Z, num_controls: 1 }));
     }
 
     #[test]
     fn unpack_pack_cleanup() {
-        let mut b = FuncBuilder::new(
-            "k",
-            FuncType::rev_qbundle(2),
-            Visibility::Public,
-        );
+        let mut b = FuncBuilder::new("k", FuncType::rev_qbundle(2), Visibility::Public);
         let arg = b.args()[0];
         let mut bb = b.block();
         let qs = bb.push(OpKind::QbUnpack, vec![arg], vec![Type::Qubit, Type::Qubit]);

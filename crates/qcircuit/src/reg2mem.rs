@@ -129,11 +129,7 @@ pub fn lower_to_circuit(func: &Func) -> Result<Circuit, IrError> {
     Ok(circuit)
 }
 
-fn single_reg(
-    map: &HashMap<Value, Vec<usize>>,
-    v: Value,
-    idx: usize,
-) -> Result<usize, IrError> {
+fn single_reg(map: &HashMap<Value, Vec<usize>>, v: Value, idx: usize) -> Result<usize, IrError> {
     match map.get(&v) {
         Some(regs) if regs.len() == 1 => Ok(regs[0]),
         Some(regs) => Err(IrError::Unsupported(format!(
@@ -188,11 +184,7 @@ mod tests {
 
     #[test]
     fn gate_controls_map_through() {
-        let mut b = FuncBuilder::new(
-            "k",
-            FuncType::new(vec![], vec![], false),
-            Visibility::Public,
-        );
+        let mut b = FuncBuilder::new("k", FuncType::new(vec![], vec![], false), Visibility::Public);
         let mut bb = b.block();
         let a = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
         let c = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
@@ -214,11 +206,7 @@ mod tests {
 
     #[test]
     fn rejects_unlowered_ops() {
-        let mut b = FuncBuilder::new(
-            "k",
-            FuncType::new(vec![], vec![], false),
-            Visibility::Public,
-        );
+        let mut b = FuncBuilder::new("k", FuncType::new(vec![], vec![], false), Visibility::Public);
         let mut bb = b.block();
         bb.push(OpKind::CallableCreate { symbol: "f".into() }, vec![], vec![Type::Callable]);
         bb.push(OpKind::Return, vec![], vec![]);

@@ -89,13 +89,9 @@ pub fn estimate(circuit: &Circuit, params: &SurfaceCodeParams) -> Estimate {
     // Size the factory farm so T production roughly keeps pace with the
     // algorithm; if even the max farm cannot keep up, the runtime stretches.
     let demand_per_cycle = t_states as f64 / base_depth as f64;
-    let factories_needed =
-        (demand_per_cycle * params.t_factory_cycles as f64).ceil() as usize;
-    let t_factories = if t_states == 0 {
-        0
-    } else {
-        factories_needed.clamp(1, params.max_t_factories)
-    };
+    let factories_needed = (demand_per_cycle * params.t_factory_cycles as f64).ceil() as usize;
+    let t_factories =
+        if t_states == 0 { 0 } else { factories_needed.clamp(1, params.max_t_factories) };
     let t_limited_depth = if t_factories == 0 {
         0
     } else {

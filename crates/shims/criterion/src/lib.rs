@@ -1,0 +1,153 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access to a crate registry, so this
+//! in-tree crate implements the subset of the criterion API the workspace's
+//! benches use — [`Criterion`], [`BenchmarkId`], benchmark groups, `iter`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — as a plain
+//! wall-clock harness. It reports median per-iteration time to stdout. It
+//! does not do criterion's statistical analysis; it exists so `cargo bench`
+//! builds and runs offline with unmodified bench sources.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark unless overridden by
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), samples: DEFAULT_SAMPLES }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), DEFAULT_SAMPLES, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.samples, |b| f(b));
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`] with the
+/// routine to time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup to populate caches / allocators.
+        black_box(routine());
+        for _ in 0..self.per_sample {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::new(), per_sample: samples };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let best = bencher.samples[0];
+    println!("{label:<50} median {median:>12.3?}   best {best:>12.3?}");
+}
+
+/// An identity function that defeats constant folding, re-exported with
+/// criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given bench groups, mirroring criterion's
+/// macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

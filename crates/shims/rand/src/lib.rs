@@ -1,0 +1,110 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment for this reproduction has no network access to a
+//! crate registry, so this in-tree crate provides exactly the subset of the
+//! `rand 0.8` API the workspace consumes: [`rngs::StdRng`], [`SeedableRng`],
+//! and [`Rng`]. The generator is SplitMix64 — statistically solid for
+//! simulation sampling, deterministic per seed (which is all the tests rely
+//! on), and not a reimplementation of upstream `StdRng`'s ChaCha stream.
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        self.gen_f64() < p
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn gen_range_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 * bound,
+        // far below anything the tests can observe.
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..=5_500).contains(&heads), "{heads}");
+    }
+}

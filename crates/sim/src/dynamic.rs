@@ -56,14 +56,9 @@ pub fn run_dynamic(
     args: &[ArgValue],
     seed: u64,
 ) -> Result<DynamicRun, String> {
-    let func = module
-        .func(entry)
-        .ok_or_else(|| format!("unknown function @{entry}"))?;
-    let mut interp = Interp {
-        module,
-        state: StateVector::zero(0),
-        rng: StdRng::seed_from_u64(seed),
-    };
+    let func = module.func(entry).ok_or_else(|| format!("unknown function @{entry}"))?;
+    let mut interp =
+        Interp { module, state: StateVector::zero(0), rng: StdRng::seed_from_u64(seed) };
     // Materialize arguments.
     let mut arg_data = Vec::new();
     for arg in args {
@@ -134,8 +129,7 @@ impl Interp<'_> {
                 args.len()
             ));
         }
-        let mut env: HashMap<Value, Data> =
-            func.body.args.iter().copied().zip(args).collect();
+        let mut env: HashMap<Value, Data> = func.body.args.iter().copied().zip(args).collect();
         self.exec_block(func, &func.body.ops, &mut env)
     }
 
@@ -152,9 +146,7 @@ impl Interp<'_> {
                     .operands
                     .iter()
                     .map(|v| {
-                        env.get(v)
-                            .cloned()
-                            .ok_or_else(|| format!("terminator reads unbound {v}"))
+                        env.get(v).cloned().ok_or_else(|| format!("terminator reads unbound {v}"))
                     })
                     .collect();
             }
@@ -196,11 +188,8 @@ impl Interp<'_> {
                 }
             }
             OpKind::Gate { gate, num_controls } => {
-                let qs: Vec<usize> = op
-                    .operands
-                    .iter()
-                    .map(|v| self.qubit(env, *v))
-                    .collect::<Result<_, _>>()?;
+                let qs: Vec<usize> =
+                    op.operands.iter().map(|v| self.qubit(env, *v)).collect::<Result<_, _>>()?;
                 self.state.apply(*gate, &qs[..*num_controls], &qs[*num_controls..]);
                 for (q, r) in qs.iter().zip(&op.results) {
                     env.insert(*r, Data::Qubit(*q));
@@ -215,11 +204,8 @@ impl Interp<'_> {
                 env.insert(op.results[1], Data::Bit(outcome));
             }
             OpKind::QbPack => {
-                let qs: Vec<usize> = op
-                    .operands
-                    .iter()
-                    .map(|v| self.qubit(env, *v))
-                    .collect::<Result<_, _>>()?;
+                let qs: Vec<usize> =
+                    op.operands.iter().map(|v| self.qubit(env, *v)).collect::<Result<_, _>>()?;
                 env.insert(op.results[0], Data::Bundle(qs));
             }
             OpKind::QbUnpack => {
@@ -261,18 +247,12 @@ impl Interp<'_> {
                         "specialized call to @{callee} must be lowered before interpretation"
                     ));
                 }
-                let target = self
-                    .module
-                    .func(callee)
-                    .ok_or_else(|| format!("unknown callee @{callee}"))?;
+                let target =
+                    self.module.func(callee).ok_or_else(|| format!("unknown callee @{callee}"))?;
                 let args: Vec<Data> = op
                     .operands
                     .iter()
-                    .map(|v| {
-                        env.get(v)
-                            .cloned()
-                            .ok_or_else(|| format!("call reads unbound {v}"))
-                    })
+                    .map(|v| env.get(v).cloned().ok_or_else(|| format!("call reads unbound {v}")))
                     .collect::<Result<_, _>>()?;
                 let results = self.call(target, args)?;
                 for (r, value) in op.results.iter().zip(results) {
@@ -291,10 +271,7 @@ impl Interp<'_> {
                 }
             }
             other => {
-                return Err(format!(
-                    "op {} is not interpretable; lower it first",
-                    other.mnemonic()
-                ))
+                return Err(format!("op {} is not interpretable; lower it first", other.mnemonic()))
             }
         }
         Ok(())

@@ -95,10 +95,7 @@ pub fn sample(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usi
 pub fn unitary_of(circuit: &Circuit) -> Vec<StateVector> {
     assert!(circuit.num_qubits <= 12, "unitary extraction is exponential");
     assert!(
-        circuit
-            .ops
-            .iter()
-            .all(|op| matches!(op, CircuitOp::Gate { .. })),
+        circuit.ops.iter().all(|op| matches!(op, CircuitOp::Gate { .. })),
         "unitary extraction requires a measurement-free circuit"
     );
     (0..(1usize << circuit.num_qubits))

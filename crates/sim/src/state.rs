@@ -102,12 +102,7 @@ impl StateVector {
     /// The probability that `qubit` measures 1.
     pub fn prob_one(&self, qubit: usize) -> f64 {
         let mask = self.qubit_mask(qubit);
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(i, _)| i & mask != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 
     /// Collapses `qubit` to `outcome`, renormalizing.
@@ -145,21 +140,14 @@ impl StateVector {
             })
             .expect("nonempty state");
         if self.amps[pivot].abs() < eps && other.amps[pivot].abs() < eps {
-            return self
-                .amps
-                .iter()
-                .zip(&other.amps)
-                .all(|(a, b)| a.approx_eq(*b, eps));
+            return self.amps.iter().zip(&other.amps).all(|(a, b)| a.approx_eq(*b, eps));
         }
         if other.amps[pivot].abs() < eps {
             return false;
         }
         let ratio = self.amps[pivot] * other.amps[pivot].conj();
         let phase = Complex::from_angle(ratio.im.atan2(ratio.re));
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .all(|(a, b)| a.approx_eq(phase * *b, eps))
+        self.amps.iter().zip(&other.amps).all(|(a, b)| a.approx_eq(phase * *b, eps))
     }
 
     /// Total probability (should be 1 for a normalized state).
@@ -214,10 +202,9 @@ fn matrix_1q(gate: GateKind) -> [[Complex; 2]; 2] {
             let s = Complex::new((theta / 2.0).sin(), 0.0);
             [[c, -s], [s, c]]
         }
-        GateKind::Rz(theta) => [
-            [Complex::from_angle(-theta / 2.0), zero],
-            [zero, Complex::from_angle(theta / 2.0)],
-        ],
+        GateKind::Rz(theta) => {
+            [[Complex::from_angle(-theta / 2.0), zero], [zero, Complex::from_angle(theta / 2.0)]]
+        }
         GateKind::Swap => unreachable!("swap handled separately"),
     }
 }
@@ -279,7 +266,9 @@ mod tests {
         s.apply(GateKind::H, &[], &[0]);
         s.apply(GateKind::S, &[], &[0]);
         assert!(approx(s.prob_one(0), 0.5));
-        assert!(s.amplitudes()[1].approx_eq(Complex::new(0.0, std::f64::consts::FRAC_1_SQRT_2), 1e-12));
+        assert!(
+            s.amplitudes()[1].approx_eq(Complex::new(0.0, std::f64::consts::FRAC_1_SQRT_2), 1e-12)
+        );
     }
 
     #[test]

@@ -16,10 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let default_iters =
         ((std::f64::consts::PI / 4.0) * ((1u64 << n) as f64).sqrt()).floor() as usize;
-    let iterations: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default_iters.max(1));
+    let iterations: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(default_iters.max(1));
 
     let source = r"
         classical oracle[N](x: bit[N]) -> bit { x.and_reduce() }
@@ -29,9 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     ";
     let captures = vec![CaptureValue::CFunc { name: "oracle".into(), captures: vec![] }];
-    let options = CompileOptions::default()
-        .with_dim("N", n as i64)
-        .with_dim("I", iterations as i64);
+    let options =
+        CompileOptions::default().with_dim("N", n as i64).with_dim("I", iterations as i64);
     let compiled = Compiler::compile(source, "grover", &captures, &options)?;
     let circuit = compiled.circuit.expect("grover inlines");
 
@@ -52,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hits = counts.get(marked.as_str()).copied().unwrap_or(0);
     println!("\n300 shots: P({marked}) = {:.2}", hits as f64 / 300.0);
     let mut sorted: Vec<_> = counts.into_iter().collect();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     for (bits, count) in sorted.iter().take(4) {
         println!("  {bits}: {count}");
     }

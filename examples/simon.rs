@@ -85,12 +85,9 @@ fn rank(rows: &[Vec<bool>]) -> usize {
 fn solve_nullspace(rows: &[Vec<bool>], n: usize) -> Option<Vec<bool>> {
     for v in 1..(1usize << n) {
         let candidate: Vec<bool> = (0..n).map(|i| (v >> (n - 1 - i)) & 1 == 1).collect();
-        let orthogonal = rows.iter().all(|row| {
-            row.iter()
-                .zip(&candidate)
-                .fold(false, |acc, (&a, &b)| acc ^ (a && b))
-                == false
-        });
+        let orthogonal = rows
+            .iter()
+            .all(|row| !row.iter().zip(&candidate).fold(false, |acc, (&a, &b)| acc ^ (a && b)));
         if orthogonal {
             return Some(candidate);
         }

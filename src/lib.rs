@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the asdf reproduction components.
 pub use asdf_ast as ast;
+pub use asdf_baselines as baselines;
 pub use asdf_basis as basis;
 pub use asdf_codegen as codegen;
 pub use asdf_core as core;
@@ -8,4 +9,3 @@ pub use asdf_logic as logic;
 pub use asdf_qcircuit as qcircuit;
 pub use asdf_resource as resource;
 pub use asdf_sim as sim;
-pub use asdf_baselines as baselines;

@@ -3,7 +3,9 @@
 
 use qwerty_asdf::ast::expand::CaptureValue;
 use qwerty_asdf::baselines::{build_circuit, optimize, BaselineStyle, Benchmark};
-use qwerty_asdf::codegen::{circuit_to_qasm, count_callable_intrinsics, module_to_qir_base, module_to_qir_unrestricted};
+use qwerty_asdf::codegen::{
+    circuit_to_qasm, count_callable_intrinsics, module_to_qir_base, module_to_qir_unrestricted,
+};
 use qwerty_asdf::core::{CompileOptions, Compiler};
 use qwerty_asdf::ir::GateKind;
 use qwerty_asdf::resource::{estimate, SurfaceCodeParams};
@@ -50,6 +52,16 @@ fn fig1_program_full_pipeline() {
     let est = estimate(&circuit, &SurfaceCodeParams::default());
     assert!(est.physical_qubits > 1000);
     assert!(est.runtime_us > 0.0);
+
+    // The pipeline recorded per-pass statistics for the whole declared
+    // pass sequence (names in order, nonzero work overall).
+    assert!(!compiled.stats.is_empty(), "pass statistics must be collected");
+    let ran: Vec<String> = compiled.stats.iter().map(|p| p.name.clone()).collect();
+    assert_eq!(ran, CompileOptions::default().pipeline().pass_names());
+    assert!(
+        compiled.stats.iter().map(|p| p.changes).sum::<usize>() > 0,
+        "the BV pipeline does real work"
+    );
 }
 
 #[test]
@@ -70,8 +82,8 @@ fn teleportation_through_dynamic_interpreter() {
     let a0 = Complex::new(theta.cos(), 0.0);
     let a1 = Complex::new(theta.sin(), 0.0);
     for seed in 0..24 {
-        let run = run_dynamic(&compiled.module, "teleport", &[ArgValue::Qubit(a0, a1)], seed)
-            .unwrap();
+        let run =
+            run_dynamic(&compiled.module, "teleport", &[ArgValue::Qubit(a0, a1)], seed).unwrap();
         let out = run.returned_qubits[0];
         let mut state = run.state;
         state.apply(GateKind::Ry(-2.0 * theta), &[], &[out]);
@@ -148,9 +160,7 @@ fn fig3_translation_compiles_and_is_unitary() {
 fn grover_baseline_shape_holds_end_to_end() {
     let bench = Benchmark::Grover { n: 6, iterations: 4 };
     let params = SurfaceCodeParams::default();
-    let t = |style| {
-        estimate(&optimize(&build_circuit(&bench, style)), &params).t_states
-    };
+    let t = |style| estimate(&optimize(&build_circuit(&bench, style)), &params).t_states;
     assert!(t(BaselineStyle::QSharp) < t(BaselineStyle::Qiskit));
     assert!(t(BaselineStyle::QSharp) < t(BaselineStyle::Quipper));
 }
@@ -167,13 +177,9 @@ fn deutsch_jozsa_constant_vs_balanced() {
         }
     ";
     let captures = vec![CaptureValue::CFunc { name: "constant".into(), captures: vec![] }];
-    let compiled = Compiler::compile(
-        src,
-        "dj",
-        &captures,
-        &CompileOptions::default().with_dim("N", 4),
-    )
-    .unwrap();
+    let compiled =
+        Compiler::compile(src, "dj", &captures, &CompileOptions::default().with_dim("N", 4))
+            .unwrap();
     let counts = sample(&compiled.circuit.unwrap(), 16, 2);
     assert_eq!(counts.len(), 1);
     assert!(counts.contains_key("0000"), "constant oracle yields all zeros");
