@@ -98,29 +98,56 @@ pub fn instantiate(
     }
 
     let mut dims = explicit.clone();
-    let mut classical_instances: Vec<Option<ClassicalInstance>> = Vec::new();
+    let mut classical_instances: Vec<Option<ClassicalInstance>> = vec![None; func.params.len()];
 
-    for (param, capture) in func.params.iter().zip(captures) {
-        match (&param.ty, capture) {
-            (TypeExpr::Bit(d), CaptureValue::Bits(bits)) => {
-                unify(d, bits.len() as i64, &mut dims)?;
-                classical_instances.push(None);
-            }
-            (TypeExpr::CFunc(d_in, d_out), CaptureValue::CFunc { name, captures }) => {
-                let instance =
-                    instantiate_classical(program, name, captures, d_in, d_out, &mut dims)?;
-                classical_instances.push(Some(instance));
-            }
-            (ty, capture) => {
-                return Err(FrontendError::Type(format!(
-                    "capture {capture:?} does not fit parameter {}: {ty:?}",
-                    param.name
-                )));
+    // Inference is order-independent: a capture that cannot be resolved yet
+    // (e.g. a capture-less `cfunc[N, 1]` whose `N` is pinned by a *later*
+    // capture's bit width) is deferred and retried once more bindings have
+    // landed, until a full round makes no progress.
+    let mut pending: Vec<usize> = (0..captures.len()).collect();
+    while !pending.is_empty() {
+        let round_size = pending.len();
+        let mut deferred: Vec<usize> = Vec::new();
+        let mut last_error: Option<FrontendError> = None;
+        for index in pending {
+            let (param, capture) = (&func.params[index], &captures[index]);
+            match (&param.ty, capture) {
+                // Dimension errors in either arm may resolve after other
+                // captures bind more variables (e.g. `bit[2*N]` before the
+                // capture that pins N); anything else is final.
+                (TypeExpr::Bit(d), CaptureValue::Bits(bits)) => {
+                    match unify(d, bits.len() as i64, &mut dims) {
+                        Ok(()) => {}
+                        Err(e @ FrontendError::Dimension(_)) => {
+                            last_error = Some(e);
+                            deferred.push(index);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                (TypeExpr::CFunc(d_in, d_out), CaptureValue::CFunc { name, captures }) => {
+                    match instantiate_classical(program, name, captures, d_in, d_out, &mut dims) {
+                        Ok(instance) => classical_instances[index] = Some(instance),
+                        Err(e @ FrontendError::Dimension(_)) => {
+                            last_error = Some(e);
+                            deferred.push(index);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                (ty, capture) => {
+                    return Err(FrontendError::Type(format!(
+                        "capture {capture:?} does not fit parameter {}: {ty:?}",
+                        param.name
+                    )));
+                }
             }
         }
+        if deferred.len() == round_size {
+            return Err(last_error.expect("deferred entries always record an error"));
+        }
+        pending = deferred;
     }
-    // Pad for non-captured parameters.
-    classical_instances.resize(func.params.len(), None);
 
     // Every declared dimension variable must now be bound.
     for var in &func.dim_vars {
@@ -332,6 +359,69 @@ mod tests {
         let classical = inst.classical_instances[0].as_ref().unwrap();
         assert_eq!(classical.dims["N"], 4);
         assert_eq!(classical.capture_bits[0], vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn inference_is_order_independent_across_captures() {
+        // The capture-less `g` cannot resolve its own `N`; the *later*
+        // captured `f` pins the kernel's N, after which g's backward
+        // inference succeeds on the retry round.
+        let src = r"
+            classical g[N](x: bit[N]) -> bit { x.xor_reduce() }
+            classical f[N](secret: bit[N], x: bit[N]) -> bit {
+                (secret & x).xor_reduce()
+            }
+            qpu kernel[N](g: cfunc[N, 1], f: cfunc[N, 1]) -> bit[N] {
+                'p'[N] | g.sign | f.sign | pm[N] >> std[N] | std[N].measure
+            }
+        ";
+        let program = parse_program(src).unwrap();
+        let captures = vec![
+            CaptureValue::CFunc { name: "g".into(), captures: vec![] },
+            CaptureValue::CFunc {
+                name: "f".into(),
+                captures: vec![CaptureValue::bits_from_str("110")],
+            },
+        ];
+        let inst = instantiate(&program, "kernel", &captures, &HashMap::new()).unwrap();
+        assert_eq!(inst.dims["N"], 3);
+        assert_eq!(inst.classical_instances[0].as_ref().unwrap().dims["N"], 3);
+        // Still an error when nothing pins the dimension at all.
+        let unpinned = vec![CaptureValue::CFunc { name: "g".into(), captures: vec![] }];
+        assert!(instantiate(&program, "kernel", &unpinned, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn composite_bit_capture_defers_until_a_later_capture_pins_the_var() {
+        // `pair: bit[2*N]` cannot unify before N is known; the later
+        // captured `f` pins N = 3, after which 2*N = 6 checks out.
+        let src = r"
+            classical f[N](secret: bit[N], x: bit[N]) -> bit {
+                (secret & x).xor_reduce()
+            }
+            qpu kernel[N](pair: bit[2*N], f: cfunc[N, 1]) -> bit[N] {
+                'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+            }
+        ";
+        let program = parse_program(src).unwrap();
+        let captures = vec![
+            CaptureValue::bits_from_str("101010"),
+            CaptureValue::CFunc {
+                name: "f".into(),
+                captures: vec![CaptureValue::bits_from_str("110")],
+            },
+        ];
+        let inst = instantiate(&program, "kernel", &captures, &HashMap::new()).unwrap();
+        assert_eq!(inst.dims["N"], 3);
+        // A width that contradicts the pinned N is still rejected.
+        let bad = vec![
+            CaptureValue::bits_from_str("10101"),
+            CaptureValue::CFunc {
+                name: "f".into(),
+                captures: vec![CaptureValue::bits_from_str("110")],
+            },
+        ];
+        assert!(instantiate(&program, "kernel", &bad, &HashMap::new()).is_err());
     }
 
     #[test]

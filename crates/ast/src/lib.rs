@@ -33,6 +33,7 @@ pub mod error;
 pub mod expand;
 pub mod lex;
 pub mod parse;
+pub mod pretty;
 pub mod tast;
 pub mod typecheck;
 pub mod types;

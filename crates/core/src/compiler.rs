@@ -88,6 +88,47 @@ impl CompileOptions {
         }
     }
 
+    /// The full differential-testing configuration matrix: every
+    /// combination of inlining (Opt vs the Table 1 No-Opt pipeline),
+    /// peephole on/off, and final decomposition (none, Selinger, V-chain),
+    /// each under a stable descriptive name like `opt+peep+selinger`.
+    ///
+    /// All twelve configurations compile the same source; a correct
+    /// compiler must give them observably identical semantics, which is
+    /// exactly what `asdf-difftest` cross-checks.
+    pub fn matrix() -> Vec<(String, CompileOptions)> {
+        let mut out = Vec::new();
+        for inline in [true, false] {
+            for peephole in [true, false] {
+                for decompose in
+                    [None, Some(DecomposeStyle::Selinger), Some(DecomposeStyle::VChain)]
+                {
+                    let name = format!(
+                        "{}+{}+{}",
+                        if inline { "opt" } else { "noopt" },
+                        if peephole { "peep" } else { "nopeep" },
+                        match decompose {
+                            None => "whole",
+                            Some(DecomposeStyle::Selinger) => "selinger",
+                            Some(DecomposeStyle::VChain) => "vchain",
+                        }
+                    );
+                    out.push((
+                        name,
+                        CompileOptions {
+                            inline,
+                            peephole,
+                            decompose,
+                            verify: true,
+                            dims: HashMap::new(),
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Sets a dimension binding.
     #[must_use]
     pub fn with_dim(mut self, name: &str, value: i64) -> Self {
@@ -263,6 +304,23 @@ mod tests {
         );
         let no_opt = CompileOptions::no_opt().pipeline().pass_names();
         assert_eq!(no_opt, ["lift-lambdas", "generate-specializations", "convert-to-qcircuit"]);
+    }
+
+    #[test]
+    fn matrix_covers_all_twelve_distinct_configs() {
+        let matrix = CompileOptions::matrix();
+        assert_eq!(matrix.len(), 12);
+        let names: std::collections::BTreeSet<&str> =
+            matrix.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names.len(), 12, "config names must be unique");
+        assert!(names.contains("opt+peep+selinger"));
+        assert!(names.contains("noopt+nopeep+whole"));
+        // Every config is compilable on a trivial program.
+        let source = "qpu k() -> bit[1] { '0' | std.measure }";
+        for (name, options) in &matrix {
+            Compiler::compile(source, "k", &[], options)
+                .unwrap_or_else(|e| panic!("config {name} failed on the trivial program: {e}"));
+        }
     }
 
     #[test]

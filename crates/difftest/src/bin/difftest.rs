@@ -1,0 +1,109 @@
+//! The `difftest` CLI: seeded differential sweeps over the configuration
+//! matrix.
+//!
+//! ```text
+//! cargo run --release -p asdf-difftest --bin difftest -- \
+//!     [--seed N] [--cases N] [--max-width W] [--no-shrink] [--stats]
+//! ```
+//!
+//! Exit code 0 when every comparable configuration pair agrees on every
+//! generated program; 1 when a mismatch was found (reproducers printed);
+//! 2 on usage errors.
+
+use asdf_difftest::{GenOptions, Harness, OracleOptions, SweepOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut opts = SweepOptions::default();
+    let mut oracle = OracleOptions::default();
+    let mut show_stats = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => match take_value(&mut i).and_then(|v| parse_u64(&v)) {
+                Some(v) => opts.seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--cases" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.cases = v,
+                None => return usage("--cases needs an integer"),
+            },
+            "--max-width" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.gen = GenOptions { max_width: v, ..opts.gen.clone() },
+                None => return usage("--max-width needs an integer"),
+            },
+            "--shots" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => oracle.shots = v,
+                None => return usage("--shots needs an integer"),
+            },
+            "--dyn-shots" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) => oracle.dyn_shots = v,
+                None => return usage("--dyn-shots needs an integer"),
+            },
+            "--no-shrink" => opts.shrink = false,
+            "--stats" => show_stats = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: difftest [--seed N] [--cases N] [--max-width W] \
+                     [--shots N] [--dyn-shots N] [--no-shrink] [--stats]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    println!(
+        "difftest: seed {:#x}, {} cases, max width {}, {} configurations",
+        opts.seed,
+        opts.cases,
+        opts.gen.max_width,
+        asdf_core::CompileOptions::matrix().len()
+    );
+    let harness = Harness::new(oracle);
+    let report = harness.run_sweep(&opts);
+
+    println!("\n{}", report.render_table());
+    println!(
+        "{} cases, {} uniformly rejected, {} pairwise comparisons, {} mismatches",
+        report.cases,
+        report.rejected,
+        report.comparisons,
+        report.mismatches.len()
+    );
+    if show_stats {
+        for config in &report.configs {
+            println!("\n--- merged pass statistics: {} ---", config.name);
+            print!("{}", config.stats.render_table());
+        }
+    }
+    if report.passed() {
+        println!("OK: all configurations agree on all generated programs");
+        ExitCode::SUCCESS
+    } else {
+        for mismatch in &report.mismatches {
+            println!("\n{mismatch}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_u64(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("difftest: {message} (--help for usage)");
+    ExitCode::from(2)
+}

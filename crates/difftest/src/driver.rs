@@ -1,0 +1,315 @@
+//! The differential driver: compiles each generated case under the full
+//! [`CompileOptions::matrix`] and cross-checks every pair of
+//! configurations with the [`crate::oracle`] equivalence oracles.
+
+use crate::gen::{gen_case, GenCase, GenOptions};
+use crate::oracle::{compare, extract, Comparison, OracleOptions, Semantics};
+use crate::report::Mismatch;
+use crate::shrink::minimize;
+use asdf_core::{CompileOptions, Compiled, Compiler};
+use asdf_ir::pass::PassStatistics;
+use asdf_qcircuit::Circuit;
+
+/// A circuit mutation injected after compilation of one named
+/// configuration — the hook tests use to prove the harness *catches*
+/// miscompilations (e.g. a peephole rule with a flipped sign).
+pub type Sabotage = Box<dyn Fn(&mut Circuit)>;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Sweep seed; every case seed derives from it deterministically.
+    pub seed: u64,
+    /// Number of generated programs.
+    pub cases: usize,
+    /// Generator tunables.
+    pub gen: GenOptions,
+    /// Whether to greedily minimize failing cases.
+    pub shrink: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { seed: 0xA5DF, cases: 500, gen: GenOptions::default(), shrink: true }
+    }
+}
+
+/// Per-configuration sweep accounting.
+#[derive(Debug, Clone)]
+pub struct ConfigReport {
+    /// Configuration name (from [`CompileOptions::matrix`]).
+    pub name: String,
+    /// Cases that compiled.
+    pub compiled: usize,
+    /// Cases that failed to compile.
+    pub compile_errors: usize,
+    /// Cases that produced a static circuit.
+    pub circuits: usize,
+    /// Pairwise comparisons involving this config that ran.
+    pub compared: usize,
+    /// Pairwise comparisons involving this config that were skipped.
+    pub skipped: usize,
+    /// Pipeline statistics merged across every compiled case — the
+    /// [`PassStatistics`] plumbing aggregated per configuration.
+    pub stats: PassStatistics,
+}
+
+/// The result of a whole sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Cases generated.
+    pub cases: usize,
+    /// Cases every configuration rejected identically (compiler gaps, not
+    /// differential findings).
+    pub rejected: usize,
+    /// Total pairwise comparisons that ran.
+    pub comparisons: usize,
+    /// Per-configuration accounting, in matrix order.
+    pub configs: Vec<ConfigReport>,
+    /// Differential findings, with minimized reproducers when shrinking is
+    /// enabled.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl SweepReport {
+    /// Whether the sweep found no miscompilations.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// The per-configuration summary as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let width = self.configs.iter().map(|c| c.name.len()).max().unwrap_or(6).max(6);
+        let mut out = format!(
+            "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8}\n",
+            "config", "compiled", "err", "circ", "compared", "skipped"
+        );
+        for c in &self.configs {
+            out.push_str(&format!(
+                "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8}\n",
+                c.name, c.compiled, c.compile_errors, c.circuits, c.compared, c.skipped
+            ));
+        }
+        out
+    }
+}
+
+/// Outcome of checking one case.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// All comparable configuration pairs agreed.
+    Pass,
+    /// Every configuration rejected the program with an error (recorded,
+    /// but not a differential finding).
+    Rejected(String),
+    /// Two configurations disagreed (or compile status diverged).
+    Mismatch {
+        /// First configuration name.
+        config_a: String,
+        /// Second configuration name.
+        config_b: String,
+        /// Why they disagree.
+        reason: String,
+    },
+}
+
+/// Per-case, per-config bookkeeping returned alongside the outcome.
+#[derive(Debug, Default)]
+pub struct CaseAccounting {
+    /// For each config: compile success, circuit produced, stats.
+    pub per_config: Vec<(bool, bool, Option<PassStatistics>)>,
+    /// Comparisons run / skipped, per config index.
+    pub compared: Vec<usize>,
+    /// Skipped comparisons per config index.
+    pub skipped: Vec<usize>,
+}
+
+/// The differential harness: a configuration matrix plus oracles.
+pub struct Harness {
+    /// Named configurations under test.
+    pub configs: Vec<(String, CompileOptions)>,
+    /// Oracle tunables.
+    pub oracle: OracleOptions,
+    sabotage: Option<(String, Sabotage)>,
+}
+
+impl Harness {
+    /// A harness over the full [`CompileOptions::matrix`].
+    pub fn new(oracle: OracleOptions) -> Self {
+        Harness { configs: CompileOptions::matrix(), oracle, sabotage: None }
+    }
+
+    /// Installs a circuit mutation applied after compiling `config` —
+    /// an intentionally broken "pass" the harness must catch.
+    #[must_use]
+    pub fn with_sabotage(mut self, config: &str, f: impl Fn(&mut Circuit) + 'static) -> Self {
+        self.sabotage = Some((config.to_string(), Box::new(f)));
+        self
+    }
+
+    /// Compiles `case` under every configuration and cross-checks all
+    /// comparable pairs.
+    pub fn check_case(&self, case: &GenCase) -> (CaseOutcome, CaseAccounting) {
+        let rendered = case.render();
+        let mut acct = CaseAccounting {
+            per_config: Vec::with_capacity(self.configs.len()),
+            compared: vec![0; self.configs.len()],
+            skipped: vec![0; self.configs.len()],
+        };
+        let mut compiled: Vec<Result<Compiled, String>> = Vec::new();
+        for (name, options) in &self.configs {
+            let mut options = options.clone();
+            options.dims.extend(rendered.dims.iter().map(|(k, v)| (k.clone(), *v)));
+            let result =
+                Compiler::compile(&rendered.source, &rendered.kernel, &rendered.captures, &options)
+                    .map_err(|e| e.to_string());
+            let result = result.map(|mut c| {
+                if let Some((target, mutate)) = &self.sabotage {
+                    if target == name {
+                        if let Some(circuit) = &mut c.circuit {
+                            mutate(circuit);
+                        }
+                    }
+                }
+                c
+            });
+            acct.per_config.push((
+                result.is_ok(),
+                result.as_ref().map(|c| c.circuit.is_some()).unwrap_or(false),
+                result.as_ref().ok().map(|c| c.stats.clone()),
+            ));
+            compiled.push(result);
+        }
+
+        // Compile-status divergence is itself a differential finding; a
+        // uniform rejection is a (tracked) generator/compiler gap.
+        if compiled.iter().all(|r| r.is_err()) {
+            let error = compiled[0].as_ref().unwrap_err().clone();
+            return (CaseOutcome::Rejected(error), acct);
+        }
+        if let Some(bad) = compiled.iter().position(|r| r.is_err()) {
+            let good = compiled.iter().position(|r| r.is_ok()).expect("some config compiled");
+            return (
+                CaseOutcome::Mismatch {
+                    config_a: self.configs[good].0.clone(),
+                    config_b: self.configs[bad].0.clone(),
+                    reason: format!(
+                        "compile status diverges: {} succeeds but {} fails with: {}",
+                        self.configs[good].0,
+                        self.configs[bad].0,
+                        compiled[bad].as_ref().unwrap_err()
+                    ),
+                },
+                acct,
+            );
+        }
+
+        let semantics: Vec<Semantics> = compiled
+            .iter()
+            .map(|r| {
+                extract(case, r.as_ref().expect("all configs compiled"), &self.oracle, case.seed)
+            })
+            .collect();
+
+        for i in 0..semantics.len() {
+            for j in (i + 1)..semantics.len() {
+                match compare(&semantics[i], &semantics[j], self.oracle.eps) {
+                    Comparison::Agree => {
+                        acct.compared[i] += 1;
+                        acct.compared[j] += 1;
+                    }
+                    Comparison::Skipped => {
+                        acct.skipped[i] += 1;
+                        acct.skipped[j] += 1;
+                    }
+                    Comparison::Disagree(reason) => {
+                        acct.compared[i] += 1;
+                        acct.compared[j] += 1;
+                        return (
+                            CaseOutcome::Mismatch {
+                                config_a: self.configs[i].0.clone(),
+                                config_b: self.configs[j].0.clone(),
+                                reason,
+                            },
+                            acct,
+                        );
+                    }
+                }
+            }
+        }
+        (CaseOutcome::Pass, acct)
+    }
+
+    /// Whether `case` still fails (mismatch or compile divergence) — the
+    /// shrinker's predicate.
+    pub fn fails(&self, case: &GenCase) -> bool {
+        matches!(self.check_case(case).0, CaseOutcome::Mismatch { .. })
+    }
+
+    /// Runs a full seeded sweep.
+    pub fn run_sweep(&self, opts: &SweepOptions) -> SweepReport {
+        let mut configs: Vec<ConfigReport> = self
+            .configs
+            .iter()
+            .map(|(name, _)| ConfigReport {
+                name: name.clone(),
+                compiled: 0,
+                compile_errors: 0,
+                circuits: 0,
+                compared: 0,
+                skipped: 0,
+                stats: PassStatistics::new(),
+            })
+            .collect();
+        let mut rejected = 0;
+        let mut comparisons = 0;
+        let mut mismatches = Vec::new();
+
+        for index in 0..opts.cases {
+            let case = gen_case(opts.seed, index, &opts.gen);
+            let (outcome, acct) = self.check_case(&case);
+            for (ci, (ok, circ, stats)) in acct.per_config.iter().enumerate() {
+                if *ok {
+                    configs[ci].compiled += 1;
+                } else {
+                    configs[ci].compile_errors += 1;
+                }
+                if *circ {
+                    configs[ci].circuits += 1;
+                }
+                if let Some(stats) = stats {
+                    configs[ci].stats.merge(stats);
+                }
+                configs[ci].compared += acct.compared[ci];
+                configs[ci].skipped += acct.skipped[ci];
+            }
+            comparisons += acct.compared.iter().sum::<usize>() / 2;
+            match outcome {
+                CaseOutcome::Pass => {}
+                CaseOutcome::Rejected(_) => rejected += 1,
+                CaseOutcome::Mismatch { config_a, config_b, reason } => {
+                    let shrunk = if opts.shrink {
+                        let minimized = minimize(&case, |c| self.fails(c), 400);
+                        (minimized != case).then_some(minimized)
+                    } else {
+                        None
+                    };
+                    mismatches.push(Mismatch::new(&case, config_a, config_b, reason, shrunk));
+                }
+            }
+        }
+
+        SweepReport { cases: opts.cases, rejected, comparisons, configs, mismatches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_defaults_to_the_full_matrix() {
+        let harness = Harness::new(OracleOptions::default());
+        assert_eq!(harness.configs.len(), 12);
+    }
+}

@@ -155,6 +155,29 @@ impl PassStatistics {
         self.passes.iter().filter(|p| p.name == name).map(|p| p.changes).sum()
     }
 
+    /// Folds another run's records into this one, summing duration,
+    /// changes, and detail counters by pass name (order of first
+    /// appearance). Used by sweep harnesses (the differential tester, the
+    /// benches) to aggregate statistics across many compilations under the
+    /// same pipeline.
+    pub fn merge(&mut self, other: &PassStatistics) {
+        for stat in &other.passes {
+            match self.passes.iter_mut().find(|p| p.name == stat.name) {
+                Some(existing) => {
+                    existing.duration += stat.duration;
+                    existing.changes += stat.changes;
+                    for (key, count) in &stat.detail {
+                        match existing.detail.iter_mut().find(|(k, _)| k == key) {
+                            Some((_, total)) => *total += count,
+                            None => existing.detail.push((key.clone(), *count)),
+                        }
+                    }
+                }
+                None => self.passes.push(stat.clone()),
+            }
+        }
+    }
+
     /// A `(name, duration, changes)` table rendered as aligned text, one
     /// row per executed pass — the per-phase breakdown behind the
     /// compiler-phase benches.

@@ -120,6 +120,26 @@ impl Circuit {
         self.num_qubits - 1
     }
 
+    /// A copy of this circuit with basis-state input preparation prepended:
+    /// an X gate on qubit `q` for every set `bits[q]`. Used to run a
+    /// compiled kernel on a chosen basis input (simulators start from
+    /// |0...0>).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is longer than the register.
+    pub fn with_basis_input(&self, bits: &[bool]) -> Circuit {
+        assert!(bits.len() <= self.num_qubits, "input wider than the circuit");
+        let mut out = Circuit::new(self.num_qubits);
+        for (q, &bit) in bits.iter().enumerate() {
+            if bit {
+                out.gate(GateKind::X, &[], &[q]);
+            }
+        }
+        out.ops.extend(self.ops.iter().cloned());
+        out
+    }
+
     /// Number of classical bits (one past the largest measurement
     /// destination).
     pub fn num_bits(&self) -> usize {

@@ -42,6 +42,13 @@ enum Data {
     Bit(bool),
     Bits(Vec<bool>),
     F64(#[allow(dead_code)] f64),
+    /// A callable value (`callable_create` and friends): the referenced
+    /// symbol plus whether the adjoint specialization has been selected.
+    /// Mirrors the QIR runtime's functable pointer + flags representation.
+    Callable {
+        symbol: String,
+        adj: bool,
+    },
 }
 
 /// Interprets `module.func(entry)` with the given arguments and seed.
@@ -92,7 +99,7 @@ pub fn run_dynamic(
             Data::Bits(bs) => bits.extend(bs),
             Data::Qubit(q) => returned_qubits.push(q),
             Data::Bundle(qs) => returned_qubits.extend(qs),
-            Data::F64(_) => {}
+            Data::F64(_) | Data::Callable { .. } => {}
         }
     }
     Ok(DynamicRun { bits, returned_qubits, state: interp.state })
@@ -259,6 +266,44 @@ impl Interp<'_> {
                     env.insert(*r, value);
                 }
             }
+            OpKind::CallableCreate { symbol } => {
+                env.insert(op.results[0], Data::Callable { symbol: symbol.clone(), adj: false });
+            }
+            OpKind::CallableAdjoint => {
+                let Some(Data::Callable { symbol, adj }) = env.get(&op.operands[0]).cloned() else {
+                    return Err("callable_adjoint of a non-callable".to_string());
+                };
+                // Flag-flip, as in the QIR runtime: double adjoint restores
+                // the body specialization.
+                env.insert(op.results[0], Data::Callable { symbol, adj: !adj });
+            }
+            OpKind::CallableControl { .. } => {
+                // The controlled functable entry needs the predicate basis,
+                // which only a generated specialization carries; emitting
+                // one requires the compiler (not the interpreter).
+                return Err(
+                    "callable_control is not interpretable; inline or specialize first".to_string()
+                );
+            }
+            OpKind::CallableInvoke => {
+                let Some(Data::Callable { symbol, adj }) = env.get(&op.operands[0]).cloned() else {
+                    return Err("callable_invoke of a non-callable".to_string());
+                };
+                // The adjoint flag selects the `__adj` functable slot, which
+                // exists only if specialization generation emitted it.
+                let target_name = if adj { format!("{symbol}__adj") } else { symbol.clone() };
+                let target = self.module.func(&target_name).ok_or_else(|| {
+                    format!("callable_invoke of @{symbol}: no function @{target_name}")
+                })?;
+                let args: Vec<Data> = op.operands[1..]
+                    .iter()
+                    .map(|v| env.get(v).cloned().ok_or_else(|| format!("invoke reads unbound {v}")))
+                    .collect::<Result<_, _>>()?;
+                let results = self.call(target, args)?;
+                for (r, value) in op.results.iter().zip(results) {
+                    env.insert(*r, value);
+                }
+            }
             OpKind::ScfIf => {
                 let Some(Data::Bit(cond)) = env.get(&op.operands[0]) else {
                     return Err("scf.if condition is not a bit".to_string());
@@ -282,6 +327,97 @@ impl Interp<'_> {
 mod tests {
     use super::*;
     use asdf_ir::{FuncBuilder, FuncType, Type, Visibility};
+
+    /// A private `qubit -> qubit` function applying one gate.
+    fn gate_func(name: &str, gate: GateKind) -> Func {
+        let mut b = FuncBuilder::new(
+            name,
+            FuncType::new(vec![Type::Qubit], vec![Type::Qubit], true),
+            Visibility::Private,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        let out = bb.push(OpKind::Gate { gate, num_controls: 0 }, vec![arg], vec![Type::Qubit]);
+        bb.push(OpKind::Return, vec![out[0]], vec![]);
+        b.finish()
+    }
+
+    #[test]
+    fn interprets_callables_with_adjoint_dispatch() {
+        // inner applies S; its adjoint specialization applies Sdg. The
+        // entry creates a callable, adjoints it twice (flag round-trip),
+        // adjoints once more, and invokes: H Sdg S H |0> = |0> would need
+        // both; here we apply S directly then the adjointed callable, so
+        // the net effect on |+> is the identity and H brings it back to
+        // |0> deterministically.
+        let mut module = Module::new();
+        module.add_func(gate_func("inner", GateKind::S));
+        module.add_func(gate_func("inner__adj", GateKind::Sdg));
+
+        let mut b = FuncBuilder::new(
+            "entry",
+            FuncType::new(vec![], vec![Type::I1], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let q = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit])[0];
+        let plus = bb.push(
+            OpKind::Gate { gate: GateKind::H, num_controls: 0 },
+            vec![q],
+            vec![Type::Qubit],
+        )[0];
+        let callable = bb.push(
+            OpKind::CallableCreate { symbol: "inner".into() },
+            vec![],
+            vec![Type::Callable],
+        );
+        let once = bb.push(OpKind::CallableAdjoint, vec![callable[0]], vec![Type::Callable]);
+        let twice = bb.push(OpKind::CallableAdjoint, vec![once[0]], vec![Type::Callable]);
+        let thrice = bb.push(OpKind::CallableAdjoint, vec![twice[0]], vec![Type::Callable]);
+        // Direct body invocation (S) ...
+        let after_s = bb.push(OpKind::CallableInvoke, vec![callable[0], plus], vec![Type::Qubit]);
+        // ... then the adjoint (Sdg) via the odd-flagged callable.
+        let after_sdg =
+            bb.push(OpKind::CallableInvoke, vec![thrice[0], after_s[0]], vec![Type::Qubit]);
+        let back = bb.push(
+            OpKind::Gate { gate: GateKind::H, num_controls: 0 },
+            vec![after_sdg[0]],
+            vec![Type::Qubit],
+        )[0];
+        let m = bb.push(OpKind::Measure, vec![back], vec![Type::Qubit, Type::I1]);
+        bb.push(OpKind::Return, vec![m[1]], vec![]);
+        module.add_func(b.finish());
+
+        for seed in 0..8 {
+            let run = run_dynamic(&module, "entry", &[], seed).unwrap();
+            assert_eq!(run.bits, vec![false], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn missing_adjoint_specialization_is_a_clean_error() {
+        let mut module = Module::new();
+        module.add_func(gate_func("inner", GateKind::S));
+        let mut b = FuncBuilder::new(
+            "entry",
+            FuncType::new(vec![], vec![Type::I1], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let q = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit])[0];
+        let callable = bb.push(
+            OpKind::CallableCreate { symbol: "inner".into() },
+            vec![],
+            vec![Type::Callable],
+        );
+        let adj = bb.push(OpKind::CallableAdjoint, vec![callable[0]], vec![Type::Callable]);
+        let out = bb.push(OpKind::CallableInvoke, vec![adj[0], q], vec![Type::Qubit]);
+        let m = bb.push(OpKind::Measure, vec![out[0]], vec![Type::Qubit, Type::I1]);
+        bb.push(OpKind::Return, vec![m[1]], vec![]);
+        module.add_func(b.finish());
+        let err = run_dynamic(&module, "entry", &[], 0).unwrap_err();
+        assert!(err.contains("inner__adj"), "{err}");
+    }
 
     #[test]
     fn interprets_bell_pair_with_branching() {

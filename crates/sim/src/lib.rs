@@ -19,5 +19,8 @@ pub mod state;
 
 pub use complex::Complex;
 pub use dynamic::{run_dynamic, ArgValue, DynamicRun};
-pub use run::{sample, unitary_of, RunResult, Simulator};
+pub use run::{
+    circuits_equivalent, circuits_equivalent_on_zero_ancillas, columns_equivalent,
+    measurement_distribution, sample, sample_per_shot, unitary_of, RunResult, Simulator,
+};
 pub use state::StateVector;

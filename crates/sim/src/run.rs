@@ -76,7 +76,43 @@ impl Simulator {
 }
 
 /// Runs `shots` shots and histograms the measured bit strings.
+///
+/// When every measurement is *terminal* (no reset ops, and no measured
+/// qubit is touched again afterwards — the deferred-measurement condition),
+/// the circuit is simulated **once** and all shots are drawn from the exact
+/// final distribution; otherwise each shot re-runs the full state-vector
+/// simulation ([`sample_per_shot`]). Both paths are deterministic per seed
+/// and draw from the same distribution, but their shot-by-shot streams
+/// differ.
 pub fn sample(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usize> {
+    match measurement_distribution(circuit) {
+        Some(dist) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            let total: f64 = dist.iter().map(|(_, p)| p).sum();
+            for _ in 0..shots {
+                let mut r = rng.gen_f64() * total;
+                let mut chosen = &dist[dist.len() - 1].0;
+                for (bits, p) in &dist {
+                    if r < *p {
+                        chosen = bits;
+                        break;
+                    }
+                    r -= p;
+                }
+                *counts.entry(chosen.clone()).or_default() += 1;
+            }
+            counts
+        }
+        None => sample_per_shot(circuit, shots, seed),
+    }
+}
+
+/// The original sampling loop: one full simulation per shot. Required for
+/// circuits with mid-circuit measurement or reset, where later evolution
+/// branches on earlier outcomes; kept public so tests can cross-check the
+/// single-simulation fast path against it.
+pub fn sample_per_shot(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usize> {
     let mut sim = Simulator::new(seed);
     let mut counts: HashMap<String, usize> = HashMap::new();
     for _ in 0..shots {
@@ -84,6 +120,60 @@ pub fn sample(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usi
         *counts.entry(result.bit_string()).or_default() += 1;
     }
     counts
+}
+
+/// The exact joint distribution of the measured bit string, computed from
+/// one simulation — available iff every measurement is terminal: the
+/// circuit has no reset ops, no qubit is measured twice or into two bits,
+/// and no op touches a qubit after it has been measured. Entries are
+/// sorted by bit string (deterministic order) and sum to 1.
+///
+/// Returns `None` when the terminal-measurement condition fails (the
+/// distribution then depends on per-shot branching) — callers fall back to
+/// [`sample_per_shot`].
+pub fn measurement_distribution(circuit: &Circuit) -> Option<Vec<(String, f64)>> {
+    let mut measured: Vec<(usize, usize)> = Vec::new(); // (qubit, bit)
+    let mut bit_used = vec![false; circuit.num_bits()];
+    for op in &circuit.ops {
+        match op {
+            CircuitOp::Reset { .. } => return None,
+            CircuitOp::Measure { qubit, bit } => {
+                if measured.iter().any(|&(q, _)| q == *qubit) || bit_used[*bit] {
+                    return None;
+                }
+                bit_used[*bit] = true;
+                measured.push((*qubit, *bit));
+            }
+            CircuitOp::Gate { .. } => {
+                if op.qubits().iter().any(|q| measured.iter().any(|&(m, _)| m == *q)) {
+                    return None;
+                }
+            }
+        }
+    }
+
+    let mut state = StateVector::zero(circuit.num_qubits);
+    for op in &circuit.ops {
+        if let CircuitOp::Gate { gate, controls, targets } = op {
+            state.apply(*gate, controls, targets);
+        }
+    }
+    let num_bits = circuit.num_bits();
+    let n = circuit.num_qubits;
+    let mut dist: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for (index, amp) in state.amplitudes().iter().enumerate() {
+        let p = amp.norm_sqr();
+        if p == 0.0 {
+            continue;
+        }
+        let mut bits = vec![false; num_bits];
+        for &(q, b) in &measured {
+            bits[b] = index & (1usize << (n - 1 - q)) != 0;
+        }
+        let key: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        *dist.entry(key).or_default() += p;
+    }
+    Some(dist.into_iter().collect())
 }
 
 /// The full unitary of a measurement-free circuit, as columns indexed by
@@ -119,7 +209,7 @@ pub fn circuits_equivalent(a: &Circuit, b: &Circuit, eps: f64) -> bool {
     }
     let ua = unitary_of(a);
     let ub = unitary_of(b);
-    columns_match(&ua, &ub, eps)
+    columns_equivalent(&ua, &ub, eps)
 }
 
 /// Whether two circuits agree (up to one shared global phase) on every
@@ -148,7 +238,20 @@ pub fn circuits_equivalent_on_zero_ancillas(
     };
     let ua: Vec<StateVector> = (0..(1usize << data_qubits)).map(|i| apply_all(a, i)).collect();
     let ub: Vec<StateVector> = (0..(1usize << data_qubits)).map(|i| apply_all(b, i)).collect();
-    columns_match(&ua, &ub, eps)
+    columns_equivalent(&ua, &ub, eps)
+}
+
+/// Whether two column sets (unitaries as lists of output states, indexed
+/// by input basis state) agree up to one *shared* global phase. This is
+/// the underlying oracle of [`circuits_equivalent`] and
+/// [`circuits_equivalent_on_zero_ancillas`], exposed so differential
+/// harnesses can compare columns extracted by other means (e.g. dynamic
+/// interpretation of a module that never becomes a static circuit).
+pub fn columns_equivalent(ua: &[StateVector], ub: &[StateVector], eps: f64) -> bool {
+    if ua.len() != ub.len() || ua.iter().zip(ub).any(|(a, b)| a.num_qubits() != b.num_qubits()) {
+        return false;
+    }
+    columns_match(ua, ub, eps)
 }
 
 fn columns_match(ua: &[StateVector], ub: &[StateVector], eps: f64) -> bool {
@@ -267,6 +370,108 @@ mod tests {
                 "controlled {gate} with {k} controls"
             );
         }
+    }
+
+    #[test]
+    fn fast_and_per_shot_sampling_agree_on_fixed_seed_distribution() {
+        // Bell pair: all measurements terminal, so `sample` takes the
+        // single-simulation fast path. Cross-check its distribution against
+        // the per-shot path on the same seed.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.measure(0, 0);
+        c.measure(1, 1);
+        let shots = 4000usize;
+        let fast = sample(&c, shots, 99);
+        let slow = sample_per_shot(&c, shots, 99);
+        let keys: std::collections::BTreeSet<&String> = fast.keys().chain(slow.keys()).collect();
+        let tv: f64 = keys
+            .iter()
+            .map(|k| {
+                let a = *fast.get(*k).unwrap_or(&0) as f64 / shots as f64;
+                let b = *slow.get(*k).unwrap_or(&0) as f64 / shots as f64;
+                (a - b).abs()
+            })
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.05, "fast vs per-shot TV distance {tv}");
+        // And both agree with the exact distribution.
+        let dist = measurement_distribution(&c).expect("terminal measurements");
+        assert_eq!(dist.len(), 2);
+        for (bits, p) in dist {
+            assert!((p - 0.5).abs() < 1e-12, "{bits}: {p}");
+        }
+    }
+
+    #[test]
+    fn mid_circuit_measurement_disables_the_fast_path() {
+        // A gate touching a measured qubit afterwards: the joint
+        // distribution can no longer be read off one final state.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.measure(0, 0);
+        c.gate(GateKind::X, &[0], &[1]); // classically-correlated CX after measurement
+        c.measure(1, 1);
+        assert!(measurement_distribution(&c).is_none());
+        // Reset also forces the per-shot path.
+        let mut r = Circuit::new(1);
+        r.gate(GateKind::H, &[], &[0]);
+        r.reset(0);
+        r.measure(0, 0);
+        assert!(measurement_distribution(&r).is_none());
+        // `sample` still works through the fallback and keeps the
+        // measurement correlation: both bits always agree.
+        let counts = sample(&c, 300, 17);
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+    }
+
+    #[test]
+    fn equivalence_accepts_global_phase_only_difference() {
+        // ZXZX = -I: a pure global phase on the identity.
+        let a = Circuit::new(1);
+        let mut b = Circuit::new(1);
+        for gate in [GateKind::Z, GateKind::X, GateKind::Z, GateKind::X] {
+            b.gate(gate, &[], &[0]);
+        }
+        assert!(circuits_equivalent(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn equivalence_rejects_qubit_count_mismatch() {
+        let a = Circuit::new(1);
+        let b = Circuit::new(2);
+        assert!(!circuits_equivalent(&a, &b, 1e-9));
+        assert!(!circuits_equivalent_on_zero_ancillas(&a, &b, 1, 1e-9));
+    }
+
+    #[test]
+    fn equivalence_rejects_a_wrong_circuit() {
+        // A relative (not global) phase difference: S vs Sdg.
+        let mut a = Circuit::new(1);
+        a.gate(GateKind::S, &[], &[0]);
+        let mut b = Circuit::new(1);
+        b.gate(GateKind::Sdg, &[], &[0]);
+        assert!(!circuits_equivalent(&a, &b, 1e-9));
+        // And a plainly different unitary.
+        let mut h = Circuit::new(1);
+        h.gate(GateKind::H, &[], &[0]);
+        assert!(!circuits_equivalent(&a, &h, 1e-9));
+    }
+
+    #[test]
+    fn zero_ancilla_equivalence_rejects_dirty_ancilla() {
+        // Both act as the identity on the data qubit, but one leaves the
+        // ancilla flipped to |1>: the decomposition contract is violated.
+        let clean = Circuit::new(2);
+        let mut dirty = Circuit::new(2);
+        dirty.gate(GateKind::X, &[], &[1]);
+        assert!(!circuits_equivalent_on_zero_ancillas(&clean, &dirty, 1, 1e-9));
+        // Returned-to-zero ancilla is fine.
+        let mut roundtrip = Circuit::new(2);
+        roundtrip.gate(GateKind::X, &[], &[1]);
+        roundtrip.gate(GateKind::X, &[], &[1]);
+        assert!(circuits_equivalent_on_zero_ancillas(&clean, &roundtrip, 1, 1e-9));
     }
 
     #[test]

@@ -155,6 +155,47 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
 
+    /// The state restricted to `qubits` (in the given order), provided
+    /// every *other* qubit is |0>: the extraction used to compare a
+    /// dynamically interpreted run (whose ancillas stay allocated) against
+    /// a reference circuit on the logical qubits alone.
+    ///
+    /// Returns `None` when `qubits` repeats or is out of range, or when the
+    /// probability mass on "some other qubit is 1" exceeds `eps` — i.e.
+    /// when the remaining qubits are entangled with or displaced from |0>,
+    /// so no pure marginal exists.
+    pub fn marginal_on(&self, qubits: &[usize], eps: f64) -> Option<StateVector> {
+        let mut kept = vec![false; self.num_qubits];
+        for &q in qubits {
+            if q >= self.num_qubits || kept[q] {
+                return None;
+            }
+            kept[q] = true;
+        }
+        let other_mask: usize =
+            (0..self.num_qubits).filter(|&q| !kept[q]).map(|q| self.qubit_mask(q)).sum();
+        let k = qubits.len();
+        let mut out = vec![Complex::ZERO; 1usize << k];
+        let mut leaked = 0.0;
+        for (i, amp) in self.amps.iter().enumerate() {
+            if i & other_mask != 0 {
+                leaked += amp.norm_sqr();
+                continue;
+            }
+            let mut sub = 0usize;
+            for (pos, &q) in qubits.iter().enumerate() {
+                if i & self.qubit_mask(q) != 0 {
+                    sub |= 1usize << (k - 1 - pos);
+                }
+            }
+            out[sub] = *amp;
+        }
+        if leaked > eps {
+            return None;
+        }
+        Some(StateVector { num_qubits: k, amps: out })
+    }
+
     /// A new state with one more qubit appended (as the least significant
     /// index position) in |0>. Used by dynamic allocation.
     pub fn with_appended_zero_qubit(&self) -> StateVector {
@@ -289,6 +330,28 @@ mod tests {
         s.collapse(0, true);
         assert!(approx(s.probability(0b11), 1.0));
         assert!(approx(s.norm(), 1.0));
+    }
+
+    #[test]
+    fn marginal_extracts_and_reorders() {
+        // |q0 q1 q2> = |0>|+>|1>: marginal on (2, 1) is |1>|+>.
+        let mut s = StateVector::zero(3);
+        s.apply(GateKind::H, &[], &[1]);
+        s.apply(GateKind::X, &[], &[2]);
+        let m = s.marginal_on(&[2, 1], 1e-9).expect("q0 is |0>");
+        assert_eq!(m.num_qubits(), 2);
+        assert!(approx(m.probability(0b10), 0.5));
+        assert!(approx(m.probability(0b11), 0.5));
+        // Marginal excluding a non-|0> qubit does not exist.
+        assert!(s.marginal_on(&[0, 1], 1e-9).is_none());
+        // Entangled partner also blocks extraction.
+        let mut bell = StateVector::zero(2);
+        bell.apply(GateKind::H, &[], &[0]);
+        bell.apply(GateKind::X, &[0], &[1]);
+        assert!(bell.marginal_on(&[0], 1e-9).is_none());
+        // Duplicates and out-of-range are rejected.
+        assert!(s.marginal_on(&[1, 1], 1e-9).is_none());
+        assert!(s.marginal_on(&[3], 1e-9).is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@ pub use asdf_baselines as baselines;
 pub use asdf_basis as basis;
 pub use asdf_codegen as codegen;
 pub use asdf_core as core;
+pub use asdf_difftest as difftest;
 pub use asdf_ir as ir;
 pub use asdf_logic as logic;
 pub use asdf_qcircuit as qcircuit;

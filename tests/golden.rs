@@ -1,0 +1,169 @@
+//! Golden snapshot tests: the OpenQASM 3 and QIR text emitted for the five
+//! `examples/` programs is checked in under `tests/golden/`, so codegen
+//! churn shows up as a reviewed diff instead of a silent change.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden
+//! ```
+
+use qwerty_asdf::ast::expand::CaptureValue;
+use qwerty_asdf::codegen::{circuit_to_qasm, module_to_qir_base, module_to_qir_unrestricted};
+use qwerty_asdf::core::{CompileOptions, Compiler};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `content` against the checked-in snapshot (or rewrites it when
+/// `GOLDEN_REGEN` is set).
+fn check_golden(name: &str, content: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, content).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("missing golden file {}; run GOLDEN_REGEN=1 cargo test --test golden", name)
+    });
+    if expected != content {
+        let mut diff = String::new();
+        for (line, (want, got)) in expected.lines().zip(content.lines()).enumerate() {
+            if want != got {
+                let _ = writeln!(diff, "line {}:\n  expected: {want}\n  actual  : {got}", line + 1);
+                break;
+            }
+        }
+        if expected.lines().count() != content.lines().count() {
+            let _ = writeln!(
+                diff,
+                "line counts differ: expected {}, actual {}",
+                expected.lines().count(),
+                content.lines().count()
+            );
+        }
+        panic!(
+            "golden mismatch for {name} — codegen output changed.\n{diff}\
+             If intentional, regenerate with GOLDEN_REGEN=1 cargo test --test golden"
+        );
+    }
+}
+
+fn cfunc_capture(name: &str, bits: Option<&str>) -> Vec<CaptureValue> {
+    vec![CaptureValue::CFunc {
+        name: name.into(),
+        captures: bits.map(CaptureValue::bits_from_str).into_iter().collect(),
+    }]
+}
+
+/// Compiles a kernel and snapshots its QASM and base-profile QIR.
+fn snapshot_circuit_program(
+    label: &str,
+    source: &str,
+    kernel: &str,
+    captures: &[CaptureValue],
+    options: &CompileOptions,
+) {
+    let compiled = Compiler::compile(source, kernel, captures, options).unwrap();
+    let circuit = compiled.circuit.as_ref().unwrap_or_else(|| panic!("{label} must inline"));
+    check_golden(&format!("{label}.qasm"), &circuit_to_qasm(circuit));
+    check_golden(
+        &format!("{label}.base.ll"),
+        &module_to_qir_base(&compiled.module, kernel).unwrap(),
+    );
+}
+
+#[test]
+fn golden_quickstart_bv() {
+    // examples/quickstart.rs with secret 1101.
+    let source = r"
+        classical f[N](secret: bit[N], x: bit[N]) -> bit {
+            (secret & x).xor_reduce()
+        }
+
+        qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+            'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+        }
+    ";
+    snapshot_circuit_program(
+        "quickstart",
+        source,
+        "kernel",
+        &cfunc_capture("f", Some("1101")),
+        &CompileOptions::default(),
+    );
+}
+
+#[test]
+fn golden_grover() {
+    // examples/grover.rs at n = 3, one iteration.
+    let source = r"
+        classical oracle[N](x: bit[N]) -> bit { x.and_reduce() }
+
+        qpu grover[N, I](f: cfunc[N, 1]) -> bit[N] {
+            'p'[N] | (f.sign | {'p'[N]} >> {-'p'[N]}) ** I | std[N].measure
+        }
+    ";
+    let options = CompileOptions::default().with_dim("N", 3).with_dim("I", 1);
+    snapshot_circuit_program("grover", source, "grover", &cfunc_capture("oracle", None), &options);
+}
+
+#[test]
+fn golden_simon() {
+    // examples/simon.rs with secret 1100.
+    let source = r"
+        classical f[N](s: bit[N], x: bit[N]) -> bit[N] {
+            x ^ (x[0].repeat(N) & s)
+        }
+
+        qpu simon[N](f: cfunc[N, N]) -> bit[2*N] {
+            'p'[N] + '0'[N] | f.xor | (pm[N] >> std[N]) + id[N] | std[2*N].measure
+        }
+    ";
+    snapshot_circuit_program(
+        "simon",
+        source,
+        "simon",
+        &cfunc_capture("f", Some("1100")),
+        &CompileOptions::default(),
+    );
+}
+
+#[test]
+fn golden_period_finding() {
+    // examples/period_finding.rs at n = 3, one kept low bit (mask 001).
+    let source = r"
+        classical f[N](mask: bit[N], x: bit[N]) -> bit[N] { x & mask }
+
+        qpu period[N](f: cfunc[N, N]) -> bit[2*N] {
+            'p'[N] + '0'[N] | f.xor | fourier[N].measure + std[N].measure
+        }
+    ";
+    snapshot_circuit_program(
+        "period_finding",
+        source,
+        "period",
+        &cfunc_capture("f", Some("001")),
+        &CompileOptions::default(),
+    );
+}
+
+#[test]
+fn golden_teleport() {
+    // examples/teleport.rs: measurement-dependent corrections prevent a
+    // static circuit, so the snapshot is the unrestricted-profile QIR.
+    let source = r"
+        qpu teleport(secret: qubit) -> qubit {
+            let alice, bob = 'p0' | '1' & std.flip;
+            let m_pm, m_std = secret + alice | '1' & std.flip | (pm + std).measure;
+            bob | (pm.flip if m_pm else id) | (std.flip if m_std else id)
+        }
+    ";
+    let compiled = Compiler::compile(source, "teleport", &[], &CompileOptions::default()).unwrap();
+    assert!(compiled.circuit.is_none(), "teleport must not inline to a static circuit");
+    check_golden("teleport.ll", &module_to_qir_unrestricted(&compiled.module).unwrap());
+}

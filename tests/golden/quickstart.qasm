@@ -1,0 +1,27 @@
+OPENQASM 3.0;
+include "stdgates.inc";
+
+qubit[5] q;
+bit[4] c;
+
+h q[0];
+h q[1];
+h q[3];
+x q[4];
+h q[4];
+cx q[0], q[4];
+cx q[1], q[4];
+cx q[3], q[4];
+h q[4];
+x q[4];
+h q[0];
+h q[1];
+h q[3];
+c[0] = measure q[0];
+reset q[0];
+c[1] = measure q[1];
+reset q[1];
+c[2] = measure q[2];
+reset q[2];
+c[3] = measure q[3];
+reset q[3];

@@ -1,0 +1,68 @@
+; QIR: Unrestricted Profile
+%Qubit = type opaque
+%Result = type opaque
+%Array = type opaque
+%Callable = type opaque
+%Tuple = type opaque
+
+
+define %Array* @teleport(%Array* %arg0) {
+entry:
+  %v0 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %v0)
+  %v1 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__x__ctl(%Qubit* %v0, %Qubit* %v1)
+  %v2 = call %Array* @__quantum__rt__array_create_1d(i32 8, i64 1)
+  %v3 = call %Qubit* @__quantum__rt__array_get_element_ptr_1d(%Array* %arg0, i64 0)
+  call void @__quantum__qis__x__ctl(%Qubit* %v3, %Qubit* %v0)
+  call void @__quantum__qis__h__body(%Qubit* %v3)
+  %m4 = call %Result* @__quantum__qis__m__body(%Qubit* %v3)
+  %v5 = call i1 @__quantum__rt__result_equal(%Result* %m4, %Result* null)
+  call void @__quantum__qis__reset__body(%Qubit* %v3)
+  call void @__quantum__rt__qubit_release(%Qubit* %v3)
+  %m6 = call %Result* @__quantum__qis__m__body(%Qubit* %v0)
+  %v7 = call i1 @__quantum__rt__result_equal(%Result* %m6, %Result* null)
+  call void @__quantum__qis__reset__body(%Qubit* %v0)
+  call void @__quantum__rt__qubit_release(%Qubit* %v0)
+  br i1 %v5, label %then0, label %else1
+then0:
+  %v8 = call %Qubit* @__quantum__rt__array_get_element_ptr_1d(%Array* %v2, i64 0)
+  call void @__quantum__qis__z__body(%Qubit* %v8)
+  %v9 = call %Array* @__quantum__rt__array_create_1d(i32 8, i64 1)
+  br label %merge2
+else1:
+  br label %merge2
+merge2:
+  %v10 = phi %Array* [ %v9, %then0 ], [ %v2, %else1 ]
+  br i1 %v7, label %then3, label %else4
+then3:
+  %v11 = call %Qubit* @__quantum__rt__array_get_element_ptr_1d(%Array* %v10, i64 0)
+  call void @__quantum__qis__x__body(%Qubit* %v11)
+  %v12 = call %Array* @__quantum__rt__array_create_1d(i32 8, i64 1)
+  br label %merge5
+else4:
+  br label %merge5
+merge5:
+  %v13 = phi %Array* [ %v12, %then3 ], [ %v10, %else4 ]
+  ret %Array* %v13
+}
+
+define internal void @teleport__body__wrapper(%Tuple* %capture, %Tuple* %args, %Tuple* %res) {
+  ret void
+}
+
+define internal void @teleport__adj__wrapper(%Tuple* %capture, %Tuple* %args, %Tuple* %res) {
+  ret void
+}
+
+declare %Qubit* @__quantum__rt__qubit_allocate()
+declare void @__quantum__rt__qubit_release(%Qubit*)
+declare %Result* @__quantum__qis__m__body(%Qubit*)
+declare void @__quantum__qis__reset__body(%Qubit*)
+declare i1 @__quantum__rt__result_equal(%Result*, %Result*)
+declare %Callable* @__quantum__rt__callable_create([4 x void (%Tuple*, %Tuple*, %Tuple*)*]*, [2 x void (%Tuple*, i32)*]*, %Tuple*)
+declare void @__quantum__rt__callable_make_adjoint(%Callable*)
+declare void @__quantum__rt__callable_make_controlled(%Callable*)
+declare void @__quantum__rt__callable_invoke(%Callable*, %Tuple*, %Tuple*)
+declare %Tuple* @__quantum__rt__tuple_create(i64)
+declare %Array* @__quantum__rt__array_create_1d(i32, i64)

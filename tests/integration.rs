@@ -289,9 +289,7 @@ fn ij_basis_roundtrip() {
     ";
     let compiled = Compiler::compile(source, "k", &[], &CompileOptions::default()).unwrap();
     let circuit = compiled.circuit.unwrap();
-    let mut with_prep = qwerty_asdf::qcircuit::Circuit::new(circuit.num_qubits);
-    with_prep.gate(GateKind::X, &[], &[0]);
-    with_prep.ops.extend(circuit.ops.iter().cloned());
+    let with_prep = circuit.with_basis_input(&[true]);
     let counts = sample(&with_prep, 16, 31);
     assert_eq!(counts.len(), 1);
     assert!(counts.contains_key("1"), "{counts:?}");
