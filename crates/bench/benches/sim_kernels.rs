@@ -1,0 +1,204 @@
+//! Simulation-engine bench: the kernel-based hot path (gate fusion +
+//! stride enumeration + batched structure-of-arrays unitary extraction)
+//! against the naive scan-and-branch reference
+//! ([`asdf_sim::StateVector::apply_naive`]), on a seeded random circuit.
+//!
+//! Two measurements:
+//!
+//! - **single_state** — one shot from |0..0> through the whole circuit;
+//! - **unitary** — extracting all `2^n` unitary columns (the difftest
+//!   oracle's hottest loop), naive per-column re-simulation vs
+//!   [`asdf_sim::batched_columns`].
+//!
+//! Each run appends a trajectory point to `BENCH_sim.json` at the repo
+//! root, so speedups are tracked across commits. `--smoke` (or env
+//! `SIM_KERNELS_SMOKE=1`) shrinks the workload for CI.
+
+use asdf_ir::GateKind;
+use asdf_qcircuit::{Circuit, CircuitOp};
+use asdf_sim::{batched_columns, columns_equivalent, KernelProgram, StateVector};
+use criterion::black_box;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xC0FF_EE00;
+
+/// A seeded random circuit with the gate mix of compiled Qwerty programs:
+/// mostly single-qubit Cliffords+T and rotations, a third controlled ops.
+fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 3, "the gate mix needs 3 distinct wires");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(num_qubits);
+    let distinct = |rng: &mut StdRng, n: usize, taken: &[usize]| -> usize {
+        loop {
+            let q = rng.gen_range_usize(n);
+            if !taken.contains(&q) {
+                return q;
+            }
+        }
+    };
+    for _ in 0..gates {
+        let roll = rng.gen_f64();
+        if roll < 0.62 {
+            let gate = match rng.gen_range_usize(8) {
+                0 => GateKind::H,
+                1 => GateKind::T,
+                2 => GateKind::Tdg,
+                3 => GateKind::S,
+                4 => GateKind::X,
+                5 => GateKind::Z,
+                6 => GateKind::Rz(rng.gen_f64() * std::f64::consts::TAU),
+                _ => GateKind::P(rng.gen_f64() * std::f64::consts::TAU),
+            };
+            circuit.gate(gate, &[], &[rng.gen_range_usize(num_qubits)]);
+        } else if roll < 0.90 {
+            let c = rng.gen_range_usize(num_qubits);
+            let t = distinct(&mut rng, num_qubits, &[c]);
+            circuit.gate(GateKind::X, &[c], &[t]);
+        } else if roll < 0.96 {
+            let c0 = rng.gen_range_usize(num_qubits);
+            let c1 = distinct(&mut rng, num_qubits, &[c0]);
+            let t = distinct(&mut rng, num_qubits, &[c0, c1]);
+            circuit.gate(GateKind::X, &[c0, c1], &[t]);
+        } else {
+            let a = rng.gen_range_usize(num_qubits);
+            let b = distinct(&mut rng, num_qubits, &[a]);
+            circuit.gate(GateKind::Swap, &[], &[a, b]);
+        }
+    }
+    circuit
+}
+
+fn naive_run(circuit: &Circuit) -> StateVector {
+    let mut state = StateVector::zero(circuit.num_qubits);
+    for op in &circuit.ops {
+        if let CircuitOp::Gate { gate, controls, targets } = op {
+            state.apply_naive(*gate, controls, targets);
+        }
+    }
+    state
+}
+
+fn naive_columns(circuit: &Circuit, inputs: &[usize]) -> Vec<StateVector> {
+    inputs
+        .iter()
+        .map(|&input| {
+            let mut state = StateVector::basis(circuit.num_qubits, input);
+            for op in &circuit.ops {
+                if let CircuitOp::Gate { gate, controls, targets } = op {
+                    state.apply_naive(*gate, controls, targets);
+                }
+            }
+            state
+        })
+        .collect()
+}
+
+/// Median wall-clock of `samples` runs (after one warmup).
+fn median_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn append_trajectory_point(point: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sim.json");
+    let rewritten = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(body) => {
+                    let body = body.trim_end();
+                    if body.ends_with('[') {
+                        format!("{body}\n  {point}\n]\n")
+                    } else {
+                        format!("{body},\n  {point}\n]\n")
+                    }
+                }
+                None => format!("[\n  {point}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {point}\n]\n"),
+    };
+    match std::fs::write(&path, rewritten) {
+        Ok(()) => println!("trajectory point appended to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("SIM_KERNELS_SMOKE").is_ok_and(|v| v == "1");
+    let (num_qubits, gates, unitary_samples, state_samples) =
+        if smoke { (8, 100, 2, 20) } else { (12, 200, 3, 50) };
+    let circuit = random_circuit(num_qubits, gates, SEED);
+    let program = KernelProgram::compile(&circuit);
+    println!(
+        "sim_kernels: {num_qubits} qubits, {} gates fused to {} kernel ops{}",
+        circuit.ops.len(),
+        program.ops().len(),
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    // Correctness cross-check before timing anything.
+    let inputs: Vec<usize> = (0..(1usize << num_qubits)).collect();
+    assert!(
+        columns_equivalent(
+            &batched_columns(&circuit, &inputs),
+            &naive_columns(&circuit, &inputs),
+            1e-9
+        ),
+        "kernel engine disagrees with the naive reference"
+    );
+
+    let naive_state = median_time(state_samples, || naive_run(&circuit));
+    let kernel_state = median_time(state_samples, || {
+        let mut state = StateVector::zero(num_qubits);
+        KernelProgram::compile(&circuit).apply_state(&mut state);
+        state
+    });
+    let state_speedup = naive_state.as_secs_f64() / kernel_state.as_secs_f64();
+    println!(
+        "single_state/naive  median {:>10.3?}\nsingle_state/kernel median {:>10.3?}   speedup {state_speedup:.2}x",
+        naive_state, kernel_state
+    );
+
+    let naive_unitary = median_time(unitary_samples, || naive_columns(&circuit, &inputs));
+    let kernel_unitary = median_time(unitary_samples, || batched_columns(&circuit, &inputs));
+    let unitary_speedup = naive_unitary.as_secs_f64() / kernel_unitary.as_secs_f64();
+    println!(
+        "unitary/naive       median {:>10.3?}\nunitary/kernel      median {:>10.3?}   speedup {unitary_speedup:.2}x",
+        naive_unitary, kernel_unitary
+    );
+
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let point = format!(
+        "{{\"bench\": \"sim_kernels\", \"mode\": \"{}\", \"qubits\": {num_qubits}, \"gates\": {}, \
+         \"kernel_ops\": {}, \"threads\": {threads}, \
+         \"single_state\": {{\"naive_ms\": {:.3}, \"kernel_ms\": {:.3}, \"speedup\": {:.2}}}, \
+         \"unitary\": {{\"naive_ms\": {:.3}, \"kernel_ms\": {:.3}, \"speedup\": {:.2}}}}}",
+        if smoke { "smoke" } else { "full" },
+        circuit.ops.len(),
+        program.ops().len(),
+        ms(naive_state),
+        ms(kernel_state),
+        state_speedup,
+        ms(naive_unitary),
+        ms(kernel_unitary),
+        unitary_speedup,
+    );
+    append_trajectory_point(&point);
+}

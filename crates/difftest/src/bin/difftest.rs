@@ -68,7 +68,9 @@ fn main() -> ExitCode {
         asdf_core::CompileOptions::matrix().len()
     );
     let harness = Harness::new(oracle);
+    let start = std::time::Instant::now();
     let report = harness.run_sweep(&opts);
+    let elapsed = start.elapsed();
 
     println!("\n{}", report.render_table());
     println!(
@@ -78,6 +80,7 @@ fn main() -> ExitCode {
         report.comparisons,
         report.mismatches.len()
     );
+    println!("sweep wall-clock: {elapsed:.3?}");
     if show_stats {
         for config in &report.configs {
             println!("\n--- merged pass statistics: {} ---", config.name);

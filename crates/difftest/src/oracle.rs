@@ -23,8 +23,8 @@ use crate::gen::{GenCase, InputMode};
 use asdf_core::Compiled;
 use asdf_qcircuit::{Circuit, CircuitOp};
 use asdf_sim::{
-    columns_equivalent, measurement_distribution, run_dynamic, sample_per_shot, ArgValue,
-    StateVector,
+    batched_columns, columns_equivalent, measurement_distribution, run_dynamic, sample_per_shot,
+    ArgValue, StateVector,
 };
 use std::collections::BTreeMap;
 
@@ -166,17 +166,15 @@ fn columns_from_circuit(case: &GenCase, circuit: &Circuit, opts: &OracleOptions)
             "measurement-free program compiled to a circuit with measure/reset ops".to_string(),
         );
     }
-    let n = circuit.num_qubits;
-    let shift = n - case.width;
+    let shift = circuit.num_qubits - case.width;
     let data: Vec<usize> = (0..case.width).collect();
-    let mut columns = Vec::new();
-    for index in input_indices(case) {
-        let mut state = StateVector::basis(n, index << shift);
-        for op in &circuit.ops {
-            if let CircuitOp::Gate { gate, controls, targets } = op {
-                state.apply(*gate, controls, targets);
-            }
-        }
+    let indices = input_indices(case);
+    // One batched pass over every basis input instead of a per-column
+    // re-simulation: the sweep's hottest loop.
+    let inputs: Vec<usize> = indices.iter().map(|&index| index << shift).collect();
+    let full_columns = batched_columns(circuit, &inputs);
+    let mut columns = Vec::with_capacity(full_columns.len());
+    for (index, state) in indices.iter().zip(&full_columns) {
         match state.marginal_on(&data, 1e-9) {
             Some(column) => columns.push(column),
             None => {

@@ -1,0 +1,121 @@
+//! Offline shim for a scoped thread pool.
+//!
+//! The build environment has no network access to a crate registry, so this
+//! in-tree crate provides the small parallel-execution surface the
+//! simulator's kernels need: a [`ThreadPool`] with a fixed worker count and
+//! borrow-friendly data-parallel loops built on [`std::thread::scope`].
+//! Unlike the registry `threadpool` crate (whose jobs must be `'static`),
+//! scoped spawning lets kernels parallelize over borrowed amplitude
+//! buffers with no `Arc`/channel plumbing — and no external dependencies.
+//!
+//! Threads are spawned per call and joined before the call returns; there
+//! is no persistent worker state, so a pool is cheap to construct and the
+//! zero-worker/one-worker cases degrade to plain serial loops (important
+//! for the simulator, whose inputs are usually far too small to amortize a
+//! thread spawn).
+
+use std::num::NonZeroUsize;
+
+/// A fixed-width scoped thread pool.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool running `workers` tasks concurrently (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ThreadPool { workers: workers.max(1) }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if unknown).
+    pub fn with_available_parallelism() -> Self {
+        ThreadPool::new(std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Splits `data` into disjoint chunks of at most `chunk_len` elements
+    /// and runs `f(chunk_index, chunk)` over all of them, distributing
+    /// chunks round-robin across the pool's workers. Runs serially when
+    /// the pool has one worker or there is only one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let num_chunks = data.len().div_ceil(chunk_len.max(1));
+        if self.workers == 1 || num_chunks <= 1 {
+            for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(index, chunk);
+            }
+            return;
+        }
+        let num_queues = self.workers.min(num_chunks);
+        let mut queues: Vec<Vec<(usize, &mut [T])>> = (0..num_queues).map(|_| Vec::new()).collect();
+        for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            queues[index % num_queues].push((index, chunk));
+        }
+        std::thread::scope(|scope| {
+            for queue in queues {
+                scope.spawn(|| {
+                    for (index, chunk) in queue {
+                        f(index, chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        for workers in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(workers);
+            let mut data = vec![0u32; 103];
+            let calls = AtomicUsize::new(0);
+            pool.for_each_chunk(&mut data, 10, |index, chunk| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                for x in chunk.iter_mut() {
+                    *x += 1 + index as u32;
+                }
+            });
+            assert_eq!(calls.load(Ordering::SeqCst), 11, "workers={workers}");
+            for (i, x) in data.iter().enumerate() {
+                assert_eq!(*x, 1 + (i / 10) as u32, "workers={workers} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(ThreadPool::new(0).workers(), 1);
+        assert!(ThreadPool::default().workers() >= 1);
+    }
+
+    #[test]
+    fn empty_data_is_a_no_op() {
+        let pool = ThreadPool::new(4);
+        let mut data: Vec<u8> = Vec::new();
+        pool.for_each_chunk(&mut data, 16, |_, _| panic!("no chunks expected"));
+    }
+}

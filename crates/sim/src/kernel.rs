@@ -1,0 +1,525 @@
+//! Stride-based gate kernels and the gate-fusion prepass.
+//!
+//! The simulation hot path: instead of interpreting [`CircuitOp`]s one at a
+//! time with a scan-and-branch over all `2^n` amplitudes (retained as
+//! [`StateVector::apply_naive`] for differential testing), a circuit is
+//! *compiled* once into a [`KernelProgram`]:
+//!
+//! - **Fusion**: runs of adjacent uncontrolled single-qubit gates on the
+//!   same wire are folded into one 2×2 matrix (gates on disjoint wires
+//!   commute, so runs survive interleaving); consecutive controlled
+//!   unitaries with identical control/target masks are folded likewise, and
+//!   exact-identity products (e.g. `X;X`, `S;Sdg`) are dropped.
+//! - **Stride enumeration**: each kernel visits only the
+//!   `2^(n-1-#controls)` pair indices satisfying the control mask, by
+//!   depositing a dense counter's bits over the free bit positions —
+//!   no per-index branching.
+//!
+//! The same kernels back the batched unitary extraction in
+//! [`crate::batch`], which applies a program to many basis columns at once.
+
+use crate::complex::Complex;
+use crate::state::StateVector;
+use asdf_ir::GateKind;
+use asdf_qcircuit::{Circuit, CircuitOp};
+use std::f64::consts::FRAC_PI_4;
+
+/// A 2×2 complex matrix, row-major.
+pub type Matrix2 = [[Complex; 2]; 2];
+
+/// The exact 2×2 identity.
+pub const IDENTITY_2Q: Matrix2 = [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]];
+
+/// One fused, mask-resolved operation of a [`KernelProgram`].
+///
+/// Masks follow the [`StateVector`] convention: qubit 0 is the most
+/// significant bit of the amplitude index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOp {
+    /// A (possibly controlled) single-qubit unitary: the fused 2×2 matrix
+    /// applied to the target bit wherever every control bit is 1.
+    Unitary {
+        /// The fused matrix.
+        matrix: Matrix2,
+        /// Single-bit mask of the target qubit.
+        tmask: usize,
+        /// OR of the control-qubit masks (0 when uncontrolled).
+        cmask: usize,
+    },
+    /// A (possibly controlled) swap of two qubits.
+    Swap {
+        /// Single-bit mask of the first swapped qubit.
+        amask: usize,
+        /// Single-bit mask of the second swapped qubit.
+        bmask: usize,
+        /// OR of the control-qubit masks (0 when uncontrolled).
+        cmask: usize,
+    },
+    /// A measurement into a classical bit (never fused across).
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Destination classical bit.
+        bit: usize,
+    },
+    /// A reset to |0> (never fused across).
+    Reset {
+        /// Reset qubit.
+        qubit: usize,
+    },
+}
+
+/// A circuit compiled to fused, mask-resolved kernel ops.
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    num_qubits: usize,
+    num_bits: usize,
+    ops: Vec<KernelOp>,
+    source_ops: usize,
+}
+
+impl KernelProgram {
+    /// Compiles `circuit` into fused kernel ops.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let n = circuit.num_qubits;
+        let mask = |q: usize| 1usize << (n - 1 - q);
+        let mut ops: Vec<KernelOp> = Vec::with_capacity(circuit.ops.len());
+        let mut pending: Vec<Option<Matrix2>> = vec![None; n];
+
+        fn flush(
+            ops: &mut Vec<KernelOp>,
+            pending: &mut [Option<Matrix2>],
+            wire: usize,
+            tmask: usize,
+        ) {
+            if let Some(matrix) = pending[wire].take() {
+                push_unitary(ops, matrix, tmask, 0);
+            }
+        }
+
+        for op in &circuit.ops {
+            match op {
+                CircuitOp::Gate { gate: GateKind::Swap, controls, targets } => {
+                    for &q in controls.iter().chain(targets) {
+                        flush(&mut ops, &mut pending, q, mask(q));
+                    }
+                    let cmask = controls.iter().fold(0, |acc, &c| acc | mask(c));
+                    ops.push(KernelOp::Swap {
+                        amask: mask(targets[0]),
+                        bmask: mask(targets[1]),
+                        cmask,
+                    });
+                }
+                CircuitOp::Gate { gate, controls, targets } if controls.is_empty() => {
+                    let wire = targets[0];
+                    let acc = pending[wire].unwrap_or(IDENTITY_2Q);
+                    pending[wire] = Some(matmul(&matrix_1q(*gate), &acc));
+                }
+                CircuitOp::Gate { gate, controls, targets } => {
+                    for &q in controls.iter().chain(targets) {
+                        flush(&mut ops, &mut pending, q, mask(q));
+                    }
+                    let cmask = controls.iter().fold(0, |acc, &c| acc | mask(c));
+                    push_unitary(&mut ops, matrix_1q(*gate), mask(targets[0]), cmask);
+                }
+                CircuitOp::Measure { qubit, bit } => {
+                    flush(&mut ops, &mut pending, *qubit, mask(*qubit));
+                    ops.push(KernelOp::Measure { qubit: *qubit, bit: *bit });
+                }
+                CircuitOp::Reset { qubit } => {
+                    flush(&mut ops, &mut pending, *qubit, mask(*qubit));
+                    ops.push(KernelOp::Reset { qubit: *qubit });
+                }
+            }
+        }
+        for wire in 0..n {
+            flush(&mut ops, &mut pending, wire, mask(wire));
+        }
+
+        KernelProgram {
+            num_qubits: n,
+            num_bits: circuit.num_bits(),
+            ops,
+            source_ops: circuit.ops.len(),
+        }
+    }
+
+    /// Number of qubits the program acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits the program writes.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// The fused ops, in execution order.
+    pub fn ops(&self) -> &[KernelOp] {
+        &self.ops
+    }
+
+    /// Number of source-circuit ops the program was compiled from.
+    pub fn source_ops(&self) -> usize {
+        self.source_ops
+    }
+
+    /// Whether the program is measurement- and reset-free.
+    pub fn is_unitary(&self) -> bool {
+        self.ops.iter().all(|op| matches!(op, KernelOp::Unitary { .. } | KernelOp::Swap { .. }))
+    }
+
+    /// Applies the program to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state size does not match, or if the program contains
+    /// measurements or resets (those need a seeded executor — see
+    /// [`crate::run::Simulator::run_program`]).
+    pub fn apply_state(&self, state: &mut StateVector) {
+        assert!(self.is_unitary(), "apply_state on a measuring program; use Simulator");
+        self.apply_gates(state);
+    }
+
+    /// Applies only the unitary ops (gates), skipping measurements and
+    /// resets. Callers must have established that the skipped ops do not
+    /// affect the amplitudes they read — e.g. the terminal-measurement
+    /// analysis of [`crate::run::measurement_distribution`].
+    pub fn apply_gates(&self, state: &mut StateVector) {
+        assert_eq!(state.num_qubits(), self.num_qubits, "state size mismatch");
+        let amps = state.amps_mut();
+        for op in &self.ops {
+            match op {
+                KernelOp::Unitary { matrix, tmask, cmask } => {
+                    apply_unitary(amps, matrix, *tmask, *cmask);
+                }
+                KernelOp::Swap { amask, bmask, cmask } => {
+                    apply_swap(amps, *amask, *bmask, *cmask);
+                }
+                KernelOp::Measure { .. } | KernelOp::Reset { .. } => {}
+            }
+        }
+    }
+}
+
+/// Appends a unitary, folding it into the previous op when that op is a
+/// unitary on exactly the same control/target masks, and dropping exact
+/// identities.
+fn push_unitary(ops: &mut Vec<KernelOp>, matrix: Matrix2, tmask: usize, cmask: usize) {
+    if let Some(KernelOp::Unitary { matrix: prev, tmask: pt, cmask: pc }) = ops.last_mut() {
+        if *pt == tmask && *pc == cmask {
+            *prev = matmul(&matrix, prev);
+            if *prev == IDENTITY_2Q {
+                ops.pop();
+            }
+            return;
+        }
+    }
+    if matrix == IDENTITY_2Q {
+        return;
+    }
+    ops.push(KernelOp::Unitary { matrix, tmask, cmask });
+}
+
+/// `a * b` (apply `b` first, then `a`).
+pub fn matmul(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    [
+        [a[0][0] * b[0][0] + a[0][1] * b[1][0], a[0][0] * b[0][1] + a[0][1] * b[1][1]],
+        [a[1][0] * b[0][0] + a[1][1] * b[1][0], a[1][0] * b[0][1] + a[1][1] * b[1][1]],
+    ]
+}
+
+/// Decomposes `mask` into its single-bit masks, ascending.
+pub(crate) fn single_bit_masks(mut mask: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    while mask != 0 {
+        let low = mask & mask.wrapping_neg();
+        out.push(low);
+        mask ^= low;
+    }
+    out
+}
+
+/// Deposits the bits of the dense counter `k` over the bit positions *not*
+/// occupied by `fixed` (single-bit masks, ascending): the classic
+/// bit-deposit that enumerates exactly the indices with all fixed bits 0.
+#[inline]
+pub(crate) fn deposit(k: usize, fixed: &[usize]) -> usize {
+    let mut index = k;
+    for &mask in fixed {
+        index = ((index & !(mask - 1)) << 1) | (index & (mask - 1));
+    }
+    index
+}
+
+/// The structural form of a 2×2 matrix, used to pick a cheaper kernel.
+/// Zero tests are exact: fused products of structured matrices keep their
+/// exact zeros (and phase gates their exact unit corner), so the common
+/// post-fusion shapes — phase products, Rz products, multi-controlled X —
+/// all classify away from the general case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MatrixForm {
+    /// Off-diagonal exactly zero, upper-left exactly one: only |..1..>
+    /// amplitudes are scaled (P/T/S/Z and their products).
+    Phase,
+    /// Off-diagonal exactly zero (Rz and diagonal products).
+    Diagonal,
+    /// Diagonal exactly zero, both off-diagonal entries exactly one: a
+    /// pure amplitude swap (X, CX, CCX...).
+    FlipX,
+    /// Diagonal exactly zero (Y-like).
+    AntiDiagonal,
+    /// Anything else.
+    General,
+}
+
+/// Classifies `matrix` for kernel dispatch.
+pub(crate) fn classify(matrix: &Matrix2) -> MatrixForm {
+    let [[m00, m01], [m10, m11]] = *matrix;
+    if m01 == Complex::ZERO && m10 == Complex::ZERO {
+        if m00 == Complex::ONE {
+            MatrixForm::Phase
+        } else {
+            MatrixForm::Diagonal
+        }
+    } else if m00 == Complex::ZERO && m11 == Complex::ZERO {
+        if m01 == Complex::ONE && m10 == Complex::ONE {
+            MatrixForm::FlipX
+        } else {
+            MatrixForm::AntiDiagonal
+        }
+    } else {
+        MatrixForm::General
+    }
+}
+
+/// Applies a (possibly controlled) 2×2 unitary to the amplitude slice,
+/// visiting only the `len >> (1 + #controls)` pairs whose controls are 1,
+/// with the update specialized to the matrix form (a fused phase product
+/// touches only the |..1..> amplitudes; a multi-controlled X moves
+/// amplitudes without any arithmetic).
+pub(crate) fn apply_unitary(amps: &mut [Complex], matrix: &Matrix2, tmask: usize, cmask: usize) {
+    let [[m00, m01], [m10, m11]] = *matrix;
+    let form = classify(matrix);
+    if cmask == 0 {
+        // Contiguous fast path: every aligned block of 2*tmask amplitudes
+        // splits into tmask pairs at distance tmask.
+        for chunk in amps.chunks_exact_mut(tmask << 1) {
+            let (lo, hi) = chunk.split_at_mut(tmask);
+            match form {
+                MatrixForm::Phase => {
+                    for b in hi.iter_mut() {
+                        *b = m11 * *b;
+                    }
+                }
+                MatrixForm::Diagonal => {
+                    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                        *a = m00 * *a;
+                        *b = m11 * *b;
+                    }
+                }
+                MatrixForm::FlipX => lo.swap_with_slice(hi),
+                MatrixForm::AntiDiagonal => {
+                    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                        let a0 = *a;
+                        *a = m01 * *b;
+                        *b = m10 * a0;
+                    }
+                }
+                MatrixForm::General => {
+                    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                        let a0 = *a;
+                        let a1 = *b;
+                        *a = m00 * a0 + m01 * a1;
+                        *b = m10 * a0 + m11 * a1;
+                    }
+                }
+            }
+        }
+    } else {
+        let fixed = single_bit_masks(tmask | cmask);
+        let pairs = amps.len() >> fixed.len();
+        for k in 0..pairs {
+            let i = deposit(k, &fixed) | cmask;
+            let j = i | tmask;
+            match form {
+                MatrixForm::Phase => amps[j] = m11 * amps[j],
+                MatrixForm::Diagonal => {
+                    amps[i] = m00 * amps[i];
+                    amps[j] = m11 * amps[j];
+                }
+                MatrixForm::FlipX => amps.swap(i, j),
+                MatrixForm::AntiDiagonal => {
+                    let a0 = amps[i];
+                    amps[i] = m01 * amps[j];
+                    amps[j] = m10 * a0;
+                }
+                MatrixForm::General => {
+                    let a0 = amps[i];
+                    let a1 = amps[j];
+                    amps[i] = m00 * a0 + m01 * a1;
+                    amps[j] = m10 * a0 + m11 * a1;
+                }
+            }
+        }
+    }
+}
+
+/// Applies a (possibly controlled) swap, exchanging the amplitudes of
+/// |..a=1,b=0..> and |..a=0,b=1..> wherever the controls are 1.
+pub(crate) fn apply_swap(amps: &mut [Complex], amask: usize, bmask: usize, cmask: usize) {
+    let fixed = single_bit_masks(amask | bmask | cmask);
+    let pairs = amps.len() >> fixed.len();
+    for k in 0..pairs {
+        let i = deposit(k, &fixed) | cmask | amask;
+        let j = i ^ amask ^ bmask;
+        amps.swap(i, j);
+    }
+}
+
+/// The 2x2 matrix of a single-target gate.
+///
+/// # Panics
+///
+/// Panics on [`GateKind::Swap`], which has no 2×2 matrix.
+pub fn matrix_1q(gate: GateKind) -> Matrix2 {
+    let zero = Complex::ZERO;
+    let one = Complex::ONE;
+    let i = Complex::I;
+    let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+    match gate {
+        GateKind::X => [[zero, one], [one, zero]],
+        GateKind::Y => [[zero, -i], [i, zero]],
+        GateKind::Z => [[one, zero], [zero, -one]],
+        GateKind::H => [[h, h], [h, -h]],
+        GateKind::S => [[one, zero], [zero, i]],
+        GateKind::Sdg => [[one, zero], [zero, -i]],
+        GateKind::T => [[one, zero], [zero, Complex::from_angle(FRAC_PI_4)]],
+        GateKind::Tdg => [[one, zero], [zero, Complex::from_angle(-FRAC_PI_4)]],
+        GateKind::Sx => {
+            let p = Complex::new(0.5, 0.5);
+            let m = Complex::new(0.5, -0.5);
+            [[p, m], [m, p]]
+        }
+        GateKind::Sxdg => {
+            let p = Complex::new(0.5, 0.5);
+            let m = Complex::new(0.5, -0.5);
+            [[m, p], [p, m]]
+        }
+        GateKind::P(theta) => [[one, zero], [zero, Complex::from_angle(theta)]],
+        GateKind::Rx(theta) => {
+            let c = Complex::new((theta / 2.0).cos(), 0.0);
+            let s = Complex::new(0.0, -(theta / 2.0).sin());
+            [[c, s], [s, c]]
+        }
+        GateKind::Ry(theta) => {
+            let c = Complex::new((theta / 2.0).cos(), 0.0);
+            let s = Complex::new((theta / 2.0).sin(), 0.0);
+            [[c, -s], [s, c]]
+        }
+        GateKind::Rz(theta) => {
+            [[Complex::from_angle(-theta / 2.0), zero], [zero, Complex::from_angle(theta / 2.0)]]
+        }
+        GateKind::Swap => unreachable!("swap handled separately"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unitary_count(p: &KernelProgram) -> usize {
+        p.ops().iter().filter(|op| matches!(op, KernelOp::Unitary { .. })).count()
+    }
+
+    #[test]
+    fn deposit_enumerates_free_indices() {
+        // n = 4, fixed bits 0b0100 and 0b0001: the 4 free patterns land in
+        // the remaining positions, fixed bits always 0.
+        let fixed = [0b0001usize, 0b0100];
+        let all: Vec<usize> = (0..4).map(|k| deposit(k, &fixed)).collect();
+        assert_eq!(all, vec![0b0000, 0b0010, 0b1000, 0b1010]);
+    }
+
+    #[test]
+    fn fuses_single_qubit_runs_across_disjoint_wires() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::T, &[], &[1]); // interleaved, different wire
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::H, &[], &[0]);
+        let p = KernelProgram::compile(&c);
+        // Wire 0's H-T-H run fuses to one matrix; wire 1's T is another.
+        assert_eq!(unitary_count(&p), 2);
+        assert!(p.is_unitary());
+        assert_eq!(p.source_ops(), 4);
+    }
+
+    #[test]
+    fn fusion_does_not_cross_controls_or_measurements() {
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]); // touches both wires: flushes H
+        c.gate(GateKind::H, &[], &[0]);
+        c.measure(0, 0);
+        c.gate(GateKind::H, &[], &[0]); // must not fuse across the measure
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 5);
+        assert!(!p.is_unitary());
+        assert!(matches!(p.ops()[3], KernelOp::Measure { qubit: 0, bit: 0 }));
+    }
+
+    #[test]
+    fn exact_identity_products_are_dropped() {
+        let mut c = Circuit::new(1);
+        c.gate(GateKind::X, &[], &[0]);
+        c.gate(GateKind::X, &[], &[0]);
+        c.gate(GateKind::S, &[], &[0]);
+        c.gate(GateKind::Sdg, &[], &[0]);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 0, "{:?}", p.ops());
+        // Adjacent identical-mask controlled pairs cancel too.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::X, &[0], &[1]);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 0, "{:?}", p.ops());
+    }
+
+    #[test]
+    fn fused_program_matches_gate_by_gate_application() {
+        let mut c = Circuit::new(3);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::Ry(0.37), &[], &[2]);
+        c.gate(GateKind::Swap, &[0], &[1, 2]);
+        c.gate(GateKind::Sdg, &[], &[1]);
+        c.gate(GateKind::Z, &[2, 1], &[0]);
+        let p = KernelProgram::compile(&c);
+
+        let mut fused = StateVector::zero(3);
+        p.apply_state(&mut fused);
+        let mut plain = StateVector::zero(3);
+        for op in &c.ops {
+            if let CircuitOp::Gate { gate, controls, targets } = op {
+                plain.apply_naive(*gate, controls, targets);
+            }
+        }
+        for (a, b) in fused.amplitudes().iter().zip(plain.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_state_rejects_measuring_programs() {
+        let mut c = Circuit::new(1);
+        c.measure(0, 0);
+        let p = KernelProgram::compile(&c);
+        let result = std::panic::catch_unwind(|| {
+            let mut s = StateVector::zero(1);
+            p.apply_state(&mut s);
+        });
+        assert!(result.is_err());
+    }
+}

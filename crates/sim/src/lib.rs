@@ -10,15 +10,25 @@
 //! most significant bit of basis-state indices, matching `asdf-basis`
 //! eigenbit order.
 //!
+//! The hot path is kernel-based: circuits are compiled once into fused,
+//! mask-resolved [`KernelProgram`]s ([`kernel`]), applied with stride-based
+//! pair enumeration instead of a scan-and-branch over all `2^n` amplitudes,
+//! and unitary extraction applies the program to every basis column at once
+//! ([`batch`]), optionally across a scoped thread pool.
+//!
 //! [`Circuit`]: asdf_qcircuit::Circuit
 
+pub mod batch;
 pub mod complex;
 pub mod dynamic;
+pub mod kernel;
 pub mod run;
 pub mod state;
 
+pub use batch::{batched_columns, batched_program_columns};
 pub use complex::Complex;
 pub use dynamic::{run_dynamic, ArgValue, DynamicRun};
+pub use kernel::{KernelOp, KernelProgram};
 pub use run::{
     circuits_equivalent, circuits_equivalent_on_zero_ancillas, columns_equivalent,
     measurement_distribution, sample, sample_per_shot, unitary_of, RunResult, Simulator,

@@ -1,5 +1,12 @@
 //! Circuit execution: single shots, sampling, and unitary extraction.
+//!
+//! Execution compiles circuits to fused, stride-based [`KernelProgram`]s
+//! (see [`crate::kernel`]); unitary extraction applies the program to all
+//! basis columns at once (see [`crate::batch`]) instead of re-simulating
+//! per column.
 
+use crate::batch::batched_columns;
+use crate::kernel::{apply_swap, apply_unitary, KernelOp, KernelProgram};
 use crate::state::StateVector;
 use asdf_qcircuit::{Circuit, CircuitOp};
 use rand::rngs::StdRng;
@@ -36,7 +43,7 @@ impl Simulator {
 
     /// Runs one shot of the circuit from |0...0>.
     pub fn run(&mut self, circuit: &Circuit) -> RunResult {
-        self.run_from(circuit, StateVector::zero(circuit.num_qubits))
+        self.run_program(&KernelProgram::compile(circuit))
     }
 
     /// Runs one shot starting from a caller-prepared state (for kernels
@@ -45,21 +52,43 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the state size does not match the circuit.
-    pub fn run_from(&mut self, circuit: &Circuit, mut state: StateVector) -> RunResult {
-        assert_eq!(state.num_qubits(), circuit.num_qubits, "state size mismatch");
-        let mut bits = vec![false; circuit.num_bits()];
-        for op in &circuit.ops {
+    pub fn run_from(&mut self, circuit: &Circuit, state: StateVector) -> RunResult {
+        self.run_program_from(&KernelProgram::compile(circuit), state)
+    }
+
+    /// Runs one shot of a precompiled program from |0...0>. Compiling once
+    /// and running many shots amortizes the gate-fusion prepass.
+    pub fn run_program(&mut self, program: &KernelProgram) -> RunResult {
+        self.run_program_from(program, StateVector::zero(program.num_qubits()))
+    }
+
+    /// Runs one shot of a precompiled program from a caller-prepared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state size does not match the program.
+    pub fn run_program_from(
+        &mut self,
+        program: &KernelProgram,
+        mut state: StateVector,
+    ) -> RunResult {
+        assert_eq!(state.num_qubits(), program.num_qubits(), "state size mismatch");
+        let mut bits = vec![false; program.num_bits()];
+        for op in program.ops() {
             match op {
-                CircuitOp::Gate { gate, controls, targets } => {
-                    state.apply(*gate, controls, targets);
+                KernelOp::Unitary { matrix, tmask, cmask } => {
+                    apply_unitary(state.amps_mut(), matrix, *tmask, *cmask);
                 }
-                CircuitOp::Measure { qubit, bit } => {
+                KernelOp::Swap { amask, bmask, cmask } => {
+                    apply_swap(state.amps_mut(), *amask, *bmask, *cmask);
+                }
+                KernelOp::Measure { qubit, bit } => {
                     let p1 = state.prob_one(*qubit);
                     let outcome = self.rng.gen_bool(p1.clamp(0.0, 1.0));
                     state.collapse(*qubit, outcome);
                     bits[*bit] = outcome;
                 }
-                CircuitOp::Reset { qubit } => {
+                KernelOp::Reset { qubit } => {
                     let p1 = state.prob_one(*qubit);
                     if p1 > 1e-12 {
                         let outcome = self.rng.gen_bool(p1.clamp(0.0, 1.0));
@@ -113,10 +142,11 @@ pub fn sample(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usi
 /// branches on earlier outcomes; kept public so tests can cross-check the
 /// single-simulation fast path against it.
 pub fn sample_per_shot(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<String, usize> {
+    let program = KernelProgram::compile(circuit);
     let mut sim = Simulator::new(seed);
     let mut counts: HashMap<String, usize> = HashMap::new();
     for _ in 0..shots {
-        let result = sim.run(circuit);
+        let result = sim.run_program(&program);
         *counts.entry(result.bit_string()).or_default() += 1;
     }
     counts
@@ -153,11 +183,9 @@ pub fn measurement_distribution(circuit: &Circuit) -> Option<Vec<(String, f64)>>
     }
 
     let mut state = StateVector::zero(circuit.num_qubits);
-    for op in &circuit.ops {
-        if let CircuitOp::Gate { gate, controls, targets } = op {
-            state.apply(*gate, controls, targets);
-        }
-    }
+    // The terminal-measurement analysis above established that skipping the
+    // measure ops cannot change any amplitude a measurement reads.
+    KernelProgram::compile(circuit).apply_gates(&mut state);
     let num_bits = circuit.num_bits();
     let n = circuit.num_qubits;
     let mut dist: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
@@ -188,17 +216,8 @@ pub fn unitary_of(circuit: &Circuit) -> Vec<StateVector> {
         circuit.ops.iter().all(|op| matches!(op, CircuitOp::Gate { .. })),
         "unitary extraction requires a measurement-free circuit"
     );
-    (0..(1usize << circuit.num_qubits))
-        .map(|index| {
-            let mut state = StateVector::basis(circuit.num_qubits, index);
-            for op in &circuit.ops {
-                if let CircuitOp::Gate { gate, controls, targets } = op {
-                    state.apply(*gate, controls, targets);
-                }
-            }
-            state
-        })
-        .collect()
+    let inputs: Vec<usize> = (0..(1usize << circuit.num_qubits)).collect();
+    batched_columns(circuit, &inputs)
 }
 
 /// Whether two measurement-free circuits implement the same unitary up to
@@ -225,19 +244,10 @@ pub fn circuits_equivalent_on_zero_ancillas(
     if a.num_qubits != b.num_qubits || data_qubits > a.num_qubits {
         return false;
     }
-    let n = a.num_qubits;
-    let shift = n - data_qubits;
-    let apply_all = |c: &Circuit, index: usize| -> StateVector {
-        let mut state = StateVector::basis(n, index << shift);
-        for op in &c.ops {
-            if let CircuitOp::Gate { gate, controls, targets } = op {
-                state.apply(*gate, controls, targets);
-            }
-        }
-        state
-    };
-    let ua: Vec<StateVector> = (0..(1usize << data_qubits)).map(|i| apply_all(a, i)).collect();
-    let ub: Vec<StateVector> = (0..(1usize << data_qubits)).map(|i| apply_all(b, i)).collect();
+    let shift = a.num_qubits - data_qubits;
+    let inputs: Vec<usize> = (0..(1usize << data_qubits)).map(|i| i << shift).collect();
+    let ua = batched_columns(a, &inputs);
+    let ub = batched_columns(b, &inputs);
     columns_equivalent(&ua, &ub, eps)
 }
 

@@ -1,8 +1,8 @@
 //! Dense state vectors and gate application.
 
 use crate::complex::Complex;
+use crate::kernel;
 use asdf_ir::GateKind;
-use std::f64::consts::FRAC_PI_4;
 
 /// A pure state of `n` qubits as `2^n` amplitudes.
 ///
@@ -40,6 +40,20 @@ impl StateVector {
         s
     }
 
+    /// A state from raw amplitudes (callers keep them normalized). Used by
+    /// the batched extraction kernels and by tests that need exact
+    /// amplitude control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or exceeds 2^26.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count {} not a power of two", amps.len());
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        StateVector { num_qubits, amps }
+    }
+
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
@@ -48,6 +62,11 @@ impl StateVector {
     /// The amplitudes.
     pub fn amplitudes(&self) -> &[Complex] {
         &self.amps
+    }
+
+    /// Mutable amplitude access for the in-crate kernels.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
     }
 
     /// The probability of measuring basis state `index`.
@@ -60,14 +79,63 @@ impl StateVector {
         1usize << (self.num_qubits - 1 - qubit)
     }
 
-    /// Applies a (possibly controlled) gate.
+    /// Validates controls/targets and returns the OR'd control mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range qubits or any duplicate across controls and
+    /// targets (a duplicated control would otherwise silently satisfy the
+    /// mask check with the wrong bit).
+    fn checked_cmask(&self, controls: &[usize], targets: &[usize]) -> usize {
+        let mut seen = 0usize;
+        let mut cmask = 0usize;
+        for &c in controls {
+            let m = self.qubit_mask(c);
+            assert!(seen & m == 0, "duplicate qubit {c} in gate");
+            seen |= m;
+            cmask |= m;
+        }
+        for &t in targets {
+            let m = self.qubit_mask(t);
+            assert!(seen & m == 0, "duplicate qubit {t} in gate");
+            seen |= m;
+        }
+        cmask
+    }
+
+    /// Applies a (possibly controlled) gate using the stride-based kernels
+    /// of [`crate::kernel`]: only the `2^(n-1-#controls)` amplitude pairs
+    /// satisfying the control mask are visited.
     ///
     /// # Panics
     ///
     /// Panics on out-of-range or duplicated qubits.
     pub fn apply(&mut self, gate: GateKind, controls: &[usize], targets: &[usize]) {
         assert_eq!(targets.len(), gate.num_targets(), "target arity");
-        let cmask: usize = controls.iter().map(|&c| self.qubit_mask(c)).sum();
+        let cmask = self.checked_cmask(controls, targets);
+        match gate {
+            GateKind::Swap => {
+                let (a, b) = (self.qubit_mask(targets[0]), self.qubit_mask(targets[1]));
+                kernel::apply_swap(&mut self.amps, a, b, cmask);
+            }
+            single => {
+                let t = self.qubit_mask(targets[0]);
+                kernel::apply_unitary(&mut self.amps, &kernel::matrix_1q(single), t, cmask);
+            }
+        }
+    }
+
+    /// The original scan-and-branch gate application: visits all `2^n`
+    /// indices and tests each against the target/control masks. Retained
+    /// as the reference implementation the stride kernels are
+    /// differentially tested (and benchmarked) against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicated qubits.
+    pub fn apply_naive(&mut self, gate: GateKind, controls: &[usize], targets: &[usize]) {
+        assert_eq!(targets.len(), gate.num_targets(), "target arity");
+        let cmask = self.checked_cmask(controls, targets);
         match gate {
             GateKind::Swap => {
                 let (a, b) = (self.qubit_mask(targets[0]), self.qubit_mask(targets[1]));
@@ -81,7 +149,7 @@ impl StateVector {
                 }
             }
             single => {
-                let [[m00, m01], [m10, m11]] = matrix_1q(single);
+                let [[m00, m01], [m10, m11]] = kernel::matrix_1q(single);
                 let t = self.qubit_mask(targets[0]);
                 let size = self.amps.len();
                 for i in 0..size {
@@ -107,12 +175,23 @@ impl StateVector {
 
     /// Collapses `qubit` to `outcome`, renormalizing.
     ///
+    /// The branch probability is summed directly over the kept amplitudes:
+    /// computing the 0-branch as `1 - prob_one` loses precision to
+    /// cancellation when `prob_one` is near 1, renormalizing the surviving
+    /// amplitudes by a visibly wrong factor.
+    ///
     /// # Panics
     ///
     /// Panics if the outcome has (near-)zero probability.
     pub fn collapse(&mut self, qubit: usize, outcome: bool) {
         let mask = self.qubit_mask(qubit);
-        let p = if outcome { self.prob_one(qubit) } else { 1.0 - self.prob_one(qubit) };
+        let p: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i & mask != 0) == outcome)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
         assert!(p > 1e-12, "collapsing onto a zero-probability branch");
         let norm = 1.0 / p.sqrt();
         for (i, amp) in self.amps.iter_mut().enumerate() {
@@ -126,24 +205,27 @@ impl StateVector {
     }
 
     /// Whether two states are equal up to a global phase.
+    ///
+    /// The phase is aligned on a *symmetric* pivot — the index with the
+    /// largest combined magnitude across both states — so the verdict does
+    /// not depend on which operand is `self` when the per-state maxima are
+    /// near-degenerate.
     pub fn approx_eq_global_phase(&self, other: &StateVector, eps: f64) -> bool {
         if self.num_qubits != other.num_qubits {
             return false;
         }
-        // Align phases on the largest-magnitude amplitude.
         let pivot = (0..self.amps.len())
             .max_by(|&a, &b| {
-                self.amps[a]
-                    .norm_sqr()
-                    .partial_cmp(&self.amps[b].norm_sqr())
-                    .expect("amplitudes are finite")
+                let wa = self.amps[a].norm_sqr() + other.amps[a].norm_sqr();
+                let wb = self.amps[b].norm_sqr() + other.amps[b].norm_sqr();
+                wa.partial_cmp(&wb).expect("amplitudes are finite")
             })
             .expect("nonempty state");
-        if self.amps[pivot].abs() < eps && other.amps[pivot].abs() < eps {
+        if self.amps[pivot].abs() < eps || other.amps[pivot].abs() < eps {
+            // No phase is extractable at the pivot: either both states are
+            // (near-)zero everywhere, or one has weight the other lacks —
+            // both cases are decided by direct comparison.
             return self.amps.iter().zip(&other.amps).all(|(a, b)| a.approx_eq(*b, eps));
-        }
-        if other.amps[pivot].abs() < eps {
-            return false;
         }
         let ratio = self.amps[pivot] * other.amps[pivot].conj();
         let phase = Complex::from_angle(ratio.im.atan2(ratio.re));
@@ -207,49 +289,6 @@ impl StateVector {
     }
 }
 
-/// The 2x2 matrix of a single-target gate.
-fn matrix_1q(gate: GateKind) -> [[Complex; 2]; 2] {
-    let zero = Complex::ZERO;
-    let one = Complex::ONE;
-    let i = Complex::I;
-    let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
-    match gate {
-        GateKind::X => [[zero, one], [one, zero]],
-        GateKind::Y => [[zero, -i], [i, zero]],
-        GateKind::Z => [[one, zero], [zero, -one]],
-        GateKind::H => [[h, h], [h, -h]],
-        GateKind::S => [[one, zero], [zero, i]],
-        GateKind::Sdg => [[one, zero], [zero, -i]],
-        GateKind::T => [[one, zero], [zero, Complex::from_angle(FRAC_PI_4)]],
-        GateKind::Tdg => [[one, zero], [zero, Complex::from_angle(-FRAC_PI_4)]],
-        GateKind::Sx => {
-            let p = Complex::new(0.5, 0.5);
-            let m = Complex::new(0.5, -0.5);
-            [[p, m], [m, p]]
-        }
-        GateKind::Sxdg => {
-            let p = Complex::new(0.5, 0.5);
-            let m = Complex::new(0.5, -0.5);
-            [[m, p], [p, m]]
-        }
-        GateKind::P(theta) => [[one, zero], [zero, Complex::from_angle(theta)]],
-        GateKind::Rx(theta) => {
-            let c = Complex::new((theta / 2.0).cos(), 0.0);
-            let s = Complex::new(0.0, -(theta / 2.0).sin());
-            [[c, s], [s, c]]
-        }
-        GateKind::Ry(theta) => {
-            let c = Complex::new((theta / 2.0).cos(), 0.0);
-            let s = Complex::new((theta / 2.0).sin(), 0.0);
-            [[c, -s], [s, c]]
-        }
-        GateKind::Rz(theta) => {
-            [[Complex::from_angle(-theta / 2.0), zero], [zero, Complex::from_angle(theta / 2.0)]]
-        }
-        GateKind::Swap => unreachable!("swap handled separately"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +322,42 @@ mod tests {
         let mut s = StateVector::zero(2); // |00>
         s.apply(GateKind::X, &[0], &[1]); // control 0 is |0>: no-op
         assert!(approx(s.probability(0b00), 1.0));
+    }
+
+    #[test]
+    fn multi_controlled_gate_uses_all_controls() {
+        // Regression for the summed control mask: with distinct controls
+        // the OR'd mask equals the sum, but the gate must fire only when
+        // *every* control is 1.
+        let mut s = StateVector::basis(3, 0b110);
+        s.apply(GateKind::X, &[0, 1], &[2]);
+        assert!(approx(s.probability(0b111), 1.0));
+        let mut s = StateVector::basis(3, 0b100);
+        s.apply(GateKind::X, &[0, 1], &[2]);
+        assert!(approx(s.probability(0b100), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicated_control_panics() {
+        // Regression: the summed mask `2*m` used to carry into the wrong
+        // bit and silently act as a different control set.
+        let mut s = StateVector::zero(3);
+        s.apply(GateKind::X, &[1, 1], &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn control_equal_to_target_panics() {
+        let mut s = StateVector::zero(2);
+        s.apply(GateKind::X, &[1], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn naive_apply_rejects_duplicates_too() {
+        let mut s = StateVector::zero(3);
+        s.apply_naive(GateKind::X, &[0, 0], &[2]);
     }
 
     #[test]
@@ -333,6 +408,22 @@ mod tests {
     }
 
     #[test]
+    fn collapse_onto_tiny_branch_renormalizes_exactly() {
+        // amp(|0>) = 1e-5: the zero-branch probability is 1e-10, and
+        // `1 - prob_one` reproduces it only to the ulp of 1.0 (~1e-16),
+        // i.e. with ~1e-6 relative error, so the renormalized amplitude
+        // missed 1 by ~5e-7. Summing the kept branch directly recovers it
+        // to full precision.
+        let small = 1e-5f64;
+        let big = (1.0 - small * small).sqrt();
+        let mut s =
+            StateVector::from_amplitudes(vec![Complex::new(small, 0.0), Complex::new(big, 0.0)]);
+        s.collapse(0, false);
+        assert!((s.amplitudes()[0].re - 1.0).abs() < 1e-9, "{}", s.amplitudes()[0]);
+        assert!(approx(s.norm(), 1.0));
+    }
+
+    #[test]
     fn marginal_extracts_and_reorders() {
         // |q0 q1 q2> = |0>|+>|1>: marginal on (2, 1) is |1>|+>.
         let mut s = StateVector::zero(3);
@@ -366,5 +457,44 @@ mod tests {
         b.apply(GateKind::X, &[], &[0]);
         assert!(a.approx_eq_global_phase(&b, 1e-10));
         assert_ne!(a, b, "bitwise different due to the -1 phase");
+    }
+
+    #[test]
+    fn global_phase_pivot_is_symmetric_under_near_degenerate_maxima() {
+        // `self`'s largest amplitude (by a 1e-12 hair) sits at index 0, but
+        // `other` carries its phase perturbations at indices 0 and 1 (±θ)
+        // and its own maximum at index 2. A pivot chosen from `self` alone
+        // aligns the phase at index 0, doubling the apparent error at
+        // index 1 to 2cθ > eps; the symmetric pivot (largest combined
+        // magnitude, index 2) sees cθ < eps on both and accepts.
+        let c = 1.0 / 3.0f64.sqrt();
+        let theta = 1.5e-3;
+        let eps = 1e-3;
+        let zero = Complex::ZERO;
+        let a = StateVector::from_amplitudes(vec![
+            Complex::new(c + 1e-12, 0.0),
+            Complex::new(c, 0.0),
+            Complex::new(c, 0.0),
+            zero,
+        ]);
+        let rot = |phi: f64| Complex::I * Complex::from_angle(phi);
+        let b = StateVector::from_amplitudes(vec![
+            rot(theta).scale(c),
+            rot(-theta).scale(c),
+            rot(0.0).scale(c + 1e-9),
+            zero,
+        ]);
+        assert!(a.approx_eq_global_phase(&b, eps));
+        assert!(b.approx_eq_global_phase(&a, eps), "must be symmetric in its operands");
+        // The perturbation is real: a tighter tolerance still rejects.
+        assert!(!a.approx_eq_global_phase(&b, 1e-4));
+    }
+
+    #[test]
+    fn from_amplitudes_validates_length() {
+        assert!(std::panic::catch_unwind(|| StateVector::from_amplitudes(vec![Complex::ONE; 3]))
+            .is_err());
+        let s = StateVector::from_amplitudes(vec![Complex::ONE]);
+        assert_eq!(s.num_qubits(), 0);
     }
 }
