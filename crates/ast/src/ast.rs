@@ -5,6 +5,7 @@
 //! syntactic. `expand` resolves dimensions, and `typecheck` produces the
 //! typed AST in [`crate::tast`].
 
+use crate::diag::Span;
 use crate::dims::{AngleExpr, DimExpr};
 use asdf_basis::{Eigenstate, PrimitiveBasis};
 
@@ -126,9 +127,46 @@ pub struct VectorSyntax {
     pub phase: Option<AngleExpr>,
 }
 
-/// A `qpu` expression.
+/// A `qpu` expression: a kind plus the source span it was parsed from.
+///
+/// Consumers that build ASTs programmatically (tests, the difftest
+/// generator) construct kinds and convert with `From`, leaving the span
+/// unknown: `let e: Expr = ExprKind::Var("f".into()).into();`
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// Source range this expression was parsed from (empty when the AST
+    /// was built programmatically).
+    pub span: Span,
+}
+
+/// Structural equality: spans are locations, not meaning, so two
+/// expressions compare equal whenever their kinds do (round-tripping
+/// through [`crate::pretty`] preserves equality even though offsets
+/// move).
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Expr {
+    /// An expression with a known source span.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+}
+
+impl From<ExprKind> for Expr {
+    fn from(kind: ExprKind) -> Expr {
+        Expr { kind, span: Span::default() }
+    }
+}
+
+/// A `qpu` expression kind.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub enum ExprKind {
     /// A qubit literal used as state preparation, e.g. `'p0'` (possibly
     /// mixed-basis per position).
     QLit {

@@ -35,7 +35,7 @@ impl DimExpr {
         Ok(match self {
             DimExpr::Const(v) => *v,
             DimExpr::Var(name) => *bindings.get(name).ok_or_else(|| {
-                FrontendError::Dimension(format!("unbound dimension variable {name}"))
+                FrontendError::dim_err(format!("unbound dimension variable {name}"))
             })?,
             DimExpr::Add(a, b) => a.eval(bindings)? + b.eval(bindings)?,
             DimExpr::Sub(a, b) => a.eval(bindings)? - b.eval(bindings)?,
@@ -52,7 +52,7 @@ impl DimExpr {
     pub fn eval_usize(&self, bindings: &HashMap<String, i64>) -> Result<usize, FrontendError> {
         let v = self.eval(bindings)?;
         usize::try_from(v).map_err(|_| {
-            FrontendError::Dimension(format!("dimension {self} evaluated to negative {v}"))
+            FrontendError::dim_err(format!("dimension {self} evaluated to negative {v}"))
         })
     }
 
@@ -127,7 +127,7 @@ impl AngleExpr {
             AngleExpr::Div(a, b) => {
                 let denom = b.eval_degrees(bindings)?;
                 if denom == 0.0 {
-                    return Err(FrontendError::Dimension(
+                    return Err(FrontendError::dim_err(
                         "division by zero in angle expression".to_string(),
                     ));
                 }

@@ -88,9 +88,9 @@ pub fn instantiate(
 ) -> Result<KernelInstance, FrontendError> {
     let func = program
         .qpu(kernel)
-        .ok_or_else(|| FrontendError::Unbound(format!("qpu kernel {kernel}")))?;
+        .ok_or_else(|| FrontendError::unbound(format!("qpu kernel {kernel}")))?;
     if captures.len() > func.params.len() {
-        return Err(FrontendError::Type(format!(
+        return Err(FrontendError::type_err(format!(
             "kernel {kernel} takes {} parameters but {} captures were supplied",
             func.params.len(),
             captures.len()
@@ -118,7 +118,7 @@ pub fn instantiate(
                 (TypeExpr::Bit(d), CaptureValue::Bits(bits)) => {
                     match unify(d, bits.len() as i64, &mut dims) {
                         Ok(()) => {}
-                        Err(e @ FrontendError::Dimension(_)) => {
+                        Err(e @ FrontendError::Dimension { .. }) => {
                             last_error = Some(e);
                             deferred.push(index);
                         }
@@ -128,7 +128,7 @@ pub fn instantiate(
                 (TypeExpr::CFunc(d_in, d_out), CaptureValue::CFunc { name, captures }) => {
                     match instantiate_classical(program, name, captures, d_in, d_out, &mut dims) {
                         Ok(instance) => classical_instances[index] = Some(instance),
-                        Err(e @ FrontendError::Dimension(_)) => {
+                        Err(e @ FrontendError::Dimension { .. }) => {
                             last_error = Some(e);
                             deferred.push(index);
                         }
@@ -136,7 +136,7 @@ pub fn instantiate(
                     }
                 }
                 (ty, capture) => {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "capture {capture:?} does not fit parameter {}: {ty:?}",
                         param.name
                     )));
@@ -152,7 +152,7 @@ pub fn instantiate(
     // Every declared dimension variable must now be bound.
     for var in &func.dim_vars {
         if !dims.contains_key(var) {
-            return Err(FrontendError::Dimension(format!(
+            return Err(FrontendError::dim_err(format!(
                 "dimension variable {var} of kernel {kernel} could not be inferred; \
                  pass it explicitly"
             )));
@@ -174,9 +174,9 @@ fn instantiate_classical(
 ) -> Result<ClassicalInstance, FrontendError> {
     let func = program
         .classical(name)
-        .ok_or_else(|| FrontendError::Unbound(format!("classical function {name}")))?;
+        .ok_or_else(|| FrontendError::unbound(format!("classical function {name}")))?;
     if captures.len() >= func.params.len() && !func.params.is_empty() {
-        return Err(FrontendError::Type(format!(
+        return Err(FrontendError::type_err(format!(
             "classical function {name} needs at least one non-capture input"
         )));
     }
@@ -185,12 +185,12 @@ fn instantiate_classical(
     let mut capture_bits = Vec::new();
     for (param, capture) in func.params.iter().zip(captures) {
         let CaptureValue::Bits(bits) = capture else {
-            return Err(FrontendError::Type(format!(
+            return Err(FrontendError::type_err(format!(
                 "classical function {name} can only capture bit strings"
             )));
         };
         let TypeExpr::Bit(d) = &param.ty else {
-            return Err(FrontendError::Type(format!(
+            return Err(FrontendError::type_err(format!(
                 "classical parameter {} must have a bit type to capture bits",
                 param.name
             )));
@@ -204,7 +204,7 @@ fn instantiate_classical(
         .iter()
         .map(|p| match &p.ty {
             TypeExpr::Bit(d) => Ok(d),
-            other => Err(FrontendError::Type(format!(
+            other => Err(FrontendError::type_err(format!(
                 "classical parameters must be bits, found {other:?}"
             ))),
         })
@@ -212,7 +212,7 @@ fn instantiate_classical(
     let ret_dim = match &func.ret {
         TypeExpr::Bit(d) => d,
         other => {
-            return Err(FrontendError::Type(format!(
+            return Err(FrontendError::type_err(format!(
                 "classical functions return bits, found {other:?}"
             )))
         }
@@ -240,7 +240,7 @@ fn instantiate_classical(
     // All of the callee's dimension variables must now be bound.
     for var in &func.dim_vars {
         if !local.contains_key(var) {
-            return Err(FrontendError::Dimension(format!(
+            return Err(FrontendError::dim_err(format!(
                 "dimension variable {var} of classical function {name} could not be inferred"
             )));
         }
@@ -257,7 +257,7 @@ fn unify(
 ) -> Result<(), FrontendError> {
     match d {
         DimExpr::Var(name) => match bindings.get(name) {
-            Some(&bound) if bound != value => Err(FrontendError::Dimension(format!(
+            Some(&bound) if bound != value => Err(FrontendError::dim_err(format!(
                 "dimension variable {name} bound to both {bound} and {value}"
             ))),
             Some(_) => Ok(()),
@@ -271,7 +271,7 @@ fn unify(
             if got == value {
                 Ok(())
             } else {
-                Err(FrontendError::Dimension(format!(
+                Err(FrontendError::dim_err(format!(
                     "dimension {other} = {got} does not match required {value}"
                 )))
             }
@@ -295,7 +295,7 @@ fn solve_sum(
                 DimExpr::Var(name) => match &mut unknown {
                     Some((existing, count)) if *existing == name.as_str() => *count += 1,
                     Some(_) => {
-                        return Err(FrontendError::Dimension(
+                        return Err(FrontendError::dim_err(
                             "cannot infer multiple distinct dimension variables from one width"
                                 .to_string(),
                         ))
@@ -303,7 +303,7 @@ fn solve_sum(
                     None => unknown = Some((name.as_str(), 1)),
                 },
                 other => {
-                    return Err(FrontendError::Dimension(format!(
+                    return Err(FrontendError::dim_err(format!(
                         "cannot solve for composite dimension {other}"
                     )))
                 }
@@ -315,7 +315,7 @@ fn solve_sum(
             if known == total {
                 Ok(())
             } else {
-                Err(FrontendError::Dimension(format!(
+                Err(FrontendError::dim_err(format!(
                     "parameter widths sum to {known}, expected {total}"
                 )))
             }
@@ -323,7 +323,7 @@ fn solve_sum(
         Some((name, count)) => {
             let remaining = total - known;
             if remaining % count != 0 || remaining < 0 {
-                return Err(FrontendError::Dimension(format!(
+                return Err(FrontendError::dim_err(format!(
                     "cannot split width {remaining} across {count} occurrences of {name}"
                 )));
             }
@@ -444,7 +444,7 @@ mod tests {
     fn missing_dimension_reported() {
         let program = parse_program(FIG1).unwrap();
         let err = instantiate(&program, "kernel", &[], &HashMap::new()).unwrap_err();
-        assert!(matches!(err, FrontendError::Dimension(_)), "{err}");
+        assert!(matches!(err, FrontendError::Dimension { .. }), "{err}");
     }
 
     #[test]
@@ -464,6 +464,6 @@ mod tests {
             },
         ];
         let err = instantiate(&program, "k", &captures, &HashMap::new()).unwrap_err();
-        assert!(matches!(err, FrontendError::Dimension(_)), "{err}");
+        assert!(matches!(err, FrontendError::Dimension { .. }), "{err}");
     }
 }

@@ -1,14 +1,15 @@
 //! Lexer for the Qwerty surface syntax.
 
+use crate::diag::Span;
 use crate::error::FrontendError;
 
-/// A token with its source offset.
+/// A token with its source span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
     pub kind: TokenKind,
-    /// Byte offset of the token start.
-    pub offset: usize,
+    /// Byte range of the token in the source.
+    pub span: Span,
 }
 
 /// Token kinds.
@@ -124,19 +125,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                 }
                 if i >= bytes.len() {
                     return Err(FrontendError::Lex {
-                        offset: start,
+                        span: Span::new(start, i),
                         message: "unterminated qubit literal".to_string(),
                     });
                 }
                 let body = src[body_start..i].to_string();
                 if body.is_empty() {
                     return Err(FrontendError::Lex {
-                        offset: start,
+                        span: Span::new(start, i + 1),
                         message: "empty qubit literal".to_string(),
                     });
                 }
                 i += 1;
-                tokens.push(Token { kind: TokenKind::QLit(body), offset: start });
+                tokens.push(Token { kind: TokenKind::QLit(body), span: Span::new(start, i) });
             }
             b'0'..=b'9' => {
                 let mut has_dot = false;
@@ -157,16 +158,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                 let text = &src[start..i];
                 let kind = if has_dot {
                     TokenKind::Float(text.parse().map_err(|_| FrontendError::Lex {
-                        offset: start,
+                        span: Span::new(start, i),
                         message: format!("invalid float literal {text}"),
                     })?)
                 } else {
                     TokenKind::Int(text.parse().map_err(|_| FrontendError::Lex {
-                        offset: start,
+                        span: Span::new(start, i),
                         message: format!("integer literal {text} out of range"),
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token { kind, span: Span::new(start, i) });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
@@ -174,7 +175,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                 }
                 tokens.push(Token {
                     kind: TokenKind::Ident(src[start..i].to_string()),
-                    offset: start,
+                    span: Span::new(start, i),
                 });
             }
             _ => {
@@ -203,18 +204,21 @@ pub fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                     (b'/', _) => (TokenKind::Slash, 1),
                     (b'=', _) => (TokenKind::Eq, 1),
                     _ => {
+                        // Decode the full (possibly multi-byte) character so
+                        // the span never splits a UTF-8 sequence.
+                        let ch = src[start..].chars().next().expect("in-bounds offset");
                         return Err(FrontendError::Lex {
-                            offset: start,
-                            message: format!("unexpected character {:?}", c as char),
-                        })
+                            span: Span::new(start, start + ch.len_utf8()),
+                            message: format!("unexpected character {ch:?}"),
+                        });
                     }
                 };
                 i += len;
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token { kind, span: Span::new(start, i) });
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    tokens.push(Token { kind: TokenKind::Eof, span: Span::at(bytes.len()) });
     Ok(tokens)
 }
 
@@ -278,5 +282,17 @@ mod tests {
         assert!(lex("'p0").is_err());
         assert!(lex("''").is_err());
         assert!(lex("$").is_err());
+    }
+
+    #[test]
+    fn unexpected_multibyte_character_has_a_whole_char_span() {
+        let src = "a \u{03c0} b";
+        let err = lex(src).unwrap_err();
+        let FrontendError::Lex { span, message } = &err else { panic!("{err}") };
+        assert_eq!(&src[span.start..span.end], "\u{03c0}", "span covers the full character");
+        assert!(message.contains('\u{03c0}'), "{message}");
+        // Rendering the diagnostic against the source must not panic.
+        let rendered = err.to_diagnostic().render(src);
+        assert!(rendered.contains("'\u{03c0}'"), "{rendered}");
     }
 }

@@ -20,7 +20,7 @@
 //! }
 //! ```
 //!
-//! Pipeline: [`parse::parse_program`] → [`expand::expand`] (dimension
+//! Pipeline: [`parse::parse_program`] → [`expand::instantiate`] (dimension
 //! variables inferred from captures and substituted; `f ** N` repetition
 //! unrolled) → [`typecheck::typecheck_kernel`] (linear qubit types, basis
 //! validation, span checking) → [`canon::canonicalize`] (the §4.2
@@ -28,6 +28,7 @@
 
 pub mod ast;
 pub mod canon;
+pub mod diag;
 pub mod dims;
 pub mod error;
 pub mod expand;
@@ -39,6 +40,7 @@ pub mod typecheck;
 pub mod types;
 
 pub use ast::{ClassicalFunc, Item, Program, QpuFunc};
+pub use diag::{line_col, Diagnostic, Label, LineCol, Severity, Span};
 pub use error::FrontendError;
 pub use expand::CaptureValue;
 pub use tast::{TClassical, TExpr, TExprKind, TKernel};

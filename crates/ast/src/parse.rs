@@ -7,6 +7,7 @@
 //! precedence: `|`, `^`, `&`, `~`, postfix.
 
 use crate::ast::*;
+use crate::diag::Span;
 use crate::dims::{AngleExpr, DimExpr};
 use crate::error::FrontendError;
 use crate::lex::{lex, Token, TokenKind};
@@ -33,7 +34,7 @@ use asdf_basis::PrimitiveBasis;
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, FrontendError> {
     let tokens = lex(src)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser { tokens, pos: 0, prev_end: 0 };
     let mut items = Vec::new();
     while !parser.at_eof() {
         items.push(parser.item()?);
@@ -48,7 +49,7 @@ pub fn parse_program(src: &str) -> Result<Program, FrontendError> {
 /// Same conditions as [`parse_program`].
 pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
     let tokens = lex(src)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser { tokens, pos: 0, prev_end: 0 };
     let expr = parser.expr()?;
     parser.expect_eof()?;
     Ok(expr)
@@ -57,6 +58,9 @@ pub fn parse_expr(src: &str) -> Result<Expr, FrontendError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// End offset of the last consumed token (expression spans run from
+    /// their first token's start to this).
+    prev_end: usize,
 }
 
 impl Parser {
@@ -69,11 +73,28 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens[self.pos].offset
+        self.tokens[self.pos].span.start
+    }
+
+    fn span_here(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    /// The span running from `start` to the end of the last consumed
+    /// token — the span of an expression whose first token began at
+    /// `start`.
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.prev_end.max(start))
+    }
+
+    /// Wraps a parsed kind with the span that produced it.
+    fn spanned(&self, start: usize, kind: ExprKind) -> Expr {
+        Expr::new(kind, self.span_from(start))
     }
 
     fn bump(&mut self) -> TokenKind {
         let kind = self.tokens[self.pos].kind.clone();
+        self.prev_end = self.tokens[self.pos].span.end;
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -85,7 +106,7 @@ impl Parser {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, FrontendError> {
-        Err(FrontendError::Parse { offset: self.offset(), message: message.into() })
+        Err(FrontendError::Parse { span: self.span_here(), message: message.into() })
     }
 
     fn expect(&mut self, kind: TokenKind) -> Result<(), FrontendError> {
@@ -102,7 +123,7 @@ impl Parser {
             Ok(())
         } else {
             Err(FrontendError::Parse {
-                offset: self.offset(),
+                span: self.span_here(),
                 message: format!("trailing input: {}", self.peek().describe()),
             })
         }
@@ -258,15 +279,17 @@ impl Parser {
     }
 
     fn pipe(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let mut lhs = self.cond()?;
         while self.eat(&TokenKind::Pipe) {
             let rhs = self.cond()?;
-            lhs = Expr::Pipe(Box::new(lhs), Box::new(rhs));
+            lhs = self.spanned(start, ExprKind::Pipe(Box::new(lhs), Box::new(rhs)));
         }
         Ok(lhs)
     }
 
     fn cond(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let then_expr = self.trans()?;
         if self.eat_keyword("if") {
             let cond = self.trans()?;
@@ -274,87 +297,105 @@ impl Parser {
                 return self.error("conditional requires `else`");
             }
             let else_expr = self.cond()?;
-            Ok(Expr::Cond {
-                then_expr: Box::new(then_expr),
-                cond: Box::new(cond),
-                else_expr: Box::new(else_expr),
-            })
+            Ok(self.spanned(
+                start,
+                ExprKind::Cond {
+                    then_expr: Box::new(then_expr),
+                    cond: Box::new(cond),
+                    else_expr: Box::new(else_expr),
+                },
+            ))
         } else {
             Ok(then_expr)
         }
     }
 
     fn trans(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let lhs = self.pred()?;
         if self.eat(&TokenKind::Shr) {
             let rhs = self.pred()?;
-            Ok(Expr::Translation(Box::new(lhs), Box::new(rhs)))
+            Ok(self.spanned(start, ExprKind::Translation(Box::new(lhs), Box::new(rhs))))
         } else {
             Ok(lhs)
         }
     }
 
     fn pred(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let lhs = self.tensor()?;
         if self.eat(&TokenKind::Amp) {
             let rhs = self.pred()?;
-            Ok(Expr::Pred(Box::new(lhs), Box::new(rhs)))
+            Ok(self.spanned(start, ExprKind::Pred(Box::new(lhs), Box::new(rhs))))
         } else {
             Ok(lhs)
         }
     }
 
     fn tensor(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let mut lhs = self.repeat()?;
         while self.eat(&TokenKind::Plus) {
             let rhs = self.repeat()?;
-            lhs = Expr::Tensor(Box::new(lhs), Box::new(rhs));
+            lhs = self.spanned(start, ExprKind::Tensor(Box::new(lhs), Box::new(rhs)));
         }
         Ok(lhs)
     }
 
     fn repeat(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let lhs = self.unary()?;
         if self.eat(&TokenKind::DblStar) {
             let count = self.dim_atom_expr()?;
-            Ok(Expr::Repeat(Box::new(lhs), count))
+            Ok(self.spanned(start, ExprKind::Repeat(Box::new(lhs), count)))
         } else {
             Ok(lhs)
         }
     }
 
     fn unary(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         if self.eat(&TokenKind::Tilde) {
             let inner = self.unary()?;
-            Ok(Expr::Adjoint(Box::new(inner)))
+            Ok(self.spanned(start, ExprKind::Adjoint(Box::new(inner))))
         } else if matches!(self.peek(), TokenKind::Minus)
             && matches!(self.peek2(), TokenKind::QLit(_))
         {
             self.bump();
             let inner = self.postfix()?;
-            match inner {
-                Expr::QLit { chars, phase } => {
+            let span = self.span_from(start);
+            match inner.kind {
+                ExprKind::QLit { chars, phase } => {
                     let base = phase.unwrap_or(AngleExpr::Degrees(0.0));
-                    Ok(Expr::QLit {
-                        chars,
-                        phase: Some(AngleExpr::Add(
-                            Box::new(base),
-                            Box::new(AngleExpr::Degrees(180.0)),
-                        )),
-                    })
+                    Ok(Expr::new(
+                        ExprKind::QLit {
+                            chars,
+                            phase: Some(AngleExpr::Add(
+                                Box::new(base),
+                                Box::new(AngleExpr::Degrees(180.0)),
+                            )),
+                        },
+                        span,
+                    ))
                 }
-                Expr::Pow(inner_expr, dim) => match *inner_expr {
-                    Expr::QLit { chars, phase } => {
+                ExprKind::Pow(inner_expr, dim) => match inner_expr.kind {
+                    ExprKind::QLit { chars, phase } => {
                         let base = phase.unwrap_or(AngleExpr::Degrees(0.0));
-                        Ok(Expr::Pow(
-                            Box::new(Expr::QLit {
-                                chars,
-                                phase: Some(AngleExpr::Add(
-                                    Box::new(base),
-                                    Box::new(AngleExpr::Degrees(180.0)),
+                        Ok(Expr::new(
+                            ExprKind::Pow(
+                                Box::new(Expr::new(
+                                    ExprKind::QLit {
+                                        chars,
+                                        phase: Some(AngleExpr::Add(
+                                            Box::new(base),
+                                            Box::new(AngleExpr::Degrees(180.0)),
+                                        )),
+                                    },
+                                    inner_expr.span,
                                 )),
-                            }),
-                            dim,
+                                dim,
+                            ),
+                            span,
                         ))
                     }
                     other => self.error(format!("cannot negate {other:?}")),
@@ -367,37 +408,45 @@ impl Parser {
     }
 
     fn postfix(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         let mut expr = self.atom()?;
         loop {
             if self.eat(&TokenKind::LBracket) {
                 let dim = self.dim_expr()?;
                 self.expect(TokenKind::RBracket)?;
-                expr = match expr {
+                let kind = match expr.kind {
                     // `std[2]`: dimension of a built-in basis.
-                    Expr::BuiltinBasis(prim, DimExpr::Const(1)) => Expr::BuiltinBasis(prim, dim),
-                    other => Expr::Pow(Box::new(other), dim),
+                    ExprKind::BuiltinBasis(prim, DimExpr::Const(1)) => {
+                        ExprKind::BuiltinBasis(prim, dim)
+                    }
+                    other => ExprKind::Pow(Box::new(Expr::new(other, expr.span)), dim),
                 };
+                expr = self.spanned(start, kind);
             } else if self.eat(&TokenKind::Dot) {
                 let method = self.ident()?;
-                expr = match method.as_str() {
-                    "measure" => Expr::Measure(Box::new(expr)),
-                    "flip" => Expr::Flip(Box::new(expr)),
-                    "sign" => Expr::Sign(Box::new(expr)),
-                    "xor" => Expr::Xor(Box::new(expr)),
-                    "discard" => Expr::Discard(Box::new(expr)),
+                let kind = match method.as_str() {
+                    "measure" => ExprKind::Measure(Box::new(expr)),
+                    "flip" => ExprKind::Flip(Box::new(expr)),
+                    "sign" => ExprKind::Sign(Box::new(expr)),
+                    "xor" => ExprKind::Xor(Box::new(expr)),
+                    "discard" => ExprKind::Discard(Box::new(expr)),
                     other => {
                         return self.error(format!("unknown qpu method .{other}"));
                     }
                 };
+                expr = self.spanned(start, kind);
             } else if self.eat(&TokenKind::At) {
                 let angle = self.angle_atom()?;
-                expr = match expr {
-                    Expr::QLit { chars, phase: None } => Expr::QLit { chars, phase: Some(angle) },
+                let kind = match expr.kind {
+                    ExprKind::QLit { chars, phase: None } => {
+                        ExprKind::QLit { chars, phase: Some(angle) }
+                    }
                     other => {
                         return self
                             .error(format!("@phase applies to qubit literals, not {other:?}"));
                     }
                 };
+                expr = self.spanned(start, kind);
             } else {
                 return Ok(expr);
             }
@@ -405,12 +454,14 @@ impl Parser {
     }
 
     fn atom(&mut self) -> Result<Expr, FrontendError> {
+        let token_span = self.span_here();
+        let start = token_span.start;
         match self.peek().clone() {
             TokenKind::QLit(body) => {
                 self.bump();
                 let chars = parse_qlit_chars(&body)
-                    .map_err(|message| FrontendError::Parse { offset: self.offset(), message })?;
-                Ok(Expr::QLit { chars, phase: None })
+                    .map_err(|message| FrontendError::Parse { span: token_span, message })?;
+                Ok(self.spanned(start, ExprKind::QLit { chars, phase: None }))
             }
             TokenKind::LBrace => self.basis_literal(),
             TokenKind::LParen => {
@@ -422,14 +473,14 @@ impl Parser {
             TokenKind::Ident(name) => {
                 if let Some(prim) = builtin_basis_keyword(&name) {
                     self.bump();
-                    Ok(Expr::BuiltinBasis(prim, DimExpr::Const(1)))
+                    Ok(self.spanned(start, ExprKind::BuiltinBasis(prim, DimExpr::Const(1))))
                 } else if name == "id" {
                     self.bump();
                     let dim = self.opt_bracket_dim()?;
-                    Ok(Expr::Id(dim))
+                    Ok(self.spanned(start, ExprKind::Id(dim)))
                 } else {
                     self.bump();
-                    Ok(Expr::Var(name))
+                    Ok(self.spanned(start, ExprKind::Var(name)))
                 }
             }
             other => self.error(format!("expected an expression, found {}", other.describe())),
@@ -437,6 +488,7 @@ impl Parser {
     }
 
     fn basis_literal(&mut self) -> Result<Expr, FrontendError> {
+        let start = self.offset();
         self.expect(TokenKind::LBrace)?;
         let mut vectors = Vec::new();
         loop {
@@ -444,9 +496,10 @@ impl Parser {
             let TokenKind::QLit(body) = self.peek().clone() else {
                 return self.error("expected a qubit literal inside a basis literal");
             };
+            let vector_span = self.span_here();
             self.bump();
             let chars = parse_qlit_chars(&body)
-                .map_err(|message| FrontendError::Parse { offset: self.offset(), message })?;
+                .map_err(|message| FrontendError::Parse { span: vector_span, message })?;
             let power = if self.eat(&TokenKind::LBracket) {
                 let d = self.dim_expr()?;
                 self.expect(TokenKind::RBracket)?;
@@ -461,7 +514,7 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RBrace)?;
-        Ok(Expr::BasisLit(vectors))
+        Ok(self.spanned(start, ExprKind::BasisLit(vectors)))
     }
 
     // ------------------------------------------------------------------
@@ -699,28 +752,28 @@ mod tests {
         assert_eq!(kernel.params.len(), 1);
         let Stmt::Expr(body) = &kernel.body[0] else { panic!() };
         // Pipe is left-associative: ((prep | sign) | trans) | measure.
-        let Expr::Pipe(lhs, rhs) = body else { panic!("got {body:?}") };
-        assert!(matches!(**rhs, Expr::Measure(_)));
-        let Expr::Pipe(lhs2, rhs2) = &**lhs else { panic!() };
-        assert!(matches!(**rhs2, Expr::Translation(_, _)));
-        let Expr::Pipe(prep, sign) = &**lhs2 else { panic!() };
-        assert!(matches!(**prep, Expr::Pow(_, _)));
-        assert!(matches!(**sign, Expr::Sign(_)));
+        let ExprKind::Pipe(lhs, rhs) = &body.kind else { panic!("got {body:?}") };
+        assert!(matches!(rhs.kind, ExprKind::Measure(_)));
+        let ExprKind::Pipe(lhs2, rhs2) = &lhs.kind else { panic!() };
+        assert!(matches!(rhs2.kind, ExprKind::Translation(_, _)));
+        let ExprKind::Pipe(prep, sign) = &lhs2.kind else { panic!() };
+        assert!(matches!(prep.kind, ExprKind::Pow(_, _)));
+        assert!(matches!(sign.kind, ExprKind::Sign(_)));
     }
 
     #[test]
     fn precedence_pred_binds_tighter_than_pipe() {
         let e = parse_expr("'p0' | '1' & std.flip").unwrap();
-        let Expr::Pipe(_, rhs) = e else { panic!() };
-        assert!(matches!(*rhs, Expr::Pred(_, _)));
+        let ExprKind::Pipe(_, rhs) = e.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExprKind::Pred(_, _)));
     }
 
     #[test]
     fn precedence_tensor_inside_pred() {
         // {'111'} + b & f parses as ({'111'} + b) & f.
         let e = parse_expr("{'111'} + std & id").unwrap();
-        let Expr::Pred(lhs, _) = e else { panic!() };
-        assert!(matches!(*lhs, Expr::Tensor(_, _)));
+        let ExprKind::Pred(lhs, _) = e.kind else { panic!() };
+        assert!(matches!(lhs.kind, ExprKind::Tensor(_, _)));
     }
 
     #[test]
@@ -744,33 +797,33 @@ mod tests {
     #[test]
     fn parses_repeat_and_adjoint() {
         let e = parse_expr("(f.sign | {'p'[3]} >> {-'p'[3]}) ** 12").unwrap();
-        assert!(matches!(e, Expr::Repeat(_, DimExpr::Const(12))));
+        assert!(matches!(e.kind, ExprKind::Repeat(_, DimExpr::Const(12))));
         let e = parse_expr("~f").unwrap();
-        assert!(matches!(e, Expr::Adjoint(_)));
+        assert!(matches!(e.kind, ExprKind::Adjoint(_)));
         let e = parse_expr("~~f").unwrap();
-        let Expr::Adjoint(inner) = e else { panic!() };
-        assert!(matches!(*inner, Expr::Adjoint(_)));
+        let ExprKind::Adjoint(inner) = e.kind else { panic!() };
+        assert!(matches!(inner.kind, ExprKind::Adjoint(_)));
     }
 
     #[test]
     fn parses_vector_phases() {
         let e = parse_expr("{'1'@45} >> {'1'@(180/N)}").unwrap();
-        let Expr::Translation(lhs, rhs) = e else { panic!() };
-        let Expr::BasisLit(vl) = *lhs else { panic!() };
+        let ExprKind::Translation(lhs, rhs) = e.kind else { panic!() };
+        let ExprKind::BasisLit(vl) = lhs.kind else { panic!() };
         assert_eq!(vl[0].phase, Some(AngleExpr::Degrees(45.0)));
-        let Expr::BasisLit(vr) = *rhs else { panic!() };
+        let ExprKind::BasisLit(vr) = rhs.kind else { panic!() };
         assert!(matches!(vr[0].phase, Some(AngleExpr::Div(_, _))));
     }
 
     #[test]
     fn parses_negated_vectors_and_literals() {
         let e = parse_expr("{-'11', '10'}").unwrap();
-        let Expr::BasisLit(vs) = e else { panic!() };
+        let ExprKind::BasisLit(vs) = e.kind else { panic!() };
         assert!(vs[0].negated);
         assert!(!vs[1].negated);
         // Negated state prep.
         let e = parse_expr("-'p'").unwrap();
-        assert!(matches!(e, Expr::QLit { phase: Some(_), .. }));
+        assert!(matches!(e.kind, ExprKind::QLit { phase: Some(_), .. }));
     }
 
     #[test]
@@ -795,9 +848,31 @@ mod tests {
     }
 
     #[test]
+    fn expressions_carry_source_spans() {
+        let src = "'p0' | std[2].measure";
+        let e = parse_expr(src).unwrap();
+        // The whole pipe covers the whole input.
+        assert_eq!((e.span.start, e.span.end), (0, src.len()));
+        let ExprKind::Pipe(lhs, rhs) = &e.kind else { panic!() };
+        assert_eq!(&src[lhs.span.start..lhs.span.end], "'p0'");
+        assert_eq!(&src[rhs.span.start..rhs.span.end], "std[2].measure");
+        let ExprKind::Measure(basis) = &rhs.kind else { panic!() };
+        assert_eq!(&src[basis.span.start..basis.span.end], "std[2]");
+    }
+
+    #[test]
+    fn parse_errors_carry_token_spans() {
+        let src = "qpu k() -> bit {\n    '0' | %\n}";
+        // `%` is a lex error on line 2.
+        let err = parse_program(src).unwrap_err();
+        let span = err.span().expect("lex/parse errors always have spans");
+        assert_eq!(&src[span.start..span.end], "%");
+    }
+
+    #[test]
     fn fourier_dim() {
         let e = parse_expr("fourier[2*N+1]").unwrap();
-        let Expr::BuiltinBasis(PrimitiveBasis::Fourier, d) = e else { panic!() };
+        let ExprKind::BuiltinBasis(PrimitiveBasis::Fourier, d) = e.kind else { panic!() };
         let mut vars = Vec::new();
         d.vars(&mut vars);
         assert_eq!(vars, vec!["N".to_string()]);

@@ -13,7 +13,7 @@
 //! context requires, so the printed text re-parses to the same tree.
 
 use crate::ast::{
-    CExpr, ClassicalFunc, Expr, Item, Program, QpuFunc, Stmt, TypeExpr, VectorSyntax,
+    CExpr, ClassicalFunc, Expr, ExprKind, Item, Program, QpuFunc, Stmt, TypeExpr, VectorSyntax,
 };
 use crate::dims::{AngleExpr, DimExpr};
 use std::fmt::Write;
@@ -152,88 +152,88 @@ fn expr(out: &mut String, e: &Expr, ctx: Level) {
 }
 
 fn expr_level(e: &Expr) -> Level {
-    match e {
-        Expr::Pipe(_, _) => Level::Pipe,
-        Expr::Cond { .. } => Level::Cond,
-        Expr::Translation(_, _) => Level::Trans,
-        Expr::Pred(_, _) => Level::Pred,
-        Expr::Tensor(_, _) => Level::Tensor,
-        Expr::Repeat(_, _) => Level::Repeat,
-        Expr::Adjoint(_) => Level::Unary,
-        Expr::Pow(_, _)
-        | Expr::Measure(_)
-        | Expr::Flip(_)
-        | Expr::Sign(_)
-        | Expr::Xor(_)
-        | Expr::Discard(_) => Level::Postfix,
+    match &e.kind {
+        ExprKind::Pipe(_, _) => Level::Pipe,
+        ExprKind::Cond { .. } => Level::Cond,
+        ExprKind::Translation(_, _) => Level::Trans,
+        ExprKind::Pred(_, _) => Level::Pred,
+        ExprKind::Tensor(_, _) => Level::Tensor,
+        ExprKind::Repeat(_, _) => Level::Repeat,
+        ExprKind::Adjoint(_) => Level::Unary,
+        ExprKind::Pow(_, _)
+        | ExprKind::Measure(_)
+        | ExprKind::Flip(_)
+        | ExprKind::Sign(_)
+        | ExprKind::Xor(_)
+        | ExprKind::Discard(_) => Level::Postfix,
         // Atoms (including `id[N]`, whose bracket is part of the atom) and
         // qubit literals (whose `@phase` binds at postfix level) never need
         // parentheses of their own.
-        Expr::QLit { .. }
-        | Expr::BasisLit(_)
-        | Expr::BuiltinBasis(_, _)
-        | Expr::Var(_)
-        | Expr::Id(_) => Level::Postfix,
+        ExprKind::QLit { .. }
+        | ExprKind::BasisLit(_)
+        | ExprKind::BuiltinBasis(_, _)
+        | ExprKind::Var(_)
+        | ExprKind::Id(_) => Level::Postfix,
     }
 }
 
 fn expr_bare(out: &mut String, e: &Expr) {
-    match e {
-        Expr::Pipe(a, b) => {
+    match &e.kind {
+        ExprKind::Pipe(a, b) => {
             expr(out, a, Level::Pipe);
             out.push_str(" | ");
             expr(out, b, Level::Cond);
         }
-        Expr::Cond { then_expr, cond, else_expr } => {
+        ExprKind::Cond { then_expr, cond, else_expr } => {
             expr(out, then_expr, Level::Trans);
             out.push_str(" if ");
             expr(out, cond, Level::Trans);
             out.push_str(" else ");
             expr(out, else_expr, Level::Cond);
         }
-        Expr::Translation(a, b) => {
+        ExprKind::Translation(a, b) => {
             expr(out, a, Level::Pred);
             out.push_str(" >> ");
             expr(out, b, Level::Pred);
         }
-        Expr::Pred(a, b) => {
+        ExprKind::Pred(a, b) => {
             expr(out, a, Level::Tensor);
             out.push_str(" & ");
             expr(out, b, Level::Pred);
         }
-        Expr::Tensor(a, b) => {
+        ExprKind::Tensor(a, b) => {
             expr(out, a, Level::Tensor);
             out.push_str(" + ");
             expr(out, b, Level::Repeat);
         }
-        Expr::Repeat(f, d) => {
+        ExprKind::Repeat(f, d) => {
             expr(out, f, Level::Unary);
             out.push_str(" ** ");
             dim(out, d, 2);
         }
-        Expr::Adjoint(f) => {
+        ExprKind::Adjoint(f) => {
             out.push('~');
             expr(out, f, Level::Unary);
         }
-        Expr::Pow(inner, d) => {
+        ExprKind::Pow(inner, d) => {
             expr(out, inner, Level::Postfix);
             out.push('[');
             dim(out, d, 0);
             out.push(']');
         }
-        Expr::Measure(b) => postfix_method(out, b, "measure"),
-        Expr::Flip(b) => postfix_method(out, b, "flip"),
-        Expr::Sign(f) => postfix_method(out, f, "sign"),
-        Expr::Xor(f) => postfix_method(out, f, "xor"),
-        Expr::Discard(b) => postfix_method(out, b, "discard"),
-        Expr::QLit { chars, phase } => {
+        ExprKind::Measure(b) => postfix_method(out, b, "measure"),
+        ExprKind::Flip(b) => postfix_method(out, b, "flip"),
+        ExprKind::Sign(f) => postfix_method(out, f, "sign"),
+        ExprKind::Xor(f) => postfix_method(out, f, "xor"),
+        ExprKind::Discard(b) => postfix_method(out, b, "discard"),
+        ExprKind::QLit { chars, phase } => {
             qlit_chars(out, chars);
             if let Some(a) = phase {
                 out.push('@');
                 angle_atom(out, a);
             }
         }
-        Expr::BasisLit(vectors) => {
+        ExprKind::BasisLit(vectors) => {
             out.push('{');
             for (i, v) in vectors.iter().enumerate() {
                 if i > 0 {
@@ -243,7 +243,7 @@ fn expr_bare(out: &mut String, e: &Expr) {
             }
             out.push('}');
         }
-        Expr::BuiltinBasis(prim, d) => {
+        ExprKind::BuiltinBasis(prim, d) => {
             out.push_str(prim.keyword());
             if *d != DimExpr::Const(1) {
                 out.push('[');
@@ -251,8 +251,8 @@ fn expr_bare(out: &mut String, e: &Expr) {
                 out.push(']');
             }
         }
-        Expr::Var(name) => out.push_str(name),
-        Expr::Id(d) => {
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Id(d) => {
             out.push_str("id");
             if *d != DimExpr::Const(1) {
                 out.push('[');

@@ -10,7 +10,7 @@
 //! - **span equivalence** for `b1 >> b2` via the polynomial-time factoring
 //!   algorithm (Algorithms B1–B4 in `asdf-basis`).
 
-use crate::ast::{CExpr, Expr, Program, Stmt, TypeExpr};
+use crate::ast::{CExpr, Expr, ExprKind, Program, Stmt, TypeExpr};
 use crate::error::FrontendError;
 use crate::expand::KernelInstance;
 use crate::tast::{TClassical, TExpr, TExprKind, TKernel, TStmt};
@@ -31,7 +31,7 @@ pub fn typecheck_kernel(
 ) -> Result<TKernel, FrontendError> {
     let func = program
         .qpu(kernel)
-        .ok_or_else(|| FrontendError::Unbound(format!("qpu kernel {kernel}")))?;
+        .ok_or_else(|| FrontendError::unbound(format!("qpu kernel {kernel}")))?;
 
     let mut checker =
         Checker { program, dims: &instance.dims, env: HashMap::new(), classical: Vec::new() };
@@ -45,7 +45,7 @@ pub fn typecheck_kernel(
                 let inst =
                     instance.classical_instances.get(idx).and_then(|c| c.as_ref()).ok_or_else(
                         || {
-                            FrontendError::Type(format!(
+                            FrontendError::type_err(format!(
                                 "parameter {} requires a classical function capture",
                                 param.name
                             ))
@@ -67,7 +67,7 @@ pub fn typecheck_kernel(
                 );
             }
             TypeExpr::Bit(_) => {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "bit-typed kernel parameter {} is not supported; capture bits \
                      through a classical function instead",
                     param.name
@@ -80,7 +80,7 @@ pub fn typecheck_kernel(
         TypeExpr::Qubit(d) => ValueKind::Qubit(d.eval_usize(&instance.dims)?),
         TypeExpr::Bit(d) => ValueKind::Bit(d.eval_usize(&instance.dims)?),
         TypeExpr::CFunc(_, _) => {
-            return Err(FrontendError::Type(
+            return Err(FrontendError::type_err(
                 "kernels cannot return classical functions".to_string(),
             ))
         }
@@ -92,12 +92,14 @@ pub fn typecheck_kernel(
         let is_last = i + 1 == func.body.len();
         match stmt {
             Stmt::Let { names, value } => {
+                let value_span = value.span;
                 let value = checker.check(value)?;
                 let Type::Value(kind) = value.ty else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "let binding requires a value, found {}",
                         value.ty
-                    )));
+                    ))
+                    .with_span(value_span));
                 };
                 let bound: Vec<(String, ValueKind)> = if names.len() == 1 {
                     vec![(names[0].clone(), kind)]
@@ -108,10 +110,11 @@ pub fn typecheck_kernel(
                     };
                     names.iter().map(|n| (n.clone(), single)).collect()
                 } else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "cannot destructure {kind} into {} names",
                         names.len()
-                    )));
+                    ))
+                    .with_span(value_span));
                 };
                 for (name, k) in &bound {
                     checker.env.insert(
@@ -123,23 +126,25 @@ pub fn typecheck_kernel(
             }
             Stmt::Expr(e) => {
                 if !is_last {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "only the final statement may be a bare expression".to_string(),
                     ));
                 }
+                let result_span = e.span;
                 let e = checker.check(e)?;
                 if e.ty != Type::Value(ret) {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "kernel {kernel} declares result {ret} but body produces {}",
                         e.ty
-                    )));
+                    ))
+                    .with_span(result_span));
                 }
                 body.push(TStmt::Expr(e));
             }
         }
     }
     if !matches!(body.last(), Some(TStmt::Expr(_))) {
-        return Err(FrontendError::Type(format!(
+        return Err(FrontendError::type_err(format!(
             "kernel {kernel} must end in a result expression"
         )));
     }
@@ -148,7 +153,7 @@ pub fn typecheck_kernel(
     for (name, binding) in &checker.env {
         if let Some(Type::Value(kind)) = binding.ty {
             if kind.is_linear() && !binding.consumed {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "linear value {name} ({kind}) is never used; qubits cannot be discarded"
                 )));
             }
@@ -182,12 +187,12 @@ impl Checker<'_> {
         let func = self
             .program
             .classical(func_name)
-            .ok_or_else(|| FrontendError::Unbound(format!("classical function {func_name}")))?;
+            .ok_or_else(|| FrontendError::unbound(format!("classical function {func_name}")))?;
         let mut params = Vec::new();
         let mut widths: HashMap<String, usize> = HashMap::new();
         for p in &func.params {
             let TypeExpr::Bit(d) = &p.ty else {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "classical parameter {} must be a bit register",
                     p.name
                 )));
@@ -198,7 +203,7 @@ impl Checker<'_> {
         }
         for (i, bits) in inst.capture_bits.iter().enumerate() {
             if bits.len() != params[i].1 {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "capture for {} has {} bits, expected {}",
                     params[i].0,
                     bits.len(),
@@ -208,11 +213,13 @@ impl Checker<'_> {
         }
         let n_in: usize = params[inst.capture_bits.len()..].iter().map(|(_, w)| *w).sum();
         let TypeExpr::Bit(ret_d) = &func.ret else {
-            return Err(FrontendError::Type("classical functions must return bits".to_string()));
+            return Err(FrontendError::type_err(
+                "classical functions must return bits".to_string(),
+            ));
         };
         let n_out = ret_d.eval_usize(&inst.dims)?;
         if n_out == 0 || n_in == 0 {
-            return Err(FrontendError::Type(format!(
+            return Err(FrontendError::type_err(format!(
                 "classical function {func_name} must have nonempty inputs and outputs"
             )));
         }
@@ -220,7 +227,7 @@ impl Checker<'_> {
         // Type check the classical body: widths must be consistent.
         let body_width = check_cexpr(&func.body, &widths, &inst.dims)?;
         if body_width != n_out {
-            return Err(FrontendError::Type(format!(
+            return Err(FrontendError::type_err(format!(
                 "classical function {func_name} returns {body_width} bits but declares {n_out}"
             )));
         }
@@ -248,10 +255,10 @@ impl Checker<'_> {
 
     /// Whether an expression is syntactically a basis.
     fn is_basis(&self, e: &Expr) -> bool {
-        match e {
-            Expr::BasisLit(_) | Expr::BuiltinBasis(_, _) => true,
-            Expr::Tensor(a, b) => self.is_basis(a) && self.is_basis(b),
-            Expr::Pow(a, _) => self.is_basis(a),
+        match &e.kind {
+            ExprKind::BasisLit(_) | ExprKind::BuiltinBasis(_, _) => true,
+            ExprKind::Tensor(a, b) => self.is_basis(a) && self.is_basis(b),
+            ExprKind::Pow(a, _) => self.is_basis(a),
             _ => false,
         }
     }
@@ -262,14 +269,18 @@ impl Checker<'_> {
     /// `'1' & f`, as written in the paper's teleportation example) coerces
     /// to the singleton basis literal `{'1'}`.
     fn resolve_basis(&self, e: &Expr) -> Result<Basis, FrontendError> {
-        match e {
-            Expr::QLit { chars, phase } => {
+        self.resolve_basis_kind(e).map_err(|err| err.with_span(e.span))
+    }
+
+    fn resolve_basis_kind(&self, e: &Expr) -> Result<Basis, FrontendError> {
+        match &e.kind {
+            ExprKind::QLit { chars, phase } => {
                 let mut prim: Option<PrimitiveBasis> = None;
                 for (p, _) in chars {
                     match prim {
                         None => prim = Some(*p),
                         Some(existing) if existing != *p => {
-                            return Err(FrontendError::Type(
+                            return Err(FrontendError::type_err(
                                 "a qubit literal used as a basis must use one \
                                  primitive basis"
                                     .to_string(),
@@ -289,14 +300,14 @@ impl Checker<'_> {
                 )?;
                 Ok(Basis::literal(lit))
             }
-            Expr::BuiltinBasis(prim, d) => {
+            ExprKind::BuiltinBasis(prim, d) => {
                 let dim = self.dim(d)?;
                 if dim == 0 {
-                    return Err(FrontendError::Type("basis dimension must be positive".into()));
+                    return Err(FrontendError::type_err("basis dimension must be positive"));
                 }
                 Ok(Basis::built_in(*prim, dim))
             }
-            Expr::BasisLit(vectors) => {
+            ExprKind::BasisLit(vectors) => {
                 let mut prim: Option<PrimitiveBasis> = None;
                 let mut parsed = Vec::new();
                 for v in vectors {
@@ -304,8 +315,8 @@ impl Checker<'_> {
                     if let Some(p) = &v.power {
                         let n = self.dim(p)?;
                         if n == 0 {
-                            return Err(FrontendError::Type(
-                                "vector tensor power must be positive".into(),
+                            return Err(FrontendError::type_err(
+                                "vector tensor power must be positive",
                             ));
                         }
                         let original = chars.clone();
@@ -317,7 +328,7 @@ impl Checker<'_> {
                         match prim {
                             None => prim = Some(*p),
                             Some(existing) if existing != *p => {
-                                return Err(FrontendError::Type(
+                                return Err(FrontendError::type_err(
                                     "all positions of a basis literal must share one \
                                      primitive basis"
                                         .to_string(),
@@ -346,17 +357,17 @@ impl Checker<'_> {
                     BasisLiteral::new(prim.expect("parser guarantees nonempty literals"), parsed)?;
                 Ok(Basis::literal(lit))
             }
-            Expr::Tensor(a, b) => Ok(self.resolve_basis(a)?.tensor(&self.resolve_basis(b)?)),
-            Expr::Pow(a, d) => {
+            ExprKind::Tensor(a, b) => Ok(self.resolve_basis(a)?.tensor(&self.resolve_basis(b)?)),
+            ExprKind::Pow(a, d) => {
                 let n = self.dim(d)?;
                 if n == 0 {
-                    return Err(FrontendError::Type("basis power must be positive".into()));
+                    return Err(FrontendError::type_err("basis power must be positive"));
                 }
                 Ok(self.resolve_basis(a)?.power(n))
             }
-            other => {
-                Err(FrontendError::Type(format!("expected a basis expression, found {other:?}")))
-            }
+            other => Err(FrontendError::type_err(format!(
+                "expected a basis expression, found {other:?}"
+            ))),
         }
     }
 
@@ -365,8 +376,14 @@ impl Checker<'_> {
     // ------------------------------------------------------------------
 
     fn check(&mut self, e: &Expr) -> Result<TExpr, FrontendError> {
-        match e {
-            Expr::QLit { chars, phase } => {
+        // Attach this expression's span as errors propagate outward; the
+        // innermost error keeps its (most precise) span.
+        self.check_kind(e).map_err(|err| err.with_span(e.span))
+    }
+
+    fn check_kind(&mut self, e: &Expr) -> Result<TExpr, FrontendError> {
+        match &e.kind {
+            ExprKind::QLit { chars, phase } => {
                 // A global phase on a prepared product state is
                 // unobservable; fold it away (documented in DESIGN.md).
                 let _ = phase;
@@ -375,17 +392,17 @@ impl Checker<'_> {
                     ty: Type::Value(ValueKind::Qubit(chars.len())),
                 })
             }
-            Expr::BasisLit(_) | Expr::BuiltinBasis(_, _) => Err(FrontendError::Type(
+            ExprKind::BasisLit(_) | ExprKind::BuiltinBasis(_, _) => Err(FrontendError::type_err(
                 "a basis cannot be used as a value; apply it with >>, .measure, \
                  .flip, .discard, or &"
                     .to_string(),
             )),
-            Expr::Var(name) => self.check_var(name),
-            Expr::Pipe(value, func) => {
+            ExprKind::Var(name) => self.check_var(name),
+            ExprKind::Pipe(value, func) => {
                 let value = self.check(value)?;
                 let func = self.check(func)?;
                 let Type::Func { input, output, rev } = func.ty else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "right side of | must be a function, found {}",
                         func.ty
                     )));
@@ -394,7 +411,7 @@ impl Checker<'_> {
                     // value | f : application.
                     Type::Value(vkind) => {
                         if input != vkind {
-                            return Err(FrontendError::Type(format!(
+                            return Err(FrontendError::type_err(format!(
                                 "piped value has type {vkind} but the function expects {input}"
                             )));
                         }
@@ -406,7 +423,7 @@ impl Checker<'_> {
                     // f | g : left-to-right composition.
                     Type::Func { input: fi, output: fo, rev: fr } => {
                         if fo != input {
-                            return Err(FrontendError::Type(format!(
+                            return Err(FrontendError::type_err(format!(
                                 "composed functions disagree: {fo} flows into {input}"
                             )));
                         }
@@ -416,13 +433,13 @@ impl Checker<'_> {
                         })
                     }
                     Type::Basis(_) => {
-                        Err(FrontendError::Type("a basis cannot be piped".to_string()))
+                        Err(FrontendError::type_err("a basis cannot be piped".to_string()))
                     }
                 }
             }
-            Expr::Tensor(a, b) => {
+            ExprKind::Tensor(a, b) => {
                 if self.is_basis(e) {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "a basis cannot be used as a value".to_string(),
                     ));
                 }
@@ -430,15 +447,15 @@ impl Checker<'_> {
                 let b = self.check(b)?;
                 self.tensor_typed(a, b)
             }
-            Expr::Pow(inner, d) => {
+            ExprKind::Pow(inner, d) => {
                 let n = self.dim(d)?;
                 if self.is_basis(e) {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "a basis cannot be used as a value".to_string(),
                     ));
                 }
                 if n == 0 {
-                    return Err(FrontendError::Type("tensor power must be positive".into()));
+                    return Err(FrontendError::type_err("tensor power must be positive"));
                 }
                 // Qubit literals replicate their characters; functions
                 // tensor n copies.
@@ -462,30 +479,30 @@ impl Checker<'_> {
                         }
                         Ok(acc)
                     }
-                    _ => Err(FrontendError::Type(format!(
+                    _ => Err(FrontendError::type_err(format!(
                         "tensor power applies to qubit literals, bases, and functions, \
                          not {}",
                         first.ty
                     ))),
                 }
             }
-            Expr::Repeat(f, d) => {
+            ExprKind::Repeat(f, d) => {
                 let k = self.dim(d)?;
                 let f = self.check(f)?;
                 let Type::Func { input, output, .. } = f.ty else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "** repetition requires a function, found {}",
                         f.ty
                     )));
                 };
                 if input != output {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "** repetition requires an endofunction, found {input} -> {output}"
                     )));
                 }
                 if k == 0 {
                     let ValueKind::Qubit(n) = input else {
-                        return Err(FrontendError::Type(
+                        return Err(FrontendError::type_err(
                             "zero-fold repetition needs a qubit endofunction".to_string(),
                         ));
                     };
@@ -494,7 +511,7 @@ impl Checker<'_> {
                 let ty = f.ty;
                 Ok(TExpr { kind: TExprKind::Compose(vec![f; k]), ty })
             }
-            Expr::Translation(b_in, b_out) => {
+            ExprKind::Translation(b_in, b_out) => {
                 let b_in = self.resolve_basis(b_in)?;
                 let b_out = self.resolve_basis(b_out)?;
                 // §4.1: span equivalence checking.
@@ -502,41 +519,43 @@ impl Checker<'_> {
                 let n = b_in.dim();
                 Ok(TExpr { kind: TExprKind::Translation { b_in, b_out }, ty: Type::rev_func(n) })
             }
-            Expr::Adjoint(f) => {
+            ExprKind::Adjoint(f) => {
                 let f = self.check(f)?;
                 let Type::Func { rev, .. } = f.ty else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "~ requires a function, found {}",
                         f.ty
                     )));
                 };
                 if !rev {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "~ requires a reversible function".to_string(),
                     ));
                 }
                 let ty = f.ty;
                 Ok(TExpr { kind: TExprKind::Adjoint(Box::new(f)), ty })
             }
-            Expr::Pred(b, f) => {
+            ExprKind::Pred(b, f) => {
                 let basis = self.resolve_basis(b)?;
                 let f = self.check(f)?;
                 let Type::Func { input, output, rev } = f.ty else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "& requires a function, found {}",
                         f.ty
                     )));
                 };
                 if !rev {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "& requires a reversible function".to_string(),
                     ));
                 }
                 let (ValueKind::Qubit(n), ValueKind::Qubit(m)) = (input, output) else {
-                    return Err(FrontendError::Type("& requires a qubit endofunction".to_string()));
+                    return Err(FrontendError::type_err(
+                        "& requires a qubit endofunction".to_string(),
+                    ));
                 };
                 if n != m {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "& requires matching input and output widths".to_string(),
                     ));
                 }
@@ -546,7 +565,7 @@ impl Checker<'_> {
                     ty: Type::rev_func(total),
                 })
             }
-            Expr::Measure(b) => {
+            ExprKind::Measure(b) => {
                 let basis = self.resolve_basis(b)?;
                 let n = basis.dim();
                 Ok(TExpr {
@@ -558,7 +577,7 @@ impl Checker<'_> {
                     },
                 })
             }
-            Expr::Discard(b) => {
+            ExprKind::Discard(b) => {
                 let basis = self.resolve_basis(b)?;
                 let n = basis.dim();
                 Ok(TExpr {
@@ -570,17 +589,17 @@ impl Checker<'_> {
                     },
                 })
             }
-            Expr::Flip(b) => {
+            ExprKind::Flip(b) => {
                 let basis = self.resolve_basis(b)?;
                 let (b_in, b_out) = flip_translation(&basis)?;
                 let n = b_in.dim();
                 Ok(TExpr { kind: TExprKind::Translation { b_in, b_out }, ty: Type::rev_func(n) })
             }
-            Expr::Sign(f) => {
+            ExprKind::Sign(f) => {
                 let idx = self.classical_ref(f, ".sign")?;
                 let inst = &self.classical[idx];
                 if inst.n_out != 1 {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         ".sign requires a single-bit classical function, found {} outputs",
                         inst.n_out
                     )));
@@ -588,20 +607,20 @@ impl Checker<'_> {
                 let n = inst.n_in;
                 Ok(TExpr { kind: TExprKind::Sign { classical: idx }, ty: Type::rev_func(n) })
             }
-            Expr::Xor(f) => {
+            ExprKind::Xor(f) => {
                 let idx = self.classical_ref(f, ".xor")?;
                 let inst = &self.classical[idx];
                 let n = inst.n_in + inst.n_out;
                 Ok(TExpr { kind: TExprKind::XorEmbed { classical: idx }, ty: Type::rev_func(n) })
             }
-            Expr::Id(d) => {
+            ExprKind::Id(d) => {
                 let n = self.dim(d)?;
                 Ok(TExpr { kind: TExprKind::Id { dim: n }, ty: Type::rev_func(n) })
             }
-            Expr::Cond { then_expr, cond, else_expr } => {
+            ExprKind::Cond { then_expr, cond, else_expr } => {
                 let cond = self.check(cond)?;
                 if cond.ty != Type::Value(ValueKind::Bit(1)) {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "conditional requires a single measured bit, found {}",
                         cond.ty
                     )));
@@ -609,13 +628,13 @@ impl Checker<'_> {
                 let then_f = self.check(then_expr)?;
                 let else_f = self.check(else_expr)?;
                 if then_f.ty != else_f.ty {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "conditional branches disagree: {} vs {}",
                         then_f.ty, else_f.ty
                     )));
                 }
                 if !matches!(then_f.ty, Type::Func { .. }) {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "conditional branches must be function values".to_string(),
                     ));
                 }
@@ -635,7 +654,7 @@ impl Checker<'_> {
     fn check_var(&mut self, name: &str) -> Result<TExpr, FrontendError> {
         if let Some(binding) = self.env.get_mut(name) {
             if binding.classical.is_some() {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "classical function {name} can only be used via .sign or .xor"
                 )));
             }
@@ -643,7 +662,7 @@ impl Checker<'_> {
             if let Type::Value(kind) = ty {
                 if kind.is_linear() {
                     if binding.consumed {
-                        return Err(FrontendError::Type(format!(
+                        return Err(FrontendError::type_err(format!(
                             "linear value {name} used more than once"
                         )));
                     }
@@ -657,7 +676,7 @@ impl Checker<'_> {
             let mut total_in = 0usize;
             for p in &func.params {
                 let TypeExpr::Qubit(d) = &p.ty else {
-                    return Err(FrontendError::Type(format!(
+                    return Err(FrontendError::type_err(format!(
                         "kernel {name} referenced as a value must take only qubits"
                     )));
                 };
@@ -667,7 +686,7 @@ impl Checker<'_> {
                 TypeExpr::Qubit(d) => ValueKind::Qubit(d.eval_usize(self.dims)?),
                 TypeExpr::Bit(d) => ValueKind::Bit(d.eval_usize(self.dims)?),
                 TypeExpr::CFunc(_, _) => {
-                    return Err(FrontendError::Type(
+                    return Err(FrontendError::type_err(
                         "kernels cannot return classical functions".to_string(),
                     ))
                 }
@@ -684,25 +703,25 @@ impl Checker<'_> {
                 },
             });
         }
-        Err(FrontendError::Unbound(name.to_string()))
+        Err(FrontendError::unbound(name.to_string()))
     }
 
     fn classical_ref(&mut self, e: &Expr, what: &str) -> Result<usize, FrontendError> {
-        let Expr::Var(name) = e else {
-            return Err(FrontendError::Type(format!(
+        let ExprKind::Var(name) = &e.kind else {
+            return Err(FrontendError::type_err(format!(
                 "{what} applies to a captured classical function"
             )));
         };
-        let binding = self.env.get(name).ok_or_else(|| FrontendError::Unbound(name.clone()))?;
+        let binding = self.env.get(name).ok_or_else(|| FrontendError::unbound(name.clone()))?;
         binding
             .classical
-            .ok_or_else(|| FrontendError::Type(format!("{name} is not a classical function")))
+            .ok_or_else(|| FrontendError::type_err(format!("{name} is not a classical function")))
     }
 
     fn tensor_typed(&mut self, a: TExpr, b: TExpr) -> Result<TExpr, FrontendError> {
         match (a.ty, b.ty) {
             (Type::Value(ka), Type::Value(kb)) => {
-                let kind = ka.tensor(kb).map_err(FrontendError::Type)?;
+                let kind = ka.tensor(kb).map_err(FrontendError::type_err)?;
                 let mut parts = Vec::new();
                 flatten_tensor(a, &mut parts);
                 flatten_tensor(b, &mut parts);
@@ -712,8 +731,8 @@ impl Checker<'_> {
                 Type::Func { input: ia, output: oa, rev: ra },
                 Type::Func { input: ib, output: ob, rev: rb },
             ) => {
-                let input = ia.tensor(ib).map_err(FrontendError::Type)?;
-                let output = oa.tensor(ob).map_err(FrontendError::Type)?;
+                let input = ia.tensor(ib).map_err(FrontendError::type_err)?;
+                let output = oa.tensor(ob).map_err(FrontendError::type_err)?;
                 let mut parts = Vec::new();
                 flatten_tensor(a, &mut parts);
                 flatten_tensor(b, &mut parts);
@@ -722,7 +741,7 @@ impl Checker<'_> {
                     ty: Type::Func { input, output, rev: ra && rb },
                 })
             }
-            (ta, tb) => Err(FrontendError::Type(format!("cannot tensor {ta} with {tb}"))),
+            (ta, tb) => Err(FrontendError::type_err(format!("cannot tensor {ta} with {tb}"))),
         }
     }
 }
@@ -738,12 +757,12 @@ fn flatten_tensor(e: TExpr, out: &mut Vec<TExpr>) {
 /// `{v1,v2}.flip` is `{v1,v2} >> {v2,v1}`.
 fn flip_translation(basis: &Basis) -> Result<(Basis, Basis), FrontendError> {
     if basis.elements().len() != 1 {
-        return Err(FrontendError::Type(".flip applies to a single basis element".to_string()));
+        return Err(FrontendError::type_err(".flip applies to a single basis element".to_string()));
     }
     match &basis.elements()[0] {
         asdf_basis::BasisElem::BuiltIn { prim, dim: 1 } => {
             if *prim == PrimitiveBasis::Fourier {
-                return Err(FrontendError::Type(".flip is undefined for fourier".into()));
+                return Err(FrontendError::type_err(".flip is undefined for fourier"));
             }
             let flipped = BasisLiteral::new(
                 *prim,
@@ -761,7 +780,7 @@ fn flip_translation(basis: &Basis) -> Result<(Basis, Basis), FrontendError> {
             )?;
             Ok((basis.clone(), Basis::literal(swapped)))
         }
-        other => Err(FrontendError::Type(format!(
+        other => Err(FrontendError::type_err(format!(
             ".flip requires a one-qubit built-in basis or a two-vector literal, found {other}"
         ))),
     }
@@ -775,13 +794,13 @@ pub fn check_cexpr(
 ) -> Result<usize, FrontendError> {
     Ok(match e {
         CExpr::Var(name) => {
-            *widths.get(name).ok_or_else(|| FrontendError::Unbound(name.clone()))?
+            *widths.get(name).ok_or_else(|| FrontendError::unbound(name.clone()))?
         }
         CExpr::And(a, b) | CExpr::Or(a, b) | CExpr::Xor(a, b) => {
             let wa = check_cexpr(a, widths, dims)?;
             let wb = check_cexpr(b, widths, dims)?;
             if wa != wb {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "bitwise operands have widths {wa} and {wb}"
                 )));
             }
@@ -792,7 +811,7 @@ pub fn check_cexpr(
             let w = check_cexpr(a, widths, dims)?;
             let i = idx.eval_usize(dims)?;
             if i >= w {
-                return Err(FrontendError::Type(format!(
+                return Err(FrontendError::type_err(format!(
                     "bit index {i} out of range for width {w}"
                 )));
             }
@@ -801,7 +820,9 @@ pub fn check_cexpr(
         CExpr::Repeat(a, n) => {
             let w = check_cexpr(a, widths, dims)?;
             if w != 1 {
-                return Err(FrontendError::Type(".repeat() applies to single bits".to_string()));
+                return Err(FrontendError::type_err(
+                    ".repeat() applies to single bits".to_string(),
+                ));
             }
             n.eval_usize(dims)?
         }
@@ -867,7 +888,7 @@ mod tests {
             }
         ";
         let err = check_kernel(src, "bad", vec![], None).unwrap_err();
-        assert!(matches!(err, FrontendError::Span(_)), "{err}");
+        assert!(matches!(err, FrontendError::SpanEquiv { .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Compile-throughput bench for the session API: cold one-shot
+//! compilation vs warm-cache `Session::compile`, plus the
+//! frontend-sharing win across the 12-entry options matrix (the difftest
+//! sweep shape).
+//!
+//! Three measurements on the Fig. 1 Bernstein–Vazirani program:
+//!
+//! - **cold** — a fresh [`Session`] per compile (parse + frontend +
+//!   pipeline every time; equivalent to `Compiler::compile`);
+//! - **warm** — one session, the same request repeatedly: after the
+//!   first compile every request is an artifact-cache hit;
+//! - **matrix** — one session compiling all 12 configurations (11
+//!   frontend hits) vs 12 cold compiles.
+//!
+//! Each run appends a trajectory point to `BENCH_compile.json` at the
+//! repo root. `--smoke` (or env `COMPILE_THROUGHPUT_SMOKE=1`) shrinks
+//! the workload for CI.
+
+use asdf_ast::CaptureValue;
+use asdf_core::{CompileOptions, CompileRequest, Session};
+use criterion::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const BV_SRC: &str = r"
+    classical f[N](secret: bit[N], x: bit[N]) -> bit {
+        (secret & x).xor_reduce()
+    }
+    qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+        'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+    }
+";
+
+fn bv_request(secret: &str) -> CompileRequest {
+    CompileRequest::kernel("kernel").with_capture(CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(secret)],
+    })
+}
+
+/// Median wall-clock of `samples` runs (after one warmup).
+fn median_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn append_trajectory_point(point: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_compile.json");
+    let rewritten = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(body) => {
+                    let body = body.trim_end();
+                    if body.ends_with('[') {
+                        format!("{body}\n  {point}\n]\n")
+                    } else {
+                        format!("{body},\n  {point}\n]\n")
+                    }
+                }
+                None => format!("[\n  {point}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {point}\n]\n"),
+    };
+    match std::fs::write(&path, rewritten) {
+        Ok(()) => println!("trajectory point appended to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("COMPILE_THROUGHPUT_SMOKE").is_ok_and(|v| v == "1");
+    let (secret, samples, warm_batch) =
+        if smoke { ("1101", 10, 200) } else { ("110100", 30, 2000) };
+    let request = bv_request(secret);
+    println!(
+        "compile_throughput: BV secret {secret}, {} samples{}",
+        samples,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Cold: everything from scratch, once per compile.
+    let cold = median_time(samples, || {
+        let session = Session::new(BV_SRC).unwrap();
+        session.compile(&request).unwrap()
+    });
+
+    // Warm: one long-lived session; amortize the first (cold) compile
+    // away by timing a batch of repeat requests.
+    let session = Session::new(BV_SRC).unwrap();
+    session.compile(&request).unwrap();
+    let warm_total = median_time(samples, || {
+        for _ in 0..warm_batch {
+            black_box(session.compile(&request).unwrap());
+        }
+    });
+    let warm = warm_total / warm_batch as u32;
+    let warm_speedup = cold.as_secs_f64() / warm.as_secs_f64();
+
+    println!(
+        "cold compile        median {:>10.3?}  ({:>9.0} compiles/s)",
+        cold,
+        1.0 / cold.as_secs_f64()
+    );
+    println!(
+        "warm-cache compile  median {:>10.3?}  ({:>9.0} compiles/s)   speedup {warm_speedup:.0}x",
+        warm,
+        1.0 / warm.as_secs_f64()
+    );
+    assert!(
+        warm_speedup >= 10.0,
+        "acceptance: warm-cache compile must be >= 10x the cold path, got {warm_speedup:.1}x"
+    );
+
+    // Matrix: the difftest shape — all 12 configurations, one session.
+    let matrix = CompileOptions::matrix();
+    let matrix_shared = median_time(samples, || {
+        let session = Session::new(BV_SRC).unwrap();
+        for (_, options) in &matrix {
+            black_box(session.compile(&request.clone().with_options(options.clone())).unwrap());
+        }
+        session
+    });
+    let matrix_cold = median_time(samples, || {
+        for (_, options) in &matrix {
+            let session = Session::new(BV_SRC).unwrap();
+            black_box(session.compile(&request.clone().with_options(options.clone())).unwrap());
+        }
+    });
+    let matrix_speedup = matrix_cold.as_secs_f64() / matrix_shared.as_secs_f64();
+    println!(
+        "12-config matrix    shared-frontend {matrix_shared:>10.3?} vs cold {matrix_cold:>10.3?}   speedup {matrix_speedup:.2}x"
+    );
+
+    let point = format!(
+        "{{\"bench\": \"compile_throughput\", \"mode\": \"{}\", \"program\": \"bv\", \
+         \"cold_us\": {:.1}, \"warm_us\": {:.3}, \"warm_speedup\": {:.0}, \
+         \"matrix_shared_us\": {:.1}, \"matrix_cold_us\": {:.1}, \"matrix_speedup\": {:.2}}}",
+        if smoke { "smoke" } else { "full" },
+        us(cold),
+        us(warm),
+        warm_speedup,
+        us(matrix_shared),
+        us(matrix_cold),
+        matrix_speedup,
+    );
+    append_trajectory_point(&point);
+}

@@ -4,14 +4,14 @@
 //! Methodology mirrors §8.3: "(1) generate quantum assembly from all five
 //! benchmarks in all four languages for different oracle input sizes;
 //! (2) optimize the resulting code with the Qiskit transpiler set to -O3;
-//! and (3) feed the resulting optimized assembly into [the] Resource
+//! and (3) feed the resulting optimized assembly into the Resource
 //! Estimator". Here step (2) is the shared [`asdf_baselines::transpiler`]
 //! applied uniformly, and step (3) is [`asdf_resource::estimate`] with the
 //! paper's [[338, 1, 13]] / 5.2 µs parameters.
 
 use asdf_ast::expand::CaptureValue;
 use asdf_baselines::{build_circuit, optimize, BaselineStyle, Benchmark};
-use asdf_core::{CompileOptions, Compiler};
+use asdf_core::{CompileOptions, CompileRequest, Compiler, Session};
 use asdf_qcircuit::Circuit;
 use asdf_resource::{estimate, Estimate, SurfaceCodeParams};
 use std::collections::HashMap;
@@ -203,19 +203,25 @@ pub fn table1_rows(n: usize) -> Vec<Table1Row> {
         .map(|(name, benchmark)| {
             let (src, kernel, captures, dims) = qwerty_program(&benchmark);
 
+            // One session per benchmark: both configurations share the
+            // parsed program and the cached frontend.
+            let session = Session::new(&src).unwrap_or_else(|e| panic!("parse {name}: {e}"));
             let mut no_opt = CompileOptions::no_opt();
             no_opt.dims = dims.clone();
-            let compiled = Compiler::compile(&src, kernel, &captures, &no_opt)
+            let request = CompileRequest::kernel(kernel).with_captures(&captures);
+            let compiled = session
+                .compile(&request.clone().with_options(no_opt))
                 .unwrap_or_else(|e| panic!("no-opt {name}: {e}"));
-            let qir = asdf_codegen::module_to_qir_unrestricted(&compiled.module)
-                .expect("unrestricted QIR always emits");
+            let qir =
+                session.emit(&compiled, "qir-unrestricted").expect("unrestricted QIR always emits");
             let asdf_no_opt = asdf_codegen::count_callable_intrinsics(&qir);
 
             let opt = CompileOptions { dims, ..Default::default() };
-            let compiled = Compiler::compile(&src, kernel, &captures, &opt)
+            let compiled = session
+                .compile(&request.with_options(opt))
                 .unwrap_or_else(|e| panic!("opt {name}: {e}"));
-            let qir = asdf_codegen::module_to_qir_unrestricted(&compiled.module)
-                .expect("unrestricted QIR always emits");
+            let qir =
+                session.emit(&compiled, "qir-unrestricted").expect("unrestricted QIR always emits");
             let asdf_opt = asdf_codegen::count_callable_intrinsics(&qir);
 
             Table1Row {

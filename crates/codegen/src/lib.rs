@@ -1,20 +1,30 @@
-//! Output generation (§7): OpenQASM 3 and QIR.
+//! Output generation (§7): OpenQASM 3 and QIR, behind the [`backend`]
+//! registry.
 //!
-//! - [`qasm`]: OpenQASM 3 text from the straight-line [`Circuit`] form
-//!   (after reg2mem), ready for tools in the IBM ecosystem.
-//! - [`qir`]: QIR — LLVM IR text — from the QCircuit-dialect module. Two
-//!   profiles, as in the paper: the *Base Profile* (a straight-line gate
-//!   sequence with `inttoptr` qubit indices, no dynamic allocation) and the
-//!   *Unrestricted Profile* (dynamic qubit allocation, callables via
-//!   `__quantum__rt__callable_*` intrinsics, structured control flow
-//!   lowered to branches). Table 1 counts `callable_create` /
-//!   `callable_invoke` occurrences in the emitted text, which
-//!   [`qir::count_callable_intrinsics`] reproduces.
+//! Every emission path is a [`backend::Backend`] looked up by name in a
+//! [`backend::BackendRegistry`] — there is no direct-call emission API:
 //!
-//! [`Circuit`]: asdf_qcircuit::Circuit
+//! - `qasm`: OpenQASM 3 text from the straight-line circuit form (after
+//!   reg2mem), ready for tools in the IBM ecosystem;
+//! - `qir-base`: QIR — LLVM IR text — *Base Profile* (a straight-line
+//!   gate sequence with `inttoptr` qubit indices, no dynamic allocation);
+//! - `qir-unrestricted`: QIR *Unrestricted Profile* (dynamic qubit
+//!   allocation, callables via `__quantum__rt__callable_*` intrinsics,
+//!   structured control flow lowered to branches).
+//!
+//! `asdf-sim` registers a `sim` backend on top of the same trait, and
+//! `asdf_core::Session::emit` is the user-facing entry point bundling
+//! them all. Table 1 counts `callable_create` / `callable_invoke`
+//! occurrences in emitted QIR text, which [`count_callable_intrinsics`]
+//! reproduces (an analysis, not an emission path, so it stays a free
+//! function).
 
-pub mod qasm;
-pub mod qir;
+pub mod backend;
+pub(crate) mod qasm;
+pub(crate) mod qir;
 
-pub use qasm::circuit_to_qasm;
-pub use qir::{count_callable_intrinsics, module_to_qir_base, module_to_qir_unrestricted};
+pub use backend::{
+    Backend, BackendError, BackendRegistry, EmitInput, QasmBackend, QirBaseBackend,
+    QirUnrestrictedBackend,
+};
+pub use qir::count_callable_intrinsics;

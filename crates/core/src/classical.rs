@@ -13,7 +13,7 @@
 use crate::error::CoreError;
 use crate::gates::GateCtx;
 use asdf_ast::ast::CExpr;
-use asdf_ast::TClassical;
+use asdf_ast::{FrontendError, TClassical};
 use asdf_ir::{Func, FuncBuilder, FuncType, GateKind, OpKind, Type, Visibility};
 use asdf_logic::{embed, EmbedStyle, Signal, Xag};
 use std::collections::HashMap;
@@ -44,11 +44,11 @@ pub fn build_xag(tc: &TClassical) -> Result<Xag, CoreError> {
     }
     let outputs = lower_cexpr(&tc.body, &env, tc, &mut xag)?;
     if outputs.len() != tc.n_out {
-        return Err(CoreError::Frontend(format!(
+        return Err(CoreError::Frontend(FrontendError::type_err(format!(
             "classical body produced {} bits, expected {}",
             outputs.len(),
             tc.n_out
-        )));
+        ))));
     }
     xag.set_outputs(outputs);
     Ok(xag)
@@ -61,10 +61,9 @@ fn lower_cexpr(
     xag: &mut Xag,
 ) -> Result<Vec<Signal>, CoreError> {
     Ok(match e {
-        CExpr::Var(name) => env
-            .get(name.as_str())
-            .cloned()
-            .ok_or_else(|| CoreError::Frontend(format!("unbound classical variable {name}")))?,
+        CExpr::Var(name) => env.get(name.as_str()).cloned().ok_or_else(|| {
+            CoreError::Frontend(FrontendError::unbound(format!("classical variable {name}")))
+        })?,
         CExpr::And(a, b) => binary(e, a, b, env, tc, xag, Xag::and2)?,
         CExpr::Or(a, b) => {
             // a | b = ~(~a & ~b) over XAG primitives.
@@ -76,14 +75,14 @@ fn lower_cexpr(
         CExpr::Not(a) => lower_cexpr(a, env, tc, xag)?.into_iter().map(Signal::not).collect(),
         CExpr::Index(a, idx) => {
             let bits = lower_cexpr(a, env, tc, xag)?;
-            let i = idx.eval_usize(&tc.dims).map_err(|e| CoreError::Frontend(e.to_string()))?;
-            vec![*bits
-                .get(i)
-                .ok_or_else(|| CoreError::Frontend(format!("bit index {i} out of range")))?]
+            let i = idx.eval_usize(&tc.dims).map_err(CoreError::Frontend)?;
+            vec![*bits.get(i).ok_or_else(|| {
+                CoreError::Frontend(FrontendError::type_err(format!("bit index {i} out of range")))
+            })?]
         }
         CExpr::Repeat(a, n) => {
             let bits = lower_cexpr(a, env, tc, xag)?;
-            let n = n.eval_usize(&tc.dims).map_err(|e| CoreError::Frontend(e.to_string()))?;
+            let n = n.eval_usize(&tc.dims).map_err(CoreError::Frontend)?;
             vec![bits[0]; n]
         }
         CExpr::XorReduce(a) => {
@@ -116,7 +115,11 @@ fn widths_match(a: &[Signal], b: &[Signal]) -> Result<(), CoreError> {
     if a.len() == b.len() {
         Ok(())
     } else {
-        Err(CoreError::Frontend(format!("bitwise width mismatch: {} vs {}", a.len(), b.len())))
+        Err(CoreError::Frontend(FrontendError::type_err(format!(
+            "bitwise width mismatch: {} vs {}",
+            a.len(),
+            b.len()
+        ))))
     }
 }
 

@@ -27,23 +27,20 @@
 //! driver.
 
 use crate::error::CoreError;
-use crate::lower::lower_kernel;
 use crate::passes::{
     qwerty_canonicalize_pass, ConvertPass, DeadFuncElimPass, InlinePass, LiftLambdasPass,
     SpecializePass, CANONICALIZE_INLINE,
 };
-use asdf_ast::canon::canonicalize as ast_canonicalize;
-use asdf_ast::expand::{instantiate, CaptureValue};
-use asdf_ast::parse::parse_program;
-use asdf_ast::tast::{TExpr, TExprKind, TKernel, TStmt};
-use asdf_ast::typecheck::typecheck_kernel;
+use crate::session::{CompileRequest, Session};
+use asdf_ast::expand::CaptureValue;
+use asdf_ast::tast::TKernel;
 use asdf_ir::pass::{Fixpoint, PassManager, PassStatistics};
 use asdf_ir::Module;
-use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
+use asdf_qcircuit::decompose::DecomposeStyle;
 use asdf_qcircuit::peephole::peephole_pass;
-use asdf_qcircuit::reg2mem::lower_to_circuit;
 use asdf_qcircuit::Circuit;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Compiler configuration.
 #[derive(Debug, Clone)]
@@ -195,7 +192,21 @@ pub struct Compiled {
     pub stats: PassStatistics,
 }
 
-/// The ASDF compiler.
+/// The one-shot compiler: a thin wrapper over a throwaway [`Session`].
+///
+/// Existing callers migrate mechanically:
+///
+/// ```text
+/// Compiler::compile(src, "k", &captures, &options)
+///   == Session::new(src)?.compile(
+///          &CompileRequest::kernel("k")
+///              .with_captures(&captures)
+///              .with_options(options.clone()))
+/// ```
+///
+/// Anything that compiles the same source more than once (difftest's
+/// 12-config matrix, benches, a service) should hold a [`Session`]
+/// instead and let the caches share the frontend.
 #[derive(Debug, Default)]
 pub struct Compiler;
 
@@ -212,77 +223,15 @@ impl Compiler {
         captures: &[CaptureValue],
         options: &CompileOptions,
     ) -> Result<Compiled, CoreError> {
-        let program = parse_program(source)?;
-
-        // §4: expansion (dimvar inference) + type checking + AST canon.
-        let instance = instantiate(&program, kernel_name, captures, &options.dims)?;
-        let mut kernel = typecheck_kernel(&program, kernel_name, &instance)?;
-        ast_canonicalize(&mut kernel);
-
-        // §5.1: lowering (the entry kernel plus any kernels it references).
-        let mut module = Module::new();
-        for referenced in referenced_kernels(&kernel) {
-            if module.contains(&referenced) {
-                continue;
-            }
-            let sub_instance = instantiate(&program, &referenced, &[], &options.dims)?;
-            let mut sub = typecheck_kernel(&program, &referenced, &sub_instance)?;
-            ast_canonicalize(&mut sub);
-            lower_kernel(&sub, &mut module)?;
-        }
-        lower_kernel(&kernel, &mut module)?;
-
-        // §5.4–§6.5: the declared pass pipeline (see
-        // [`CompileOptions::pipeline`]), instrumented with per-pass timing
-        // and verification.
-        let stats = options.pipeline().run(&mut module)?;
-
-        // §7 front half: reg2mem when the kernel is straight-line.
-        let entry = module.expect_func(kernel_name).map_err(CoreError::from)?;
-        let circuit = match lower_to_circuit(entry) {
-            Ok(raw) => match options.decompose {
-                Some(style) => Some(decompose(&raw, style)),
-                None => Some(raw),
-            },
-            Err(_) => None,
-        };
-
-        Ok(Compiled { module, entry: kernel_name.to_string(), circuit, kernel, stats })
+        let session = Session::new(source)?;
+        let request = CompileRequest::kernel(kernel_name)
+            .with_captures(captures)
+            .with_options(options.clone());
+        let artifact = session.compile(&request)?;
+        // The session is dropped here, so the Arc is almost always unique;
+        // clone only in the (impossible today) shared case.
+        Ok(Arc::try_unwrap(artifact).unwrap_or_else(|shared| (*shared).clone()))
     }
-}
-
-/// Kernels referenced as function values from the body.
-fn referenced_kernels(kernel: &TKernel) -> Vec<String> {
-    let mut out = Vec::new();
-    fn walk(e: &TExpr, out: &mut Vec<String>) {
-        match &e.kind {
-            TExprKind::KernelRef { name } if !out.contains(name) => out.push(name.clone()),
-            TExprKind::Adjoint(f) => walk(f, out),
-            TExprKind::Pred { func, .. } => walk(func, out),
-            TExprKind::Tensor(parts) | TExprKind::Compose(parts) => {
-                for p in parts {
-                    walk(p, out);
-                }
-            }
-            TExprKind::Pipe { value, func } => {
-                walk(value, out);
-                walk(func, out);
-            }
-            TExprKind::Cond { cond, then_f, else_f } => {
-                walk(cond, out);
-                walk(then_f, out);
-                walk(else_f, out);
-            }
-            _ => {}
-        }
-    }
-    for stmt in &kernel.body {
-        match stmt {
-            TStmt::Let { value, .. } => walk(value, &mut out),
-            TStmt::Expr(e) => walk(e, &mut out),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -36,9 +36,11 @@ pub(crate) mod gates;
 pub mod lower;
 pub mod passes;
 pub mod predicate;
+pub mod session;
 pub mod special;
 pub mod synth;
 
 pub use asdf_ir::pass::{PassStat, PassStatistics};
 pub use compiler::{CompileOptions, Compiled, Compiler};
 pub use error::CoreError;
+pub use session::{CacheStats, CompileRequest, Session};

@@ -1,0 +1,669 @@
+//! The session-based compiler API: a long-lived compilation context with
+//! a shared frontend, a content-addressed artifact cache, and registry-
+//! based emission.
+//!
+//! [`Session::new`] parses the program once; every
+//! [`Session::compile`] call then serves a [`CompileRequest`] (kernel +
+//! captures + dims + options) from two content-addressed, LRU-bounded
+//! caches:
+//!
+//! - the **frontend cache**, keyed by `source hash × kernel × captures ×
+//!   dims`, holds the instantiated, typechecked, canonicalized, and
+//!   lowered (pre-pipeline) module — the part of compilation every
+//!   configuration of the same kernel shares;
+//! - the **artifact cache**, keyed by the frontend key `× options`,
+//!   holds the fully compiled [`Compiled`] artifact behind an [`Arc`],
+//!   so a repeated request is a map lookup.
+//!
+//! This is the shape industrial quantum compilers converge on: quilc runs
+//! as a persistent server with addressable compilation state, and OpenQL
+//! separates a shared compilation platform from pluggable backend
+//! emitters. The difftest driver compiles every case under 12
+//! configurations through one session (11 frontend hits per case), and a
+//! service would serve repeated traffic from the artifact cache.
+//!
+//! Emission goes through the [`asdf_codegen::BackendRegistry`]:
+//! [`Session::emit`] is the one entry point for QASM, QIR, and the
+//! simulator backend.
+//!
+//! ```
+//! use asdf_core::{CompileRequest, Session};
+//!
+//! let session = Session::new("qpu bell() -> bit[2] {
+//!     'p' + '0' | ('1' & std.flip) | std[2].measure
+//! }")?;
+//! let artifact = session.compile(&CompileRequest::kernel("bell"))?;
+//! let qasm = session.emit(&artifact, "qasm")?;
+//! assert!(qasm.contains("OPENQASM 3.0;"));
+//!
+//! // The same request again is a cache hit — no recompilation.
+//! let again = session.compile(&CompileRequest::kernel("bell"))?;
+//! assert!(std::sync::Arc::ptr_eq(&artifact, &again));
+//! assert_eq!(session.cache_stats().artifact_hits, 1);
+//! # Ok::<(), asdf_core::CoreError>(())
+//! ```
+
+use crate::compiler::{CompileOptions, Compiled};
+use crate::error::CoreError;
+use crate::lower::lower_kernel;
+use asdf_ast::ast::Program;
+use asdf_ast::canon::canonicalize as ast_canonicalize;
+use asdf_ast::expand::{instantiate, CaptureValue};
+use asdf_ast::parse::parse_program;
+use asdf_ast::tast::{TExpr, TExprKind, TKernel, TStmt};
+use asdf_ast::typecheck::typecheck_kernel;
+use asdf_codegen::{BackendRegistry, EmitInput};
+use asdf_ir::Module;
+use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
+use asdf_qcircuit::reg2mem::lower_to_circuit;
+use asdf_sim::SimBackend;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Content-addressed keys
+// ---------------------------------------------------------------------
+
+/// FNV-1a, the content hash for cache keys: deterministic, dependency-
+/// free, and cheap on short inputs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A stable text encoding of a capture value (part of cache keys).
+fn encode_capture(capture: &CaptureValue, out: &mut String) {
+    match capture {
+        CaptureValue::Bits(bits) => {
+            out.push_str("b:");
+            out.extend(bits.iter().map(|&b| if b { '1' } else { '0' }));
+        }
+        CaptureValue::CFunc { name, captures } => {
+            out.push_str("f:");
+            out.push_str(name);
+            out.push('[');
+            for c in captures {
+                encode_capture(c, out);
+                out.push(',');
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// The frontend cache key: everything instantiation + typechecking +
+/// lowering depend on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FrontendKey {
+    source_hash: u64,
+    kernel: String,
+    captures: String,
+    /// Sorted, so `HashMap` iteration order cannot leak into the key.
+    dims: Vec<(String, i64)>,
+}
+
+/// The artifact cache key: the frontend key plus the pipeline options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ArtifactKey {
+    frontend: FrontendKey,
+    inline: bool,
+    peephole: bool,
+    /// 0 = none, 1 = Selinger, 2 = V-chain.
+    decompose: u8,
+    verify: bool,
+}
+
+fn decompose_tag(style: Option<DecomposeStyle>) -> u8 {
+    match style {
+        None => 0,
+        Some(DecomposeStyle::Selinger) => 1,
+        Some(DecomposeStyle::VChain) => 2,
+    }
+}
+
+// ---------------------------------------------------------------------
+// A small LRU cache
+// ---------------------------------------------------------------------
+
+/// A minimal LRU cache: a map plus a logical clock. Eviction scans for
+/// the stalest entry — O(capacity), which is trivial at the cache sizes
+/// a session uses.
+struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(capacity: usize) -> Lru<K, V> {
+        Lru { capacity: capacity.max(1), tick: 0, map: HashMap::new(), evictions: 0 }
+    }
+
+    fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(stalest) =
+                self.map.iter().min_by_key(|(_, (_, last_used))| *last_used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache statistics
+// ---------------------------------------------------------------------
+
+/// Counters for the session's two caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Frontend (parse-once instantiate/typecheck/lower) cache hits.
+    pub frontend_hits: u64,
+    /// Frontend cache misses (full frontend work performed).
+    pub frontend_misses: u64,
+    /// Whole-artifact cache hits (compilation skipped entirely).
+    pub artifact_hits: u64,
+    /// Whole-artifact cache misses.
+    pub artifact_misses: u64,
+    /// Entries evicted from either cache by the LRU bound.
+    pub evictions: u64,
+    /// Wall-clock spent doing frontend work on misses.
+    pub frontend_spent: Duration,
+    /// Wall-clock of frontend work *avoided* by hits (the recorded cost
+    /// of each hit entry) — the measured sweep speedup.
+    pub frontend_saved: Duration,
+    /// Wall-clock of whole compilations avoided by artifact hits.
+    pub artifact_saved: Duration,
+}
+
+impl CacheStats {
+    /// Frontend hit rate in [0, 1]; 0 when nothing was requested.
+    pub fn frontend_hit_rate(&self) -> f64 {
+        let total = self.frontend_hits + self.frontend_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.frontend_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another session's counters into this one (the difftest
+    /// driver aggregates per-case sessions this way).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.frontend_hits += other.frontend_hits;
+        self.frontend_misses += other.frontend_misses;
+        self.artifact_hits += other.artifact_hits;
+        self.artifact_misses += other.artifact_misses;
+        self.evictions += other.evictions;
+        self.frontend_spent += other.frontend_spent;
+        self.frontend_saved += other.frontend_saved;
+        self.artifact_saved += other.artifact_saved;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A builder-style description of one compilation: which kernel, with
+/// which captures, dimension bindings, and pipeline options.
+///
+/// ```
+/// use asdf_core::{CompileOptions, CompileRequest};
+/// use asdf_ast::CaptureValue;
+///
+/// let request = CompileRequest::kernel("kernel")
+///     .with_capture(CaptureValue::CFunc {
+///         name: "f".into(),
+///         captures: vec![CaptureValue::bits_from_str("101")],
+///     })
+///     .with_dim("M", 3)
+///     .with_options(CompileOptions::no_opt());
+/// assert_eq!(request.kernel, "kernel");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// The entry kernel's name.
+    pub kernel: String,
+    /// Capture values for the kernel's leading parameters.
+    pub captures: Vec<CaptureValue>,
+    /// Explicit dimension-variable bindings (merged over
+    /// `options.dims`; request bindings win).
+    pub dims: HashMap<String, i64>,
+    /// Pipeline options.
+    pub options: CompileOptions,
+}
+
+impl CompileRequest {
+    /// A request for `kernel` with no captures, no explicit dims, and
+    /// default options.
+    pub fn kernel(name: &str) -> CompileRequest {
+        CompileRequest {
+            kernel: name.to_string(),
+            captures: Vec::new(),
+            dims: HashMap::new(),
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Appends one capture value.
+    #[must_use]
+    pub fn with_capture(mut self, capture: CaptureValue) -> CompileRequest {
+        self.captures.push(capture);
+        self
+    }
+
+    /// Appends capture values in order.
+    #[must_use]
+    pub fn with_captures(mut self, captures: &[CaptureValue]) -> CompileRequest {
+        self.captures.extend_from_slice(captures);
+        self
+    }
+
+    /// Binds a dimension variable explicitly.
+    #[must_use]
+    pub fn with_dim(mut self, name: &str, value: i64) -> CompileRequest {
+        self.dims.insert(name.to_string(), value);
+        self
+    }
+
+    /// Sets the pipeline options.
+    #[must_use]
+    pub fn with_options(mut self, options: CompileOptions) -> CompileRequest {
+        self.options = options;
+        self
+    }
+
+    /// The effective dimension bindings: `options.dims` overlaid with the
+    /// request's own bindings.
+    fn effective_dims(&self) -> HashMap<String, i64> {
+        let mut dims = self.options.dims.clone();
+        dims.extend(self.dims.iter().map(|(k, v)| (k.clone(), *v)));
+        dims
+    }
+}
+
+// ---------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------
+
+/// The shared frontend artifact: one kernel instance typechecked and
+/// lowered, before any pipeline pass ran.
+struct Frontend {
+    kernel: TKernel,
+    module: Module,
+    cost: Duration,
+}
+
+struct SessionState {
+    frontend: Lru<FrontendKey, Arc<Frontend>>,
+    artifacts: Lru<ArtifactKey, (Arc<Compiled>, Duration)>,
+    stats: CacheStats,
+}
+
+/// A long-lived compilation context over one source program.
+///
+/// See the [module documentation](self) for the full API tour. The
+/// session is `Sync`: caches sit behind a mutex, so a server can share
+/// one session across threads.
+pub struct Session {
+    source: String,
+    source_hash: u64,
+    program: Program,
+    backends: BackendRegistry,
+    state: Mutex<SessionState>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("source_hash", &self.source_hash)
+            .field("backends", &self.backends.names())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Default artifact-cache capacity (compiled artifacts are a few KB).
+const DEFAULT_ARTIFACT_CAPACITY: usize = 64;
+/// Default frontend-cache capacity (one entry per kernel × captures).
+const DEFAULT_FRONTEND_CAPACITY: usize = 16;
+
+impl Session {
+    /// Parses `source` and prepares an empty cache with default capacity
+    /// and the default backend registry (`qasm`, `qir-base`,
+    /// `qir-unrestricted`, `sim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Frontend`] when `source` does not lex or
+    /// parse.
+    pub fn new(source: &str) -> Result<Session, CoreError> {
+        Session::with_capacity(source, DEFAULT_FRONTEND_CAPACITY, DEFAULT_ARTIFACT_CAPACITY)
+    }
+
+    /// [`Session::new`] with explicit cache bounds (entries, not bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Frontend`] when `source` does not lex or
+    /// parse.
+    pub fn with_capacity(
+        source: &str,
+        frontend_capacity: usize,
+        artifact_capacity: usize,
+    ) -> Result<Session, CoreError> {
+        let program = parse_program(source)?;
+        let mut backends = BackendRegistry::with_codegen_backends();
+        backends.register(Box::new(SimBackend));
+        Ok(Session {
+            source: source.to_string(),
+            source_hash: fnv1a(source.as_bytes()),
+            program,
+            backends,
+            state: Mutex::new(SessionState {
+                frontend: Lru::new(frontend_capacity),
+                artifacts: Lru::new(artifact_capacity),
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    /// The source text this session compiles.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The FNV-1a content hash of the source (the leading component of
+    /// every cache key).
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("session mutex");
+        let mut stats = state.stats;
+        stats.evictions = state.frontend.evictions + state.artifacts.evictions;
+        stats
+    }
+
+    /// Current (frontend, artifact) cache entry counts.
+    pub fn cache_len(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("session mutex");
+        (state.frontend.len(), state.artifacts.len())
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn backend_names(&self) -> Vec<&'static str> {
+        self.backends.names()
+    }
+
+    /// Registers an output backend (replacing any with the same name) —
+    /// new targets plug in without touching the compiler core.
+    pub fn register_backend(&mut self, backend: Box<dyn asdf_codegen::Backend>) {
+        self.backends.register(backend);
+    }
+
+    /// Compiles one request, serving as much as possible from the caches.
+    ///
+    /// The returned artifact is shared: repeated identical requests give
+    /// `Arc`s to the *same* allocation (cheap clones, pointer-comparable
+    /// in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for any frontend, transformation, or
+    /// synthesis failure.
+    pub fn compile(&self, request: &CompileRequest) -> Result<Arc<Compiled>, CoreError> {
+        let dims = request.effective_dims();
+        let mut sorted_dims: Vec<(String, i64)> =
+            dims.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        sorted_dims.sort();
+        let mut captures = String::new();
+        for c in &request.captures {
+            encode_capture(c, &mut captures);
+            captures.push(';');
+        }
+        let frontend_key = FrontendKey {
+            source_hash: self.source_hash,
+            kernel: request.kernel.clone(),
+            captures,
+            dims: sorted_dims,
+        };
+        // Exhaustive destructuring: adding a field to CompileOptions is a
+        // compile error here, so it can never silently drop out of the
+        // cache key (which would serve stale artifacts).
+        let CompileOptions { inline, peephole, decompose: style, verify, dims: _ } =
+            &request.options;
+        let artifact_key = ArtifactKey {
+            frontend: frontend_key.clone(),
+            inline: *inline,
+            peephole: *peephole,
+            decompose: decompose_tag(*style),
+            verify: *verify,
+        };
+
+        // Whole-artifact hit: nothing to do.
+        {
+            let mut state = self.state.lock().expect("session mutex");
+            if let Some((artifact, cost)) = state.artifacts.get(&artifact_key) {
+                let artifact = Arc::clone(artifact);
+                let cost = *cost;
+                state.stats.artifact_hits += 1;
+                state.stats.artifact_saved += cost;
+                return Ok(artifact);
+            }
+            state.stats.artifact_misses += 1;
+        }
+
+        let started = Instant::now();
+
+        // Frontend: shared across every options configuration.
+        let frontend = {
+            let mut state = self.state.lock().expect("session mutex");
+            if let Some(frontend) = state.frontend.get(&frontend_key) {
+                let frontend = Arc::clone(frontend);
+                state.stats.frontend_hits += 1;
+                state.stats.frontend_saved += frontend.cost;
+                Some(frontend)
+            } else {
+                None
+            }
+        };
+        let frontend = match frontend {
+            Some(frontend) => frontend,
+            None => {
+                let frontend =
+                    Arc::new(self.run_frontend(&request.kernel, &request.captures, &dims)?);
+                let mut state = self.state.lock().expect("session mutex");
+                state.stats.frontend_misses += 1;
+                state.stats.frontend_spent += frontend.cost;
+                state.frontend.insert(frontend_key, Arc::clone(&frontend));
+                frontend
+            }
+        };
+
+        // Pipeline + reg2mem on a private copy of the lowered module.
+        let mut module = frontend.module.clone();
+        let stats = request.options.pipeline().run(&mut module)?;
+        let entry = module.expect_func(&request.kernel).map_err(CoreError::from)?;
+        let circuit = match lower_to_circuit(entry) {
+            Ok(raw) => match request.options.decompose {
+                Some(style) => Some(decompose(&raw, style)),
+                None => Some(raw),
+            },
+            Err(_) => None,
+        };
+        let artifact = Arc::new(Compiled {
+            module,
+            entry: request.kernel.clone(),
+            circuit,
+            kernel: frontend.kernel.clone(),
+            stats,
+        });
+
+        let mut state = self.state.lock().expect("session mutex");
+        state.artifacts.insert(artifact_key, (Arc::clone(&artifact), started.elapsed()));
+        Ok(artifact)
+    }
+
+    /// Emits a compiled artifact through a registered backend — the one
+    /// emission entry point for QASM, QIR, and simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Backend`] for unknown backend names or
+    /// emission failures (e.g. QASM of an artifact with no straight-line
+    /// circuit).
+    pub fn emit(&self, artifact: &Compiled, backend: &str) -> Result<String, CoreError> {
+        let input = EmitInput {
+            module: &artifact.module,
+            entry: &artifact.entry,
+            circuit: artifact.circuit.as_ref(),
+        };
+        self.backends.emit(backend, &input).map_err(CoreError::from)
+    }
+
+    /// Renders any error from this session against its source, with
+    /// error code, line:column, and a labeled snippet for frontend
+    /// errors.
+    pub fn render_error(&self, error: &CoreError) -> String {
+        error.to_diagnostic().render(&self.source)
+    }
+
+    /// §4 + §5.1: instantiation, typechecking, canonicalization, and
+    /// lowering of the entry kernel plus everything it references — the
+    /// options-independent front half of the compiler.
+    fn run_frontend(
+        &self,
+        kernel_name: &str,
+        captures: &[CaptureValue],
+        dims: &HashMap<String, i64>,
+    ) -> Result<Frontend, CoreError> {
+        let started = Instant::now();
+        let instance = instantiate(&self.program, kernel_name, captures, dims)?;
+        let mut kernel = typecheck_kernel(&self.program, kernel_name, &instance)?;
+        ast_canonicalize(&mut kernel);
+
+        let mut module = Module::new();
+        for referenced in referenced_kernels(&kernel) {
+            if module.contains(&referenced) {
+                continue;
+            }
+            let sub_instance = instantiate(&self.program, &referenced, &[], dims)?;
+            let mut sub = typecheck_kernel(&self.program, &referenced, &sub_instance)?;
+            ast_canonicalize(&mut sub);
+            lower_kernel(&sub, &mut module)?;
+        }
+        lower_kernel(&kernel, &mut module)?;
+
+        Ok(Frontend { kernel, module, cost: started.elapsed() })
+    }
+}
+
+/// Kernels referenced as function values from the body.
+fn referenced_kernels(kernel: &TKernel) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(e: &TExpr, out: &mut Vec<String>) {
+        match &e.kind {
+            TExprKind::KernelRef { name } if !out.contains(name) => out.push(name.clone()),
+            TExprKind::Adjoint(f) => walk(f, out),
+            TExprKind::Pred { func, .. } => walk(func, out),
+            TExprKind::Tensor(parts) | TExprKind::Compose(parts) => {
+                for p in parts {
+                    walk(p, out);
+                }
+            }
+            TExprKind::Pipe { value, func } => {
+                walk(value, out);
+                walk(func, out);
+            }
+            TExprKind::Cond { cond, then_f, else_f } => {
+                walk(cond, out);
+                walk(then_f, out);
+                walk(else_f, out);
+            }
+            _ => {}
+        }
+    }
+    for stmt in &kernel.body {
+        match stmt {
+            TStmt::Let { value, .. } => walk(value, &mut out),
+            TStmt::Expr(e) => walk(e, &mut out),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_bounds_and_evicts_stalest() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(&10)); // 1 is now fresher than 2
+        lru.insert(3, 30);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions, 1);
+        assert_eq!(lru.get(&2), None, "stalest entry evicted");
+        assert_eq!(lru.get(&1), Some(&10));
+        assert_eq!(lru.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn fnv_is_content_addressed() {
+        assert_eq!(fnv1a(b"qpu"), fnv1a(b"qpu"));
+        assert_ne!(fnv1a(b"qpu"), fnv1a(b"qpv"));
+    }
+
+    #[test]
+    fn capture_encoding_distinguishes_shapes() {
+        let mut a = String::new();
+        encode_capture(&CaptureValue::bits_from_str("101"), &mut a);
+        let mut b = String::new();
+        encode_capture(
+            &CaptureValue::CFunc {
+                name: "f".into(),
+                captures: vec![CaptureValue::bits_from_str("101")],
+            },
+            &mut b,
+        );
+        assert_ne!(a, b);
+        assert_eq!(a, "b:101");
+        assert_eq!(b, "f:f[b:101,]");
+    }
+}

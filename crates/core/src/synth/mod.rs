@@ -11,7 +11,7 @@
 //! ```
 //!
 //! [`standardize`] implements Algorithm E6 (with the padding machinery for
-//! inseparable Fourier bases, Fig. E14); [`align`] implements Algorithm E7;
+//! inseparable Fourier bases, Fig. E14); [`align`](mod@align) implements Algorithm E7;
 //! [`translate`] assembles the full circuit, using the
 //! transformation-based synthesis of `asdf-logic` for the permutation core
 //! and multi-controlled phase gates for vector phases (Fig. 8).

@@ -1,0 +1,209 @@
+//! Cache-correctness tests for the session API: identical requests share
+//! one artifact; changing *any* key component (source, kernel, captures,
+//! dims, options) misses; the LRU bound holds.
+
+use asdf_ast::CaptureValue;
+use asdf_core::{CompileOptions, CompileRequest, Session};
+use std::sync::Arc;
+
+const BV_SRC: &str = r"
+    classical f[N](secret: bit[N], x: bit[N]) -> bit {
+        (secret & x).xor_reduce()
+    }
+    qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+        'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+    }
+    qpu other[N](f: cfunc[N, 1]) -> bit[N] {
+        'p'[N] | f.sign | std[N].measure
+    }
+";
+
+fn bv_request(secret: &str) -> CompileRequest {
+    CompileRequest::kernel("kernel").with_capture(CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(secret)],
+    })
+}
+
+#[test]
+fn same_request_twice_returns_the_identical_artifact() {
+    let session = Session::new(BV_SRC).unwrap();
+    let first = session.compile(&bv_request("101")).unwrap();
+    let second = session.compile(&bv_request("101")).unwrap();
+    assert!(Arc::ptr_eq(&first, &second), "cache hit must share the allocation");
+    let stats = session.cache_stats();
+    assert_eq!((stats.artifact_misses, stats.artifact_hits), (1, 1));
+    assert_eq!((stats.frontend_misses, stats.frontend_hits), (1, 0));
+    assert!(stats.artifact_saved > std::time::Duration::ZERO, "hits record time saved");
+}
+
+#[test]
+fn every_key_component_participates_in_addressing() {
+    let session = Session::new(BV_SRC).unwrap();
+    let base = session.compile(&bv_request("101")).unwrap();
+
+    // Different kernel: miss.
+    let other = session
+        .compile(&bv_request("101").clone())
+        .and(session.compile(&CompileRequest::kernel("other").with_capture(CaptureValue::CFunc {
+            name: "f".into(),
+            captures: vec![CaptureValue::bits_from_str("101")],
+        })))
+        .unwrap();
+    assert!(!Arc::ptr_eq(&base, &other));
+
+    // Different captures: miss (and a genuinely different circuit).
+    let flipped = session.compile(&bv_request("011")).unwrap();
+    assert!(!Arc::ptr_eq(&base, &flipped));
+    assert_ne!(base.circuit, flipped.circuit, "different secrets compile differently");
+
+    // Different options: miss.
+    let no_opt =
+        session.compile(&bv_request("101").with_options(CompileOptions::no_opt())).unwrap();
+    assert!(!Arc::ptr_eq(&base, &no_opt));
+
+    // Same logical request again: still a hit after all the misses.
+    let again = session.compile(&bv_request("101")).unwrap();
+    assert!(Arc::ptr_eq(&base, &again));
+}
+
+#[test]
+fn explicit_dims_are_part_of_the_key() {
+    let src = r"
+        classical balanced[N](x: bit[N]) -> bit { x.xor_reduce() }
+        qpu dj[N](f: cfunc[N, 1]) -> bit[N] {
+            'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+        }
+    ";
+    let session = Session::new(src).unwrap();
+    let request = CompileRequest::kernel("dj")
+        .with_capture(CaptureValue::CFunc { name: "balanced".into(), captures: vec![] });
+    let n3 = session.compile(&request.clone().with_dim("N", 3)).unwrap();
+    let n5 = session.compile(&request.clone().with_dim("N", 5)).unwrap();
+    assert!(!Arc::ptr_eq(&n3, &n5));
+    // The oracle synthesis may add ancillas, so compare relatively: the
+    // N=5 instance is strictly wider and measures five bits.
+    let (q3, q5) = (n3.circuit.as_ref().unwrap(), n5.circuit.as_ref().unwrap());
+    assert!(q3.num_qubits >= 3 && q5.num_qubits >= 5 && q5.num_qubits > q3.num_qubits);
+    assert_eq!(q3.num_bits(), 3);
+    assert_eq!(q5.num_bits(), 5);
+    // Binding the dim through options instead of the request addresses the
+    // same content.
+    let via_options = session
+        .compile(&request.clone().with_options(CompileOptions::default().with_dim("N", 3)))
+        .unwrap();
+    assert!(Arc::ptr_eq(&n3, &via_options), "equal effective dims hit the same entry");
+}
+
+#[test]
+fn different_sessions_have_different_source_hashes() {
+    let a = Session::new("qpu k() -> bit[1] { '0' | std.measure }").unwrap();
+    let b = Session::new("qpu k() -> bit[1] { '1' | std.measure }").unwrap();
+    assert_ne!(a.source_hash(), b.source_hash(), "cache keys are content-addressed");
+    let ca = a.compile(&CompileRequest::kernel("k")).unwrap();
+    let cb = b.compile(&CompileRequest::kernel("k")).unwrap();
+    assert_ne!(ca.circuit, cb.circuit);
+}
+
+#[test]
+fn lru_eviction_bounds_memory() {
+    // Capacity 2 artifacts; 8 distinct requests.
+    let session = Session::with_capacity(BV_SRC, 2, 2).unwrap();
+    for width in 1..=8u32 {
+        let secret: String = "1".repeat(width as usize);
+        session.compile(&bv_request(&secret)).unwrap();
+    }
+    let (frontend_len, artifact_len) = session.cache_len();
+    assert!(frontend_len <= 2, "frontend cache bounded, got {frontend_len}");
+    assert!(artifact_len <= 2, "artifact cache bounded, got {artifact_len}");
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_misses, 8);
+    assert!(stats.evictions >= 12, "both caches evicted, got {}", stats.evictions);
+
+    // Most-recent entries survive; the oldest was evicted and recompiles.
+    let recent = session.compile(&bv_request("11111111")).unwrap();
+    assert_eq!(session.cache_stats().artifact_hits, 1);
+    drop(recent);
+    session.compile(&bv_request("1")).unwrap();
+    assert_eq!(session.cache_stats().artifact_hits, 1, "evicted entry misses again");
+}
+
+#[test]
+fn sessions_are_shareable_across_threads() {
+    let session = Arc::new(Session::new(BV_SRC).unwrap());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || session.compile(&bv_request("1101")).unwrap())
+        })
+        .collect();
+    let artifacts: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for pair in artifacts.windows(2) {
+        assert_eq!(pair[0].circuit, pair[1].circuit);
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_hits + stats.artifact_misses, 4);
+    assert!(stats.artifact_misses >= 1);
+}
+
+#[test]
+fn wrapper_and_session_agree() {
+    use asdf_core::Compiler;
+    let secret = "1011";
+    let captures = vec![CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(secret)],
+    }];
+    let one_shot =
+        Compiler::compile(BV_SRC, "kernel", &captures, &CompileOptions::default()).unwrap();
+    let session = Session::new(BV_SRC).unwrap();
+    let via_session = session.compile(&bv_request(secret)).unwrap();
+    assert_eq!(one_shot.circuit, via_session.circuit);
+    assert_eq!(one_shot.entry, via_session.entry);
+}
+
+#[test]
+fn render_error_includes_code_and_position() {
+    let src = "qpu k(q: qubit) -> qubit {\n    q + q\n}";
+    let session = Session::new(src).unwrap();
+    let err = session.compile(&CompileRequest::kernel("k")).unwrap_err();
+    let rendered = session.render_error(&err);
+    assert!(rendered.contains("error[E0004]"), "{rendered}");
+    assert!(rendered.contains("line 2"), "{rendered}");
+    assert!(rendered.contains("q + q"), "{rendered}");
+    assert!(rendered.contains('^'), "{rendered}");
+}
+
+#[test]
+fn emission_is_reachable_only_through_backends() {
+    let session = Session::new(BV_SRC).unwrap();
+    assert_eq!(session.backend_names(), ["qasm", "qir-base", "qir-unrestricted", "sim"]);
+    let artifact = session.compile(&bv_request("110")).unwrap();
+    for backend in session.backend_names() {
+        let text = session.emit(&artifact, backend).unwrap();
+        assert!(!text.is_empty(), "{backend} emitted nothing");
+    }
+    let err = session.emit(&artifact, "no-such-target").unwrap_err();
+    assert!(err.to_string().contains("unknown backend"), "{err}");
+}
+
+#[test]
+fn programmatic_asts_render_without_a_misleading_label() {
+    // Type errors raised on ASTs with placeholder spans (difftest builds
+    // them programmatically) must not point a caret at line 1 column 1.
+    use asdf_ast::expand::instantiate;
+    use asdf_ast::typecheck::typecheck_kernel;
+    let src = "qpu k(q: qubit) -> qubit[2] {\n    q + q\n}";
+    let program = asdf_ast::parse::parse_program(src).unwrap();
+    let instance = instantiate(&program, "k", &[], &std::collections::HashMap::new()).unwrap();
+    // Strip spans the way a programmatic builder would: re-render and
+    // reparse keeps structure, but here we simply check the parsed path
+    // has a span while a rebuilt expression does not.
+    let err = typecheck_kernel(&program, "k", &instance).unwrap_err();
+    assert!(err.span().is_some(), "parsed ASTs carry spans");
+    let rebuilt: asdf_ast::ast::Expr = asdf_ast::ast::ExprKind::Var("nope".into()).into();
+    assert!(rebuilt.span.is_empty());
+    let unspanned = asdf_ast::FrontendError::type_err("synthetic").with_span(rebuilt.span);
+    assert!(unspanned.span().is_none(), "empty spans are not attached");
+    assert!(unspanned.to_diagnostic().labels.is_empty());
+}

@@ -81,6 +81,16 @@ fn main() -> ExitCode {
         report.mismatches.len()
     );
     println!("sweep wall-clock: {elapsed:.3?}");
+    let cache = &report.cache;
+    println!(
+        "session frontend cache: {}/{} hits ({:.1}%), ~{:.3?} of frontend work avoided \
+         (spent {:.3?} on misses)",
+        cache.frontend_hits,
+        cache.frontend_hits + cache.frontend_misses,
+        100.0 * cache.frontend_hit_rate(),
+        cache.frontend_saved,
+        cache.frontend_spent,
+    );
     if show_stats {
         for config in &report.configs {
             println!("\n--- merged pass statistics: {} ---", config.name);

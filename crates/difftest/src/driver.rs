@@ -6,7 +6,7 @@ use crate::gen::{gen_case, GenCase, GenOptions};
 use crate::oracle::{compare, extract, Comparison, OracleOptions, Semantics};
 use crate::report::Mismatch;
 use crate::shrink::minimize;
-use asdf_core::{CompileOptions, Compiled, Compiler};
+use asdf_core::{CacheStats, CompileOptions, CompileRequest, Compiled, Session};
 use asdf_ir::pass::PassStatistics;
 use asdf_qcircuit::Circuit;
 
@@ -69,6 +69,10 @@ pub struct SweepReport {
     /// Differential findings, with minimized reproducers when shrinking is
     /// enabled.
     pub mismatches: Vec<Mismatch>,
+    /// Session cache counters aggregated over every per-case session: the
+    /// frontend is parsed/typechecked/lowered once per case and *reused*
+    /// by the other eleven configurations.
+    pub cache: CacheStats,
 }
 
 impl SweepReport {
@@ -122,6 +126,8 @@ pub struct CaseAccounting {
     pub compared: Vec<usize>,
     /// Skipped comparisons per config index.
     pub skipped: Vec<usize>,
+    /// The per-case session's cache counters.
+    pub cache: CacheStats,
 }
 
 /// The differential harness: a configuration matrix plus oracles.
@@ -149,20 +155,37 @@ impl Harness {
 
     /// Compiles `case` under every configuration and cross-checks all
     /// comparable pairs.
+    ///
+    /// All configurations run through **one [`Session`]**: the case is
+    /// parsed once, and the frontend (instantiate/typecheck/lower) runs
+    /// once and is served from the session cache for the remaining
+    /// configurations. The session's counters are merged into the
+    /// returned accounting.
     pub fn check_case(&self, case: &GenCase) -> (CaseOutcome, CaseAccounting) {
         let rendered = case.render();
         let mut acct = CaseAccounting {
             per_config: Vec::with_capacity(self.configs.len()),
             compared: vec![0; self.configs.len()],
             skipped: vec![0; self.configs.len()],
+            cache: CacheStats::default(),
         };
+        let session = match Session::new(&rendered.source) {
+            Ok(session) => session,
+            Err(e) => {
+                // The generator emits well-formed source; a parse failure is
+                // uniform across configurations by construction.
+                return (CaseOutcome::Rejected(e.to_string()), acct);
+            }
+        };
+        let base_request =
+            CompileRequest::kernel(&rendered.kernel).with_captures(&rendered.captures);
         let mut compiled: Vec<Result<Compiled, String>> = Vec::new();
         for (name, options) in &self.configs {
             let mut options = options.clone();
             options.dims.extend(rendered.dims.iter().map(|(k, v)| (k.clone(), *v)));
+            let request = base_request.clone().with_options(options);
             let result =
-                Compiler::compile(&rendered.source, &rendered.kernel, &rendered.captures, &options)
-                    .map_err(|e| e.to_string());
+                session.compile(&request).map(|arc| (*arc).clone()).map_err(|e| e.to_string());
             let result = result.map(|mut c| {
                 if let Some((target, mutate)) = &self.sabotage {
                     if target == name {
@@ -180,6 +203,7 @@ impl Harness {
             ));
             compiled.push(result);
         }
+        acct.cache = session.cache_stats();
 
         // Compile-status divergence is itself a differential finding; a
         // uniform rejection is a (tracked) generator/compiler gap.
@@ -264,6 +288,7 @@ impl Harness {
         let mut rejected = 0;
         let mut comparisons = 0;
         let mut mismatches = Vec::new();
+        let mut cache = CacheStats::default();
 
         for index in 0..opts.cases {
             let case = gen_case(opts.seed, index, &opts.gen);
@@ -284,6 +309,7 @@ impl Harness {
                 configs[ci].skipped += acct.skipped[ci];
             }
             comparisons += acct.compared.iter().sum::<usize>() / 2;
+            cache.merge(&acct.cache);
             match outcome {
                 CaseOutcome::Pass => {}
                 CaseOutcome::Rejected(_) => rejected += 1,
@@ -299,7 +325,7 @@ impl Harness {
             }
         }
 
-        SweepReport { cases: opts.cases, rejected, comparisons, configs, mismatches }
+        SweepReport { cases: opts.cases, rejected, comparisons, configs, mismatches, cache }
     }
 }
 

@@ -17,7 +17,7 @@
 //! lexer and parser.
 
 use asdf_ast::ast::{
-    CExpr, ClassicalFunc, Expr, Item, Param, Program, QpuFunc, QubitChar, Stmt, TypeExpr,
+    CExpr, ClassicalFunc, Expr, ExprKind, Item, Param, Program, QpuFunc, QubitChar, Stmt, TypeExpr,
     VectorSyntax,
 };
 use asdf_ast::dims::{AngleExpr, DimExpr};
@@ -632,21 +632,23 @@ impl GenCase {
                 ty: TypeExpr::CFunc(dim_for(c.n_in, sym), dim_for_out(c, sym)),
             });
         }
-        let mut body_expr = match &self.input {
+        let mut body_expr: Expr = match &self.input {
             InputMode::Prep(chars) => match sym {
-                Some(_) => Expr::Pow(
-                    Box::new(Expr::QLit { chars: vec![chars[0]], phase: None }),
+                Some(_) => ExprKind::Pow(
+                    Box::new(ExprKind::QLit { chars: vec![chars[0]], phase: None }.into()),
                     dim(self.width),
-                ),
-                None => Expr::QLit { chars: chars.clone(), phase: None },
+                )
+                .into(),
+                None => ExprKind::QLit { chars: chars.clone(), phase: None }.into(),
             },
             InputMode::Arg(_) => {
                 params.push(Param { name: "qs".to_string(), ty: TypeExpr::Qubit(dim(self.width)) });
-                Expr::Var("qs".to_string())
+                ExprKind::Var("qs".to_string()).into()
             }
         };
         for stage in &self.stages {
-            body_expr = Expr::Pipe(Box::new(body_expr), Box::new(self.render_stage(stage, sym)));
+            body_expr =
+                ExprKind::Pipe(Box::new(body_expr), Box::new(self.render_stage(stage, sym))).into();
         }
         let ret = match self.measure {
             Some(basis) => {
@@ -654,10 +656,16 @@ impl GenCase {
                     MeasureBasis::Std => PrimitiveBasis::Std,
                     MeasureBasis::Pm => PrimitiveBasis::Pm,
                 };
-                body_expr = Expr::Pipe(
+                body_expr = ExprKind::Pipe(
                     Box::new(body_expr),
-                    Box::new(Expr::Measure(Box::new(Expr::BuiltinBasis(prim, dim(self.width))))),
-                );
+                    Box::new(
+                        ExprKind::Measure(Box::new(
+                            ExprKind::BuiltinBasis(prim, dim(self.width)).into(),
+                        ))
+                        .into(),
+                    ),
+                )
+                .into();
                 TypeExpr::Bit(dim(self.width))
             }
             None => TypeExpr::Qubit(dim(self.width)),
@@ -723,11 +731,12 @@ impl GenCase {
             _ => DimExpr::Const(n as i64),
         };
         match &stage.kind {
-            StageKind::Id => Expr::Id(dim(stage.width)),
-            StageKind::BuiltinTrans { from, to } => Expr::Translation(
-                Box::new(Expr::BuiltinBasis(*from, dim(stage.width))),
-                Box::new(Expr::BuiltinBasis(*to, dim(stage.width))),
-            ),
+            StageKind::Id => ExprKind::Id(dim(stage.width)).into(),
+            StageKind::BuiltinTrans { from, to } => ExprKind::Translation(
+                Box::new(ExprKind::BuiltinBasis(*from, dim(stage.width)).into()),
+                Box::new(ExprKind::BuiltinBasis(*to, dim(stage.width)).into()),
+            )
+            .into(),
             StageKind::LiteralTrans {
                 prim_in,
                 vecs_in,
@@ -737,23 +746,26 @@ impl GenCase {
                 vecs_out,
                 phases_out,
                 neg_out,
-            } => Expr::Translation(
+            } => ExprKind::Translation(
                 Box::new(literal(stage.width, *prim_in, vecs_in, phases_in, neg_in)),
                 Box::new(literal(stage.width, *prim_out, vecs_out, phases_out, neg_out)),
-            ),
+            )
+            .into(),
             StageKind::Flip { prim } => {
-                Expr::Flip(Box::new(Expr::BuiltinBasis(*prim, DimExpr::Const(1))))
+                ExprKind::Flip(Box::new(ExprKind::BuiltinBasis(*prim, DimExpr::Const(1)).into()))
+                    .into()
             }
             StageKind::Tensor(parts) => {
                 let mut iter = parts.iter();
                 let first = self.render_stage(iter.next().expect("nonempty tensor"), sym);
                 iter.fold(first, |acc, p| {
-                    Expr::Tensor(Box::new(acc), Box::new(self.render_stage(p, sym)))
+                    ExprKind::Tensor(Box::new(acc), Box::new(self.render_stage(p, sym))).into()
                 })
             }
             StageKind::Pred { prim, vecs, pred_width, inner } => {
-                let pred = if vecs.len() == 1 {
-                    Expr::QLit { chars: chars_of(*pred_width, *prim, vecs[0]), phase: None }
+                let pred: Expr = if vecs.len() == 1 {
+                    ExprKind::QLit { chars: chars_of(*pred_width, *prim, vecs[0]), phase: None }
+                        .into()
                 } else {
                     literal(
                         *pred_width,
@@ -763,25 +775,31 @@ impl GenCase {
                         &vec![false; vecs.len()],
                     )
                 };
-                Expr::Pred(Box::new(pred), Box::new(self.render_stage(inner, sym)))
+                ExprKind::Pred(Box::new(pred), Box::new(self.render_stage(inner, sym))).into()
             }
-            StageKind::Adjoint(inner) => Expr::Adjoint(Box::new(self.render_stage(inner, sym))),
-            StageKind::Repeat { inner, count } => {
-                Expr::Repeat(Box::new(self.render_stage(inner, sym)), DimExpr::Const(*count as i64))
+            StageKind::Adjoint(inner) => {
+                ExprKind::Adjoint(Box::new(self.render_stage(inner, sym))).into()
             }
+            StageKind::Repeat { inner, count } => ExprKind::Repeat(
+                Box::new(self.render_stage(inner, sym)),
+                DimExpr::Const(*count as i64),
+            )
+            .into(),
             StageKind::Compose(parts) => {
                 let mut iter = parts.iter();
                 let first = self.render_stage(iter.next().expect("nonempty compose"), sym);
                 iter.fold(first, |acc, p| {
-                    Expr::Pipe(Box::new(acc), Box::new(self.render_stage(p, sym)))
+                    ExprKind::Pipe(Box::new(acc), Box::new(self.render_stage(p, sym))).into()
                 })
             }
-            StageKind::Sign { classical } => {
-                Expr::Sign(Box::new(Expr::Var(self.classical[*classical].name.clone())))
-            }
-            StageKind::Xor { classical } => {
-                Expr::Xor(Box::new(Expr::Var(self.classical[*classical].name.clone())))
-            }
+            StageKind::Sign { classical } => ExprKind::Sign(Box::new(
+                ExprKind::Var(self.classical[*classical].name.clone()).into(),
+            ))
+            .into(),
+            StageKind::Xor { classical } => ExprKind::Xor(Box::new(
+                ExprKind::Var(self.classical[*classical].name.clone()).into(),
+            ))
+            .into(),
         }
     }
 }
@@ -817,7 +835,7 @@ fn literal(
     phases: &[Option<f64>],
     negs: &[bool],
 ) -> Expr {
-    Expr::BasisLit(
+    ExprKind::BasisLit(
         vecs.iter()
             .zip(phases)
             .zip(negs)
@@ -829,6 +847,7 @@ fn literal(
             })
             .collect(),
     )
+    .into()
 }
 
 #[cfg(test)]

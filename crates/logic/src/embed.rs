@@ -2,7 +2,7 @@
 //!
 //! Given a network for `f : B^n -> B^m`, builds the reversible circuit
 //! `U_f |x>|y>|0> = |x>|y XOR f(x)>|0>` by compute-copy-uncompute
-//! (Bennett [5]). Two styles:
+//! (Bennett \[5\]). Two styles:
 //!
 //! - [`EmbedStyle::InPlaceXor`] — the tweedledum-style embedding ASDF
 //!   uses: one ancilla per AND node; XOR chains are computed in place with

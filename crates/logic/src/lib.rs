@@ -14,8 +14,8 @@
 //!   behaviour §8.3 credits for beating Quipper's ancilla-per-operation
 //!   oracles; the naive embedding reproduces the latter for the baseline.
 //! - [`synth`]: transformation-based reversible synthesis
-//!   (Miller–Maslov–Dueck [33], with the bidirectional refinement of
-//!   Soeken et al. [50]) used to lower the *permutation* core of a basis
+//!   (Miller–Maslov–Dueck \[33\], with the bidirectional refinement of
+//!   Soeken et al. \[50\]) used to lower the *permutation* core of a basis
 //!   translation (§6.3, Fig. 9).
 
 pub mod embed;

@@ -3,9 +3,9 @@
 //! ASDF lowers the permutation core of a basis translation with "the
 //! multidirectional transformation-based synthesis algorithm [33, 50]
 //! implemented in the Tweedledum library" (§6.3). This module implements
-//! the Miller–Maslov–Dueck algorithm [33]: walk truth-table rows in
+//! the Miller–Maslov–Dueck algorithm \[33\]: walk truth-table rows in
 //! increasing order and append MCX gates that fix each row without
-//! disturbing already-fixed rows; plus the bidirectional refinement [50]
+//! disturbing already-fixed rows; plus the bidirectional refinement \[50\]
 //! that may fix a row from the *input* side when that is cheaper.
 
 use crate::gate::{McxGate, RevCircuit};
@@ -22,7 +22,7 @@ pub fn synthesize(perm: &Permutation) -> RevCircuit {
 pub enum Direction {
     /// Classic MMD: always transform the output value toward the row index.
     Unidirectional,
-    /// Per row, pick the cheaper of output-side and input-side fixing [50].
+    /// Per row, pick the cheaper of output-side and input-side fixing \[50\].
     Bidirectional,
 }
 

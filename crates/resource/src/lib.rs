@@ -11,7 +11,7 @@
 //! - **Logical qubits.** Algorithmic qubits `Q` (circuit registers) are
 //!   padded for lattice-surgery routing with the fast-block-layout formula
 //!   `L = 2Q + ceil(sqrt(8Q)) + 1` used by the Azure estimator.
-//! - **Physical qubits.** `L * 338` (one [[338,1,13]] patch per logical
+//! - **Physical qubits.** `L * 338` (one \[\[338,1,13\]\] patch per logical
 //!   qubit) plus one 15-to-1 T-factory footprint per active factory.
 //! - **Runtime.** One logical cycle (5.2 µs) per circuit layer, where
 //!   layers come from greedy per-qubit scheduling; non-Clifford rotations

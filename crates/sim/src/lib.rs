@@ -18,6 +18,7 @@
 //!
 //! [`Circuit`]: asdf_qcircuit::Circuit
 
+pub mod backend;
 pub mod batch;
 pub mod complex;
 pub mod dynamic;
@@ -25,6 +26,7 @@ pub mod kernel;
 pub mod run;
 pub mod state;
 
+pub use backend::SimBackend;
 pub use batch::{batched_columns, batched_program_columns};
 pub use complex::Complex;
 pub use dynamic::{run_dynamic, ArgValue, DynamicRun};

@@ -6,8 +6,7 @@
 //! ```
 
 use qwerty_asdf::ast::expand::CaptureValue;
-use qwerty_asdf::codegen::circuit_to_qasm;
-use qwerty_asdf::core::{CompileOptions, Compiler};
+use qwerty_asdf::core::{CompileRequest, Session};
 use qwerty_asdf::sim::sample;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,17 +21,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     ";
 
+    // A session parses once and serves any number of compilations; the
+    // one-shot `Compiler::compile` is sugar over a throwaway session.
+    let session = Session::new(source)?;
+
     // Instantiate the kernel, capturing the secret string — N is inferred
     // from its length (§4, "AST expansion").
     let secret = "1101";
-    let captures = vec![CaptureValue::CFunc {
+    let request = CompileRequest::kernel("kernel").with_capture(CaptureValue::CFunc {
         name: "f".into(),
         captures: vec![CaptureValue::bits_from_str(secret)],
-    }];
-    let compiled = Compiler::compile(source, "kernel", &captures, &CompileOptions::default())?;
+    });
+    let compiled = session.compile(&request)?;
 
-    let circuit = compiled.circuit.expect("BV inlines to a straight-line circuit");
-    println!("--- OpenQASM 3 ---\n{}", circuit_to_qasm(&circuit));
+    let circuit = compiled.circuit.clone().expect("BV inlines to a straight-line circuit");
+    println!("--- OpenQASM 3 ---\n{}", session.emit(&compiled, "qasm")?);
+
+    // The same request again is served from the artifact cache.
+    let _warm = session.compile(&request)?;
+    assert_eq!(session.cache_stats().artifact_hits, 1);
 
     // One query of the oracle recovers the whole secret.
     let counts = sample(&circuit, 100, 42);

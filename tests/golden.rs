@@ -9,8 +9,7 @@
 //! ```
 
 use qwerty_asdf::ast::expand::CaptureValue;
-use qwerty_asdf::codegen::{circuit_to_qasm, module_to_qir_base, module_to_qir_unrestricted};
-use qwerty_asdf::core::{CompileOptions, Compiler};
+use qwerty_asdf::core::{CompileOptions, CompileRequest, Session};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -60,7 +59,8 @@ fn cfunc_capture(name: &str, bits: Option<&str>) -> Vec<CaptureValue> {
     }]
 }
 
-/// Compiles a kernel and snapshots its QASM and base-profile QIR.
+/// Compiles a kernel through a [`Session`] and snapshots its QASM and
+/// base-profile QIR via the backend registry.
 fn snapshot_circuit_program(
     label: &str,
     source: &str,
@@ -68,13 +68,13 @@ fn snapshot_circuit_program(
     captures: &[CaptureValue],
     options: &CompileOptions,
 ) {
-    let compiled = Compiler::compile(source, kernel, captures, options).unwrap();
-    let circuit = compiled.circuit.as_ref().unwrap_or_else(|| panic!("{label} must inline"));
-    check_golden(&format!("{label}.qasm"), &circuit_to_qasm(circuit));
-    check_golden(
-        &format!("{label}.base.ll"),
-        &module_to_qir_base(&compiled.module, kernel).unwrap(),
-    );
+    let session = Session::new(source).unwrap();
+    let request =
+        CompileRequest::kernel(kernel).with_captures(captures).with_options(options.clone());
+    let compiled = session.compile(&request).unwrap();
+    assert!(compiled.circuit.is_some(), "{label} must inline");
+    check_golden(&format!("{label}.qasm"), &session.emit(&compiled, "qasm").unwrap());
+    check_golden(&format!("{label}.base.ll"), &session.emit(&compiled, "qir-base").unwrap());
 }
 
 #[test]
@@ -163,7 +163,26 @@ fn golden_teleport() {
             bob | (pm.flip if m_pm else id) | (std.flip if m_std else id)
         }
     ";
-    let compiled = Compiler::compile(source, "teleport", &[], &CompileOptions::default()).unwrap();
+    let session = Session::new(source).unwrap();
+    let compiled = session.compile(&CompileRequest::kernel("teleport")).unwrap();
     assert!(compiled.circuit.is_none(), "teleport must not inline to a static circuit");
-    check_golden("teleport.ll", &module_to_qir_unrestricted(&compiled.module).unwrap());
+    check_golden("teleport.ll", &session.emit(&compiled, "qir-unrestricted").unwrap());
+}
+
+#[test]
+fn golden_diagnostic_type_error() {
+    // A type error deep in a multi-line program must render with its
+    // error code, line:column, and a caret-labeled source snippet.
+    let source = "\
+qpu kernel(q: qubit[2]) -> bit[2] {
+    let bits = q | std[2].measure;
+    bits | std[2].measure
+}
+";
+    let session = Session::new(source).unwrap();
+    let err = session.compile(&CompileRequest::kernel("kernel")).unwrap_err();
+    let rendered = session.render_error(&err);
+    assert!(rendered.contains("error[E0004]"), "{rendered}");
+    assert!(rendered.contains("line 3"), "{rendered}");
+    check_golden("diagnostic_type_error.txt", &rendered);
 }

@@ -3,10 +3,8 @@
 
 use qwerty_asdf::ast::expand::CaptureValue;
 use qwerty_asdf::baselines::{build_circuit, optimize, BaselineStyle, Benchmark};
-use qwerty_asdf::codegen::{
-    circuit_to_qasm, count_callable_intrinsics, module_to_qir_base, module_to_qir_unrestricted,
-};
-use qwerty_asdf::core::{CompileOptions, Compiler};
+use qwerty_asdf::codegen::count_callable_intrinsics;
+use qwerty_asdf::core::{CompileOptions, CompileRequest, Compiler, Session};
 use qwerty_asdf::ir::GateKind;
 use qwerty_asdf::resource::{estimate, SurfaceCodeParams};
 use qwerty_asdf::sim::{run_dynamic, sample, ArgValue, Complex};
@@ -29,22 +27,27 @@ fn bv_captures(secret: &str) -> Vec<CaptureValue> {
 
 #[test]
 fn fig1_program_full_pipeline() {
-    let compiled =
-        Compiler::compile(BV_SRC, "kernel", &bv_captures("10110"), &CompileOptions::default())
-            .unwrap();
-    let circuit = compiled.circuit.expect("inlines");
+    let session = Session::new(BV_SRC).unwrap();
+    let request = CompileRequest::kernel("kernel").with_captures(&bv_captures("10110"));
+    let compiled = session.compile(&request).unwrap();
+    let circuit = compiled.circuit.clone().expect("inlines");
 
-    // OpenQASM 3 output round-trip sanity.
-    let qasm = circuit_to_qasm(&circuit);
+    // OpenQASM 3 output through the backend registry.
+    let qasm = session.emit(&compiled, "qasm").unwrap();
     assert!(qasm.contains("OPENQASM 3.0"));
     assert!(qasm.matches("measure").count() >= 5);
 
     // Base-profile QIR.
-    let qir = module_to_qir_base(&compiled.module, "kernel").unwrap();
+    let qir = session.emit(&compiled, "qir-base").unwrap();
     assert!(qir.contains("base_profile"));
     assert_eq!(count_callable_intrinsics(&qir), (0, 0));
 
-    // Simulation recovers the secret deterministically.
+    // The sim backend agrees with direct sampling: the secret is the only
+    // outcome (ancilla resets force the seeded-sampling path, so the text
+    // is counts, not probabilities — still deterministic).
+    let sim_text = session.emit(&compiled, "sim").unwrap();
+    let outcomes: Vec<&str> = sim_text.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(outcomes, ["10110 4096"], "{sim_text}");
     let counts = sample(&circuit, 20, 3);
     assert_eq!(counts["10110"], 20);
 
@@ -113,13 +116,31 @@ fn asdf_and_baselines_agree_on_bv_outcome() {
 
 #[test]
 fn no_opt_qir_matches_table1_contract() {
-    let compiled =
-        Compiler::compile(BV_SRC, "kernel", &bv_captures("1010"), &CompileOptions::no_opt())
-            .unwrap();
-    let qir = module_to_qir_unrestricted(&compiled.module).unwrap();
+    let session = Session::new(BV_SRC).unwrap();
+    let request = CompileRequest::kernel("kernel")
+        .with_captures(&bv_captures("1010"))
+        .with_options(CompileOptions::no_opt());
+    let compiled = session.compile(&request).unwrap();
+    let qir = session.emit(&compiled, "qir-unrestricted").unwrap();
     let (creates, invokes) = count_callable_intrinsics(&qir);
     // The paper's BV row for Asdf (No Opt) is 3 / 3.
     assert_eq!((creates, invokes), (3, 3));
+}
+
+#[test]
+fn session_shares_frontend_across_the_options_matrix() {
+    // The difftest scenario: one source, every configuration. The first
+    // request does the frontend work; the other eleven reuse it.
+    let session = Session::new(BV_SRC).unwrap();
+    let base = CompileRequest::kernel("kernel").with_captures(&bv_captures("1011"));
+    for (_, options) in CompileOptions::matrix() {
+        session.compile(&base.clone().with_options(options)).unwrap();
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.frontend_misses, 1);
+    assert_eq!(stats.frontend_hits, 11);
+    assert_eq!(stats.artifact_misses, 12, "all twelve configurations are distinct artifacts");
+    assert_eq!(stats.artifact_hits, 0);
 }
 
 #[test]
@@ -239,8 +260,9 @@ fn qasm_output_is_stable_for_bell_pair() {
             'p' + '0' | ('1' & std.flip) | std[2].measure
         }
     ";
-    let compiled = Compiler::compile(source, "bell", &[], &CompileOptions::default()).unwrap();
-    let qasm = circuit_to_qasm(&compiled.circuit.unwrap());
+    let session = Session::new(source).unwrap();
+    let compiled = session.compile(&CompileRequest::kernel("bell")).unwrap();
+    let qasm = session.emit(&compiled, "qasm").unwrap();
     // Golden structure: one H, one CX, two measurements.
     assert_eq!(qasm.matches("h q[").count(), 1, "{qasm}");
     assert_eq!(qasm.matches("cx q[").count(), 1, "{qasm}");
