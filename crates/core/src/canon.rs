@@ -11,18 +11,28 @@
 use crate::error::CoreError;
 use asdf_ir::block::BlockPath;
 use asdf_ir::clone::clone_ops_into;
-use asdf_ir::rewrite::{Canonicalizer, RewritePattern, SymbolTable};
+use asdf_ir::rewrite::{GreedyRewriteDriver, PatternSet, RewriteConfig, RewritePattern, Rewriter};
 use asdf_ir::{Func, FuncBuilder, Module, Op, OpKind, Value, Visibility};
 use std::collections::HashMap;
 
-/// Builds a canonicalizer loaded with the Qwerty-level patterns.
-pub fn qwerty_canonicalizer() -> Canonicalizer {
-    let mut canon = Canonicalizer::new();
-    canon.add_pattern(Box::new(FoldDoubleAdj));
-    canon.add_pattern(Box::new(IndirectToDirect));
-    canon.add_pattern(Box::new(IfPushdown));
-    canon.add_pattern(Box::new(AdjPredIfPushdown));
-    canon
+/// The Qwerty-level canonicalization patterns as a [`PatternSet`].
+pub fn qwerty_patterns() -> PatternSet {
+    let mut set = PatternSet::new();
+    set.add(Box::new(FoldDoubleAdj));
+    set.add(Box::new(IndirectToDirect));
+    set.add(Box::new(IfPushdown));
+    set.add(Box::new(AdjPredIfPushdown));
+    set
+}
+
+/// A worklist driver loaded with the Qwerty-level patterns.
+pub fn qwerty_canonicalizer() -> GreedyRewriteDriver {
+    GreedyRewriteDriver::from_patterns(qwerty_patterns())
+}
+
+/// [`qwerty_canonicalizer`] under an explicit configuration (fuel, trace).
+pub fn qwerty_canonicalizer_with(config: RewriteConfig) -> GreedyRewriteDriver {
+    GreedyRewriteDriver::with_config(qwerty_patterns(), config)
 }
 
 /// Lambda lifting (§5.4 step 1): replaces every `lambda` op with a private
@@ -158,30 +168,27 @@ impl RewritePattern for FoldDoubleAdj {
         "fold-double-adj"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let op = &block.ops[op_idx];
+    fn benefit(&self) -> usize {
+        2
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let op = rw.op();
         if !matches!(op.kind, OpKind::FuncAdj) {
             return false;
         }
         let inner = op.operands[0];
-        let Some(inner_op) = block.ops[..op_idx].iter().find(|o| o.results.contains(&inner)) else {
+        let result = op.results[0];
+        let Some((inner_idx, _)) = rw.find_def(inner) else {
             return false;
         };
+        let inner_op = &rw.block().ops[inner_idx];
         if !matches!(inner_op.kind, OpKind::FuncAdj) {
             return false;
         }
         let original = inner_op.operands[0];
-        let result = op.results[0];
-        let block = func.block_at_mut(path);
-        block.ops.remove(op_idx);
-        func.replace_all_uses(result, original);
+        rw.erase_root();
+        rw.replace_all_uses(result, original);
         true
     }
 }
@@ -195,24 +202,23 @@ impl RewritePattern for IndirectToDirect {
         "indirect-to-direct-call"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let op = &block.ops[op_idx];
+    fn benefit(&self) -> usize {
+        2
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let op = rw.op();
         if !matches!(op.kind, OpKind::CallIndirect) {
             return false;
         }
+        let block = rw.block();
         // Walk the wrapper chain outward-in.
         let mut adj = false;
         let mut preds: Vec<asdf_basis::Basis> = Vec::new();
         let mut current = op.operands[0];
         let callee = loop {
-            let Some(def) = block.ops[..op_idx].iter().find(|o| o.results.contains(&current))
+            let Some(def) =
+                block.ops[..rw.root_idx()].iter().find(|o| o.results.contains(&current))
             else {
                 return false;
             };
@@ -233,8 +239,7 @@ impl RewritePattern for IndirectToDirect {
         let pred = preds.into_iter().reduce(|outer, inner| outer.tensor(&inner));
         let operands = op.operands[1..].to_vec();
         let results = op.results.clone();
-        let block = func.block_at_mut(path);
-        block.ops[op_idx] = Op::new(OpKind::Call { callee, adj, pred }, operands, results);
+        rw.replace_root(Op::new(OpKind::Call { callee, adj, pred }, operands, results));
         true
     }
 }
@@ -249,31 +254,25 @@ impl RewritePattern for IfPushdown {
         "if-pushdown-call-indirect"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let op = &block.ops[op_idx];
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let op = rw.op();
         if !matches!(op.kind, OpKind::CallIndirect) {
             return false;
         }
         let callee = op.operands[0];
-        let Some(if_idx) = block.ops[..op_idx]
+        let block = rw.block();
+        let Some(if_idx) = block.ops[..rw.root_idx()]
             .iter()
             .position(|o| matches!(o.kind, OpKind::ScfIf) && o.results.contains(&callee))
         else {
             return false;
         };
-        if func.use_count(callee) != 1 {
+        if rw.use_count(callee) != 1 {
             return false;
         }
         let args = op.operands[1..].to_vec();
         let result_tys: Vec<asdf_ir::Type> =
-            op.results.iter().map(|r| func.value_type(*r).clone()).collect();
+            op.results.iter().map(|r| rw.value_type(*r).clone()).collect();
         let call_results = op.results.clone();
         let if_op = block.ops[if_idx].clone();
         let yield_pos =
@@ -289,7 +288,7 @@ impl RewritePattern for IfPushdown {
             debug_assert!(matches!(terminator.kind, OpKind::Yield));
             let yielded_func = terminator.operands[yield_pos];
             let inner_results: Vec<Value> =
-                result_tys.iter().map(|t| func.new_value(t.clone())).collect();
+                result_tys.iter().map(|t| rw.new_value(t.clone())).collect();
             let mut call_operands = vec![yielded_func];
             call_operands.extend(args.iter().copied());
             blk.ops.push(Op::new(OpKind::CallIndirect, call_operands, inner_results.clone()));
@@ -308,11 +307,13 @@ impl RewritePattern for IfPushdown {
         let mut new_results: Vec<Value> = if_op.results.clone();
         new_results.remove(yield_pos);
         new_results.extend(call_results);
-        let new_if =
-            Op::with_regions(OpKind::ScfIf, if_op.operands.clone(), new_results, new_regions);
-        let block = func.block_at_mut(path);
-        block.ops[op_idx] = new_if;
-        block.ops.remove(if_idx);
+        rw.replace_root(Op::with_regions(
+            OpKind::ScfIf,
+            if_op.operands.clone(),
+            new_results,
+            new_regions,
+        ));
+        rw.erase_op(if_idx);
         true
     }
 }
@@ -326,31 +327,25 @@ impl RewritePattern for AdjPredIfPushdown {
         "if-pushdown-adj-pred"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let op = &block.ops[op_idx];
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let op = rw.op();
         if !matches!(op.kind, OpKind::FuncAdj | OpKind::FuncPred { .. }) {
             return false;
         }
         let operand = op.operands[0];
-        let Some(if_idx) = block.ops[..op_idx]
+        let block = rw.block();
+        let Some(if_idx) = block.ops[..rw.root_idx()]
             .iter()
             .position(|o| matches!(o.kind, OpKind::ScfIf) && o.results.contains(&operand))
         else {
             return false;
         };
-        if func.use_count(operand) != 1 {
+        if rw.use_count(operand) != 1 {
             return false;
         }
         let wrapper_kind = op.kind.clone();
         let wrapper_results = op.results.clone();
-        let result_ty = func.value_type(op.results[0]).clone();
+        let result_ty = rw.value_type(op.results[0]).clone();
         let if_op = block.ops[if_idx].clone();
         let yield_pos =
             if_op.results.iter().position(|r| *r == operand).expect("operand is an scf.if result");
@@ -360,7 +355,7 @@ impl RewritePattern for AdjPredIfPushdown {
             let mut region = region.clone();
             let blk = region.only_block_mut();
             let mut terminator = blk.ops.pop().expect("region has a terminator");
-            let inner = func.new_value(result_ty.clone());
+            let inner = rw.new_value(result_ty.clone());
             blk.ops.push(Op::new(
                 wrapper_kind.clone(),
                 vec![terminator.operands[yield_pos]],
@@ -373,11 +368,13 @@ impl RewritePattern for AdjPredIfPushdown {
 
         let mut new_results = if_op.results.clone();
         new_results[yield_pos] = wrapper_results[0];
-        let new_if =
-            Op::with_regions(OpKind::ScfIf, if_op.operands.clone(), new_results, new_regions);
-        let block = func.block_at_mut(path);
-        block.ops[op_idx] = new_if;
-        block.ops.remove(if_idx);
+        rw.replace_root(Op::with_regions(
+            OpKind::ScfIf,
+            if_op.operands.clone(),
+            new_results,
+            new_regions,
+        ));
+        rw.erase_op(if_idx);
         true
     }
 }

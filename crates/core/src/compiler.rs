@@ -28,16 +28,17 @@
 
 use crate::error::CoreError;
 use crate::passes::{
-    qwerty_canonicalize_pass, ConvertPass, DeadFuncElimPass, InlinePass, LiftLambdasPass,
+    qwerty_canonicalize_pass_with, ConvertPass, DeadFuncElimPass, InlinePass, LiftLambdasPass,
     SpecializePass, CANONICALIZE_INLINE,
 };
 use crate::session::{CompileRequest, Session};
 use asdf_ast::expand::CaptureValue;
 use asdf_ast::tast::TKernel;
 use asdf_ir::pass::{Fixpoint, PassManager, PassStatistics};
+use asdf_ir::rewrite::{Fuel, RewriteConfig};
 use asdf_ir::Module;
 use asdf_qcircuit::decompose::DecomposeStyle;
-use asdf_qcircuit::peephole::peephole_pass;
+use asdf_qcircuit::peephole::peephole_pass_with;
 use asdf_qcircuit::Circuit;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,6 +59,11 @@ pub struct CompileOptions {
     /// Explicit dimension-variable bindings (when inference from captures
     /// is not enough).
     pub dims: HashMap<String, i64>,
+    /// A budget of rewrite-pattern firings shared across the whole
+    /// pipeline (canonicalize + peephole), for bisecting miscompiles:
+    /// firing N+1 and later are suppressed. `None` means unlimited.
+    /// Defaults to the `ASDF_REWRITE_FUEL` environment variable.
+    pub rewrite_fuel: Option<u64>,
 }
 
 impl Default for CompileOptions {
@@ -68,6 +74,7 @@ impl Default for CompileOptions {
             decompose: Some(DecomposeStyle::Selinger),
             verify: true,
             dims: HashMap::new(),
+            rewrite_fuel: RewriteConfig::env_fuel_limit(),
         }
     }
 }
@@ -82,6 +89,7 @@ impl CompileOptions {
             decompose: None,
             verify: true,
             dims: HashMap::new(),
+            rewrite_fuel: RewriteConfig::env_fuel_limit(),
         }
     }
 
@@ -118,6 +126,7 @@ impl CompileOptions {
                             decompose,
                             verify: true,
                             dims: HashMap::new(),
+                            rewrite_fuel: RewriteConfig::env_fuel_limit(),
                         },
                     ));
                 }
@@ -140,12 +149,24 @@ impl CompileOptions {
         self
     }
 
+    /// Caps the pipeline-wide rewrite firing budget (`None` = unlimited).
+    #[must_use]
+    pub fn with_rewrite_fuel(mut self, fuel: Option<u64>) -> Self {
+        self.rewrite_fuel = fuel;
+        self
+    }
+
     /// The declarative pass pipeline these options select (the middle of
     /// Fig. 2, between AST lowering and reg2mem).
     ///
     /// Inspect it with [`PassManager::pass_names`]; the driver runs exactly
     /// this pipeline.
     pub fn pipeline(&self) -> PassManager {
+        // One shared fuel cell spans every rewrite-driven pass of this
+        // compilation, so `rewrite_fuel: Some(N)` means "the first N
+        // pattern firings across canonicalize *and* peephole".
+        let rewrite_config =
+            RewriteConfig::from_env().with_fuel(Fuel::from_limit(self.rewrite_fuel));
         let mut pm = PassManager::new().with_verify_after_each(self.verify);
         pm.add_pass(LiftLambdasPass);
         if self.inline {
@@ -157,7 +178,10 @@ impl CompileOptions {
             pm.add_pass(
                 Fixpoint::new(
                     CANONICALIZE_INLINE,
-                    vec![Box::new(qwerty_canonicalize_pass()), Box::new(InlinePass::default())],
+                    vec![
+                        Box::new(qwerty_canonicalize_pass_with(rewrite_config.clone())),
+                        Box::new(InlinePass::default()),
+                    ],
                 )
                 .with_max_rounds(64),
             );
@@ -169,7 +193,7 @@ impl CompileOptions {
         }
         pm.add_pass(ConvertPass);
         if self.peephole {
-            pm.add_pass(peephole_pass());
+            pm.add_pass(peephole_pass_with(rewrite_config));
         }
         pm
     }

@@ -6,7 +6,7 @@
 //! counts come out of [`asdf_ir::pass::PassStatistics`] for free.
 
 use crate::adjoint::adjoint_func;
-use crate::canon::{lift_lambdas, qwerty_canonicalizer};
+use crate::canon::{lift_lambdas, qwerty_canonicalizer, qwerty_canonicalizer_with};
 use crate::convert::convert_module;
 use crate::error::CoreError;
 use crate::predicate::predicate_func;
@@ -50,6 +50,13 @@ impl Pass for LiftLambdasPass {
 /// counts in the statistics detail.
 pub fn qwerty_canonicalize_pass() -> CanonicalizePass {
     CanonicalizePass::new(QWERTY_CANONICALIZE, qwerty_canonicalizer())
+}
+
+/// [`qwerty_canonicalize_pass`] under an explicit rewrite configuration —
+/// the pipeline path that shares one [`asdf_ir::rewrite::Fuel`] budget
+/// across all rewrite-driven passes of a compilation.
+pub fn qwerty_canonicalize_pass_with(config: asdf_ir::rewrite::RewriteConfig) -> CanonicalizePass {
+    CanonicalizePass::new(QWERTY_CANONICALIZE, qwerty_canonicalizer_with(config))
 }
 
 /// Direct-call inlining; builds adjoint/predicated callee bodies on demand

@@ -117,6 +117,9 @@ struct ArtifactKey {
     /// 0 = none, 1 = Selinger, 2 = V-chain.
     decompose: u8,
     verify: bool,
+    /// The rewrite-firing budget: fuel changes the produced IR, so two
+    /// fuel settings must never share an artifact.
+    rewrite_fuel: Option<u64>,
 }
 
 fn decompose_tag(style: Option<DecomposeStyle>) -> u8 {
@@ -464,7 +467,7 @@ impl Session {
         // Exhaustive destructuring: adding a field to CompileOptions is a
         // compile error here, so it can never silently drop out of the
         // cache key (which would serve stale artifacts).
-        let CompileOptions { inline, peephole, decompose: style, verify, dims: _ } =
+        let CompileOptions { inline, peephole, decompose: style, verify, dims: _, rewrite_fuel } =
             &request.options;
         let artifact_key = ArtifactKey {
             frontend: frontend_key.clone(),
@@ -472,6 +475,7 @@ impl Session {
             peephole: *peephole,
             decompose: decompose_tag(*style),
             verify: *verify,
+            rewrite_fuel: *rewrite_fuel,
         };
 
         // Whole-artifact hit: nothing to do.

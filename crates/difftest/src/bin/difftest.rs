@@ -47,11 +47,12 @@ fn main() -> ExitCode {
                 None => return usage("--dyn-shots needs an integer"),
             },
             "--no-shrink" => opts.shrink = false,
+            "--fuel-bisect" => opts.fuel_bisect = true,
             "--stats" => show_stats = true,
             "--help" | "-h" => {
                 println!(
                     "usage: difftest [--seed N] [--cases N] [--max-width W] \
-                     [--shots N] [--dyn-shots N] [--no-shrink] [--stats]"
+                     [--shots N] [--dyn-shots N] [--no-shrink] [--fuel-bisect] [--stats]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -91,6 +92,22 @@ fn main() -> ExitCode {
         cache.frontend_saved,
         cache.frontend_spent,
     );
+    // Rewrite-engine accounting across the whole matrix: per-pattern
+    // firing counts and the total wall-clock spent inside the drivers.
+    let mut merged = asdf_ir::pass::PassStatistics::new();
+    for config in &report.configs {
+        merged.merge(&config.stats);
+    }
+    let firings = merged.pattern_firings();
+    let rewrite_wall = merged.rewrite_wall_clock();
+    let total_firings: usize = firings.iter().map(|(_, c)| c).sum();
+    println!(
+        "rewrite engine: {} pattern firings, {:.3?} total rewrite wall-clock",
+        total_firings, rewrite_wall
+    );
+    for (name, count) in &firings {
+        println!("  {name:<32} {count:>8}");
+    }
     if show_stats {
         for config in &report.configs {
             println!("\n--- merged pass statistics: {} ---", config.name);

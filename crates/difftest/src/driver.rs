@@ -26,11 +26,20 @@ pub struct SweepOptions {
     pub gen: GenOptions,
     /// Whether to greedily minimize failing cases.
     pub shrink: bool,
+    /// On a mismatch, binary-search `CompileOptions::rewrite_fuel` to name
+    /// the first pattern firing that introduces the divergence.
+    pub fuel_bisect: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { seed: 0xA5DF, cases: 500, gen: GenOptions::default(), shrink: true }
+        SweepOptions {
+            seed: 0xA5DF,
+            cases: 500,
+            gen: GenOptions::default(),
+            shrink: true,
+            fuel_bisect: false,
+        }
     }
 }
 
@@ -320,7 +329,23 @@ impl Harness {
                     } else {
                         None
                     };
-                    mismatches.push(Mismatch::new(&case, config_a, config_b, reason, shrunk));
+                    // Bisect the minimized case when there is one — fewer
+                    // firings means a tighter search and a smaller repro.
+                    let bisect = if opts.fuel_bisect {
+                        let subject = shrunk.as_ref().unwrap_or(&case);
+                        crate::bisect::fuel_bisect(
+                            subject,
+                            &self.configs,
+                            &config_a,
+                            &config_b,
+                            &self.oracle,
+                        )
+                        .map(|finding| finding.to_string())
+                    } else {
+                        None
+                    };
+                    mismatches
+                        .push(Mismatch::new(&case, config_a, config_b, reason, shrunk, bisect));
                 }
             }
         }

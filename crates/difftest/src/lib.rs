@@ -26,12 +26,14 @@
 //! cargo run --release -p asdf-difftest --bin difftest -- --seed 42 --cases 500
 //! ```
 
+pub mod bisect;
 pub mod driver;
 pub mod gen;
 pub mod oracle;
 pub mod report;
 pub mod shrink;
 
+pub use bisect::{fuel_bisect, BisectFinding};
 pub use driver::{CaseOutcome, ConfigReport, Harness, SweepOptions, SweepReport};
 pub use gen::{gen_case, GenCase, GenOptions, RenderedCase};
 pub use oracle::{compare, extract, Comparison, OracleOptions, Semantics};

@@ -31,6 +31,9 @@ pub struct Mismatch {
     pub shrunk_source: Option<String>,
     /// Stage count after shrinking.
     pub shrunk_stages: usize,
+    /// The fuel-bisection verdict (`--fuel-bisect`): which pattern firing
+    /// first introduces the divergence.
+    pub bisect: Option<String>,
 }
 
 impl Mismatch {
@@ -41,9 +44,11 @@ impl Mismatch {
         config_b: String,
         reason: String,
         shrunk: Option<GenCase>,
+        bisect: Option<String>,
     ) -> Self {
         let rendered = case.render();
         Mismatch {
+            bisect,
             case_index: case.index,
             seed: case.seed,
             config_a,
@@ -88,6 +93,9 @@ impl fmt::Display for Mismatch {
         )?;
         writeln!(f, "configs : {} vs {}", self.config_a, self.config_b)?;
         writeln!(f, "reason  : {}", self.reason)?;
+        if let Some(bisect) = &self.bisect {
+            writeln!(f, "bisect  : {bisect}")?;
+        }
         if !self.captures.is_empty() {
             writeln!(f, "captures: {}", self.captures)?;
         }

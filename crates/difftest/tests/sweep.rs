@@ -22,6 +22,7 @@ fn test_sweep(cases: usize) -> SweepOptions {
         cases,
         gen: GenOptions { max_width: 3, ..GenOptions::default() },
         shrink: true,
+        fuel_bisect: false,
     }
 }
 

@@ -16,8 +16,11 @@
 //! - a verifier enforcing op signatures **and qubit linearity** (each
 //!   `qubit`/`qbundle` value used exactly once), mirroring Qwerty's linear
 //!   type system at the IR level;
-//! - a canonicalization driver running [`rewrite::RewritePattern`]s to a
-//!   fixpoint plus classical dead-code elimination;
+//! - a worklist-driven greedy rewrite engine ([`rewrite::GreedyRewriteDriver`])
+//!   running [`rewrite::RewritePattern`]s through a [`rewrite::Rewriter`]
+//!   handle to a fixpoint, with integrated classical dead-code elimination,
+//!   per-pattern benefits, a [`rewrite::Fuel`] cutoff, and firing traces
+//!   (plus [`rewrite::RescanDriver`], the retained rescan reference);
 //! - an [`inline::Inliner`] with a specialization hook so the Qwerty-level
 //!   adjoint/predication transforms (implemented in `asdf-core`) can run
 //!   when `call adj`/`call pred` ops are inlined (§5.4);
@@ -55,6 +58,10 @@ pub use module::Module;
 pub use op::{Op, OpKind};
 pub use pass::{
     Fixpoint, Pass, PassError, PassManager, PassOutcome, PassResult, PassStat, PassStatistics,
+};
+pub use rewrite::{
+    Fuel, GreedyRewriteDriver, PatternSet, RescanDriver, RewriteConfig, RewritePattern,
+    RewriteStats, Rewriter, SymbolTable,
 };
 pub use types::{FuncType, Type};
 pub use value::Value;

@@ -12,13 +12,15 @@
 //!   `verify_module` calls between phases);
 //! - [`Fixpoint`]: a pass combinator that repeats a sub-pipeline until a
 //!   full round reports no changes (the canonicalize+inline loop of §5.4);
-//! - [`CanonicalizePass`]: adapts a [`Canonicalizer`] (and its per-pattern
-//!   firing statistics) to the [`Pass`] interface;
+//! - [`CanonicalizePass`]: adapts a [`GreedyRewriteDriver`] (and its
+//!   per-pattern firing statistics) to the [`Pass`] interface, holding its
+//!   [`SymbolTable`] across runs so repeated rounds reconcile it
+//!   incrementally instead of rebuilding it;
 //! - [`VerifyPass`] and [`pass_fn`]: small building blocks for explicit
 //!   verification points and closure-backed passes.
 
 use crate::module::Module;
-use crate::rewrite::Canonicalizer;
+use crate::rewrite::{GreedyRewriteDriver, SymbolTable};
 use crate::verify::verify_module;
 use std::error::Error;
 use std::fmt;
@@ -178,6 +180,41 @@ impl PassStatistics {
         }
     }
 
+    /// Per-pattern rewrite firing counts aggregated across every pass's
+    /// detail (entries keyed with [`PATTERN_DETAIL_PREFIX`], prefix
+    /// stripped), sorted by name — the per-pattern view sweep summaries
+    /// print.
+    pub fn pattern_firings(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for stat in &self.passes {
+            for (key, count) in &stat.detail {
+                let Some(name) = key.strip_prefix(PATTERN_DETAIL_PREFIX) else {
+                    continue;
+                };
+                match out.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, existing)) => *existing += count,
+                    None => out.push((name.to_string(), *count)),
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Total wall-clock the rewrite engine reported across every pass
+    /// (from [`REWRITE_WALL_US_DETAIL_KEY`] detail entries) — survives
+    /// [`Fixpoint`] aggregation and [`PassStatistics::merge`].
+    pub fn rewrite_wall_clock(&self) -> Duration {
+        let micros: usize = self
+            .passes
+            .iter()
+            .flat_map(|p| &p.detail)
+            .filter(|(k, _)| k == REWRITE_WALL_US_DETAIL_KEY)
+            .map(|(_, us)| *us)
+            .sum();
+        Duration::from_micros(micros as u64)
+    }
+
     /// A `(name, duration, changes)` table rendered as aligned text, one
     /// row per executed pass — the per-phase breakdown behind the
     /// compiler-phase benches.
@@ -312,6 +349,7 @@ impl Pass for Fixpoint {
         let mut total = 0usize;
         let mut per_pass: Vec<(String, usize)> =
             self.passes.iter().map(|p| (p.name().to_string(), 0)).collect();
+        let mut inner_detail: Vec<(String, usize)> = Vec::new();
         let mut rounds = 0usize;
         for _ in 0..self.max_rounds {
             rounds += 1;
@@ -320,6 +358,14 @@ impl Pass for Fixpoint {
                 let outcome = pass.run(module)?;
                 round_changes += outcome.changes;
                 per_pass[idx].1 += outcome.changes;
+                // Fold inner details (per-pattern firings, DCE counts, …)
+                // up through the fixpoint, summing by key.
+                for (key, count) in outcome.detail {
+                    match inner_detail.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, existing)) => *existing += count,
+                        None => inner_detail.push((key, count)),
+                    }
+                }
             }
             total += round_changes;
             if round_changes == 0 {
@@ -327,21 +373,43 @@ impl Pass for Fixpoint {
             }
         }
         per_pass.push(("rounds".to_string(), rounds));
+        per_pass.extend(inner_detail);
         Ok(PassOutcome::changed(total).with_detail(per_pass))
     }
 }
 
-/// Adapts a [`Canonicalizer`] (pattern set + DCE fixpoint driver) to the
-/// [`Pass`] interface, forwarding its per-pattern firing counts.
+/// Detail-key prefix under which [`CanonicalizePass`] reports per-pattern
+/// firing counts (e.g. `pattern:fold-double-adj`), so sweep harnesses can
+/// aggregate pattern statistics without knowing pattern names up front.
+pub const PATTERN_DETAIL_PREFIX: &str = "pattern:";
+/// Detail key for ops removed by the rewrite engine's integrated DCE.
+pub const DCE_DETAIL_KEY: &str = "dce-erased";
+/// Detail key carrying the rewrite engine's wall-clock in microseconds —
+/// recorded in the detail so it survives [`Fixpoint`] aggregation, where
+/// per-inner-pass durations are otherwise folded into one [`PassStat`].
+pub const REWRITE_WALL_US_DETAIL_KEY: &str = "rewrite-wall-us";
+
+/// Adapts a [`GreedyRewriteDriver`] (worklist pattern engine + integrated
+/// DCE) to the [`Pass`] interface, forwarding its per-pattern firing
+/// counts (prefixed with [`PATTERN_DETAIL_PREFIX`]), DCE count, and
+/// rewrite wall-clock. The pass owns a [`SymbolTable`] that persists
+/// across runs and is reconciled incrementally each round instead of
+/// being rebuilt from scratch.
 pub struct CanonicalizePass {
     name: String,
-    canon: Canonicalizer,
+    driver: GreedyRewriteDriver,
+    symbols: SymbolTable,
 }
 
 impl CanonicalizePass {
-    /// Wraps `canon` under the pass name `name`.
-    pub fn new(name: impl Into<String>, canon: Canonicalizer) -> Self {
-        CanonicalizePass { name: name.into(), canon }
+    /// Wraps `driver` under the pass name `name`.
+    pub fn new(name: impl Into<String>, driver: GreedyRewriteDriver) -> Self {
+        CanonicalizePass { name: name.into(), driver, symbols: SymbolTable::default() }
+    }
+
+    /// The wrapped driver (e.g. to inspect [`GreedyRewriteDriver::stats`]).
+    pub fn driver(&self) -> &GreedyRewriteDriver {
+        &self.driver
     }
 }
 
@@ -351,10 +419,19 @@ impl Pass for CanonicalizePass {
     }
 
     fn run(&mut self, module: &mut Module) -> PassResult {
-        let fired = self.canon.run(module);
-        let mut detail: Vec<(String, usize)> =
-            self.canon.stats.iter().map(|(k, v)| ((*k).to_string(), *v)).collect();
+        let start = Instant::now();
+        let fired = self.driver.run_with_symbols(module, &mut self.symbols);
+        let elapsed = start.elapsed();
+        let mut detail: Vec<(String, usize)> = self
+            .driver
+            .stats
+            .fired
+            .iter()
+            .map(|(k, v)| (format!("{PATTERN_DETAIL_PREFIX}{k}"), *v))
+            .collect();
         detail.sort();
+        detail.push((DCE_DETAIL_KEY.to_string(), self.driver.stats.dce_erased));
+        detail.push((REWRITE_WALL_US_DETAIL_KEY.to_string(), elapsed.as_micros() as usize));
         Ok(PassOutcome::changed(fired).with_detail(detail))
     }
 }
@@ -547,12 +624,48 @@ mod tests {
 
     #[test]
     fn canonicalize_pass_forwards_pattern_stats() {
-        // Reuse the rewrite-module toy pattern through the adapter.
-        let canon = Canonicalizer::new();
-        let mut pass = CanonicalizePass::new("empty-canon", canon);
+        // An empty driver through the adapter: no firings, but the DCE and
+        // wall-clock detail entries are still reported.
+        let driver = GreedyRewriteDriver::new();
+        let mut pass = CanonicalizePass::new("empty-canon", driver);
         let mut module = small_module();
         let outcome = pass.run(&mut module).unwrap();
         assert_eq!(outcome.changes, 0, "no patterns registered");
+        assert!(outcome.detail.iter().any(|(k, _)| k == DCE_DETAIL_KEY));
+        assert!(outcome.detail.iter().any(|(k, _)| k == REWRITE_WALL_US_DETAIL_KEY));
+    }
+
+    #[test]
+    fn fixpoint_folds_inner_details_upward() {
+        let inner = pass_fn("detailed", {
+            let mut left = 2usize;
+            move |_m: &mut Module| {
+                if left > 0 {
+                    left -= 1;
+                    Ok(PassOutcome::changed(1)
+                        .with_detail(vec![(format!("{PATTERN_DETAIL_PREFIX}toy"), 1)]))
+                } else {
+                    Ok(PassOutcome::unchanged())
+                }
+            }
+        });
+        let mut fix = Fixpoint::new("detail-loop", vec![Box::new(inner)]);
+        let mut module = small_module();
+        let outcome = fix.run(&mut module).unwrap();
+        assert!(
+            outcome.detail.contains(&(format!("{PATTERN_DETAIL_PREFIX}toy"), 2)),
+            "{:?}",
+            outcome.detail
+        );
+        // And PassStatistics aggregates the prefixed entries.
+        let mut stats = PassStatistics::new();
+        stats.passes.push(PassStat {
+            name: "detail-loop".into(),
+            duration: Duration::ZERO,
+            changes: outcome.changes,
+            detail: outcome.detail,
+        });
+        assert_eq!(stats.pattern_firings(), vec![("toy".to_string(), 2)]);
     }
 
     #[test]

@@ -1,20 +1,47 @@
-//! The canonicalization driver: applies rewrite patterns to a fixpoint,
-//! then sweeps classically-dead ops.
+//! The rewrite layer: patterns, the [`Rewriter`] handle, and two drivers.
 //!
 //! MLIR's canonicalizer "simplifies IR to better enable optimizations (e.g.,
-//! through constant folding and dead code elimination)" (§3); ASDF
-//! additionally registers the Qwerty-specific patterns of §5.4 (implemented
-//! in `asdf-core`). This driver is dialect-agnostic: patterns are trait
-//! objects consulted for every op in every block.
+//! through constant folding and dead code elimination)" (§3), and both MLIR
+//! and quilc get their rewriting throughput from drivers that only revisit
+//! IR touched by a previous rewrite. This module rebuilds that design:
+//!
+//! - [`RewritePattern`]: a DAG-to-DAG rewrite. Patterns *read* the op at the
+//!   rewriter's root (plus its block neighborhood) and *mutate* exclusively
+//!   through the [`Rewriter`] handle, so the driver learns exactly which ops
+//!   were created, erased, or had operands change and can requeue only the
+//!   affected def-use neighborhood.
+//! - [`Rewriter`]: the mutation handle. Edits are queued and applied when
+//!   the pattern returns `true`; reads always observe the pre-firing IR.
+//! - [`GreedyRewriteDriver`]: the worklist driver. Seeds every op, pops in
+//!   program order, applies the best-[`benefit`](RewritePattern::benefit)
+//!   matching pattern, folds classical dead-code elimination into the same
+//!   worklist, and requeues only the reported neighborhood. Supports a
+//!   [`Fuel`] cutoff (`ASDF_REWRITE_FUEL`) for bisecting miscompiles and an
+//!   optional firing trace (`ASDF_REWRITE_TRACE=1`).
+//! - [`RescanDriver`]: the original rescan-from-op-0 fixpoint loop,
+//!   retained as a differential reference for equivalence tests and the
+//!   `rewrite_driver` bench. It drives the *same* patterns; only the
+//!   scheduling differs.
 
-use crate::block::BlockPath;
+use crate::block::{Block, BlockPath};
 use crate::func::Func;
 use crate::module::Module;
-use crate::types::FuncType;
+use crate::op::Op;
+use crate::types::{FuncType, Type};
+use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Symbols
+// ---------------------------------------------------------------------
 
 /// A read-only snapshot of module-level symbols, available to patterns
-/// while a function is mutably borrowed.
+/// while a function is mutably borrowed. Built once per driver run and
+/// updated incrementally (instead of rebuilt from scratch every driver
+/// iteration) via [`SymbolTable::reconcile`] and
+/// [`SymbolTable::update_symbol`].
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
     sigs: HashMap<String, FuncType>,
@@ -23,77 +50,1218 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Builds the snapshot from a module.
     pub fn from_module(module: &Module) -> Self {
-        SymbolTable {
-            sigs: module.funcs().iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
-        }
+        let mut table = SymbolTable::default();
+        table.reconcile(module);
+        table
     }
 
     /// Looks up a symbol's signature.
     pub fn signature(&self, name: &str) -> Option<&FuncType> {
         self.sigs.get(name)
     }
+
+    /// Number of known symbols.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Incrementally reconciles the table with `module`: drops symbols that
+    /// no longer exist, adds new ones, and refreshes changed signatures —
+    /// without cloning signatures that are already up to date. Returns the
+    /// number of entries that changed.
+    pub fn reconcile(&mut self, module: &Module) -> usize {
+        let mut changed = 0usize;
+        self.sigs.retain(|name, _| {
+            let live = module.contains(name);
+            if !live {
+                changed += 1;
+            }
+            live
+        });
+        for func in module.funcs() {
+            match self.sigs.get(&func.name) {
+                Some(sig) if *sig == func.ty => {}
+                _ => {
+                    self.sigs.insert(func.name.clone(), func.ty.clone());
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Refreshes (or removes) a single symbol from `module` — the
+    /// incremental path taken when a pattern reports
+    /// [`Rewriter::notify_symbol_changed`]. Returns whether the table
+    /// changed.
+    pub fn update_symbol(&mut self, module: &Module, name: &str) -> bool {
+        match module.func(name) {
+            Some(func) => {
+                self.sigs.insert(name.to_string(), func.ty.clone());
+                true
+            }
+            None => self.sigs.remove(name).is_some(),
+        }
+    }
 }
 
-/// A DAG-to-DAG rewrite applied during canonicalization.
+// ---------------------------------------------------------------------
+// Fuel
+// ---------------------------------------------------------------------
+
+const FUEL_UNLIMITED: u64 = u64::MAX;
+
+/// A shared budget of pattern firings, for bisecting miscompiles: with
+/// `ASDF_REWRITE_FUEL=N` (or [`Fuel::limited`]), the N+1-th firing and all
+/// later ones are suppressed across every driver sharing the cell, while
+/// dead-code elimination keeps running. Clones share the same budget.
+#[derive(Debug, Clone)]
+pub struct Fuel(Arc<AtomicU64>);
+
+impl Fuel {
+    /// No cutoff: every firing is allowed.
+    pub fn unlimited() -> Self {
+        Fuel(Arc::new(AtomicU64::new(FUEL_UNLIMITED)))
+    }
+
+    /// Allows exactly `n` pattern firings.
+    pub fn limited(n: u64) -> Self {
+        Fuel(Arc::new(AtomicU64::new(n.min(FUEL_UNLIMITED - 1))))
+    }
+
+    /// `limit.map(Fuel::limited).unwrap_or_else(Fuel::unlimited)`.
+    pub fn from_limit(limit: Option<u64>) -> Self {
+        match limit {
+            Some(n) => Fuel::limited(n),
+            None => Fuel::unlimited(),
+        }
+    }
+
+    /// Whether the budget is spent.
+    pub fn is_exhausted(&self) -> bool {
+        self.0.load(Ordering::Relaxed) == 0
+    }
+
+    /// Remaining firings, or `None` when unlimited.
+    pub fn remaining(&self) -> Option<u64> {
+        match self.0.load(Ordering::Relaxed) {
+            FUEL_UNLIMITED => None,
+            n => Some(n),
+        }
+    }
+
+    /// Consumes one firing; returns whether it was allowed.
+    pub fn consume(&self) -> bool {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if current == FUEL_UNLIMITED {
+                return true;
+            }
+            if current == 0 {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Default for Fuel {
+    fn default() -> Self {
+        Fuel::unlimited()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and statistics
+// ---------------------------------------------------------------------
+
+/// Driver tunables shared by both drivers. `Clone` shares the [`Fuel`]
+/// cell, so one budget can span several passes of a pipeline.
+#[derive(Debug, Clone)]
+pub struct RewriteConfig {
+    /// The firing budget (see [`Fuel`]).
+    pub fuel: Fuel,
+    /// Record (and print to stderr) a `pattern @ func:block:op` line per
+    /// firing.
+    pub trace: bool,
+    /// How many def-use hops around a change are requeued. Must be at
+    /// least the deepest op-graph lookaround of any registered pattern
+    /// (the stock patterns look at most 3 hops, e.g. the Fig. 10 relaxed
+    /// peephole's `qalloc; x; h` prologue).
+    pub neighborhood_radius: usize,
+    /// Hard bound on total firings per run; exceeding it panics, which
+    /// indicates a non-terminating (cyclic) pattern set.
+    pub max_fires: usize,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> Self {
+        RewriteConfig {
+            fuel: Fuel::unlimited(),
+            trace: false,
+            neighborhood_radius: 3,
+            max_fires: 1_000_000,
+        }
+    }
+}
+
+impl RewriteConfig {
+    /// The default configuration with `ASDF_REWRITE_FUEL` (a firing
+    /// budget) and `ASDF_REWRITE_TRACE=1` (firing trace) applied from the
+    /// environment.
+    pub fn from_env() -> Self {
+        let mut config = RewriteConfig::default();
+        if let Some(limit) = RewriteConfig::env_fuel_limit() {
+            config.fuel = Fuel::limited(limit);
+        }
+        if std::env::var("ASDF_REWRITE_TRACE").is_ok_and(|v| v == "1") {
+            config.trace = true;
+        }
+        config
+    }
+
+    /// Parses `ASDF_REWRITE_FUEL`, if set to an integer.
+    pub fn env_fuel_limit() -> Option<u64> {
+        std::env::var("ASDF_REWRITE_FUEL").ok().and_then(|v| v.parse().ok())
+    }
+
+    /// Replaces the fuel cell.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: Fuel) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Enables or disables the firing trace.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Overrides the firing bound.
+    #[must_use]
+    pub fn with_max_fires(mut self, max_fires: usize) -> Self {
+        self.max_fires = max_fires.max(1);
+        self
+    }
+}
+
+/// Statistics from the last driver run.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteStats {
+    /// Firing counts by pattern name.
+    pub fired: HashMap<&'static str, usize>,
+    /// Total pattern firings.
+    pub fires: usize,
+    /// Ops removed by the integrated classical dead-code elimination.
+    pub dce_erased: usize,
+    /// `pattern @ func:block:op` lines, when tracing is enabled.
+    pub trace: Vec<String>,
+}
+
+// ---------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------
+
+/// A DAG-to-DAG rewrite driven by a [`GreedyRewriteDriver`] (or the
+/// reference [`RescanDriver`]).
+///
+/// A pattern inspects the op at the rewriter's root — plus whatever block
+/// context it needs via [`Rewriter::block`], [`Rewriter::find_def`], and
+/// [`Rewriter::use_count`] — and, on a match, queues its edits on the
+/// handle and returns `true`. Reads must precede mutations: queued edits
+/// are applied only after the pattern returns, so every read observes the
+/// consistent pre-firing IR.
+///
+/// # Example
+///
+/// ```
+/// use asdf_ir::rewrite::{GreedyRewriteDriver, Rewriter, RewritePattern};
+/// use asdf_ir::{FuncBuilder, FuncType, Module, Op, OpKind, Type, Visibility};
+///
+/// /// Folds `fneg(const c)` into `const -c`.
+/// struct FoldFNeg;
+///
+/// impl RewritePattern for FoldFNeg {
+///     fn name(&self) -> &'static str {
+///         "fold-fneg"
+///     }
+///
+///     fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+///         let op = rw.op();
+///         if !matches!(op.kind, OpKind::FNeg) {
+///             return false;
+///         }
+///         let (operand, result) = (op.operands[0], op.results[0]);
+///         let Some((def_idx, _)) = rw.find_def(operand) else { return false };
+///         let OpKind::ConstF64 { value } = rw.block().ops[def_idx].kind else {
+///             return false;
+///         };
+///         rw.replace_root(Op::new(OpKind::ConstF64 { value: -value }, vec![], vec![result]));
+///         true
+///     }
+/// }
+///
+/// let mut b = FuncBuilder::new(
+///     "f",
+///     FuncType::new(vec![], vec![Type::F64], false),
+///     Visibility::Public,
+/// );
+/// let mut bb = b.block();
+/// let c = bb.push(OpKind::ConstF64 { value: 2.0 }, vec![], vec![Type::F64]);
+/// let n = bb.push(OpKind::FNeg, vec![c[0]], vec![Type::F64]);
+/// bb.push(OpKind::Return, vec![n[0]], vec![]);
+/// let mut module = Module::new();
+/// module.add_func(b.finish());
+///
+/// let mut driver = GreedyRewriteDriver::new();
+/// driver.add_pattern(Box::new(FoldFNeg));
+/// assert_eq!(driver.run(&mut module), 1);
+/// // The fold fired and DCE swept the now-dead constant.
+/// assert_eq!(module.func("f").unwrap().body.ops.len(), 2);
+/// ```
 pub trait RewritePattern {
-    /// A stable name for debugging and statistics.
+    /// A stable name for debugging, statistics, and fuel bisection.
     fn name(&self) -> &'static str;
 
-    /// Attempts to rewrite the op at `block[op_idx]`; returns whether the IR
-    /// changed. After any change the driver rescans the function, so
-    /// patterns may freely splice ops and invalidate indices beyond
-    /// `op_idx`.
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        symbols: &SymbolTable,
-    ) -> bool;
+    /// Relative priority: when several patterns match the same op, the
+    /// highest benefit fires (ties break by registration order). A useful
+    /// convention is the net number of ops the rewrite removes.
+    fn benefit(&self) -> usize {
+        1
+    }
+
+    /// Attempts to rewrite the op at the rewriter's root. On a match,
+    /// queue the edits on `rw` and return `true`; otherwise return `false`
+    /// without queuing anything.
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool;
 }
 
-/// Applies patterns to every op of every function until nothing changes,
-/// interleaved with classical dead-code elimination (like MLIR's
-/// canonicalizer).
+/// An ordered collection of patterns, sorted by descending
+/// [`RewritePattern::benefit`] (stable, so registration order breaks
+/// ties).
 #[derive(Default)]
-pub struct Canonicalizer {
+pub struct PatternSet {
     patterns: Vec<Box<dyn RewritePattern>>,
-    /// Fired-pattern counts from the last run, by pattern name.
-    pub stats: HashMap<&'static str, usize>,
 }
 
-impl Canonicalizer {
-    /// An empty canonicalizer (only DCE).
+impl PatternSet {
+    /// An empty set.
     pub fn new() -> Self {
-        Canonicalizer::default()
+        PatternSet::default()
+    }
+
+    /// Registers a pattern, keeping the set benefit-sorted.
+    pub fn add(&mut self, pattern: Box<dyn RewritePattern>) -> &mut Self {
+        self.patterns.push(pattern);
+        self.patterns.sort_by_key(|p| std::cmp::Reverse(p.benefit()));
+        self
+    }
+
+    /// Pattern names in matching (benefit) order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.patterns.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of registered patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &Box<dyn RewritePattern>> {
+        self.patterns.iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The Rewriter handle
+// ---------------------------------------------------------------------
+
+/// One queued IR edit.
+#[derive(Debug)]
+enum Mutation {
+    /// Replace the op at `idx` of the root block.
+    Replace { idx: usize, op: Op },
+    /// Erase the op at `idx` of the root block.
+    Erase { idx: usize },
+    /// Insert `op` before `idx` of the root block.
+    InsertBefore { idx: usize, op: Op },
+    /// Rewrite every use of `from` (function-wide) to `to`.
+    Rauw { from: Value, to: Value },
+    /// A module-level symbol changed; refresh the symbol table.
+    SymbolChanged { name: String },
+}
+
+/// The handle a [`RewritePattern`] reads and mutates through.
+///
+/// Reads ([`op`](Rewriter::op), [`block`](Rewriter::block),
+/// [`find_def`](Rewriter::find_def), [`use_count`](Rewriter::use_count))
+/// observe the pre-firing IR; mutations ([`replace_op`](Rewriter::replace_op),
+/// [`erase_op`](Rewriter::erase_op),
+/// [`insert_before`](Rewriter::insert_before),
+/// [`replace_all_uses`](Rewriter::replace_all_uses)) are queued and applied
+/// after the pattern returns `true`, and the driver uses the queued record
+/// to requeue exactly the changed def-use neighborhood. Structural edits
+/// address ops by their **pre-firing index in the root block**; later
+/// queued edits need not account for shifts caused by earlier ones.
+///
+/// # Example
+///
+/// ```
+/// use asdf_ir::rewrite::{Rewriter, RewritePattern};
+/// use asdf_ir::OpKind;
+///
+/// /// Erases `fadd(x, x)` when its result is unused — demonstrating the
+/// /// read-then-mutate discipline.
+/// struct DropDeadSelfAdd;
+///
+/// impl RewritePattern for DropDeadSelfAdd {
+///     fn name(&self) -> &'static str {
+///         "drop-dead-self-add"
+///     }
+///
+///     fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+///         let op = rw.op();
+///         let is_self_add = matches!(op.kind, OpKind::FAdd) && op.operands[0] == op.operands[1];
+///         let result = op.results[0];
+///         if !is_self_add || rw.use_count(result) != 0 {
+///             return false;
+///         }
+///         rw.erase_root();
+///         true
+///     }
+/// }
+/// ```
+pub struct Rewriter<'a> {
+    func: &'a mut Func,
+    index: Option<&'a FuncIndex>,
+    symbols: &'a SymbolTable,
+    path: &'a BlockPath,
+    root_idx: usize,
+    log: Vec<Mutation>,
+}
+
+impl<'a> Rewriter<'a> {
+    fn new(
+        func: &'a mut Func,
+        index: Option<&'a FuncIndex>,
+        symbols: &'a SymbolTable,
+        path: &'a BlockPath,
+        root_idx: usize,
+    ) -> Self {
+        Rewriter { func, index, symbols, path, root_idx, log: Vec::new() }
+    }
+
+    fn assert_clean(&self) {
+        debug_assert!(
+            self.log.is_empty(),
+            "Rewriter reads must precede mutations: queued edits are only \
+             applied after the pattern returns, so a read here would observe \
+             stale IR"
+        );
+    }
+
+    // ----- reads (pre-firing IR) -----
+
+    /// The op under consideration (the worklist root).
+    pub fn op(&self) -> &Op {
+        self.assert_clean();
+        &self.block().ops[self.root_idx]
+    }
+
+    /// The root op's index within [`Rewriter::block`].
+    pub fn root_idx(&self) -> usize {
+        self.root_idx
+    }
+
+    /// The block containing the root op.
+    pub fn block(&self) -> &Block {
+        self.assert_clean();
+        self.func.block_at(self.path)
+    }
+
+    /// The function being rewritten.
+    pub fn func(&self) -> &Func {
+        self.assert_clean();
+        self.func
+    }
+
+    /// The type of an SSA value.
+    pub fn value_type(&self, v: Value) -> &Type {
+        self.func.value_type(v)
+    }
+
+    /// Module-level symbol signatures.
+    pub fn symbols(&self) -> &SymbolTable {
+        self.symbols
+    }
+
+    /// The defining op of `v` within the root block, searching backwards
+    /// from the root: `(op index, result position)`.
+    pub fn find_def(&self, v: Value) -> Option<(usize, usize)> {
+        self.assert_clean();
+        let block = self.func.block_at(self.path);
+        for i in (0..self.root_idx).rev() {
+            if let Some(pos) = block.ops[i].results.iter().position(|r| *r == v) {
+                return Some((i, pos));
+            }
+        }
+        None
+    }
+
+    /// Function-wide use count of `v` (operand uses, including nested
+    /// regions). O(1) under the worklist driver's index; a function scan
+    /// under the rescan reference driver.
+    pub fn use_count(&self, v: Value) -> usize {
+        self.assert_clean();
+        match self.index {
+            Some(index) => index.use_count(v),
+            None => self.func.use_count(v),
+        }
+    }
+
+    // ----- mutations (queued) -----
+
+    /// Allocates a fresh SSA value (immediately; values are arena-indexed
+    /// and allocation does not disturb reads).
+    pub fn new_value(&mut self, ty: Type) -> Value {
+        self.func.new_value(ty)
+    }
+
+    /// Queues replacement of the op at pre-firing index `idx` of the root
+    /// block.
+    pub fn replace_op(&mut self, idx: usize, op: Op) {
+        self.log.push(Mutation::Replace { idx, op });
+    }
+
+    /// Queues replacement of the root op.
+    pub fn replace_root(&mut self, op: Op) {
+        self.replace_op(self.root_idx, op);
+    }
+
+    /// Queues erasure of the op at pre-firing index `idx` of the root
+    /// block. Its results must be dead (or rewired via
+    /// [`Rewriter::replace_all_uses`]) once all queued edits apply.
+    pub fn erase_op(&mut self, idx: usize) {
+        self.log.push(Mutation::Erase { idx });
+    }
+
+    /// Queues erasure of the root op.
+    pub fn erase_root(&mut self) {
+        self.erase_op(self.root_idx);
+    }
+
+    /// Queues insertion of `op` before pre-firing index `idx` of the root
+    /// block.
+    pub fn insert_before(&mut self, idx: usize, op: Op) {
+        self.log.push(Mutation::InsertBefore { idx, op });
+    }
+
+    /// Queues a function-wide rewrite of every use of `from` to `to`
+    /// (applied after all structural edits).
+    pub fn replace_all_uses(&mut self, from: Value, to: Value) {
+        self.log.push(Mutation::Rauw { from, to });
+    }
+
+    /// Notifies the driver that the pattern changed the module-level
+    /// symbol `name` (through some side channel), so the shared
+    /// [`SymbolTable`] is refreshed incrementally instead of rebuilt.
+    pub fn notify_symbol_changed(&mut self, name: &str) {
+        self.log.push(Mutation::SymbolChanged { name: name.to_string() });
+    }
+
+    fn has_mutations(&self) -> bool {
+        !self.log.is_empty()
+    }
+
+    fn into_log(self) -> Vec<Mutation> {
+        self.log
+    }
+}
+
+// ---------------------------------------------------------------------
+// The incremental function index
+// ---------------------------------------------------------------------
+
+type SlotId = usize;
+type BlockId = usize;
+
+#[derive(Debug)]
+struct SlotData {
+    live: bool,
+    block: BlockId,
+    pos: usize,
+    /// Nested blocks of this (region-bearing) op: `((region, block), id)`.
+    children: Vec<((usize, usize), BlockId)>,
+}
+
+#[derive(Debug)]
+struct BlockData {
+    live: bool,
+    /// `(owning op slot, region index, block index)`; `None` for the entry
+    /// block.
+    parent: Option<(SlotId, usize, usize)>,
+    /// Slot ids parallel to the block's ops.
+    slots: Vec<SlotId>,
+}
+
+/// An incrementally maintained def/use/position index over one function,
+/// giving the worklist driver stable op identities (slots), O(1) def and
+/// user lookups, and O(1) use counts. All mutations flow through
+/// [`apply_mutations`], which keeps the index in sync without rescanning
+/// the function.
+#[derive(Debug)]
+struct FuncIndex {
+    slots: Vec<SlotData>,
+    blocks: Vec<BlockData>,
+    /// Defining slot by value index (`None`: block argument or undefined).
+    def: Vec<Option<SlotId>>,
+    /// Using slots by value index, one entry per use (so `len` is the use
+    /// count).
+    users: Vec<Vec<SlotId>>,
+}
+
+impl FuncIndex {
+    fn build(func: &Func) -> FuncIndex {
+        let mut index = FuncIndex {
+            slots: Vec::new(),
+            blocks: Vec::new(),
+            def: vec![None; func.num_values()],
+            users: vec![Vec::new(); func.num_values()],
+        };
+        index.index_block(&func.body, None);
+        index
+    }
+
+    fn grow(&mut self, func: &Func) {
+        let n = func.num_values();
+        if self.def.len() < n {
+            self.def.resize(n, None);
+        }
+        if self.users.len() < n {
+            self.users.resize_with(n, Vec::new);
+        }
+    }
+
+    fn index_block(&mut self, block: &Block, parent: Option<(SlotId, usize, usize)>) -> BlockId {
+        let bid = self.blocks.len();
+        self.blocks.push(BlockData { live: true, parent, slots: Vec::new() });
+        for (pos, op) in block.ops.iter().enumerate() {
+            let slot = self.index_op(op, bid, pos);
+            self.blocks[bid].slots.push(slot);
+        }
+        bid
+    }
+
+    fn index_op(&mut self, op: &Op, block: BlockId, pos: usize) -> SlotId {
+        let slot = self.slots.len();
+        self.slots.push(SlotData { live: true, block, pos, children: Vec::new() });
+        for &v in &op.operands {
+            self.users[v.index()].push(slot);
+        }
+        for &r in &op.results {
+            self.def[r.index()] = Some(slot);
+        }
+        for (ri, region) in op.regions.iter().enumerate() {
+            for (bi, nested) in region.blocks.iter().enumerate() {
+                let child = self.index_block(nested, Some((slot, ri, bi)));
+                self.slots[slot].children.push(((ri, bi), child));
+            }
+        }
+        slot
+    }
+
+    fn unindex_op(&mut self, op: &Op, slot: SlotId) {
+        self.slots[slot].live = false;
+        for &v in &op.operands {
+            self.users[v.index()].retain(|&s| s != slot);
+        }
+        for &r in &op.results {
+            if self.def[r.index()] == Some(slot) {
+                self.def[r.index()] = None;
+            }
+        }
+        let children = std::mem::take(&mut self.slots[slot].children);
+        for ((ri, bi), child) in children {
+            self.unindex_block(&op.regions[ri].blocks[bi], child);
+        }
+    }
+
+    fn unindex_block(&mut self, block: &Block, bid: BlockId) {
+        self.blocks[bid].live = false;
+        let slots = std::mem::take(&mut self.blocks[bid].slots);
+        for (pos, slot) in slots.into_iter().enumerate() {
+            self.unindex_op(&block.ops[pos], slot);
+        }
+    }
+
+    fn use_count(&self, v: Value) -> usize {
+        self.users.get(v.index()).map(Vec::len).unwrap_or(0)
+    }
+
+    fn def_slot(&self, v: Value) -> Option<SlotId> {
+        self.def.get(v.index()).copied().flatten()
+    }
+
+    /// The path of a block, reconstructed from maintained positions.
+    fn block_path(&self, bid: BlockId) -> BlockPath {
+        let mut rev = Vec::new();
+        let mut current = bid;
+        while let Some((slot, ri, bi)) = self.blocks[current].parent {
+            rev.push((self.slots[slot].pos, ri, bi));
+            current = self.slots[slot].block;
+        }
+        rev.reverse();
+        rev
+    }
+
+    fn block_id_at(&self, path: &BlockPath) -> BlockId {
+        let mut current: BlockId = 0;
+        for &(op_idx, ri, bi) in path {
+            let slot = self.blocks[current].slots[op_idx];
+            current = self.slots[slot]
+                .children
+                .iter()
+                .find(|((r, b), _)| *r == ri && *b == bi)
+                .expect("indexed child block")
+                .1;
+        }
+        current
+    }
+
+    fn location(&self, slot: SlotId) -> (BlockPath, usize) {
+        (self.block_path(self.slots[slot].block), self.slots[slot].pos)
+    }
+
+    fn op<'f>(&self, func: &'f Func, slot: SlotId) -> &'f Op {
+        let (path, pos) = self.location(slot);
+        &func.block_at(&path).ops[pos]
+    }
+
+    /// Index-maintained RAUW: rewrites the operands of exactly the ops in
+    /// `from`'s user list (O(uses), not a function scan).
+    fn replace_all_uses(&mut self, func: &mut Func, from: Value, to: Value) {
+        let mut slots = std::mem::take(&mut self.users[from.index()]);
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            if !self.slots[slot].live {
+                continue;
+            }
+            let (path, pos) = self.location(slot);
+            let op = &mut func.block_at_mut(&path).ops[pos];
+            let mut moved = 0usize;
+            for operand in &mut op.operands {
+                if *operand == from {
+                    *operand = to;
+                    moved += 1;
+                }
+            }
+            debug_assert!(moved > 0, "user list entry without a matching operand");
+            self.users[to.index()].extend(std::iter::repeat_n(slot, moved));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Applying queued mutations
+// ---------------------------------------------------------------------
+
+/// What a firing changed, as reported by the [`Rewriter`] log.
+#[derive(Debug, Default)]
+struct AppliedChange {
+    /// Values whose def or users changed — the seeds of the neighborhood
+    /// requeue.
+    touched: Vec<Value>,
+    /// Slots of created (inserted or replacement) ops, including ops
+    /// inside their regions.
+    created: Vec<SlotId>,
+    /// Symbols the pattern reported as changed.
+    symbols_changed: Vec<String>,
+}
+
+/// Applies a queued mutation log to `func` (root block at `path`),
+/// keeping `index` in sync when present. Edits address pre-firing
+/// indices; application order is replaces, erases, inserts, then RAUWs.
+fn apply_mutations(
+    func: &mut Func,
+    path: &BlockPath,
+    log: Vec<Mutation>,
+    mut index: Option<&mut FuncIndex>,
+) -> AppliedChange {
+    let mut change = AppliedChange::default();
+    let mut replaces: Vec<(usize, Op)> = Vec::new();
+    let mut erases: Vec<usize> = Vec::new();
+    let mut inserts: Vec<(usize, Op)> = Vec::new();
+    let mut rauws: Vec<(Value, Value)> = Vec::new();
+    for mutation in log {
+        match mutation {
+            Mutation::Replace { idx, op } => replaces.push((idx, op)),
+            Mutation::Erase { idx } => erases.push(idx),
+            Mutation::InsertBefore { idx, op } => inserts.push((idx, op)),
+            Mutation::Rauw { from, to } => rauws.push((from, to)),
+            Mutation::SymbolChanged { name } => change.symbols_changed.push(name),
+        }
+    }
+    erases.sort_unstable();
+    erases.dedup();
+    debug_assert!(
+        replaces.iter().all(|(idx, _)| !erases.contains(idx)),
+        "an op may be replaced or erased in one firing, not both"
+    );
+
+    if let Some(ix) = index.as_deref_mut() {
+        ix.grow(func);
+    }
+    let bid = index.as_deref().map(|ix| ix.block_id_at(path));
+
+    // 1. Replaces, at unshifted indices.
+    for (idx, new_op) in replaces {
+        change.touched.extend(new_op.operands.iter().chain(new_op.results.iter()));
+        if let (Some(ix), Some(bid)) = (index.as_deref_mut(), bid) {
+            let old_slot = ix.blocks[bid].slots[idx];
+            // Clone-free would need simultaneous &Func and &mut index;
+            // replaced ops are small (region-bearing replacements already
+            // clone in the pattern).
+            let old = func.block_at(path).ops[idx].clone();
+            change.touched.extend(old.operands.iter().chain(old.results.iter()));
+            ix.unindex_op(&old, old_slot);
+            // Everything index_op allocates — the op itself plus every op
+            // inside its regions — is newly created and must be requeued.
+            let first_new = ix.slots.len();
+            let new_slot = ix.index_op(&new_op, bid, idx);
+            ix.blocks[bid].slots[idx] = new_slot;
+            change.created.extend(first_new..ix.slots.len());
+        } else {
+            let old = &func.block_at(path).ops[idx];
+            change.touched.extend(old.operands.iter().chain(old.results.iter()));
+        }
+        func.block_at_mut(path).ops[idx] = new_op;
+    }
+
+    // 2. Erases, descending so indices stay valid.
+    for &idx in erases.iter().rev() {
+        let old = func.block_at_mut(path).ops.remove(idx);
+        change.touched.extend(old.operands.iter().chain(old.results.iter()));
+        if let (Some(ix), Some(bid)) = (index.as_deref_mut(), bid) {
+            let slot = ix.blocks[bid].slots.remove(idx);
+            ix.unindex_op(&old, slot);
+            for i in idx..ix.blocks[bid].slots.len() {
+                let s = ix.blocks[bid].slots[i];
+                ix.slots[s].pos -= 1;
+            }
+        }
+    }
+
+    // 3. Inserts, ascending, with indices adjusted for the erases and for
+    //    previously applied inserts.
+    inserts.sort_by_key(|(idx, _)| *idx);
+    for (applied_inserts, (orig_idx, op)) in inserts.into_iter().enumerate() {
+        let shift = erases.iter().filter(|&&e| e < orig_idx).count();
+        let eff = orig_idx - shift + applied_inserts;
+        change.touched.extend(op.operands.iter().chain(op.results.iter()));
+        if let (Some(ix), Some(bid)) = (index.as_deref_mut(), bid) {
+            for i in eff..ix.blocks[bid].slots.len() {
+                let s = ix.blocks[bid].slots[i];
+                ix.slots[s].pos += 1;
+            }
+            let first_new = ix.slots.len();
+            let slot = ix.index_op(&op, bid, eff);
+            ix.blocks[bid].slots.insert(eff, slot);
+            change.created.extend(first_new..ix.slots.len());
+        }
+        func.block_at_mut(path).ops.insert(eff, op);
+    }
+
+    // 4. RAUWs, in queued order.
+    for (from, to) in rauws {
+        if from == to {
+            continue;
+        }
+        change.touched.push(from);
+        change.touched.push(to);
+        match index.as_deref_mut() {
+            Some(ix) => ix.replace_all_uses(func, from, to),
+            None => func.replace_all_uses(from, to),
+        }
+    }
+
+    change
+}
+
+// ---------------------------------------------------------------------
+// The worklist driver
+// ---------------------------------------------------------------------
+
+/// The worklist-driven greedy pattern engine.
+///
+/// Seeds every op of every function, pops in program order, applies the
+/// best-benefit matching pattern, and requeues only the def-use
+/// neighborhood the [`Rewriter`] reported — so optimization cost scales
+/// with the number of firings, not firings × function size like the
+/// retained [`RescanDriver`]. Classical dead-code elimination runs on the
+/// same worklist (a popped pure op whose results are all unused is
+/// erased), replacing the separate DCE sweeps of the old driver.
+#[derive(Default)]
+pub struct GreedyRewriteDriver {
+    patterns: PatternSet,
+    config: RewriteConfig,
+    /// Statistics from the last [`run`](GreedyRewriteDriver::run).
+    pub stats: RewriteStats,
+}
+
+impl GreedyRewriteDriver {
+    /// An empty driver (only DCE) with the default configuration.
+    pub fn new() -> Self {
+        GreedyRewriteDriver::default()
+    }
+
+    /// A driver over `patterns` with the default configuration.
+    pub fn from_patterns(patterns: PatternSet) -> Self {
+        GreedyRewriteDriver { patterns, ..GreedyRewriteDriver::default() }
+    }
+
+    /// A driver over `patterns` with an explicit configuration.
+    pub fn with_config(patterns: PatternSet, config: RewriteConfig) -> Self {
+        GreedyRewriteDriver { patterns, config, stats: RewriteStats::default() }
     }
 
     /// Registers a pattern.
     pub fn add_pattern(&mut self, pattern: Box<dyn RewritePattern>) -> &mut Self {
-        self.patterns.push(pattern);
+        self.patterns.add(pattern);
         self
     }
 
-    /// Runs to a fixpoint; returns the total number of pattern firings.
+    /// The active configuration.
+    pub fn config(&self) -> &RewriteConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration.
+    pub fn set_config(&mut self, config: RewriteConfig) {
+        self.config = config;
+    }
+
+    /// Runs every function of `module` to its rewrite fixpoint; returns
+    /// total pattern firings. Builds a fresh [`SymbolTable`] for the run.
     ///
     /// # Panics
     ///
-    /// Panics if a pattern keeps reporting changes beyond a large iteration
-    /// bound, which indicates a non-terminating rewrite pair.
+    /// Panics when [`RewriteConfig::max_fires`] is exceeded, which
+    /// indicates a non-terminating (cyclic) pattern set.
     pub fn run(&mut self, module: &mut Module) -> usize {
-        self.stats.clear();
+        let mut symbols = SymbolTable::default();
+        self.run_with_symbols(module, &mut symbols)
+    }
+
+    /// [`run`](GreedyRewriteDriver::run) against a caller-held symbol
+    /// table, reconciled incrementally instead of rebuilt — the path pass
+    /// pipelines use so repeated canonicalize rounds do not re-snapshot
+    /// unchanged signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`RewriteConfig::max_fires`] is exceeded.
+    pub fn run_with_symbols(&mut self, module: &mut Module, symbols: &mut SymbolTable) -> usize {
+        symbols.reconcile(module);
+        self.stats = RewriteStats::default();
+        let mut total = 0usize;
+        let mut notes: Vec<String> = Vec::new();
+        // Patterns are intra-function and signatures never change mid-run,
+        // so one pass over the functions reaches the module fixpoint; the
+        // per-function worklist reaches the function fixpoint.
+        for name in module.func_names() {
+            let func = module.func_mut(&name).expect("name snapshot is stable");
+            total += self.run_func(func, &name, symbols, &mut notes);
+            for note in notes.drain(..) {
+                symbols.update_symbol(module, &note);
+            }
+        }
+        total
+    }
+
+    fn run_func(
+        &mut self,
+        func: &mut Func,
+        func_name: &str,
+        symbols: &SymbolTable,
+        symbol_notes: &mut Vec<String>,
+    ) -> usize {
+        let mut index = FuncIndex::build(func);
+        // Seed in reverse so LIFO pops visit ops in program order.
+        let mut worklist: Vec<SlotId> = (0..index.slots.len()).rev().collect();
+        let mut in_list: Vec<bool> = vec![true; index.slots.len()];
+        let mut scratch = NeighborhoodScratch::default();
+        let mut fires = 0usize;
+
+        while let Some(slot) = worklist.pop() {
+            in_list[slot] = false;
+            if !index.slots[slot].live {
+                continue;
+            }
+            let (path, idx) = index.location(slot);
+
+            // Patterns first (matching the rescan reference's ordering),
+            // best benefit wins; then integrated DCE.
+            let mut fired = false;
+            if !self.config.fuel.is_exhausted() {
+                for pattern in self.patterns.iter() {
+                    let mut rw = Rewriter::new(func, Some(&index), symbols, &path, idx);
+                    if pattern.match_and_rewrite(&mut rw) {
+                        debug_assert!(
+                            rw.has_mutations(),
+                            "pattern '{}' reported a match without queuing edits",
+                            pattern.name()
+                        );
+                        if !self.config.fuel.consume() {
+                            break;
+                        }
+                        let log = rw.into_log();
+                        if self.config.trace {
+                            // Preorder block number, matching the rescan
+                            // driver's coordinates (O(func), trace-only).
+                            let block_no = func
+                                .block_paths()
+                                .iter()
+                                .position(|p| *p == path)
+                                .unwrap_or(usize::MAX);
+                            let line =
+                                format!("{} @ {}:{}:{}", pattern.name(), func_name, block_no, idx);
+                            eprintln!("[rewrite] {line}");
+                            self.stats.trace.push(line);
+                        }
+                        let change = apply_mutations(func, &path, log, Some(&mut index));
+                        *self.stats.fired.entry(pattern.name()).or_default() += 1;
+                        self.stats.fires += 1;
+                        fires += 1;
+                        assert!(
+                            self.stats.fires <= self.config.max_fires,
+                            "rewrite driver did not reach a fixpoint after {} firings \
+                             (cyclic pattern set?)",
+                            self.config.max_fires
+                        );
+                        symbol_notes.extend(change.symbols_changed);
+                        if in_list.len() < index.slots.len() {
+                            in_list.resize(index.slots.len(), false);
+                        }
+                        for &s in &change.created {
+                            if !in_list[s] {
+                                in_list[s] = true;
+                                worklist.push(s);
+                            }
+                        }
+                        enqueue_neighborhood(
+                            self.config.neighborhood_radius,
+                            func,
+                            &index,
+                            &change.touched,
+                            &mut worklist,
+                            &mut in_list,
+                            &mut scratch,
+                        );
+                        fired = true;
+                        break;
+                    }
+                    debug_assert!(
+                        !rw.has_mutations(),
+                        "pattern '{}' queued edits but reported no match",
+                        pattern.name()
+                    );
+                }
+            }
+            if fired {
+                continue;
+            }
+
+            // Integrated DCE: a pure classical op whose results are all
+            // unused. (Quantum/linear ops are never dead: an unused linear
+            // result is a verifier error, not dead code.)
+            let op = &func.block_at(&path).ops[idx];
+            if op.kind.is_pure_classical()
+                && !op.results.is_empty()
+                && op.results.iter().all(|r| index.use_count(*r) == 0)
+            {
+                let change =
+                    apply_mutations(func, &path, vec![Mutation::Erase { idx }], Some(&mut index));
+                self.stats.dce_erased += 1;
+                enqueue_neighborhood(
+                    self.config.neighborhood_radius,
+                    func,
+                    &index,
+                    &change.touched,
+                    &mut worklist,
+                    &mut in_list,
+                    &mut scratch,
+                );
+            }
+        }
+        fires
+    }
+}
+
+/// Reusable dense marker buffers for the neighborhood walk: epoch-stamped
+/// vectors instead of per-firing hash sets.
+#[derive(Default)]
+struct NeighborhoodScratch {
+    epoch: u32,
+    slot_mark: Vec<u32>,
+    value_mark: Vec<u32>,
+    frontier: Vec<Value>,
+    next: Vec<Value>,
+    adjacent: Vec<SlotId>,
+}
+
+/// Requeues the def-use neighborhood of the touched values, out to
+/// `radius` hops — enough for every registered pattern's lookaround to
+/// observe the change.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_neighborhood(
+    radius: usize,
+    func: &Func,
+    index: &FuncIndex,
+    touched: &[Value],
+    worklist: &mut Vec<SlotId>,
+    in_list: &mut Vec<bool>,
+    scratch: &mut NeighborhoodScratch,
+) {
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    if scratch.slot_mark.len() < index.slots.len() {
+        scratch.slot_mark.resize(index.slots.len(), 0);
+    }
+    if scratch.value_mark.len() < index.users.len() {
+        scratch.value_mark.resize(index.users.len(), 0);
+    }
+    if in_list.len() < index.slots.len() {
+        in_list.resize(index.slots.len(), false);
+    }
+
+    scratch.frontier.clear();
+    for &v in touched {
+        if v.index() < scratch.value_mark.len() && scratch.value_mark[v.index()] != epoch {
+            scratch.value_mark[v.index()] = epoch;
+            scratch.frontier.push(v);
+        }
+    }
+    for depth in 0..radius {
+        scratch.adjacent.clear();
+        for &v in &scratch.frontier {
+            if let Some(s) = index.def_slot(v) {
+                if index.slots[s].live && scratch.slot_mark[s] != epoch {
+                    scratch.slot_mark[s] = epoch;
+                    scratch.adjacent.push(s);
+                }
+            }
+            if v.index() < index.users.len() {
+                for &s in &index.users[v.index()] {
+                    if index.slots[s].live && scratch.slot_mark[s] != epoch {
+                        scratch.slot_mark[s] = epoch;
+                        scratch.adjacent.push(s);
+                    }
+                }
+            }
+        }
+        scratch.next.clear();
+        for &s in &scratch.adjacent {
+            if !in_list[s] {
+                in_list[s] = true;
+                worklist.push(s);
+            }
+            if depth + 1 < radius {
+                let op = index.op(func, s);
+                for &v in op.operands.iter().chain(op.results.iter()) {
+                    if v.index() < scratch.value_mark.len()
+                        && scratch.value_mark[v.index()] != epoch
+                    {
+                        scratch.value_mark[v.index()] = epoch;
+                        scratch.next.push(v);
+                    }
+                }
+            }
+        }
+        if scratch.next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The rescan reference driver
+// ---------------------------------------------------------------------
+
+/// The pre-worklist driver, retained as a differential reference: after
+/// every firing it rescans the whole module from op 0. Same patterns,
+/// same [`Rewriter`] API, same interleaved DCE — only the scheduling
+/// differs, which is what the `rewrite_driver` bench and the equivalence
+/// proptests measure.
+#[derive(Default)]
+pub struct RescanDriver {
+    patterns: PatternSet,
+    config: RewriteConfig,
+    /// Statistics from the last [`run`](RescanDriver::run).
+    pub stats: RewriteStats,
+}
+
+impl RescanDriver {
+    /// A driver over `patterns` with the default configuration.
+    pub fn from_patterns(patterns: PatternSet) -> Self {
+        RescanDriver { patterns, ..RescanDriver::default() }
+    }
+
+    /// A driver over `patterns` with an explicit configuration.
+    pub fn with_config(patterns: PatternSet, config: RewriteConfig) -> Self {
+        RescanDriver { patterns, config, stats: RewriteStats::default() }
+    }
+
+    /// Registers a pattern.
+    pub fn add_pattern(&mut self, pattern: Box<dyn RewritePattern>) -> &mut Self {
+        self.patterns.add(pattern);
+        self
+    }
+
+    /// Runs to a fixpoint by rescanning after every firing; returns total
+    /// pattern firings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module keeps changing beyond a large round bound,
+    /// which indicates a non-terminating rewrite pair.
+    pub fn run(&mut self, module: &mut Module) -> usize {
+        self.stats = RewriteStats::default();
+        let symbols = SymbolTable::from_module(module);
         let mut total = 0usize;
         for round in 0.. {
             assert!(round < 10_000, "canonicalization did not reach a fixpoint");
-            let symbols = SymbolTable::from_module(module);
             let mut changed = false;
             for name in module.func_names() {
                 let func = module.func_mut(&name).expect("name snapshot is stable");
-                while self.rewrite_once(func, &symbols) {
+                while self.rewrite_once(func, &name, &symbols) {
                     changed = true;
                     total += 1;
                 }
-                if dce_func(func) {
+                let erased = dce_func(func);
+                if erased > 0 {
+                    self.stats.dce_erased += erased;
                     changed = true;
                 }
             }
@@ -105,13 +1273,34 @@ impl Canonicalizer {
     }
 
     /// Scans the function and fires at most one pattern.
-    fn rewrite_once(&mut self, func: &mut Func, symbols: &SymbolTable) -> bool {
-        for path in func.block_paths() {
+    fn rewrite_once(&mut self, func: &mut Func, func_name: &str, symbols: &SymbolTable) -> bool {
+        if self.config.fuel.is_exhausted() {
+            return false;
+        }
+        for (block_no, path) in func.block_paths().into_iter().enumerate() {
             let len = func.block_at(&path).ops.len();
             for op_idx in 0..len {
-                for pattern in &self.patterns {
-                    if pattern.match_and_rewrite(func, &path, op_idx, symbols) {
-                        *self.stats.entry(pattern.name()).or_default() += 1;
+                for pattern in self.patterns.iter() {
+                    let mut rw = Rewriter::new(func, None, symbols, &path, op_idx);
+                    if pattern.match_and_rewrite(&mut rw) {
+                        if !self.config.fuel.consume() {
+                            return false;
+                        }
+                        if self.config.trace {
+                            let line = format!(
+                                "{} @ {}:{}:{}",
+                                pattern.name(),
+                                func_name,
+                                block_no,
+                                op_idx
+                            );
+                            eprintln!("[rewrite] {line}");
+                            self.stats.trace.push(line);
+                        }
+                        let log = rw.into_log();
+                        apply_mutations(func, &path, log, None);
+                        *self.stats.fired.entry(pattern.name()).or_default() += 1;
+                        self.stats.fires += 1;
                         return true;
                     }
                 }
@@ -121,11 +1310,13 @@ impl Canonicalizer {
     }
 }
 
-/// Removes pure classical ops whose results are all unused, iterating until
-/// stable. Quantum (linear) ops are never removed: an unused linear result
-/// is a verifier error, not dead code.
-pub fn dce_func(func: &mut Func) -> bool {
-    let mut changed_any = false;
+/// Removes pure classical ops whose results are all unused, iterating
+/// until stable; returns the number of ops removed. Quantum (linear) ops
+/// are never removed: an unused linear result is a verifier error, not
+/// dead code. (The worklist driver folds this into its worklist; this
+/// standalone sweep serves the rescan reference and direct callers.)
+pub fn dce_func(func: &mut Func) -> usize {
+    let mut erased = 0usize;
     loop {
         // Count uses of every value across the whole function.
         let mut use_counts = vec![0usize; func.num_values()];
@@ -133,7 +1324,7 @@ pub fn dce_func(func: &mut Func) -> bool {
 
         // Remove from at most one block per round: deleting ops shifts op
         // indices, which invalidates the paths of nested blocks.
-        let mut removed = false;
+        let mut removed = 0usize;
         for path in func.block_paths() {
             let block = func.block_at(&path);
             let dead: Vec<usize> = block
@@ -152,14 +1343,14 @@ pub fn dce_func(func: &mut Func) -> bool {
                 for &i in dead.iter().rev() {
                     block.ops.remove(i);
                 }
-                removed = true;
+                removed = dead.len();
                 break;
             }
         }
-        if !removed {
-            return changed_any;
+        if removed == 0 {
+            return erased;
         }
-        changed_any = true;
+        erased += removed;
     }
 }
 
@@ -180,7 +1371,7 @@ fn count_uses(block: &crate::block::Block, counts: &mut [usize]) {
 mod tests {
     use super::*;
     use crate::func::{FuncBuilder, Visibility};
-    use crate::op::{Op, OpKind};
+    use crate::op::OpKind;
     use crate::types::Type;
 
     /// A toy pattern: folds `fadd(const a, const b)` into a constant.
@@ -191,37 +1382,28 @@ mod tests {
             "fold-fadd"
         }
 
-        fn match_and_rewrite(
-            &self,
-            func: &mut Func,
-            path: &BlockPath,
-            op_idx: usize,
-            _symbols: &SymbolTable,
-        ) -> bool {
-            let block = func.block_at(&path.clone());
-            let op = &block.ops[op_idx];
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+            let op = rw.op();
             if !matches!(op.kind, OpKind::FAdd) {
                 return false;
             }
-            let find_const = |v: crate::value::Value| -> Option<f64> {
-                block.ops.iter().find_map(|o| match o.kind {
-                    OpKind::ConstF64 { value } if o.results.contains(&v) => Some(value),
+            let (lhs, rhs, result) = (op.operands[0], op.operands[1], op.results[0]);
+            let constant = |rw: &Rewriter<'_>, v: Value| -> Option<f64> {
+                let (idx, _) = rw.find_def(v)?;
+                match rw.block().ops[idx].kind {
+                    OpKind::ConstF64 { value } => Some(value),
                     _ => None,
-                })
+                }
             };
-            let (Some(a), Some(b)) = (find_const(op.operands[0]), find_const(op.operands[1]))
-            else {
+            let (Some(a), Some(b)) = (constant(rw, lhs), constant(rw, rhs)) else {
                 return false;
             };
-            let result = op.results[0];
-            let block = func.block_at_mut(path);
-            block.ops[op_idx] = Op::new(OpKind::ConstF64 { value: a + b }, vec![], vec![result]);
+            rw.replace_root(Op::new(OpKind::ConstF64 { value: a + b }, vec![], vec![result]));
             true
         }
     }
 
-    #[test]
-    fn canonicalizer_folds_and_dces() {
+    fn fadd_module() -> Module {
         let mut b = FuncBuilder::new(
             "f",
             FuncType::new(vec![], vec![Type::F64], false),
@@ -234,19 +1416,376 @@ mod tests {
         bb.push(OpKind::Return, vec![sum[0]], vec![]);
         let mut module = Module::new();
         module.add_func(b.finish());
+        module
+    }
 
-        let mut canon = Canonicalizer::new();
-        canon.add_pattern(Box::new(FoldFAdd));
-        let fired = canon.run(&mut module);
+    #[test]
+    fn worklist_folds_and_dces() {
+        let mut module = fadd_module();
+        let mut driver = GreedyRewriteDriver::new();
+        driver.add_pattern(Box::new(FoldFAdd));
+        let fired = driver.run(&mut module);
         assert_eq!(fired, 1);
+        assert_eq!(driver.stats.fired.get("fold-fadd"), Some(&1));
+        assert_eq!(driver.stats.dce_erased, 2, "both source constants died");
 
         let func = module.func("f").unwrap();
-        // After folding + DCE only the folded constant and return remain.
         assert_eq!(func.body.ops.len(), 2);
         assert!(
             matches!(func.body.ops[0].kind, OpKind::ConstF64 { value } if (value - 4.0).abs() < 1e-12)
         );
         crate::verify::verify_module(&module).unwrap();
+    }
+
+    #[test]
+    fn rescan_reference_reaches_the_same_normal_form() {
+        let mut wl = fadd_module();
+        let mut rs = fadd_module();
+        let mut worklist = GreedyRewriteDriver::new();
+        worklist.add_pattern(Box::new(FoldFAdd));
+        let mut rescan = RescanDriver::default();
+        rescan.add_pattern(Box::new(FoldFAdd));
+        assert_eq!(worklist.run(&mut wl), rescan.run(&mut rs));
+        assert_eq!(wl.to_string(), rs.to_string());
+        assert_eq!(worklist.stats.fired, rescan.stats.fired);
+    }
+
+    #[test]
+    fn worklist_rewrites_inside_nested_regions() {
+        let mut b = FuncBuilder::new(
+            "g",
+            FuncType::new(vec![Type::I1], vec![Type::F64], false),
+            Visibility::Public,
+        );
+        let cond = b.args()[0];
+        let mut bb = b.block();
+        let then_block = bb.subblock(vec![], |sb| {
+            let a = sb.push(OpKind::ConstF64 { value: 1.0 }, vec![], vec![Type::F64]);
+            let c = sb.push(OpKind::ConstF64 { value: 2.0 }, vec![], vec![Type::F64]);
+            let s = sb.push(OpKind::FAdd, vec![a[0], c[0]], vec![Type::F64]);
+            sb.push(OpKind::Yield, vec![s[0]], vec![]);
+        });
+        let else_block = bb.subblock(vec![], |sb| {
+            let a = sb.push(OpKind::ConstF64 { value: 3.0 }, vec![], vec![Type::F64]);
+            sb.push(OpKind::Yield, vec![a[0]], vec![]);
+        });
+        let result = bb.push_with_regions(
+            OpKind::ScfIf,
+            vec![cond],
+            vec![Type::F64],
+            vec![
+                crate::block::Region::single(then_block),
+                crate::block::Region::single(else_block),
+            ],
+        );
+        bb.push(OpKind::Return, vec![result[0]], vec![]);
+        let mut module = Module::new();
+        module.add_func(b.finish());
+
+        let mut driver = GreedyRewriteDriver::new();
+        driver.add_pattern(Box::new(FoldFAdd));
+        assert_eq!(driver.run(&mut module), 1, "the nested fadd folds");
+        crate::verify::verify_module(&module).unwrap();
+        let func = module.func("g").unwrap();
+        let then = &func.body.ops[0].regions[0].blocks[0];
+        assert_eq!(then.ops.len(), 2, "folded const + yield:\n{func}");
+    }
+
+    /// Rewrites that cascade: P-gate-style chained folds where each fold
+    /// creates the next opportunity (here: repeated fadd folding over a
+    /// left-leaning sum tree).
+    #[test]
+    fn cascaded_opportunities_converge() {
+        let mut b = FuncBuilder::new(
+            "h",
+            FuncType::new(vec![], vec![Type::F64], false),
+            Visibility::Public,
+        );
+        let mut bb = b.block();
+        let mut acc = bb.push(OpKind::ConstF64 { value: 1.0 }, vec![], vec![Type::F64])[0];
+        for i in 0..10 {
+            let c = bb.push(OpKind::ConstF64 { value: i as f64 }, vec![], vec![Type::F64]);
+            acc = bb.push(OpKind::FAdd, vec![acc, c[0]], vec![Type::F64])[0];
+        }
+        bb.push(OpKind::Return, vec![acc], vec![]);
+        let mut module = Module::new();
+        module.add_func(b.finish());
+
+        let mut driver = GreedyRewriteDriver::new();
+        driver.add_pattern(Box::new(FoldFAdd));
+        assert_eq!(driver.run(&mut module), 10, "every fold enables the next");
+        let func = module.func("h").unwrap();
+        assert_eq!(func.body.ops.len(), 2, "one constant + return:\n{func}");
+        assert!(
+            matches!(func.body.ops[0].kind, OpKind::ConstF64 { value } if (value - 46.0).abs() < 1e-9)
+        );
+    }
+
+    /// Two patterns that undo each other: the driver must hit its firing
+    /// bound instead of spinning forever.
+    struct FlipConst {
+        from: f64,
+        to: f64,
+        label: &'static str,
+    }
+
+    impl RewritePattern for FlipConst {
+        fn name(&self) -> &'static str {
+            self.label
+        }
+
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+            let op = rw.op();
+            let OpKind::ConstF64 { value } = op.kind else { return false };
+            if (value - self.from).abs() > 1e-9 {
+                return false;
+            }
+            let result = op.results[0];
+            rw.replace_root(Op::new(OpKind::ConstF64 { value: self.to }, vec![], vec![result]));
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "did not reach a fixpoint")]
+    fn cyclic_pattern_pair_hits_the_firing_bound() {
+        let mut module = fadd_module();
+        let config = RewriteConfig::default().with_max_fires(64);
+        let mut set = PatternSet::new();
+        set.add(Box::new(FlipConst { from: 1.5, to: 9.0, label: "flip-up" }));
+        set.add(Box::new(FlipConst { from: 9.0, to: 1.5, label: "flip-down" }));
+        let mut driver = GreedyRewriteDriver::with_config(set, config);
+        driver.run(&mut module);
+    }
+
+    #[test]
+    fn fuel_cuts_off_firings_deterministically() {
+        let run_with_fuel = |limit: u64| -> (usize, String) {
+            let mut module = fadd_module();
+            let config = RewriteConfig::default().with_fuel(Fuel::limited(limit));
+            let mut set = PatternSet::new();
+            set.add(Box::new(FoldFAdd));
+            let mut driver = GreedyRewriteDriver::with_config(set, config);
+            let fired = driver.run(&mut module);
+            (fired, module.to_string())
+        };
+        let (f0, m0) = run_with_fuel(0);
+        assert_eq!(f0, 0, "no firings with zero fuel");
+        let (f1, m1) = run_with_fuel(1);
+        assert_eq!(f1, 1);
+        // Determinism: the same fuel gives the same module, twice.
+        assert_eq!(m0, run_with_fuel(0).1);
+        assert_eq!(m1, run_with_fuel(1).1);
+        assert_ne!(m0, m1);
+    }
+
+    #[test]
+    fn fuel_is_shared_across_clones() {
+        let fuel = Fuel::limited(3);
+        let clone = fuel.clone();
+        assert!(fuel.consume());
+        assert!(clone.consume());
+        assert!(fuel.consume());
+        assert!(!clone.consume(), "budget is shared, not per-clone");
+        assert!(fuel.is_exhausted());
+        assert_eq!(fuel.remaining(), Some(0));
+        assert_eq!(Fuel::unlimited().remaining(), None);
+    }
+
+    #[test]
+    fn higher_benefit_pattern_fires_first() {
+        struct TaggedFold {
+            label: &'static str,
+            benefit: usize,
+        }
+        impl RewritePattern for TaggedFold {
+            fn name(&self) -> &'static str {
+                self.label
+            }
+            fn benefit(&self) -> usize {
+                self.benefit
+            }
+            fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+                let op = rw.op();
+                if !matches!(op.kind, OpKind::FAdd) {
+                    return false;
+                }
+                let (operands, result) = (op.operands.clone(), op.results[0]);
+                rw.replace_root(Op::new(OpKind::FMul, operands, vec![result]));
+                true
+            }
+        }
+        let mut module = fadd_module();
+        let mut driver = GreedyRewriteDriver::new();
+        driver.add_pattern(Box::new(TaggedFold { label: "low", benefit: 1 }));
+        driver.add_pattern(Box::new(TaggedFold { label: "high", benefit: 5 }));
+        driver.run(&mut module);
+        assert_eq!(driver.stats.fired.get("high"), Some(&1));
+        assert_eq!(driver.stats.fired.get("low"), None);
+    }
+
+    #[test]
+    fn trace_records_firing_locations() {
+        let mut module = fadd_module();
+        let config = RewriteConfig::default().with_trace(true);
+        let mut set = PatternSet::new();
+        set.add(Box::new(FoldFAdd));
+        let mut driver = GreedyRewriteDriver::with_config(set, config);
+        driver.run(&mut module);
+        assert_eq!(driver.stats.trace.len(), 1);
+        assert_eq!(driver.stats.trace[0], "fold-fadd @ f:0:2");
+    }
+
+    /// A pattern using `insert_before`: splits `fadd(a, a)` into
+    /// `c = fmul(a, a); fadd -> replaced by fneg(c)` — contrived, but it
+    /// exercises insertion through the queued-mutation path.
+    struct SplitSelfAdd;
+
+    impl RewritePattern for SplitSelfAdd {
+        fn name(&self) -> &'static str {
+            "split-self-add"
+        }
+
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+            let op = rw.op();
+            if !matches!(op.kind, OpKind::FAdd) || op.operands[0] != op.operands[1] {
+                return false;
+            }
+            let (a, result, idx) = (op.operands[0], op.results[0], rw.root_idx());
+            let mid = rw.new_value(Type::F64);
+            rw.insert_before(idx, Op::new(OpKind::FMul, vec![a, a], vec![mid]));
+            rw.replace_root(Op::new(OpKind::FNeg, vec![mid], vec![result]));
+            true
+        }
+    }
+
+    #[test]
+    fn insert_before_keeps_index_and_ir_in_sync() {
+        let mut b = FuncBuilder::new(
+            "s",
+            FuncType::new(vec![Type::F64], vec![Type::F64], false),
+            Visibility::Public,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        let sum = bb.push(OpKind::FAdd, vec![arg, arg], vec![Type::F64]);
+        bb.push(OpKind::Return, vec![sum[0]], vec![]);
+        let mut module = Module::new();
+        module.add_func(b.finish());
+
+        let mut driver = GreedyRewriteDriver::new();
+        driver.add_pattern(Box::new(SplitSelfAdd));
+        assert_eq!(driver.run(&mut module), 1);
+        crate::verify::verify_module(&module).unwrap();
+        let func = module.func("s").unwrap();
+        assert_eq!(func.body.ops.len(), 3);
+        assert!(matches!(func.body.ops[0].kind, OpKind::FMul));
+        assert!(matches!(func.body.ops[1].kind, OpKind::FNeg));
+    }
+
+    /// Replaces `fsub` with an `scf.if` whose regions contain freshly
+    /// created, foldable `fadd(const, const)` ops — the worklist must
+    /// requeue ops created *inside the regions* of a replacement op.
+    struct WrapInIf;
+
+    impl RewritePattern for WrapInIf {
+        fn name(&self) -> &'static str {
+            "wrap-in-if"
+        }
+
+        fn benefit(&self) -> usize {
+            5
+        }
+
+        fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+            let op = rw.op();
+            if !matches!(op.kind, OpKind::FSub) {
+                return false;
+            }
+            let result = op.results[0];
+            let cond = rw.func().body.args[0];
+            let mut regions = Vec::new();
+            for base in [2.0, 3.0] {
+                let (a, b, s) =
+                    (rw.new_value(Type::F64), rw.new_value(Type::F64), rw.new_value(Type::F64));
+                let block = crate::block::Block {
+                    args: vec![],
+                    ops: vec![
+                        Op::new(OpKind::ConstF64 { value: base }, vec![], vec![a]),
+                        Op::new(OpKind::ConstF64 { value: base + 1.0 }, vec![], vec![b]),
+                        Op::new(OpKind::FAdd, vec![a, b], vec![s]),
+                        Op::new(OpKind::Yield, vec![s], vec![]),
+                    ],
+                };
+                regions.push(crate::block::Region::single(block));
+            }
+            rw.replace_root(Op::with_regions(OpKind::ScfIf, vec![cond], vec![result], regions));
+            true
+        }
+    }
+
+    #[test]
+    fn ops_created_inside_replacement_regions_are_requeued() {
+        let build = || {
+            let mut b = FuncBuilder::new(
+                "w",
+                FuncType::new(vec![Type::I1], vec![Type::F64], false),
+                Visibility::Public,
+            );
+            let mut bb = b.block();
+            let c = bb.push(OpKind::ConstF64 { value: 1.0 }, vec![], vec![Type::F64]);
+            let m = bb.push(OpKind::FSub, vec![c[0], c[0]], vec![Type::F64]);
+            bb.push(OpKind::Return, vec![m[0]], vec![]);
+            let mut module = Module::new();
+            module.add_func(b.finish());
+            module
+        };
+        let drive = |module: &mut Module| -> (usize, String) {
+            let mut driver = GreedyRewriteDriver::new();
+            driver.add_pattern(Box::new(WrapInIf));
+            driver.add_pattern(Box::new(FoldFAdd));
+            let fires = driver.run(module);
+            (fires, module.to_string())
+        };
+        let mut module = build();
+        let (fires, printed) = drive(&mut module);
+        assert_eq!(fires, 3, "one wrap + two nested folds in a single run:\n{printed}");
+        crate::verify::verify_module(&module).unwrap();
+
+        // And the rescan reference reaches the same normal form.
+        let mut rescan_module = build();
+        let mut rescan = RescanDriver::default();
+        rescan.add_pattern(Box::new(WrapInIf));
+        rescan.add_pattern(Box::new(FoldFAdd));
+        assert_eq!(rescan.run(&mut rescan_module), fires);
+        assert_eq!(rescan_module.to_string(), printed);
+    }
+
+    #[test]
+    fn symbol_table_reconciles_incrementally() {
+        let stub = |name: &str| {
+            let mut b =
+                FuncBuilder::new(name, FuncType::new(vec![], vec![], false), Visibility::Private);
+            b.block().push(OpKind::Return, vec![], vec![]);
+            b.finish()
+        };
+        let mut module = Module::new();
+        module.add_func(stub("a"));
+        module.add_func(stub("b"));
+        let mut table = SymbolTable::from_module(&module);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.reconcile(&module), 0, "nothing changed");
+
+        module.remove_func("b");
+        module.add_func(stub("c"));
+        assert_eq!(table.reconcile(&module), 2, "one removal + one addition");
+        assert!(table.signature("b").is_none());
+        assert!(table.signature("c").is_some());
+
+        module.remove_func("c");
+        assert!(table.update_symbol(&module, "c"), "single-symbol removal");
+        assert!(!table.update_symbol(&module, "never-existed"));
+        assert!(table.signature("c").is_none());
     }
 
     #[test]
@@ -261,7 +1800,16 @@ mod tests {
         let q = bb.push(OpKind::QAlloc, vec![], vec![Type::Qubit]);
         bb.push(OpKind::Return, vec![q[0]], vec![]);
         let mut func = b.finish();
-        assert!(dce_func(&mut func));
+        assert_eq!(dce_func(&mut func), 1);
         assert_eq!(func.body.ops.len(), 2, "qalloc and return survive");
+    }
+
+    #[test]
+    fn env_fuel_limit_parses() {
+        // Pure parse path (the env var itself is process-global, so the
+        // test only checks the unset default).
+        if std::env::var("ASDF_REWRITE_FUEL").is_err() {
+            assert_eq!(RewriteConfig::env_fuel_limit(), None);
+        }
     }
 }

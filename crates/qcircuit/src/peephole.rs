@@ -14,29 +14,43 @@
 //! - [`UnpackPack`] / [`PackUnpack`]: removes `unpack(pack(...))` and
 //!   `pack(unpack(...))` pairs for qbundles, bitbundles, and arrays (§6.1).
 
-use asdf_ir::block::BlockPath;
 use asdf_ir::pass::CanonicalizePass;
-use asdf_ir::rewrite::{Canonicalizer, RewritePattern, SymbolTable};
-use asdf_ir::{Func, GateKind, Module, OpKind, Value};
+use asdf_ir::rewrite::{GreedyRewriteDriver, PatternSet, RewriteConfig, RewritePattern, Rewriter};
+use asdf_ir::{GateKind, Module, OpKind, Value};
 
 /// The name under which [`peephole_pass`] reports statistics.
 pub const PEEPHOLE_PASS_NAME: &str = "qcircuit-peephole";
 
-/// Builds a canonicalizer loaded with every QCircuit peephole pattern.
-pub fn peephole_canonicalizer() -> Canonicalizer {
-    let mut canon = Canonicalizer::new();
-    canon.add_pattern(Box::new(UnpackPack));
-    canon.add_pattern(Box::new(PackUnpack));
-    canon.add_pattern(Box::new(CancelGates));
-    canon.add_pattern(Box::new(HConjugation));
-    canon.add_pattern(Box::new(RelaxedPeephole));
-    canon
+/// The QCircuit peephole patterns as a [`PatternSet`].
+pub fn peephole_patterns() -> PatternSet {
+    let mut set = PatternSet::new();
+    set.add(Box::new(UnpackPack));
+    set.add(Box::new(PackUnpack));
+    set.add(Box::new(CancelGates));
+    set.add(Box::new(HConjugation));
+    set.add(Box::new(RelaxedPeephole));
+    set
+}
+
+/// A worklist driver loaded with every QCircuit peephole pattern.
+pub fn peephole_canonicalizer() -> GreedyRewriteDriver {
+    GreedyRewriteDriver::from_patterns(peephole_patterns())
 }
 
 /// The peephole optimizations as a pipeline [`asdf_ir::pass::Pass`],
 /// reporting per-pattern firing counts in its statistics detail.
 pub fn peephole_pass() -> CanonicalizePass {
     CanonicalizePass::new(PEEPHOLE_PASS_NAME, peephole_canonicalizer())
+}
+
+/// [`peephole_pass`] under an explicit rewrite configuration (fuel,
+/// trace) — the pipeline path that shares one [`asdf_ir::rewrite::Fuel`]
+/// budget across passes.
+pub fn peephole_pass_with(config: RewriteConfig) -> CanonicalizePass {
+    CanonicalizePass::new(
+        PEEPHOLE_PASS_NAME,
+        GreedyRewriteDriver::with_config(peephole_patterns(), config),
+    )
 }
 
 /// Runs all peephole patterns to a fixpoint; returns pattern firings.
@@ -46,7 +60,7 @@ pub fn run_peephole(module: &mut Module) -> usize {
 
 /// Finds the defining op of `value` by scanning backwards from
 /// `before_idx` (adjacent-gate patterns almost always find it within a few
-/// ops, so this beats building a whole-block map per query).
+/// ops, so this beats a map lookup per query).
 fn find_def(block: &asdf_ir::Block, before_idx: usize, value: Value) -> Option<(usize, usize)> {
     for i in (0..before_idx).rev() {
         if let Some(j) = block.ops[i].results.iter().position(|r| *r == value) {
@@ -54,31 +68,6 @@ fn find_def(block: &asdf_ir::Block, before_idx: usize, value: Value) -> Option<(
         }
     }
     None
-}
-
-/// Use count of `value` within one straight-line block (cheaper than
-/// scanning the whole function; peephole runs on post-inlining blocks).
-fn block_use_count(block: &asdf_ir::Block, value: Value) -> usize {
-    let mut count = 0;
-    for op in &block.ops {
-        count += op.operands.iter().filter(|v| **v == value).count();
-        for region in &op.regions {
-            for nested in &region.blocks {
-                count += block_use_count(nested, value);
-            }
-        }
-    }
-    count
-}
-
-/// Removes the ops at `indices` (any order) from the block.
-fn remove_ops(func: &mut Func, path: &BlockPath, mut indices: Vec<usize>) {
-    indices.sort_unstable();
-    indices.dedup();
-    let block = func.block_at_mut(path);
-    for idx in indices.into_iter().rev() {
-        block.ops.remove(idx);
-    }
 }
 
 /// Normalizes a diagonal phase angle to a named gate when it hits a
@@ -147,20 +136,19 @@ impl RewritePattern for CancelGates {
         "qcircuit-cancel-gates"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let op2 = &block.ops[op_idx];
+    fn benefit(&self) -> usize {
+        3
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let block = rw.block();
+        let op2 = rw.op();
         let OpKind::Gate { gate: g2, num_controls: nc2 } = op2.kind else {
             return false;
         };
         // Every operand must be the positional result of one earlier gate.
-        let Some((idx1, 0)) = op2.operands.first().and_then(|v| find_def(block, op_idx, *v)) else {
+        let Some((idx1, 0)) = op2.operands.first().and_then(|v| find_def(block, rw.root_idx(), *v))
+        else {
             return false;
         };
         let op1 = &block.ops[idx1];
@@ -174,7 +162,7 @@ impl RewritePattern for CancelGates {
             if op1.results.get(pos) != Some(operand) {
                 return false;
             }
-            if block_use_count(block, *operand) != 1 {
+            if rw.use_count(*operand) != 1 {
                 return false;
             }
         }
@@ -187,20 +175,23 @@ impl RewritePattern for CancelGates {
         match merged {
             None => {
                 // Identity: rewire consumers of op2 to op1's inputs.
-                remove_ops(func, path, vec![idx1, op_idx]);
+                rw.erase_op(idx1);
+                rw.erase_root();
                 for (result, replacement) in op2_results.into_iter().zip(op1_operands) {
-                    func.replace_all_uses(result, replacement);
+                    rw.replace_all_uses(result, replacement);
                 }
             }
             Some(gate) => {
                 // Merge into a single gate occupying op1's slot.
-                let block = func.block_at_mut(path);
-                block.ops[idx1] = asdf_ir::Op::new(
-                    OpKind::Gate { gate, num_controls: nc1 },
-                    op1_operands,
-                    op2_results.clone(),
+                rw.replace_op(
+                    idx1,
+                    asdf_ir::Op::new(
+                        OpKind::Gate { gate, num_controls: nc1 },
+                        op1_operands,
+                        op2_results,
+                    ),
                 );
-                block.ops.remove(op_idx);
+                rw.erase_root();
             }
         }
         true
@@ -215,20 +206,20 @@ impl RewritePattern for HConjugation {
         "qcircuit-h-conjugation"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
+    fn benefit(&self) -> usize {
+        2
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let block = rw.block();
         // op3 = H
-        let op3 = &block.ops[op_idx];
+        let op3 = rw.op();
         let OpKind::Gate { gate: GateKind::H, num_controls: 0 } = op3.kind else {
             return false;
         };
-        let Some((idx2, 0)) = find_def(block, op_idx, op3.operands[0]) else { return false };
+        let Some((idx2, 0)) = find_def(block, rw.root_idx(), op3.operands[0]) else {
+            return false;
+        };
         let op2 = &block.ops[idx2];
         let OpKind::Gate { gate: mid, num_controls: 0 } = op2.kind else {
             return false;
@@ -243,21 +234,19 @@ impl RewritePattern for HConjugation {
         let OpKind::Gate { gate: GateKind::H, num_controls: 0 } = op1.kind else {
             return false;
         };
-        if block_use_count(block, op1.results[0]) != 1
-            || block_use_count(block, op2.results[0]) != 1
-        {
+        if rw.use_count(op1.results[0]) != 1 || rw.use_count(op2.results[0]) != 1 {
             return false;
         }
 
         let input = op1.operands[0];
         let output = op3.results[0];
-        let block = func.block_at_mut(path);
-        block.ops[op_idx] = asdf_ir::Op::new(
+        rw.replace_root(asdf_ir::Op::new(
             OpKind::Gate { gate: swapped, num_controls: 0 },
             vec![input],
             vec![output],
-        );
-        remove_ops(func, path, vec![idx1, idx2]);
+        ));
+        rw.erase_op(idx1);
+        rw.erase_op(idx2);
         true
     }
 }
@@ -272,15 +261,13 @@ impl RewritePattern for RelaxedPeephole {
         "qcircuit-relaxed-peephole"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let mcx = &block.ops[op_idx];
+    fn benefit(&self) -> usize {
+        1
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let block = rw.block();
+        let mcx = rw.op();
         let OpKind::Gate { gate: GateKind::X, num_controls: nc } = mcx.kind else {
             return false;
         };
@@ -290,7 +277,7 @@ impl RewritePattern for RelaxedPeephole {
         // Trace the target back: H <- X <- qalloc.
         let target_in = *mcx.operands.last().expect("gate has operands");
         let single_gate = |v: Value, want: GateKind| -> Option<usize> {
-            let (idx, pos) = find_def(block, op_idx, v)?;
+            let (idx, pos) = find_def(block, rw.root_idx(), v)?;
             if pos != 0 {
                 return None;
             }
@@ -315,7 +302,7 @@ impl RewritePattern for RelaxedPeephole {
         // Trace the target forward: H -> X -> qfreez, each single-use.
         let target_out = *mcx.results.last().expect("gate has results");
         let single_user = |v: Value| -> Option<usize> {
-            if block_use_count(block, v) != 1 {
+            if rw.use_count(v) != 1 {
                 return None;
             }
             block.ops.iter().position(|op| op.operands.contains(&v))
@@ -339,24 +326,25 @@ impl RewritePattern for RelaxedPeephole {
             return false;
         }
         // Intermediate prep results must be single-use too.
-        if block_use_count(block, block.ops[alloc_idx].results[0]) != 1
-            || block_use_count(block, block.ops[x_pre].results[0]) != 1
-            || block_use_count(block, block.ops[h_pre].results[0]) != 1
+        if rw.use_count(block.ops[alloc_idx].results[0]) != 1
+            || rw.use_count(block.ops[x_pre].results[0]) != 1
+            || rw.use_count(block.ops[h_pre].results[0]) != 1
         {
             return false;
         }
 
         let controls: Vec<Value> = mcx.operands[..nc].to_vec();
         let control_results: Vec<Value> = mcx.results[..nc].to_vec();
-        let block = func.block_at_mut(path);
         // Replace the MCX with an MCZ on the controls (last control becomes
-        // the Z target).
-        block.ops[op_idx] = asdf_ir::Op::new(
+        // the Z target) and erase the whole |−⟩ ancilla prologue/epilogue.
+        rw.replace_root(asdf_ir::Op::new(
             OpKind::Gate { gate: GateKind::Z, num_controls: nc - 1 },
             controls,
             control_results,
-        );
-        remove_ops(func, path, vec![alloc_idx, x_pre, h_pre, h_post, x_post, free_idx]);
+        ));
+        for idx in [alloc_idx, x_pre, h_pre, h_post, x_post, free_idx] {
+            rw.erase_op(idx);
+        }
         true
     }
 }
@@ -369,38 +357,35 @@ impl RewritePattern for UnpackPack {
         "unpack-of-pack"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let unpack = &block.ops[op_idx];
+    fn benefit(&self) -> usize {
+        4
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let block = rw.block();
+        let unpack = rw.op();
         let pack_kind = match unpack.kind {
             OpKind::QbUnpack => OpKind::QbPack,
             OpKind::BitUnpack => OpKind::BitPack,
             OpKind::ArrUnpack => OpKind::ArrPack,
             _ => return false,
         };
-        let Some((pack_idx, 0)) = find_def(block, op_idx, unpack.operands[0]) else {
+        let Some((pack_idx, 0)) = find_def(block, rw.root_idx(), unpack.operands[0]) else {
             return false;
         };
         let pack = &block.ops[pack_idx];
         if pack.kind != pack_kind || pack.results.len() != 1 {
             return false;
         }
-        if block_use_count(block, pack.results[0]) != 1
-            || pack.operands.len() != unpack.results.len()
-        {
+        if rw.use_count(pack.results[0]) != 1 || pack.operands.len() != unpack.results.len() {
             return false;
         }
         let sources = pack.operands.clone();
         let sinks = unpack.results.clone();
-        remove_ops(func, path, vec![pack_idx, op_idx]);
+        rw.erase_op(pack_idx);
+        rw.erase_root();
         for (sink, source) in sinks.into_iter().zip(sources) {
-            func.replace_all_uses(sink, source);
+            rw.replace_all_uses(sink, source);
         }
         true
     }
@@ -414,15 +399,13 @@ impl RewritePattern for PackUnpack {
         "pack-of-unpack"
     }
 
-    fn match_and_rewrite(
-        &self,
-        func: &mut Func,
-        path: &BlockPath,
-        op_idx: usize,
-        _symbols: &SymbolTable,
-    ) -> bool {
-        let block = func.block_at(path);
-        let pack = &block.ops[op_idx];
+    fn benefit(&self) -> usize {
+        4
+    }
+
+    fn match_and_rewrite(&self, rw: &mut Rewriter<'_>) -> bool {
+        let block = rw.block();
+        let pack = rw.op();
         let unpack_kind = match pack.kind {
             OpKind::QbPack => OpKind::QbUnpack,
             OpKind::BitPack => OpKind::BitUnpack,
@@ -433,20 +416,21 @@ impl RewritePattern for PackUnpack {
             return false;
         }
         // All operands must be the in-order results of one unpack.
-        let Some((unpack_idx, 0)) = find_def(block, op_idx, pack.operands[0]) else {
+        let Some((unpack_idx, 0)) = find_def(block, rw.root_idx(), pack.operands[0]) else {
             return false;
         };
         let unpack = &block.ops[unpack_idx];
         if unpack.kind != unpack_kind || unpack.results != pack.operands {
             return false;
         }
-        if unpack.results.iter().any(|r| block_use_count(block, *r) != 1) {
+        if unpack.results.iter().any(|r| rw.use_count(*r) != 1) {
             return false;
         }
         let source = unpack.operands[0];
         let sink = pack.results[0];
-        remove_ops(func, path, vec![unpack_idx, op_idx]);
-        func.replace_all_uses(sink, source);
+        rw.erase_op(unpack_idx);
+        rw.erase_root();
+        rw.replace_all_uses(sink, source);
         true
     }
 }
@@ -454,7 +438,7 @@ impl RewritePattern for PackUnpack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asdf_ir::{FuncBuilder, FuncType, Type, Visibility};
+    use asdf_ir::{Func, FuncBuilder, FuncType, Type, Visibility};
 
     fn run_one(func: Func) -> (Module, usize) {
         let mut module = Module::new();
