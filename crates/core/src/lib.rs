@@ -41,6 +41,7 @@ pub mod special;
 pub mod synth;
 
 pub use asdf_ir::pass::{PassStat, PassStatistics};
+pub use asdf_qcircuit::decompose::DecomposeStyle;
 pub use compiler::{CompileOptions, Compiled, Compiler};
 pub use error::CoreError;
-pub use session::{CacheStats, CompileRequest, Session};
+pub use session::{CacheStats, CompileRequest, Session, SessionBuilder};

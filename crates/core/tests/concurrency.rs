@@ -1,0 +1,185 @@
+//! Stress tests for the concurrent session core: under multi-thread
+//! hammering, a unique cold key runs the pipeline exactly once (the rest
+//! of the requests hit the cache or coalesce onto the in-flight run),
+//! every requester shares one `Arc`, and a failing cold compile reaches
+//! every waiter without poisoning the key.
+
+use asdf_ast::CaptureValue;
+use asdf_core::{CompileRequest, Compiled, Session};
+use std::sync::{Arc, Barrier};
+
+const BV_SRC: &str = r"
+    classical f[N](secret: bit[N], x: bit[N]) -> bit {
+        (secret & x).xor_reduce()
+    }
+    qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+        'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+    }
+";
+
+fn bv_request(secret: &str) -> CompileRequest {
+    CompileRequest::kernel("kernel").with_capture(CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(secret)],
+    })
+}
+
+#[test]
+fn unique_cold_keys_run_the_pipeline_exactly_once_under_hammering() {
+    const THREADS: usize = 8;
+    const KEYS: usize = 6;
+    let session = Arc::new(
+        Session::builder(BV_SRC)
+            .frontend_capacity(64)
+            .artifact_capacity(64)
+            .build()
+            .expect("parses"),
+    );
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                (0..KEYS)
+                    .map(|k| {
+                        let secret = format!("{:b}", 0b10_0000 | k);
+                        session.compile(&bv_request(&secret)).expect("compiles")
+                    })
+                    .collect::<Vec<Arc<Compiled>>>()
+            })
+        })
+        .collect();
+    let per_thread: Vec<Vec<Arc<Compiled>>> =
+        handles.into_iter().map(|h| h.join().expect("thread finished")).collect();
+
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.artifact_misses, KEYS as u64,
+        "the pipeline ran exactly once per unique cold key, not per request: {stats:?}"
+    );
+    assert_eq!(
+        stats.frontend_misses, KEYS as u64,
+        "the frontend ran exactly once per unique cold key: {stats:?}"
+    );
+    assert_eq!(
+        stats.artifact_hits + stats.artifact_coalesced + stats.artifact_misses,
+        (THREADS * KEYS) as u64,
+        "every request is accounted as a hit, a coalesced wait, or the one miss"
+    );
+
+    // Every thread holds a pointer to the *same* allocation per key —
+    // including threads whose request coalesced onto the leader's run.
+    for key in 0..KEYS {
+        for thread in &per_thread {
+            assert!(
+                Arc::ptr_eq(&per_thread[0][key], &thread[key]),
+                "all requesters of one key share one artifact allocation"
+            );
+        }
+    }
+}
+
+#[test]
+fn hammering_one_key_shares_one_allocation() {
+    const THREADS: usize = 8;
+    let session = Arc::new(Session::new(BV_SRC).expect("parses"));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                session.compile(&bv_request("110101")).expect("compiles")
+            })
+        })
+        .collect();
+    let artifacts: Vec<Arc<Compiled>> =
+        handles.into_iter().map(|h| h.join().expect("thread finished")).collect();
+    for artifact in &artifacts {
+        assert!(Arc::ptr_eq(&artifacts[0], artifact));
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.artifact_misses, 1, "one pipeline run for eight requests");
+    assert_eq!(stats.artifact_hits + stats.artifact_coalesced, (THREADS - 1) as u64);
+}
+
+#[test]
+fn failing_cold_compile_reaches_every_thread_and_retries_cleanly() {
+    // `bad` typechecks only at compile time (E0004: qubit + qubit); `good`
+    // proves the session is not poisoned afterwards.
+    let src = "qpu good() -> bit[1] { '0' | std.measure }\n\
+               qpu bad(q: qubit) -> qubit {\n    q + q\n}";
+    const THREADS: usize = 8;
+    let session = Arc::new(Session::new(src).expect("parses"));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                session.compile(&CompileRequest::kernel("bad"))
+            })
+        })
+        .collect();
+    for handle in handles {
+        let err = handle.join().expect("thread finished").expect_err("bad kernel fails");
+        assert_eq!(err.code(), "E0004", "every thread sees the real error: {err}");
+    }
+
+    // Failures are not cached: an identical retry runs the frontend again
+    // (and fails again) instead of being served a poisoned entry.
+    let misses_after_hammer = session.cache_stats().frontend_misses;
+    assert!(misses_after_hammer >= 1);
+    let err = session.compile(&CompileRequest::kernel("bad")).expect_err("still fails");
+    assert_eq!(err.code(), "E0004");
+    assert_eq!(
+        session.cache_stats().frontend_misses,
+        misses_after_hammer + 1,
+        "the retry re-ran the frontend from scratch"
+    );
+
+    // The session itself is healthy: a good kernel compiles.
+    let good = session.compile(&CompileRequest::kernel("good")).expect("session not poisoned");
+    assert!(good.circuit.is_some());
+}
+
+#[test]
+fn stats_snapshot_is_consistent_under_load() {
+    // cache_stats() reads atomics only; calling it concurrently with
+    // compiles must never deadlock or tear the request accounting.
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 32;
+    let session = Arc::new(Session::new(BV_SRC).expect("parses"));
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..REQUESTS {
+                    let secret = format!("{:b}", 0b100 | (i % 4));
+                    session.compile(&bv_request(&secret)).expect("compiles");
+                }
+            });
+        }
+        let session = Arc::clone(&session);
+        let barrier = Arc::clone(&barrier);
+        scope.spawn(move || {
+            barrier.wait();
+            for _ in 0..200 {
+                let _ = session.cache_stats();
+            }
+        });
+    });
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.artifact_hits + stats.artifact_coalesced + stats.artifact_misses,
+        (THREADS * REQUESTS) as u64
+    );
+    assert_eq!(stats.artifact_misses, 4, "four unique keys, four pipeline runs");
+}

@@ -188,6 +188,57 @@ fn emission_is_reachable_only_through_backends() {
 }
 
 #[test]
+fn backends_are_fixed_before_sharing() {
+    // Backend registration happens on the builder, *before* the session
+    // can be shared — there is no `&mut self` registration on Session, so
+    // an `Arc<Session>` can never race a registry mutation.
+    struct Upper;
+    impl asdf_codegen::Backend for Upper {
+        fn name(&self) -> &'static str {
+            "upper"
+        }
+        fn description(&self) -> &'static str {
+            "uppercased QASM (test backend)"
+        }
+        fn emit(
+            &self,
+            input: &asdf_codegen::EmitInput<'_>,
+        ) -> Result<String, asdf_codegen::BackendError> {
+            asdf_codegen::BackendRegistry::with_codegen_backends()
+                .emit("qasm", input)
+                .map(|text| text.to_uppercase())
+        }
+    }
+    let session = Session::builder(BV_SRC).backend(Box::new(Upper)).build().unwrap();
+    assert_eq!(session.backend_names(), ["qasm", "qir-base", "qir-unrestricted", "sim", "upper"]);
+    let session = Arc::new(session);
+    let artifact = session.compile(&bv_request("101")).unwrap();
+    let emitted = session.emit(&artifact, "upper").unwrap();
+    assert!(emitted.contains("OPENQASM"), "{emitted}");
+}
+
+#[test]
+fn single_shard_restores_exact_global_lru_order() {
+    // shards(1) is the deterministic configuration: one global LRU whose
+    // eviction order is exact (the sharded default approximates it
+    // per-shard).
+    let session = Session::builder(BV_SRC)
+        .frontend_capacity(2)
+        .artifact_capacity(2)
+        .shards(1)
+        .build()
+        .unwrap();
+    for width in 1..=4u32 {
+        session.compile(&bv_request(&"1".repeat(width as usize))).unwrap();
+    }
+    // "111" and "1111" are the two freshest; "1" was evicted first.
+    session.compile(&bv_request("1111")).unwrap();
+    assert_eq!(session.cache_stats().artifact_hits, 1);
+    session.compile(&bv_request("1")).unwrap();
+    assert_eq!(session.cache_stats().artifact_hits, 1, "oldest entry was evicted");
+}
+
+#[test]
 fn programmatic_asts_render_without_a_misleading_label() {
     // Type errors raised on ASTs with placeholder spans (difftest builds
     // them programmatically) must not point a caret at line 1 column 1.

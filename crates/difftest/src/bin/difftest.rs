@@ -17,6 +17,7 @@ fn main() -> ExitCode {
     let mut opts = SweepOptions::default();
     let mut oracle = OracleOptions::default();
     let mut show_stats = false;
+    let mut jobs: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -46,13 +47,18 @@ fn main() -> ExitCode {
                 Some(v) => oracle.dyn_shots = v,
                 None => return usage("--dyn-shots needs an integer"),
             },
+            "--jobs" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => jobs = Some(v),
+                _ => return usage("--jobs needs an integer >= 1"),
+            },
             "--no-shrink" => opts.shrink = false,
             "--fuel-bisect" => opts.fuel_bisect = true,
             "--stats" => show_stats = true,
             "--help" | "-h" => {
                 println!(
                     "usage: difftest [--seed N] [--cases N] [--max-width W] \
-                     [--shots N] [--dyn-shots N] [--no-shrink] [--fuel-bisect] [--stats]"
+                     [--shots N] [--dyn-shots N] [--jobs N] [--no-shrink] \
+                     [--fuel-bisect] [--stats]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -68,7 +74,10 @@ fn main() -> ExitCode {
         opts.gen.max_width,
         asdf_core::CompileOptions::matrix().len()
     );
-    let harness = Harness::new(oracle);
+    let mut harness = Harness::new(oracle);
+    if let Some(jobs) = jobs {
+        harness = harness.with_jobs(jobs);
+    }
     let start = std::time::Instant::now();
     let report = harness.run_sweep(&opts);
     let elapsed = start.elapsed();
@@ -82,15 +91,38 @@ fn main() -> ExitCode {
         report.mismatches.len()
     );
     println!("sweep wall-clock: {elapsed:.3?}");
+    let serial = report.compile_serial_equiv;
+    let concurrent = report.compile_elapsed;
+    let speedup = if concurrent.as_nanos() > 0 {
+        serial.as_secs_f64() / concurrent.as_secs_f64()
+    } else {
+        1.0
+    };
+    println!(
+        "compile phase ({} jobs): {:.3?} concurrent vs {:.3?} serial-equivalent \
+         ({:+.3?} saved, {:.2}x)",
+        report.jobs,
+        concurrent,
+        serial,
+        serial.saturating_sub(concurrent),
+        speedup,
+    );
     let cache = &report.cache;
     println!(
-        "session frontend cache: {}/{} hits ({:.1}%), ~{:.3?} of frontend work avoided \
-         (spent {:.3?} on misses)",
+        "session frontend cache: {} hits + {} coalesced of {} ({:.1}%), ~{:.3?} of \
+         frontend work avoided (spent {:.3?} on misses)",
         cache.frontend_hits,
-        cache.frontend_hits + cache.frontend_misses,
+        cache.frontend_coalesced,
+        cache.frontend_hits + cache.frontend_coalesced + cache.frontend_misses,
         100.0 * cache.frontend_hit_rate(),
         cache.frontend_saved,
         cache.frontend_spent,
+    );
+    println!(
+        "session artifact cache: {} hits + {} coalesced of {}",
+        cache.artifact_hits,
+        cache.artifact_coalesced,
+        cache.artifact_hits + cache.artifact_coalesced + cache.artifact_misses,
     );
     // Rewrite-engine accounting across the whole matrix: per-pattern
     // firing counts and the total wall-clock spent inside the drivers.

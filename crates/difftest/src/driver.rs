@@ -9,6 +9,9 @@ use crate::shrink::minimize;
 use asdf_core::{CacheStats, CompileOptions, CompileRequest, Compiled, Session};
 use asdf_ir::pass::PassStatistics;
 use asdf_qcircuit::Circuit;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+use threadpool::ThreadPool;
 
 /// A circuit mutation injected after compilation of one named
 /// configuration — the hook tests use to prove the harness *catches*
@@ -80,8 +83,16 @@ pub struct SweepReport {
     pub mismatches: Vec<Mismatch>,
     /// Session cache counters aggregated over every per-case session: the
     /// frontend is parsed/typechecked/lowered once per case and *reused*
-    /// by the other eleven configurations.
+    /// by the other eleven configurations (as cache hits or coalesced
+    /// waits, since the configurations compile concurrently).
     pub cache: CacheStats,
+    /// Worker threads the compile phase ran on.
+    pub jobs: usize,
+    /// Wall-clock of the concurrent 12-config compile phases.
+    pub compile_elapsed: Duration,
+    /// Sum of every individual configuration's compile time — what the
+    /// compile phases would have cost serially.
+    pub compile_serial_equiv: Duration,
 }
 
 impl SweepReport {
@@ -137,6 +148,10 @@ pub struct CaseAccounting {
     pub skipped: Vec<usize>,
     /// The per-case session's cache counters.
     pub cache: CacheStats,
+    /// Wall-clock of this case's concurrent compile phase.
+    pub compile_elapsed: Duration,
+    /// Sum of the individual configuration compile times.
+    pub compile_serial_equiv: Duration,
 }
 
 /// The differential harness: a configuration matrix plus oracles.
@@ -146,12 +161,34 @@ pub struct Harness {
     /// Oracle tunables.
     pub oracle: OracleOptions,
     sabotage: Option<(String, Sabotage)>,
+    /// The pool that compiles each case's configurations concurrently
+    /// through the shared session.
+    pool: ThreadPool,
 }
 
 impl Harness {
-    /// A harness over the full [`CompileOptions::matrix`].
+    /// A harness over the full [`CompileOptions::matrix`], compiling each
+    /// case's configurations concurrently on up to
+    /// `available_parallelism` (capped at the matrix width) workers.
     pub fn new(oracle: OracleOptions) -> Self {
-        Harness { configs: CompileOptions::matrix(), oracle, sabotage: None }
+        let configs = CompileOptions::matrix();
+        let jobs = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(configs.len());
+        Harness { configs, oracle, sabotage: None, pool: ThreadPool::new(jobs) }
+    }
+
+    /// Overrides the compile-phase worker count (1 = serial).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.pool = ThreadPool::new(jobs.max(1));
+        self
+    }
+
+    /// The compile-phase worker count.
+    pub fn jobs(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Installs a circuit mutation applied after compiling `config` —
@@ -165,10 +202,12 @@ impl Harness {
     /// Compiles `case` under every configuration and cross-checks all
     /// comparable pairs.
     ///
-    /// All configurations run through **one [`Session`]**: the case is
-    /// parsed once, and the frontend (instantiate/typecheck/lower) runs
-    /// once and is served from the session cache for the remaining
-    /// configurations. The session's counters are merged into the
+    /// All configurations run **concurrently through one shared
+    /// [`Session`]**: the case is parsed once, the twelve configuration
+    /// compiles are distributed over the harness pool, and the frontend
+    /// (instantiate/typecheck/lower) runs exactly once — the other eleven
+    /// configurations either hit the frontend cache or coalesce onto the
+    /// in-flight frontend run. The session's counters are merged into the
     /// returned accounting.
     pub fn check_case(&self, case: &GenCase) -> (CaseOutcome, CaseAccounting) {
         let rendered = case.render();
@@ -177,6 +216,8 @@ impl Harness {
             compared: vec![0; self.configs.len()],
             skipped: vec![0; self.configs.len()],
             cache: CacheStats::default(),
+            compile_elapsed: Duration::ZERO,
+            compile_serial_equiv: Duration::ZERO,
         };
         let session = match Session::new(&rendered.source) {
             Ok(session) => session,
@@ -188,29 +229,55 @@ impl Harness {
         };
         let base_request =
             CompileRequest::kernel(&rendered.kernel).with_captures(&rendered.captures);
-        let mut compiled: Vec<Result<Compiled, String>> = Vec::new();
-        for (name, options) in &self.configs {
-            let mut options = options.clone();
-            options.dims.extend(rendered.dims.iter().map(|(k, v)| (k.clone(), *v)));
-            let request = base_request.clone().with_options(options);
-            let result =
-                session.compile(&request).map(|arc| (*arc).clone()).map_err(|e| e.to_string());
-            let result = result.map(|mut c| {
-                if let Some((target, mutate)) = &self.sabotage {
-                    if target == name {
+
+        // The concurrent compile phase: one slot per configuration, each
+        // compiled through the shared session. Captures are limited to
+        // Sync state (the sabotage hook is applied afterwards, serially).
+        #[derive(Default)]
+        struct CompileSlot {
+            result: Option<Result<Compiled, String>>,
+            elapsed: Duration,
+        }
+        let mut slots: Vec<CompileSlot> =
+            (0..self.configs.len()).map(|_| CompileSlot::default()).collect();
+        let compile_started = Instant::now();
+        {
+            let configs = &self.configs;
+            let session = &session;
+            let base_request = &base_request;
+            let dims = &rendered.dims;
+            self.pool.for_each_chunk(&mut slots, 1, |index, chunk| {
+                let mut options = configs[index].1.clone();
+                options.dims.extend(dims.iter().map(|(k, v)| (k.clone(), *v)));
+                let request = base_request.clone().with_options(options);
+                let started = Instant::now();
+                let result =
+                    session.compile(&request).map(|arc| (*arc).clone()).map_err(|e| e.to_string());
+                chunk[0] = CompileSlot { result: Some(result), elapsed: started.elapsed() };
+            });
+        }
+        acct.compile_elapsed = compile_started.elapsed();
+        acct.compile_serial_equiv = slots.iter().map(|s| s.elapsed).sum();
+
+        let mut compiled: Vec<Result<Compiled, String>> =
+            slots.into_iter().map(|s| s.result.expect("every config slot filled")).collect();
+        if let Some((target, mutate)) = &self.sabotage {
+            for ((name, _), result) in self.configs.iter().zip(compiled.iter_mut()) {
+                if name == target {
+                    if let Ok(c) = result {
                         if let Some(circuit) = &mut c.circuit {
                             mutate(circuit);
                         }
                     }
                 }
-                c
-            });
+            }
+        }
+        for result in &compiled {
             acct.per_config.push((
                 result.is_ok(),
                 result.as_ref().map(|c| c.circuit.is_some()).unwrap_or(false),
                 result.as_ref().ok().map(|c| c.stats.clone()),
             ));
-            compiled.push(result);
         }
         acct.cache = session.cache_stats();
 
@@ -298,6 +365,8 @@ impl Harness {
         let mut comparisons = 0;
         let mut mismatches = Vec::new();
         let mut cache = CacheStats::default();
+        let mut compile_elapsed = Duration::ZERO;
+        let mut compile_serial_equiv = Duration::ZERO;
 
         for index in 0..opts.cases {
             let case = gen_case(opts.seed, index, &opts.gen);
@@ -319,6 +388,8 @@ impl Harness {
             }
             comparisons += acct.compared.iter().sum::<usize>() / 2;
             cache.merge(&acct.cache);
+            compile_elapsed += acct.compile_elapsed;
+            compile_serial_equiv += acct.compile_serial_equiv;
             match outcome {
                 CaseOutcome::Pass => {}
                 CaseOutcome::Rejected(_) => rejected += 1,
@@ -350,7 +421,17 @@ impl Harness {
             }
         }
 
-        SweepReport { cases: opts.cases, rejected, comparisons, configs, mismatches, cache }
+        SweepReport {
+            cases: opts.cases,
+            rejected,
+            comparisons,
+            configs,
+            mismatches,
+            cache,
+            jobs: self.jobs(),
+            compile_elapsed,
+            compile_serial_equiv,
+        }
     }
 }
 

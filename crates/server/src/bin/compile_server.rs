@@ -1,0 +1,84 @@
+//! The `compile-server` binary: a line-delimited JSON compile service.
+//!
+//! ```text
+//! compile-server                      # serve stdin → stdout
+//! compile-server --listen 127.0.0.1:7878   # serve TCP, thread per connection
+//! compile-server --sessions 16       # bound the live-session registry
+//! ```
+//!
+//! Every connection shares one [`CompileServer`], so identical requests
+//! from different clients hit the same sharded caches and coalesce onto
+//! the same in-flight pipeline runs.
+
+use asdf_server::CompileServer;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut sessions = asdf_server::DEFAULT_SESSION_CAPACITY;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => match args.get(i + 1) {
+                Some(addr) => {
+                    listen = Some(addr.clone());
+                    i += 1;
+                }
+                None => return usage("--listen needs an address (e.g. 127.0.0.1:7878)"),
+            },
+            "--sessions" => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => {
+                    sessions = n;
+                    i += 1;
+                }
+                _ => return usage("--sessions needs an integer >= 1"),
+            },
+            "--help" | "-h" => {
+                println!("usage: compile-server [--listen ADDR] [--sessions N]");
+                println!("serves line-delimited JSON (op: compile | emit | stats);");
+                println!("stdio by default, TCP with --listen");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let server = Arc::new(CompileServer::with_session_capacity(sessions));
+    let result = match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server.serve(stdin.lock(), stdout.lock())
+        }
+        Some(addr) => match TcpListener::bind(&addr) {
+            Err(e) => {
+                eprintln!("compile-server: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("compile-server: listening on {local}"),
+                    Err(_) => eprintln!("compile-server: listening on {addr}"),
+                }
+                server.serve_listener(listener)
+            }
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("compile-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("compile-server: {message} (--help for usage)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,388 @@
+//! A minimal JSON value model, parser, and writer.
+//!
+//! The build environment has no crate registry, so the wire format is
+//! implemented in-tree: exactly the subset of JSON the compile-server
+//! protocol needs (RFC 8259 syntax, objects kept in insertion order,
+//! numbers as `f64` with lossless integer round-tripping up to 2^53).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered so responses render deterministically.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An integer number (exact for |n| ≤ 2^53).
+    pub fn int(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+
+    /// A string value.
+    pub fn str(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+
+    /// Looks up `key` in an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as an integer, if this is a number with no fractional
+    /// part in the exactly-representable range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing input at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected {:?} at byte {}", other as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // the byte sequence is valid by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of `\uXXXX` (the leading `\u` already consumed up
+    /// to the `u`), combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        self.pos += 1; // the 'u'
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                self.expect(b'u')?;
+                let low = self.hex4()?;
+                if (0xDC00..0xE000).contains(&low) {
+                    let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(code).ok_or_else(|| "bad surrogate pair".to_string());
+                }
+            }
+            return Err("unpaired surrogate".to_string());
+        }
+        char::from_u32(high).ok_or_else(|| "bad \\u escape".to_string())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape {text:?}"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_variant() {
+        let text = r#"{"op":"compile","n":3,"neg":-1.5,"ok":true,"none":null,"xs":[1,"two",[]],"nested":{"a":""}}"#;
+        let value = parse(text).unwrap();
+        assert_eq!(value.to_string(), text);
+        assert_eq!(value.get("op").and_then(Value::as_str), Some("compile"));
+        assert_eq!(value.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(value.get("neg"), Some(&Value::Number(-1.5)));
+        assert_eq!(value.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(value.get("none"), Some(&Value::Null));
+        assert_eq!(value.get("xs").and_then(Value::as_array).map(<[Value]>::len), Some(3));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = Value::String("line\nquote\"back\\slash\ttab\u{1}é💡".to_string());
+        let written = original.to_string();
+        assert_eq!(parse(&written).unwrap(), original);
+        // Escaped input parses to the unescaped payload.
+        let parsed = parse(r#""aA\né💡""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("aA\né💡"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "tru", "\"unterminated", "{\"a\":}", "1 2", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_a_decimal_point() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::Number(0.5).to_string(), "0.5");
+        assert_eq!(parse("9007199254740992").unwrap().as_i64(), Some(9007199254740992));
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let value = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(value.to_string(), r#"{"a":[1,2],"b":null}"#);
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end tests for the compile server: the line protocol over
+//! `handle_line`, session sharing across requests, and a real TCP
+//! round-trip with concurrent clients.
+
+use asdf_server::json::{parse, Value};
+use asdf_server::CompileServer;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+const SRC: &str = r"classical f[N](secret: bit[N], x: bit[N]) -> bit { (secret & x).xor_reduce() } qpu kernel[N](f: cfunc[N, 1]) -> bit[N] { 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure }";
+
+fn compile_line(secret: &str) -> String {
+    format!(
+        r#"{{"op":"compile","source":"{SRC}","kernel":"kernel","captures":[{{"cfunc":{{"name":"f","captures":[{{"bits":"{secret}"}}]}}}}]}}"#
+    )
+}
+
+#[test]
+fn compile_reports_the_circuit_shape() {
+    let server = CompileServer::new();
+    let response = parse(&server.handle_line(&compile_line("101"))).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    assert_eq!(response.get("entry").and_then(Value::as_str), Some("kernel"));
+    let circuit = response.get("circuit").expect("inlined kernels carry a circuit");
+    assert!(circuit.get("qubits").and_then(Value::as_i64).unwrap() >= 3);
+    assert_eq!(circuit.get("bits").and_then(Value::as_i64), Some(3));
+    assert!(circuit.get("ops").and_then(Value::as_i64).unwrap() > 0);
+}
+
+#[test]
+fn repeat_requests_share_one_session_and_hit_the_cache() {
+    let server = CompileServer::new();
+    for _ in 0..3 {
+        let response = parse(&server.handle_line(&compile_line("1101"))).unwrap();
+        assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    }
+    assert_eq!(server.session_count(), 1, "one source, one session");
+    let stats = parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    assert_eq!(stats.get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(stats.get("sessions").and_then(Value::as_i64), Some(1));
+    assert_eq!(stats.get("artifact_misses").and_then(Value::as_i64), Some(1));
+    assert_eq!(stats.get("artifact_hits").and_then(Value::as_i64), Some(2));
+}
+
+#[test]
+fn emit_renders_through_a_named_backend() {
+    let server = CompileServer::new();
+    let line = format!(
+        r#"{{"op":"emit","backend":"qasm","source":"{SRC}","kernel":"kernel","captures":[{{"cfunc":{{"name":"f","captures":[{{"bits":"110"}}]}}}}]}}"#
+    );
+    let response = parse(&server.handle_line(&line)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    assert_eq!(response.get("backend").and_then(Value::as_str), Some("qasm"));
+    let text = response.get("text").and_then(Value::as_str).unwrap();
+    assert!(text.contains("OPENQASM"), "{text}");
+
+    let bad = line.replace("\"qasm\"", "\"no-such-target\"");
+    let response = parse(&server.handle_line(&bad)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(false)));
+    assert!(response.get("error").and_then(Value::as_str).unwrap().contains("unknown backend"));
+}
+
+#[test]
+fn failures_come_back_as_structured_errors() {
+    let server = CompileServer::new();
+
+    // Not JSON at all.
+    let response = parse(&server.handle_line("not json")).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(false)));
+
+    // Valid JSON, unknown op.
+    let response = parse(&server.handle_line(r#"{"op":"transmogrify"}"#)).unwrap();
+    assert!(response.get("error").and_then(Value::as_str).unwrap().contains("unknown op"));
+
+    // A compiler diagnostic carries its error code.
+    let line = r#"{"op":"compile","source":"qpu k(q: qubit) -> qubit { q + q }","kernel":"k"}"#;
+    let response = parse(&server.handle_line(line)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(response.get("code").and_then(Value::as_str), Some("E0004"), "{response}");
+
+    // The server survives all of the above and still compiles.
+    let response = parse(&server.handle_line(&compile_line("11"))).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn session_registry_is_bounded_lru() {
+    let server = CompileServer::with_session_capacity(2);
+    for source in [
+        "qpu a() -> bit[1] { '0' | std.measure }",
+        "qpu b() -> bit[1] { '1' | std.measure }",
+        "qpu c() -> bit[1] { '0' | std.measure }",
+    ] {
+        let kernel = source.chars().nth(4).unwrap();
+        let line = format!(r#"{{"op":"compile","source":"{source}","kernel":"{kernel}"}}"#);
+        let response = parse(&server.handle_line(&line)).unwrap();
+        assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    }
+    assert_eq!(server.session_count(), 2, "the oldest session was evicted");
+}
+
+#[test]
+fn tcp_round_trip_with_concurrent_clients() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(CompileServer::new());
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let _ = server.serve_listener(listener);
+        });
+    }
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut stream = stream;
+                let mut responses = Vec::new();
+                for line in [compile_line("1011"), r#"{"op":"stats"}"#.to_string()] {
+                    stream.write_all(line.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    let mut response = String::new();
+                    reader.read_line(&mut response).unwrap();
+                    responses.push(parse(response.trim()).expect("valid JSON response"));
+                }
+                responses
+            })
+        })
+        .collect();
+    for client in clients {
+        let responses = client.join().expect("client finished");
+        assert_eq!(responses[0].get("ok"), Some(&Value::Bool(true)), "{}", responses[0]);
+        assert_eq!(responses[1].get("ok"), Some(&Value::Bool(true)), "{}", responses[1]);
+    }
+
+    // All four clients requested the same key through one shared server:
+    // exactly one pipeline run happened; the rest hit or coalesced.
+    let (sessions, stats) = server.stats();
+    assert_eq!(sessions, 1);
+    assert_eq!(stats.artifact_misses, 1, "one pipeline run for four clients");
+    assert_eq!(stats.artifact_hits + stats.artifact_coalesced + stats.artifact_misses, 4);
+}

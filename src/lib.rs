@@ -9,4 +9,5 @@ pub use asdf_ir as ir;
 pub use asdf_logic as logic;
 pub use asdf_qcircuit as qcircuit;
 pub use asdf_resource as resource;
+pub use asdf_server as server;
 pub use asdf_sim as sim;
