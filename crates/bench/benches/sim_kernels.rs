@@ -1,14 +1,16 @@
-//! Simulation-engine bench: the kernel-based hot path (gate fusion +
-//! stride enumeration + batched structure-of-arrays unitary extraction)
-//! against the naive scan-and-branch reference
-//! ([`asdf_sim::StateVector::apply_naive`]), on a seeded random circuit.
+//! Simulation-engine bench: the SIMD + multithreaded kernel path against
+//! its own history, on seeded random circuits.
 //!
 //! Two measurements:
 //!
-//! - **single_state** — one shot from |0..0> through the whole circuit;
-//! - **unitary** — extracting all `2^n` unitary columns (the difftest
-//!   oracle's hottest loop), naive per-column re-simulation vs
-//!   [`asdf_sim::batched_columns`].
+//! - **single_state**, over a qubit grid (12/16/20 full, 8/10 smoke) with
+//!   a threads axis — the pre-SIMD kernel path (unfused program, scalar
+//!   per-pair loops: exactly what earlier revisions shipped) vs the fused
+//!   SIMD run kernels on one thread vs the same kernels with the pair
+//!   enumeration split over all cores;
+//! - **unitary** — extracting all `2^n` unitary columns at the smallest
+//!   grid size (the difftest oracle's hottest loop), naive per-column
+//!   re-simulation vs [`asdf_sim::batched_columns`].
 //!
 //! Each run appends a trajectory point to `BENCH_sim.json` at the repo
 //! root, so speedups are tracked across commits. `--smoke` (or env
@@ -22,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+use threadpool::ThreadPool;
 
 const SEED: u64 = 0xC0FF_EE00;
 
@@ -71,16 +74,6 @@ fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
     circuit
 }
 
-fn naive_run(circuit: &Circuit) -> StateVector {
-    let mut state = StateVector::zero(circuit.num_qubits);
-    for op in &circuit.ops {
-        if let CircuitOp::Gate { gate, controls, targets } = op {
-            state.apply_naive(*gate, controls, targets);
-        }
-    }
-    state
-}
-
 fn naive_columns(circuit: &Circuit, inputs: &[usize]) -> Vec<StateVector> {
     inputs
         .iter()
@@ -96,18 +89,18 @@ fn naive_columns(circuit: &Circuit, inputs: &[usize]) -> Vec<StateVector> {
         .collect()
 }
 
-/// Median wall-clock of `samples` runs (after one warmup).
-fn median_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+/// Minimum wall-clock of `samples` runs (after one warmup) — the least
+/// noise-contaminated estimate of the true cost on a shared machine.
+fn min_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
     black_box(f());
-    let mut times: Vec<Duration> = (0..samples)
+    (0..samples)
         .map(|_| {
             let start = Instant::now();
             black_box(f());
             start.elapsed()
         })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
+        .min()
+        .expect("samples >= 1")
 }
 
 fn ms(d: Duration) -> f64 {
@@ -142,60 +135,99 @@ fn append_trajectory_point(point: &str) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("SIM_KERNELS_SMOKE").is_ok_and(|v| v == "1");
-    let (num_qubits, gates, unitary_samples, state_samples) =
-        if smoke { (8, 100, 2, 20) } else { (12, 200, 3, 50) };
-    let circuit = random_circuit(num_qubits, gates, SEED);
-    let program = KernelProgram::compile(&circuit);
+    // (qubits, gates, single-state samples) per grid size.
+    let grid: &[(usize, usize, usize)] = if smoke {
+        &[(8, 100, 20), (10, 150, 10)]
+    } else {
+        &[(12, 200, 60), (16, 200, 25), (20, 200, 9)]
+    };
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     println!(
-        "sim_kernels: {num_qubits} qubits, {} gates fused to {} kernel ops{}",
-        circuit.ops.len(),
-        program.ops().len(),
-        if smoke { " (smoke)" } else { "" },
+        "sim_kernels: {} grid, {threads} hardware threads",
+        if smoke { "smoke" } else { "full" }
     );
 
-    // Correctness cross-check before timing anything.
-    let inputs: Vec<usize> = (0..(1usize << num_qubits)).collect();
+    // Correctness cross-check at the smallest size before timing anything.
+    let (check_qubits, check_gates, _) = grid[0];
+    let check = random_circuit(check_qubits, check_gates, SEED);
+    let inputs: Vec<usize> = (0..(1usize << check_qubits)).collect();
     assert!(
         columns_equivalent(
-            &batched_columns(&circuit, &inputs),
-            &naive_columns(&circuit, &inputs),
+            &batched_columns(&check, &inputs),
+            &naive_columns(&check, &inputs),
             1e-9
         ),
         "kernel engine disagrees with the naive reference"
     );
 
-    let naive_state = median_time(state_samples, || naive_run(&circuit));
-    let kernel_state = median_time(state_samples, || {
-        let mut state = StateVector::zero(num_qubits);
-        KernelProgram::compile(&circuit).apply_state(&mut state);
-        state
-    });
-    let state_speedup = naive_state.as_secs_f64() / kernel_state.as_secs_f64();
-    println!(
-        "single_state/naive  median {:>10.3?}\nsingle_state/kernel median {:>10.3?}   speedup {state_speedup:.2}x",
-        naive_state, kernel_state
-    );
+    // single_state grid: the pre-SIMD kernel path (unfused + scalar pair
+    // loops) vs the fused SIMD kernels serially vs across all cores.
+    let serial = ThreadPool::new(1);
+    let wide = ThreadPool::new(threads);
+    let mut grid_points = Vec::new();
+    for &(num_qubits, gates, samples) in grid {
+        let circuit = random_circuit(num_qubits, gates, SEED);
+        let unfused = KernelProgram::compile_unfused(&circuit);
+        let fused = KernelProgram::compile(&circuit);
+        let pr3 = min_time(samples, || {
+            let mut state = StateVector::zero(num_qubits);
+            unfused.apply_gates_scalar(&mut state);
+            state
+        });
+        let simd = min_time(samples, || {
+            let mut state = StateVector::zero(num_qubits);
+            fused.apply_gates_pooled(&mut state, &serial);
+            state
+        });
+        let simd_mt = min_time(samples, || {
+            let mut state = StateVector::zero(num_qubits);
+            fused.apply_gates_pooled(&mut state, &wide);
+            state
+        });
+        let speedup = pr3.as_secs_f64() / simd.as_secs_f64();
+        let speedup_mt = pr3.as_secs_f64() / simd_mt.as_secs_f64();
+        let scaling = simd.as_secs_f64() / simd_mt.as_secs_f64();
+        println!(
+            "single_state {num_qubits:>2}q ({} ops -> {} fused): scalar {:>9.3?} | simd(1t) \
+             {:>9.3?} ({speedup:.2}x) | simd({threads}t) {:>9.3?} ({speedup_mt:.2}x, 1->{threads}t \
+             scaling {scaling:.2}x)",
+            unfused.ops().len(),
+            fused.ops().len(),
+            pr3,
+            simd,
+            simd_mt,
+        );
+        grid_points.push(format!(
+            "{{\"qubits\": {num_qubits}, \"gates\": {}, \"kernel_ops\": {}, \
+             \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"simd_mt_ms\": {:.3}, \
+             \"speedup\": {speedup:.2}, \"speedup_mt\": {speedup_mt:.2}, \
+             \"scaling\": {scaling:.2}}}",
+            circuit.ops.len(),
+            fused.ops().len(),
+            ms(pr3),
+            ms(simd),
+            ms(simd_mt),
+        ));
+    }
 
-    let naive_unitary = median_time(unitary_samples, || naive_columns(&circuit, &inputs));
-    let kernel_unitary = median_time(unitary_samples, || batched_columns(&circuit, &inputs));
+    // unitary extraction at the smallest grid size (naive per-column
+    // re-simulation is intractable beyond ~12 qubits).
+    let unitary_samples = if smoke { 2 } else { 3 };
+    let naive_unitary = min_time(unitary_samples, || naive_columns(&check, &inputs));
+    let kernel_unitary = min_time(unitary_samples, || batched_columns(&check, &inputs));
     let unitary_speedup = naive_unitary.as_secs_f64() / kernel_unitary.as_secs_f64();
     println!(
-        "unitary/naive       median {:>10.3?}\nunitary/kernel      median {:>10.3?}   speedup {unitary_speedup:.2}x",
+        "unitary {check_qubits:>2}q: naive {:>10.3?} | batched {:>10.3?}   speedup {unitary_speedup:.2}x",
         naive_unitary, kernel_unitary
     );
 
-    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let point = format!(
-        "{{\"bench\": \"sim_kernels\", \"mode\": \"{}\", \"qubits\": {num_qubits}, \"gates\": {}, \
-         \"kernel_ops\": {}, \"threads\": {threads}, \
-         \"single_state\": {{\"naive_ms\": {:.3}, \"kernel_ms\": {:.3}, \"speedup\": {:.2}}}, \
-         \"unitary\": {{\"naive_ms\": {:.3}, \"kernel_ms\": {:.3}, \"speedup\": {:.2}}}}}",
+        "{{\"bench\": \"sim_kernels\", \"mode\": \"{}\", \"threads\": {threads}, \
+         \"single_state_grid\": [{}], \
+         \"unitary\": {{\"qubits\": {check_qubits}, \"naive_ms\": {:.3}, \"kernel_ms\": {:.3}, \
+         \"speedup\": {:.2}}}}}",
         if smoke { "smoke" } else { "full" },
-        circuit.ops.len(),
-        program.ops().len(),
-        ms(naive_state),
-        ms(kernel_state),
-        state_speedup,
+        grid_points.join(", "),
         ms(naive_unitary),
         ms(kernel_unitary),
         unitary_speedup,

@@ -141,8 +141,11 @@ fn sessions_are_shareable_across_threads() {
     for pair in artifacts.windows(2) {
         assert_eq!(pair[0].circuit, pair[1].circuit);
     }
+    // Every thread is accounted for, but a concurrent identical request
+    // may land as a hit, the one miss that does the work, or a coalesced
+    // wait on that in-flight work — depending on timing.
     let stats = session.cache_stats();
-    assert_eq!(stats.artifact_hits + stats.artifact_misses, 4);
+    assert_eq!(stats.artifact_hits + stats.artifact_misses + stats.artifact_coalesced, 4);
     assert!(stats.artifact_misses >= 1);
 }
 

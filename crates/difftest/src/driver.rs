@@ -176,14 +176,26 @@ impl Harness {
             .map(NonZeroUsize::get)
             .unwrap_or(1)
             .min(configs.len());
-        Harness { configs, oracle, sabotage: None, pool: ThreadPool::new(jobs) }
+        let mut harness = Harness { configs, oracle, sabotage: None, pool: ThreadPool::new(1) };
+        harness.set_jobs(jobs);
+        harness
     }
 
-    /// Overrides the compile-phase worker count (1 = serial).
+    /// Overrides the compile-phase worker count (1 = serial). A parallel
+    /// compile pool pins the oracle's simulator pools to one worker each —
+    /// case-level parallelism already saturates the machine, and nested
+    /// pools would only oversubscribe it. A serial compile phase
+    /// (`jobs == 1`) hands the whole machine back to the simulator
+    /// (`sim_threads = 0`, size-based auto).
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.pool = ThreadPool::new(jobs.max(1));
+        self.set_jobs(jobs.max(1));
         self
+    }
+
+    fn set_jobs(&mut self, jobs: usize) {
+        self.pool = ThreadPool::new(jobs);
+        self.oracle.sim_threads = if jobs > 1 { 1 } else { 0 };
     }
 
     /// The compile-phase worker count.

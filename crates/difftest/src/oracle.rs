@@ -23,8 +23,8 @@ use crate::gen::{GenCase, InputMode};
 use asdf_core::Compiled;
 use asdf_qcircuit::{Circuit, CircuitOp};
 use asdf_sim::{
-    batched_columns, columns_equivalent, measurement_distribution, run_dynamic, sample_per_shot,
-    ArgValue, StateVector,
+    batched_program_columns_threads, columns_equivalent, measurement_distribution_threads,
+    run_dynamic, sample_per_shot, ArgValue, KernelProgram, StateVector,
 };
 use std::collections::BTreeMap;
 
@@ -39,11 +39,23 @@ pub struct OracleOptions {
     pub eps: f64,
     /// Hard cap on qubits for column extraction (exponential).
     pub max_unitary_qubits: usize,
+    /// Simulator worker threads per extraction: `0` lets the simulator
+    /// size its pool from the state size; [`crate::Harness::with_jobs`]
+    /// pins this to 1 when the compile pool is already parallel, so the
+    /// two levels never oversubscribe. Verdicts are identical either way
+    /// (the kernels are bit-identical across worker counts).
+    pub sim_threads: usize,
 }
 
 impl Default for OracleOptions {
     fn default() -> Self {
-        OracleOptions { shots: 4096, dyn_shots: 512, eps: 1e-7, max_unitary_qubits: 12 }
+        OracleOptions {
+            shots: 4096,
+            dyn_shots: 512,
+            eps: 1e-7,
+            max_unitary_qubits: 12,
+            sim_threads: 0,
+        }
     }
 }
 
@@ -172,7 +184,8 @@ fn columns_from_circuit(case: &GenCase, circuit: &Circuit, opts: &OracleOptions)
     // One batched pass over every basis input instead of a per-column
     // re-simulation: the sweep's hottest loop.
     let inputs: Vec<usize> = indices.iter().map(|&index| index << shift).collect();
-    let full_columns = batched_columns(circuit, &inputs);
+    let program = KernelProgram::compile(circuit);
+    let full_columns = batched_program_columns_threads(&program, &inputs, opts.sim_threads);
     let mut columns = Vec::with_capacity(full_columns.len());
     for (index, state) in indices.iter().zip(&full_columns) {
         match state.marginal_on(&data, 1e-9) {
@@ -208,7 +221,7 @@ fn dist_from_circuit(
         }
         InputMode::Prep(_) => circuit.clone(),
     };
-    if let Some(dist) = measurement_distribution(&run) {
+    if let Some(dist) = measurement_distribution_threads(&run, opts.sim_threads) {
         return Semantics::Distribution { dist, slack: 0.0 };
     }
     // Mid-circuit measurement: empirical sampling with statistical slack

@@ -13,13 +13,31 @@
 //! zero-worker/one-worker cases degrade to plain serial loops (important
 //! for the simulator, whose inputs are usually far too small to amortize a
 //! thread spawn).
+//!
+//! Work is split into **contiguous, balanced** per-worker ranges: worker
+//! `w` of `n` receives items `[w*total/n, (w+1)*total/n)`, so per-worker
+//! item counts differ by at most one and each worker touches one
+//! cache-friendly contiguous span. (An earlier version dealt chunks
+//! round-robin, which both interleaved each worker's memory accesses and —
+//! when the chunk count was not a multiple of the worker count — left the
+//! trailing workers idle while the leading ones drained a whole extra
+//! round.)
 
 use std::num::NonZeroUsize;
+use std::ops::Range;
 
 /// A fixed-width scoped thread pool.
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
     workers: usize,
+}
+
+/// The contiguous even split of `0..total` into at most `parts` ranges:
+/// range `p` is `[p*total/parts, (p+1)*total/parts)`, so lengths differ by
+/// at most one and concatenating the ranges yields `0..total` exactly.
+fn even_ranges(total: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
+    let parts = parts.clamp(1, total.max(1));
+    (0..parts).map(move |p| (p * total / parts)..((p + 1) * total / parts))
 }
 
 impl ThreadPool {
@@ -39,9 +57,10 @@ impl ThreadPool {
     }
 
     /// Splits `data` into disjoint chunks of at most `chunk_len` elements
-    /// and runs `f(chunk_index, chunk)` over all of them, distributing
-    /// chunks round-robin across the pool's workers. Runs serially when
-    /// the pool has one worker or there is only one chunk.
+    /// and runs `f(chunk_index, chunk)` over all of them. Each worker
+    /// receives one contiguous, evenly sized run of chunks (per-worker
+    /// chunk counts differ by at most one). Runs serially when the pool
+    /// has one worker or there is only one chunk.
     ///
     /// # Panics
     ///
@@ -52,25 +71,58 @@ impl ThreadPool {
         F: Fn(usize, &mut [T]) + Sync,
     {
         assert!(chunk_len > 0, "chunk_len must be positive");
-        let num_chunks = data.len().div_ceil(chunk_len.max(1));
+        let num_chunks = data.len().div_ceil(chunk_len);
         if self.workers == 1 || num_chunks <= 1 {
             for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(index, chunk);
             }
             return;
         }
-        let num_queues = self.workers.min(num_chunks);
-        let mut queues: Vec<Vec<(usize, &mut [T])>> = (0..num_queues).map(|_| Vec::new()).collect();
-        for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            queues[index % num_queues].push((index, chunk));
-        }
         std::thread::scope(|scope| {
-            for queue in queues {
-                scope.spawn(|| {
-                    for (index, chunk) in queue {
-                        f(index, chunk);
+            let mut rest = data;
+            for range in even_ranges(num_chunks, self.workers) {
+                // `range` is in chunk units; slice off this worker's
+                // contiguous span of whole chunks (the last span may end in
+                // a short tail chunk).
+                let span_len = (range.len() * chunk_len).min(rest.len());
+                let (span, tail) = rest.split_at_mut(span_len);
+                rest = tail;
+                let f = &f;
+                scope.spawn(move || {
+                    for (offset, chunk) in span.chunks_mut(chunk_len).enumerate() {
+                        f(range.start + offset, chunk);
                     }
                 });
+            }
+        });
+    }
+
+    /// Splits the index range `0..total` into at most `workers` contiguous,
+    /// evenly sized subranges and runs `f` on each concurrently. The
+    /// split depends only on `total` and the worker count — never on
+    /// scheduling — so callers that combine per-range results in range
+    /// order get bit-identical outcomes run to run.
+    ///
+    /// Runs serially (one call with `0..total`) when the pool has one
+    /// worker or `total <= 1`.
+    pub fn for_each_range<F>(&self, total: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if total == 0 {
+            return;
+        }
+        if self.workers == 1 || total == 1 {
+            f(0..total);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for range in even_ranges(total, self.workers) {
+                if range.is_empty() {
+                    continue;
+                }
+                let f = &f;
+                scope.spawn(move || f(range));
             }
         });
     }
@@ -85,7 +137,10 @@ impl Default for ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     #[test]
     fn covers_every_chunk_exactly_once() {
@@ -106,6 +161,70 @@ mod tests {
         }
     }
 
+    /// The scheduling fix: chunks are dealt as contiguous even spans, so
+    /// per-worker chunk counts differ by at most one even when the chunk
+    /// count is not a multiple of the worker count (round-robin dealing
+    /// used to give the leading workers a whole extra round).
+    #[test]
+    fn chunk_assignment_is_balanced_and_contiguous() {
+        for (items, chunk_len, workers) in
+            [(103, 10, 4), (170, 10, 4), (90, 10, 8), (64, 1, 3), (1000, 7, 6)]
+        {
+            let pool = ThreadPool::new(workers);
+            let mut data = vec![0u8; items];
+            let seen: Mutex<HashMap<ThreadId, Vec<usize>>> = Mutex::new(HashMap::new());
+            pool.for_each_chunk(&mut data, chunk_len, |index, _| {
+                seen.lock().unwrap().entry(std::thread::current().id()).or_default().push(index);
+            });
+            let by_worker = seen.into_inner().unwrap();
+            let num_chunks = items.div_ceil(chunk_len);
+            let counts: Vec<usize> = by_worker.values().map(Vec::len).collect();
+            assert_eq!(counts.iter().sum::<usize>(), num_chunks);
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(
+                max - min <= 1,
+                "unbalanced split {counts:?} for {items} items / {chunk_len} chunk / {workers} workers"
+            );
+            for indices in by_worker.values() {
+                let mut sorted = indices.clone();
+                sorted.sort_unstable();
+                assert_eq!(&sorted, indices, "chunks visited in order");
+                assert!(
+                    sorted.windows(2).all(|w| w[1] == w[0] + 1),
+                    "worker's chunks must be contiguous: {sorted:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_range_partitions_exactly() {
+        for (total, workers) in [(0usize, 4), (1, 4), (5, 8), (103, 4), (64, 64), (17, 3)] {
+            let pool = ThreadPool::new(workers);
+            let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each_range(total, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "total={total} workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_range_spans_are_balanced() {
+        let pool = ThreadPool::new(4);
+        let lens: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        pool.for_each_range(103, |range| lens.lock().unwrap().push(range.len()));
+        let lens = lens.into_inner().unwrap();
+        assert_eq!(lens.len(), 4);
+        assert_eq!(lens.iter().sum::<usize>(), 103);
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1, "{lens:?}");
+    }
+
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(ThreadPool::new(0).workers(), 1);
@@ -117,5 +236,6 @@ mod tests {
         let pool = ThreadPool::new(4);
         let mut data: Vec<u8> = Vec::new();
         pool.for_each_chunk(&mut data, 16, |_, _| panic!("no chunks expected"));
+        pool.for_each_range(0, |_| panic!("no ranges expected"));
     }
 }

@@ -16,7 +16,7 @@
 //! it" as just another target.
 
 use crate::kernel::KernelProgram;
-use crate::run::{measurement_distribution, sample_per_shot};
+use crate::run::{measurement_distribution_threads, pool_for_state, sample_per_shot};
 use crate::state::StateVector;
 use asdf_codegen::backend::{Backend, BackendError, EmitInput};
 use asdf_qcircuit::CircuitOp;
@@ -28,7 +28,19 @@ const FALLBACK_SEED: u64 = 0x51D_BACC;
 
 /// The state-vector simulation backend (registry name `sim`).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SimBackend;
+pub struct SimBackend {
+    /// Simulation worker threads: `0` sizes the pool automatically from
+    /// the state size (see [`crate::run::PARALLEL_STATE_MIN`]), `n`
+    /// forces exactly `n` workers. Results are identical either way.
+    threads: usize,
+}
+
+impl SimBackend {
+    /// A backend pinned to `threads` simulation workers (`0` = automatic).
+    pub fn with_threads(threads: usize) -> Self {
+        SimBackend { threads }
+    }
+}
 
 impl Backend for SimBackend {
     fn name(&self) -> &'static str {
@@ -49,7 +61,7 @@ impl Backend for SimBackend {
             .iter()
             .any(|op| matches!(op, CircuitOp::Measure { .. } | CircuitOp::Reset { .. }));
         if measures {
-            if let Some(dist) = measurement_distribution(circuit) {
+            if let Some(dist) = measurement_distribution_threads(circuit, self.threads) {
                 let mut out = String::from("# exact measurement distribution\n");
                 for (bits, p) in dist {
                     out.push_str(&format!("{bits} {p:.12}\n"));
@@ -71,7 +83,8 @@ impl Backend for SimBackend {
 
         // Measurement-free: the final state from |0...0>.
         let mut state = StateVector::zero(circuit.num_qubits);
-        KernelProgram::compile(circuit).apply_state(&mut state);
+        let pool = pool_for_state(self.threads, state.amplitudes().len());
+        KernelProgram::compile(circuit).apply_gates_pooled(&mut state, &pool);
         let n = circuit.num_qubits;
         let mut out = String::from("# final state amplitudes from |0...0>\n");
         for (index, amp) in state.amplitudes().iter().enumerate() {
@@ -93,7 +106,7 @@ mod tests {
     fn emit(circuit: &Circuit) -> String {
         let module = Module::new();
         let input = EmitInput { module: &module, entry: "k", circuit: Some(circuit) };
-        SimBackend.emit(&input).unwrap()
+        SimBackend::default().emit(&input).unwrap()
     }
 
     #[test]
@@ -125,7 +138,7 @@ mod tests {
     fn missing_circuit_is_a_structured_error() {
         let module = Module::new();
         let input = EmitInput { module: &module, entry: "k", circuit: None };
-        let err = SimBackend.emit(&input).unwrap_err();
+        let err = SimBackend::default().emit(&input).unwrap_err();
         assert!(matches!(err, BackendError::NeedsCircuit { .. }), "{err}");
     }
 }

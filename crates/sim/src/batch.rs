@@ -13,8 +13,11 @@
 //! thread spawns; results are bit-identical regardless of worker count.
 
 use crate::complex::Complex;
-use crate::kernel::{classify, deposit, single_bit_masks, KernelOp, KernelProgram, MatrixForm};
-use crate::state::StateVector;
+use crate::kernel::{
+    classify, deposit, quad_form, single_bit_masks, KernelOp, KernelProgram, Matrix4, MatrixForm,
+    QuadForm,
+};
+use crate::state::{checked_amplitude_count, StateVector};
 use threadpool::ThreadPool;
 
 /// Columns simulated together in one structure-of-arrays block.
@@ -44,18 +47,34 @@ pub fn batched_columns(circuit: &asdf_qcircuit::Circuit, inputs: &[usize]) -> Ve
 ///
 /// Same conditions as [`batched_columns`].
 pub fn batched_program_columns(program: &KernelProgram, inputs: &[usize]) -> Vec<StateVector> {
+    batched_program_columns_threads(program, inputs, 0)
+}
+
+/// [`batched_program_columns`] with an explicit worker count: `0` keeps the
+/// work-size heuristic (go wide only when the extraction is big enough to
+/// amortize thread spawns), any other value forces exactly that many
+/// workers. Results are bit-identical for every choice.
+///
+/// # Panics
+///
+/// Same conditions as [`batched_columns`].
+pub fn batched_program_columns_threads(
+    program: &KernelProgram,
+    inputs: &[usize],
+    threads: usize,
+) -> Vec<StateVector> {
     assert!(program.is_unitary(), "batched extraction requires a measurement-free circuit");
-    let size = 1usize << program.num_qubits();
+    let size = checked_amplitude_count(program.num_qubits());
     for &input in inputs {
         assert!(input < size, "basis input {input} out of range for {size} amplitudes");
     }
 
     let mut columns: Vec<Vec<Complex>> = inputs.iter().map(|_| Vec::new()).collect();
     let work = size as u128 * inputs.len() as u128 * program.ops().len().max(1) as u128;
-    let pool = if work >= PARALLEL_THRESHOLD {
-        ThreadPool::with_available_parallelism()
-    } else {
-        ThreadPool::new(1)
+    let pool = match threads {
+        0 if work >= PARALLEL_THRESHOLD => ThreadPool::with_available_parallelism(),
+        0 => ThreadPool::new(1),
+        n => ThreadPool::new(n),
     };
     pool.for_each_chunk(&mut columns, LANES, |block, chunk| {
         let start = block * LANES;
@@ -99,6 +118,22 @@ fn run_block<const L: usize>(
                     let i = deposit(group * run_len, &fixed) | cmask;
                     let j = i | *tmask;
                     run_update::<L>(&mut re, &mut im, i, j, run_len, &m, form);
+                }
+            }
+            KernelOp::Unitary4 { matrix, lomask, himask } => {
+                let (lomask, himask) = (*lomask, *himask);
+                let fixed = [lomask, himask];
+                let quads = size >> 2;
+                // Same contiguous-run argument as the pair case, one level
+                // up: bits below `lomask` deposit unshifted, so the four
+                // local-index rows of each quad form four disjoint flat
+                // runs of `run_len * L` lane values.
+                let run_len = lomask.min(quads);
+                let form = quad_form(matrix);
+                for group in 0..quads / run_len {
+                    let i0 = deposit(group * run_len, &fixed);
+                    let rows = [i0, i0 | lomask, i0 | himask, i0 | himask | lomask];
+                    run_update4::<L>(&mut re, &mut im, rows, run_len * L, matrix, &form);
                 }
             }
             KernelOp::Swap { amask, bmask, cmask } => {
@@ -198,6 +233,99 @@ fn run_update<const L: usize>(
                 ij[k] = m10r * a0i + m10i * a0r + m11r * a1i + m11i * a1r;
             }
         }
+    }
+}
+
+/// Splits `xs` into the four disjoint row runs of one fused quad: `len`
+/// lane values starting at each of the strictly increasing `rows`.
+fn four_rows<const L: usize>(xs: &mut [f64], rows: [usize; 4], len: usize) -> [&mut [f64]; 4] {
+    let [r0, r1, r2, r3] = rows;
+    let (a, rest) = xs[r0 * L..].split_at_mut((r1 - r0) * L);
+    let (b, rest) = rest.split_at_mut((r2 - r1) * L);
+    let (c, d) = rest.split_at_mut((r3 - r2) * L);
+    [&mut a[..len], &mut b[..len], &mut c[..len], &mut d[..len]]
+}
+
+/// One 4×4 update of a fused-quad run across all lanes, specialized on the
+/// precomputed [`QuadForm`]: diagonal products touch each row once with a
+/// complex scale (skipping exact-identity entries), monomial products do
+/// one multiply per value from the permuted source row, and general
+/// matrices do the full 16-term accumulation with every entry hoisted into
+/// registers.
+fn run_update4<const L: usize>(
+    re: &mut [f64],
+    im: &mut [f64],
+    rows: [usize; 4],
+    len: usize,
+    m: &Matrix4,
+    form: &QuadForm,
+) {
+    let r = four_rows::<L>(re, rows, len);
+    let i = four_rows::<L>(im, rows, len);
+    match form {
+        QuadForm::Diagonal(d) => {
+            for (slot, (rr, ri)) in r.into_iter().zip(i).enumerate() {
+                let (dr, di) = (d[slot].re, d[slot].im);
+                if d[slot] == Complex::ONE {
+                    continue;
+                }
+                for k in 0..len {
+                    let (ar, ai) = (rr[k], ri[k]);
+                    rr[k] = dr * ar - di * ai;
+                    ri[k] = dr * ai + di * ar;
+                }
+            }
+            return;
+        }
+        QuadForm::Monomial(src, scale) => {
+            let [r0, r1, r2, r3] = r;
+            let [i0, i1, i2, i3] = i;
+            for k in 0..len {
+                let ar = [r0[k], r1[k], r2[k], r3[k]];
+                let ai = [i0[k], i1[k], i2[k], i3[k]];
+                let out = std::array::from_fn::<_, 4, _>(|row| {
+                    let (sr, si) = (scale[row].re, scale[row].im);
+                    let (vr, vi) = (ar[src[row]], ai[src[row]]);
+                    (sr * vr - si * vi, sr * vi + si * vr)
+                });
+                r0[k] = out[0].0;
+                r1[k] = out[1].0;
+                r2[k] = out[2].0;
+                r3[k] = out[3].0;
+                i0[k] = out[0].1;
+                i1[k] = out[1].1;
+                i2[k] = out[2].1;
+                i3[k] = out[3].1;
+            }
+            return;
+        }
+        QuadForm::General => {}
+    }
+    let mr = m.map(|row| row.map(|e| e.re));
+    let mi = m.map(|row| row.map(|e| e.im));
+    let [r0, r1, r2, r3] = r;
+    let [i0, i1, i2, i3] = i;
+    for k in 0..len {
+        let ar = [r0[k], r1[k], r2[k], r3[k]];
+        let ai = [i0[k], i1[k], i2[k], i3[k]];
+        let mut accr = [0.0f64; 4];
+        let mut acci = [0.0f64; 4];
+        for (row, (accr, acci)) in accr.iter_mut().zip(&mut acci).enumerate() {
+            *accr = mr[row][0] * ar[0] - mi[row][0] * ai[0];
+            *acci = mr[row][0] * ai[0] + mi[row][0] * ar[0];
+            for col in 1..4 {
+                *accr += mr[row][col] * ar[col] - mi[row][col] * ai[col];
+                *acci += mr[row][col] * ai[col] + mi[row][col] * ar[col];
+            }
+        }
+        r0[k] = accr[0];
+        r1[k] = accr[1];
+        r2[k] = accr[2];
+        r3[k] = accr[3];
+        i0[k] = acci[0];
+        i1[k] = acci[1];
+        i2[k] = acci[2];
+        i3[k] = acci[3];
     }
 }
 

@@ -4,7 +4,12 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A complex number with `f64` parts.
+///
+/// The layout is `#[repr(C)]` — `re` then `im`, no padding — so the
+/// [`crate::simd`] kernels can reinterpret a `[Complex]` slice as the
+/// interleaved `[re, im, re, im, ...]` `f64` lanes they vectorize over.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

@@ -19,16 +19,29 @@
 //! [`crate::batch`], which applies a program to many basis columns at once.
 
 use crate::complex::Complex;
+use crate::simd;
 use crate::state::StateVector;
 use asdf_ir::GateKind;
 use asdf_qcircuit::{Circuit, CircuitOp};
 use std::f64::consts::FRAC_PI_4;
+use threadpool::ThreadPool;
 
 /// A 2×2 complex matrix, row-major.
 pub type Matrix2 = [[Complex; 2]; 2];
 
+/// A 4×4 complex matrix, row-major, over the local basis of a fused
+/// two-qubit kernel (bit 0 of the local index ↔ the lower wire mask,
+/// bit 1 ↔ the higher wire mask).
+pub type Matrix4 = [[Complex; 4]; 4];
+
 /// The exact 2×2 identity.
 pub const IDENTITY_2Q: Matrix2 = [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]];
+
+/// The exact 4×4 identity.
+pub const IDENTITY_4Q: Matrix4 = {
+    let (o, z) = (Complex::ONE, Complex::ZERO);
+    [[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, o]]
+};
 
 /// One fused, mask-resolved operation of a [`KernelProgram`].
 ///
@@ -45,6 +58,19 @@ pub enum KernelOp {
         tmask: usize,
         /// OR of the control-qubit masks (0 when uncontrolled).
         cmask: usize,
+    },
+    /// A fused two-qubit unitary over two wires, produced by the second
+    /// fusion stage ([`KernelProgram::compile`]) from adjacent runs of ops
+    /// whose wires fit in one pair — one memory pass where the source ops
+    /// took several.
+    Unitary4 {
+        /// The fused 4×4 matrix over the local basis: bit 0 of the local
+        /// index is the `lomask` wire, bit 1 the `himask` wire.
+        matrix: Box<Matrix4>,
+        /// Single-bit mask of the lower wire (`lomask < himask`).
+        lomask: usize,
+        /// Single-bit mask of the higher wire.
+        himask: usize,
     },
     /// A (possibly controlled) swap of two qubits.
     Swap {
@@ -79,8 +105,20 @@ pub struct KernelProgram {
 }
 
 impl KernelProgram {
-    /// Compiles `circuit` into fused kernel ops.
+    /// Compiles `circuit` into fused kernel ops: single-qubit run fusion
+    /// ([`Self::compile_unfused`]) followed by two-qubit quad fusion, which
+    /// collapses adjacent ops whose wires fit in one pair into a single
+    /// [`KernelOp::Unitary4`] memory pass.
     pub fn compile(circuit: &Circuit) -> Self {
+        let mut program = Self::compile_unfused(circuit);
+        program.ops = fuse_quads(std::mem::take(&mut program.ops));
+        program
+    }
+
+    /// Compiles `circuit` with single-qubit fusion only — the pre-quad
+    /// pipeline, retained as the differential-testing and benchmarking
+    /// baseline for the 4×4 fusion stage.
+    pub fn compile_unfused(circuit: &Circuit) -> Self {
         let n = circuit.num_qubits;
         let mask = |q: usize| 1usize << (n - 1 - q);
         let mut ops: Vec<KernelOp> = Vec::with_capacity(circuit.ops.len());
@@ -166,7 +204,12 @@ impl KernelProgram {
 
     /// Whether the program is measurement- and reset-free.
     pub fn is_unitary(&self) -> bool {
-        self.ops.iter().all(|op| matches!(op, KernelOp::Unitary { .. } | KernelOp::Swap { .. }))
+        self.ops.iter().all(|op| {
+            matches!(
+                op,
+                KernelOp::Unitary { .. } | KernelOp::Unitary4 { .. } | KernelOp::Swap { .. }
+            )
+        })
     }
 
     /// Applies the program to `state`.
@@ -182,23 +225,66 @@ impl KernelProgram {
     }
 
     /// Applies only the unitary ops (gates), skipping measurements and
-    /// resets. Callers must have established that the skipped ops do not
-    /// affect the amplitudes they read — e.g. the terminal-measurement
-    /// analysis of [`crate::run::measurement_distribution`].
+    /// resets, on one thread. Callers must have established that the
+    /// skipped ops do not affect the amplitudes they read — e.g. the
+    /// terminal-measurement analysis of
+    /// [`crate::run::measurement_distribution`].
     pub fn apply_gates(&self, state: &mut StateVector) {
+        self.apply_gates_pooled(state, &ThreadPool::new(1));
+    }
+
+    /// [`Self::apply_gates`] with each gate's pair enumeration split across
+    /// `pool`. Pairs partition disjointly, so workers never synchronize,
+    /// and the per-element arithmetic is identical on every path: the
+    /// result is **bit-identical** for every worker count (and to
+    /// [`Self::apply_gates_scalar`]).
+    pub fn apply_gates_pooled(&self, state: &mut StateVector, pool: &ThreadPool) {
+        assert_eq!(state.num_qubits(), self.num_qubits, "state size mismatch");
+        let amps = state.amps_mut();
+        for op in &self.ops {
+            apply_op_pooled(amps, op, pool);
+        }
+    }
+
+    /// The scalar reference application: per-pair deposit loops with plain
+    /// [`Complex`] arithmetic, no SIMD lanes and no pool. Retained for the
+    /// SIMD-vs-scalar equivalence suites and as the benchmark baseline
+    /// (with [`Self::compile_unfused`], this is exactly the pre-SIMD
+    /// kernel path).
+    pub fn apply_gates_scalar(&self, state: &mut StateVector) {
         assert_eq!(state.num_qubits(), self.num_qubits, "state size mismatch");
         let amps = state.amps_mut();
         for op in &self.ops {
             match op {
                 KernelOp::Unitary { matrix, tmask, cmask } => {
-                    apply_unitary(amps, matrix, *tmask, *cmask);
+                    apply_unitary_scalar(amps, matrix, *tmask, *cmask);
+                }
+                KernelOp::Unitary4 { matrix, lomask, himask } => {
+                    apply_unitary4_scalar(amps, matrix, *lomask, *himask);
                 }
                 KernelOp::Swap { amask, bmask, cmask } => {
-                    apply_swap(amps, *amask, *bmask, *cmask);
+                    apply_swap_scalar(amps, *amask, *bmask, *cmask);
                 }
                 KernelOp::Measure { .. } | KernelOp::Reset { .. } => {}
             }
         }
+    }
+}
+
+/// Applies one gate op (measure/reset ops are skipped) with its pair
+/// enumeration split across `pool`.
+pub(crate) fn apply_op_pooled(amps: &mut [Complex], op: &KernelOp, pool: &ThreadPool) {
+    match op {
+        KernelOp::Unitary { matrix, tmask, cmask } => {
+            apply_unitary_pooled(amps, matrix, *tmask, *cmask, pool);
+        }
+        KernelOp::Unitary4 { matrix, lomask, himask } => {
+            apply_unitary4_pooled(amps, matrix, *lomask, *himask, pool);
+        }
+        KernelOp::Swap { amask, bmask, cmask } => {
+            apply_swap_pooled(amps, *amask, *bmask, *cmask, pool);
+        }
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => {}
     }
 }
 
@@ -219,6 +305,302 @@ fn push_unitary(ops: &mut Vec<KernelOp>, matrix: Matrix2, tmask: usize, cmask: u
         return;
     }
     ops.push(KernelOp::Unitary { matrix, tmask, cmask });
+}
+
+/// The wires an op touches, as an OR of single-bit masks (`usize::MAX` for
+/// measure/reset, which fuse with nothing).
+fn op_wires(op: &KernelOp) -> usize {
+    match op {
+        KernelOp::Unitary { tmask, cmask, .. } => tmask | cmask,
+        KernelOp::Unitary4 { lomask, himask, .. } => lomask | himask,
+        KernelOp::Swap { amask, bmask, cmask } => amask | bmask | cmask,
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => usize::MAX,
+    }
+}
+
+/// An open fusion group: consecutive ops (in program order) whose wires
+/// all fit inside `wires` (at most two bits).
+struct Group {
+    wires: usize,
+    ops: Vec<KernelOp>,
+}
+
+/// The second fusion stage: greedily groups adjacent ops whose combined
+/// wires fit in one qubit pair and collapses each multi-op group into a
+/// single [`KernelOp::Unitary4`] pass. Ops on disjoint wires commute, so
+/// a group stays open while unrelated ops stream past it; an op touching
+/// two single-wire groups merges them (the H⊗H·CX shape).
+///
+/// Groups whose fused matrix stays diagonal are always worth emitting
+/// fused (k scaling passes become one). A *general* 4×4 costs ~2× the
+/// arithmetic of a general 2×2 per amplitude, so a general fusion is only
+/// emitted when it replaces at least two general passes or three ops —
+/// otherwise the original specialized ops are kept.
+fn fuse_quads(ops: Vec<KernelOp>) -> Vec<KernelOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut open: Vec<Group> = Vec::new();
+    for op in ops {
+        let wires = op_wires(&op);
+        if matches!(op, KernelOp::Measure { .. } | KernelOp::Reset { .. }) {
+            for group in open.drain(..) {
+                flush_group(&mut out, group);
+            }
+            out.push(op);
+            continue;
+        }
+        if wires.count_ones() > 2 {
+            // A 3+-wire op (multi-controlled) fuses with nothing, but
+            // commutes past every group it does not touch.
+            open.retain_mut(|group| {
+                let keep = group.wires & wires == 0;
+                if !keep {
+                    flush_group(
+                        &mut out,
+                        std::mem::replace(group, Group { wires: 0, ops: vec![] }),
+                    );
+                }
+                keep
+            });
+            out.push(op);
+            continue;
+        }
+        let touching: Vec<usize> =
+            (0..open.len()).filter(|&g| open[g].wires & wires != 0).collect();
+        match touching[..] {
+            [] => open.push(Group { wires, ops: vec![op] }),
+            [g] => {
+                let union = open[g].wires | wires;
+                if union.count_ones() <= 2 {
+                    open[g].wires = union;
+                    open[g].ops.push(op);
+                } else {
+                    flush_group(&mut out, open.remove(g));
+                    open.push(Group { wires, ops: vec![op] });
+                }
+            }
+            [g1, g2] => {
+                let union = open[g1].wires | open[g2].wires | wires;
+                if union.count_ones() <= 2 {
+                    // Two single-wire groups bridged by a two-wire op: their
+                    // ops are on disjoint wires and commute, so concatenation
+                    // preserves the product.
+                    let tail = open.remove(g2);
+                    open[g1].wires = union;
+                    open[g1].ops.extend(tail.ops);
+                    open[g1].ops.push(op);
+                } else {
+                    let tail = open.remove(g2);
+                    flush_group(&mut out, open.remove(g1));
+                    flush_group(&mut out, tail);
+                    open.push(Group { wires, ops: vec![op] });
+                }
+            }
+            _ => unreachable!("a two-wire op touches at most two groups"),
+        }
+    }
+    for group in open.drain(..) {
+        flush_group(&mut out, group);
+    }
+    out
+}
+
+/// Emits one fusion group: single ops pass through unchanged, single-wire
+/// runs fold as 2×2, and two-wire groups fold as 4×4 when the cost
+/// heuristic favors it (see [`fuse_quads`]).
+fn flush_group(out: &mut Vec<KernelOp>, mut group: Group) {
+    if group.ops.len() <= 1 {
+        if let Some(op) = group.ops.pop() {
+            out.push(op);
+        }
+        return;
+    }
+    if group.wires.count_ones() < 2 {
+        // Only uncontrolled single-qubit unitaries ever land in a
+        // one-wire group; fold them as a 2×2.
+        let mut matrix = IDENTITY_2Q;
+        for op in &group.ops {
+            let KernelOp::Unitary { matrix: m, .. } = op else {
+                unreachable!("one-wire group holds only 1q unitaries")
+            };
+            matrix = matmul(m, &matrix);
+        }
+        push_unitary(out, matrix, group.wires, 0);
+        return;
+    }
+    let bits = single_bit_masks(group.wires);
+    let (lomask, himask) = (bits[0], bits[1]);
+    let mut matrix = IDENTITY_4Q;
+    let mut unfused_cost = 0.0f64;
+    for op in &group.ops {
+        unfused_cost += op_cost(op);
+        matrix = matmul4(&embed4(op, lomask, himask), &matrix);
+    }
+    if matrix == IDENTITY_4Q {
+        return;
+    }
+    // Fuse only when the single 4×4 sweep is cheaper than replaying the
+    // group op by op. A monomial (or diagonal) product costs one complex
+    // multiply per amplitude in one pass over memory, so it wins once the
+    // group holds more than a couple of cheap ops; a dense product costs
+    // four multiplies per amplitude — as much arithmetic as two general
+    // 2×2 passes — and only wins by saving memory sweeps.
+    let fused = KernelOp::Unitary4 { matrix: Box::new(matrix), lomask, himask };
+    if op_cost(&fused) < unfused_cost {
+        out.push(fused);
+    } else {
+        out.append(&mut group.ops);
+    }
+}
+
+/// Embeds a one- or two-wire op into the 4×4 local basis of the wire pair
+/// (`lomask` ↔ local bit 0, `himask` ↔ local bit 1).
+fn embed4(op: &KernelOp, lomask: usize, himask: usize) -> Matrix4 {
+    let mut m4 = [[Complex::ZERO; 4]; 4];
+    match op {
+        KernelOp::Unitary { matrix, tmask, cmask } => {
+            let tbit = usize::from(*tmask == himask);
+            debug_assert_eq!(if tbit == 1 { himask } else { lomask }, *tmask);
+            for (row, m4_row) in m4.iter_mut().enumerate() {
+                for (col, entry) in m4_row.iter_mut().enumerate() {
+                    let (t_out, o_out) = ((row >> tbit) & 1, (row >> (1 - tbit)) & 1);
+                    let (t_in, o_in) = ((col >> tbit) & 1, (col >> (1 - tbit)) & 1);
+                    if o_out != o_in {
+                        continue; // diagonal in the spectator/control bit
+                    }
+                    *entry = if *cmask != 0 && o_out == 0 {
+                        // Control bit 0: identity block.
+                        if t_out == t_in {
+                            Complex::ONE
+                        } else {
+                            Complex::ZERO
+                        }
+                    } else {
+                        matrix[t_out][t_in]
+                    };
+                }
+            }
+        }
+        KernelOp::Swap { .. } => {
+            // Uncontrolled only: a controlled swap has three wires and
+            // never enters a group.
+            m4[0][0] = Complex::ONE;
+            m4[1][2] = Complex::ONE;
+            m4[2][1] = Complex::ONE;
+            m4[3][3] = Complex::ONE;
+        }
+        KernelOp::Unitary4 { matrix, .. } => return **matrix,
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => {
+            unreachable!("measure/reset never enter a fusion group")
+        }
+    }
+    m4
+}
+
+/// `a * b` for 4×4 matrices (apply `b` first, then `a`).
+pub(crate) fn matmul4(a: &Matrix4, b: &Matrix4) -> Matrix4 {
+    let mut out = [[Complex::ZERO; 4]; 4];
+    for (row, out_row) in out.iter_mut().enumerate() {
+        for (col, entry) in out_row.iter_mut().enumerate() {
+            let mut acc = a[row][0] * b[0][col];
+            for k in 1..4 {
+                acc += a[row][k] * b[k][col];
+            }
+            *entry = acc;
+        }
+    }
+    out
+}
+
+/// The diagonal of `matrix` when every off-diagonal entry is exactly zero
+/// (fused products of diagonal ops keep their exact zeros), else `None`.
+pub(crate) fn diagonal4(matrix: &Matrix4) -> Option<[Complex; 4]> {
+    for (row, m_row) in matrix.iter().enumerate() {
+        for (col, entry) in m_row.iter().enumerate() {
+            if row != col && *entry != Complex::ZERO {
+                return None;
+            }
+        }
+    }
+    Some([matrix[0][0], matrix[1][1], matrix[2][2], matrix[3][3]])
+}
+
+/// Monomial (generalized-permutation) structure of `matrix`: exactly one
+/// nonzero per row and per column. Returns `(src, scale)` such that the
+/// update is `out[row] = scale[row] * in[src[row]]` — one complex multiply
+/// per amplitude, like a diagonal, regardless of the permutation.
+///
+/// Products of phase/diagonal/X/CX/CZ/swap-type factors are monomial, and
+/// the exact zeros of the factors survive [`matmul4`], so this covers most
+/// fusion groups of the compiled gate mix (every group without an H/Ry/Sx
+/// style dense factor).
+pub(crate) fn monomial4(matrix: &Matrix4) -> Option<([usize; 4], [Complex; 4])> {
+    let mut src = [0usize; 4];
+    let mut scale = [Complex::ZERO; 4];
+    let mut used_cols = 0usize;
+    for (row, m_row) in matrix.iter().enumerate() {
+        let mut nonzero = None;
+        for (col, entry) in m_row.iter().enumerate() {
+            if *entry != Complex::ZERO {
+                if nonzero.is_some() {
+                    return None;
+                }
+                nonzero = Some(col);
+            }
+        }
+        let col = nonzero?;
+        if used_cols & (1 << col) != 0 {
+            return None;
+        }
+        used_cols |= 1 << col;
+        src[row] = col;
+        scale[row] = m_row[col];
+    }
+    Some((src, scale))
+}
+
+/// How a fused 4×4 product is applied — cheapest matching structure first.
+pub(crate) enum QuadForm {
+    /// Every off-diagonal entry exactly zero: per-row complex scales,
+    /// identity rows skipped.
+    Diagonal([Complex; 4]),
+    /// One nonzero per row/column: `out[r] = scale[r] * in[src[r]]`.
+    Monomial([usize; 4], [Complex; 4]),
+    /// Dense: the full 16-term update.
+    General,
+}
+
+pub(crate) fn quad_form(matrix: &Matrix4) -> QuadForm {
+    if let Some(diag) = diagonal4(matrix) {
+        QuadForm::Diagonal(diag)
+    } else if let Some((src, scale)) = monomial4(matrix) {
+        QuadForm::Monomial(src, scale)
+    } else {
+        QuadForm::General
+    }
+}
+
+/// Estimated cost of one full-state application of `op`, for the fusion
+/// profitability test: complex multiplies per amplitude, plus 0.3 per
+/// full-state memory sweep (0.15 for half-state passes). A phase pass is
+/// one multiply over half the amplitudes; flips and swaps move data with
+/// no arithmetic at all; a dense 4×4 sweep is four multiplies per
+/// amplitude but a single pass over memory.
+fn op_cost(op: &KernelOp) -> f64 {
+    match op {
+        KernelOp::Unitary { matrix, .. } => match classify(matrix) {
+            MatrixForm::Phase => 0.65,
+            MatrixForm::Diagonal | MatrixForm::AntiDiagonal => 1.3,
+            MatrixForm::FlipX => 0.3,
+            MatrixForm::General => 2.3,
+        },
+        KernelOp::Swap { .. } => 0.3,
+        KernelOp::Unitary4 { matrix, .. } => match quad_form(matrix) {
+            QuadForm::Diagonal(_) => 1.0,
+            QuadForm::Monomial(..) => 1.3,
+            QuadForm::General => 4.3,
+        },
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => 0.0,
+    }
 }
 
 /// `a * b` (apply `b` first, then `a`).
@@ -293,12 +675,314 @@ pub(crate) fn classify(matrix: &Matrix2) -> MatrixForm {
     }
 }
 
-/// Applies a (possibly controlled) 2×2 unitary to the amplitude slice,
-/// visiting only the `len >> (1 + #controls)` pairs whose controls are 1,
-/// with the update specialized to the matrix form (a fused phase product
-/// touches only the |..1..> amplitudes; a multi-controlled X moves
-/// amplitudes without any arithmetic).
+/// Applies a (possibly controlled) 2×2 unitary on one thread — the
+/// serial entry point used by [`StateVector::apply`].
 pub(crate) fn apply_unitary(amps: &mut [Complex], matrix: &Matrix2, tmask: usize, cmask: usize) {
+    apply_unitary_pooled(amps, matrix, tmask, cmask, &ThreadPool::new(1));
+}
+
+/// Applies a (possibly controlled) swap on one thread.
+pub(crate) fn apply_swap(amps: &mut [Complex], amask: usize, bmask: usize, cmask: usize) {
+    apply_swap_pooled(amps, amask, bmask, cmask, &ThreadPool::new(1));
+}
+
+/// A raw amplitude base pointer that may cross scoped-thread boundaries.
+/// Soundness rests on the pair enumeration: every worker derives slices
+/// only over its own runs, and runs are pairwise disjoint.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The wrapped pointer. Going through a method (rather than the field)
+    /// makes 2021-edition closures capture the `Send + Sync` wrapper as a
+    /// whole instead of disjointly borrowing the raw-pointer field.
+    #[inline]
+    fn ptr(self) -> *mut Complex {
+        self.0
+    }
+}
+
+/// Two disjoint contiguous runs of `len` amplitudes at `i0` and `i0 + gap`.
+///
+/// # Safety
+///
+/// Both ranges must be in bounds of the allocation behind `base`, with
+/// `len <= gap` (disjointness), and no other live reference may overlap
+/// them.
+unsafe fn run_pair<'a>(
+    base: SendPtr,
+    i0: usize,
+    gap: usize,
+    len: usize,
+) -> (&'a mut [Complex], &'a mut [Complex]) {
+    debug_assert!(len <= gap);
+    (
+        std::slice::from_raw_parts_mut(base.ptr().add(i0), len),
+        std::slice::from_raw_parts_mut(base.ptr().add(i0 + gap), len),
+    )
+}
+
+/// Applies a (possibly controlled) 2×2 unitary, splitting the pair
+/// enumeration across `pool`.
+///
+/// Consecutive dense counter values deposit into contiguous amplitude
+/// indices below the lowest fixed bit, so the pairs decompose into
+/// **runs**: two contiguous, disjoint slices of `run_len` amplitudes at
+/// distance `tmask`. Each run is one [`crate::simd`] slice kernel
+/// (specialized per matrix form), and runs partition disjointly across
+/// workers — no synchronization, and bit-identical results for every
+/// worker count.
+pub(crate) fn apply_unitary_pooled(
+    amps: &mut [Complex],
+    matrix: &Matrix2,
+    tmask: usize,
+    cmask: usize,
+    pool: &ThreadPool,
+) {
+    let [[m00, m01], [m10, m11]] = *matrix;
+    let form = classify(matrix);
+    let fixed = single_bit_masks(tmask | cmask);
+    let pairs = amps.len() >> fixed.len();
+    if pairs == 0 {
+        return;
+    }
+    if cmask == 0 && tmask == 1 {
+        // The target is the least significant index bit: pairs are the
+        // adjacent amplitude couples (2k, 2k+1) — one interleaved-pair
+        // vector kernel over each worker's contiguous span.
+        let base = SendPtr(amps.as_mut_ptr());
+        pool.for_each_range(pairs, |range| {
+            // SAFETY: span [2*start, 2*end) is in bounds and disjoint
+            // across the partitioned ranges.
+            let span = unsafe {
+                std::slice::from_raw_parts_mut(base.ptr().add(range.start << 1), range.len() << 1)
+            };
+            match form {
+                MatrixForm::Phase | MatrixForm::Diagonal => {
+                    simd::interleaved_diag_run(span, m00, m11);
+                }
+                MatrixForm::FlipX | MatrixForm::AntiDiagonal => {
+                    simd::interleaved_antidiag_run(span, m01, m10);
+                }
+                MatrixForm::General => simd::interleaved_general_run(span, m00, m01, m10, m11),
+            }
+        });
+        return;
+    }
+    let run_len = fixed[0].min(pairs);
+    if run_len < 2 {
+        // A control sits on the least significant bit: pairs are strided,
+        // not contiguous. Per-pair deposit with scalar arithmetic (the
+        // expressions match the slice kernels bit for bit).
+        let base = SendPtr(amps.as_mut_ptr());
+        pool.for_each_range(pairs, |range| {
+            for k in range {
+                let i = deposit(k, &fixed) | cmask;
+                let j = i | tmask;
+                // SAFETY: each (i, j) pair is visited exactly once across
+                // all workers.
+                let (lo, hi) = unsafe { (&mut *base.ptr().add(i), &mut *base.ptr().add(j)) };
+                apply_pair_scalar(lo, hi, form, m00, m01, m10, m11);
+            }
+        });
+        return;
+    }
+    let runs = pairs / run_len;
+    let base = SendPtr(amps.as_mut_ptr());
+    pool.for_each_range(runs, |range| {
+        for r in range {
+            let i0 = deposit(r * run_len, &fixed) | cmask;
+            // SAFETY: runs are pairwise disjoint and in bounds;
+            // run_len <= fixed[0] <= tmask.
+            let (lo, hi) = unsafe { run_pair(base, i0, tmask, run_len) };
+            match form {
+                MatrixForm::Phase => simd::cmul_run(hi, m11),
+                MatrixForm::Diagonal => {
+                    simd::cmul_run(lo, m00);
+                    simd::cmul_run(hi, m11);
+                }
+                MatrixForm::FlipX => lo.swap_with_slice(hi),
+                MatrixForm::AntiDiagonal => simd::pair_antidiagonal_run(lo, hi, m01, m10),
+                MatrixForm::General => simd::pair_general_run(lo, hi, m00, m01, m10, m11),
+            }
+        }
+    });
+}
+
+/// One scalar 2×2 pair update, form-specialized, with the same IEEE
+/// expressions as the slice kernels.
+#[inline]
+fn apply_pair_scalar(
+    lo: &mut Complex,
+    hi: &mut Complex,
+    form: MatrixForm,
+    m00: Complex,
+    m01: Complex,
+    m10: Complex,
+    m11: Complex,
+) {
+    match form {
+        MatrixForm::Phase => *hi = m11 * *hi,
+        MatrixForm::Diagonal => {
+            *lo = m00 * *lo;
+            *hi = m11 * *hi;
+        }
+        MatrixForm::FlipX => std::mem::swap(lo, hi),
+        MatrixForm::AntiDiagonal => {
+            let a0 = *lo;
+            *lo = m01 * *hi;
+            *hi = m10 * a0;
+        }
+        MatrixForm::General => {
+            let a0 = *lo;
+            let a1 = *hi;
+            *lo = m00 * a0 + m01 * a1;
+            *hi = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+/// Applies a fused two-qubit unitary, splitting the quad enumeration
+/// across `pool`. Each quad run is four contiguous disjoint slices (local
+/// basis order); diagonal and monomial products reduce to one complex
+/// multiply per amplitude.
+pub(crate) fn apply_unitary4_pooled(
+    amps: &mut [Complex],
+    matrix: &Matrix4,
+    lomask: usize,
+    himask: usize,
+    pool: &ThreadPool,
+) {
+    let fixed = [lomask, himask];
+    let quads = amps.len() >> 2;
+    if quads == 0 {
+        return;
+    }
+    let form = quad_form(matrix);
+    let run_len = lomask.min(quads);
+    let base = SendPtr(amps.as_mut_ptr());
+    if run_len < 2 {
+        // The low wire is the least significant index bit: each quad's
+        // slices are singletons, which drown in slice-kernel setup. Apply
+        // per quad with scalar arithmetic (same IEEE expressions).
+        pool.for_each_range(quads, |range| {
+            for k in range {
+                let i0 = deposit(k, &fixed);
+                let idx = [i0, i0 | lomask, i0 | himask, i0 | himask | lomask];
+                // SAFETY: a quad's four indices are distinct, and each
+                // quad is visited exactly once across all workers.
+                unsafe { apply_quad_at(base, idx, &form, matrix) };
+            }
+        });
+        return;
+    }
+    let runs = quads / run_len;
+    pool.for_each_range(runs, |range| {
+        for r in range {
+            let i0 = deposit(r * run_len, &fixed);
+            // SAFETY: the four slices of one quad run are pairwise
+            // disjoint (run_len <= lomask and 2*lomask <= himask) and
+            // quad runs partition the amplitudes.
+            let (s0, s1) = unsafe { run_pair(base, i0, lomask, run_len) };
+            let (s2, s3) = unsafe { run_pair(base, i0 + himask, lomask, run_len) };
+            match &form {
+                QuadForm::Diagonal(d) => {
+                    for (slice, &scale) in [s0, s1, s2, s3].into_iter().zip(d) {
+                        if scale != Complex::ONE {
+                            simd::cmul_run(slice, scale);
+                        }
+                    }
+                }
+                QuadForm::Monomial(src, scale) => {
+                    simd::quad_monomial_run([s0, s1, s2, s3], *src, *scale);
+                }
+                QuadForm::General => simd::quad_general_run([s0, s1, s2, s3], matrix),
+            }
+        }
+    });
+}
+
+/// One scalar quad update at amplitude indices `idx`, form-specialized,
+/// with the same IEEE expressions as the quad slice kernels.
+///
+/// # Safety
+///
+/// All four indices must be in bounds of the allocation behind `base`,
+/// pairwise distinct, and not aliased by any other live reference.
+#[inline]
+unsafe fn apply_quad_at(base: SendPtr, idx: [usize; 4], form: &QuadForm, matrix: &Matrix4) {
+    match form {
+        QuadForm::Diagonal(d) => {
+            for (&scale, &slot) in d.iter().zip(&idx) {
+                if scale != Complex::ONE {
+                    let amp = &mut *base.ptr().add(slot);
+                    *amp = scale * *amp;
+                }
+            }
+        }
+        QuadForm::Monomial(src, scale) => {
+            let a = idx.map(|i| *base.ptr().add(i));
+            for (row, &slot) in idx.iter().enumerate() {
+                *base.ptr().add(slot) = scale[row] * a[src[row]];
+            }
+        }
+        QuadForm::General => {
+            let a = idx.map(|i| *base.ptr().add(i));
+            for (row, &slot) in idx.iter().enumerate() {
+                let mut acc = matrix[row][0] * a[0];
+                for col in 1..4 {
+                    acc += matrix[row][col] * a[col];
+                }
+                *base.ptr().add(slot) = acc;
+            }
+        }
+    }
+}
+
+/// Applies a (possibly controlled) swap, splitting the run enumeration
+/// across `pool`: each run is a [`<[_]>::swap_with_slice`] of two
+/// contiguous disjoint slices.
+pub(crate) fn apply_swap_pooled(
+    amps: &mut [Complex],
+    amask: usize,
+    bmask: usize,
+    cmask: usize,
+    pool: &ThreadPool,
+) {
+    let fixed = single_bit_masks(amask | bmask | cmask);
+    let pairs = amps.len() >> fixed.len();
+    if pairs == 0 {
+        return;
+    }
+    let run_len = fixed[0].min(pairs);
+    let runs = pairs / run_len;
+    let gap = amask.max(bmask) - amask.min(bmask);
+    let base = SendPtr(amps.as_mut_ptr());
+    pool.for_each_range(runs, |range| {
+        for r in range {
+            let i = deposit(r * run_len, &fixed) | cmask | amask;
+            let j = i ^ amask ^ bmask;
+            // SAFETY: disjoint by the pair enumeration; for powers of two
+            // p > q, p - q >= q >= fixed[0] >= run_len, so the slices at
+            // min(i, j) and min(i, j) + gap never overlap.
+            let (lo, hi) = unsafe { run_pair(base, i.min(j), gap, run_len) };
+            lo.swap_with_slice(hi);
+        }
+    });
+}
+
+/// The pre-SIMD 2×2 application: per-pair deposit loops with plain
+/// [`Complex`] arithmetic (plus the contiguous uncontrolled fast path),
+/// exactly as shipped before the run/SIMD rework. Reference for the
+/// equivalence suites and the benchmark baseline.
+pub(crate) fn apply_unitary_scalar(
+    amps: &mut [Complex],
+    matrix: &Matrix2,
+    tmask: usize,
+    cmask: usize,
+) {
     let [[m00, m01], [m10, m11]] = *matrix;
     let form = classify(matrix);
     if cmask == 0 {
@@ -365,9 +1049,33 @@ pub(crate) fn apply_unitary(amps: &mut [Complex], matrix: &Matrix2, tmask: usize
     }
 }
 
-/// Applies a (possibly controlled) swap, exchanging the amplitudes of
-/// |..a=1,b=0..> and |..a=0,b=1..> wherever the controls are 1.
-pub(crate) fn apply_swap(amps: &mut [Complex], amask: usize, bmask: usize, cmask: usize) {
+/// The scalar reference for [`KernelOp::Unitary4`]: per-quad deposit loop
+/// with plain [`Complex`] arithmetic, form dispatch and accumulation order
+/// matching the pooled path bit for bit.
+pub(crate) fn apply_unitary4_scalar(
+    amps: &mut [Complex],
+    matrix: &Matrix4,
+    lomask: usize,
+    himask: usize,
+) {
+    let fixed = [lomask, himask];
+    let quads = amps.len() >> 2;
+    let form = quad_form(matrix);
+    let len = amps.len();
+    let base = SendPtr(amps.as_mut_ptr());
+    for k in 0..quads {
+        let i0 = deposit(k, &fixed);
+        let idx = [i0, i0 | lomask, i0 | himask, i0 | himask | lomask];
+        debug_assert!(idx.iter().all(|&i| i < len));
+        // SAFETY: a quad's four indices are distinct and in bounds, and
+        // `amps` is exclusively borrowed.
+        unsafe { apply_quad_at(base, idx, &form, matrix) };
+    }
+}
+
+/// The scalar reference swap: per-pair deposit loop, exactly the pre-run
+/// implementation.
+pub(crate) fn apply_swap_scalar(amps: &mut [Complex], amask: usize, bmask: usize, cmask: usize) {
     let fixed = single_bit_masks(amask | bmask | cmask);
     let pairs = amps.len() >> fixed.len();
     for k in 0..pairs {
@@ -461,12 +1169,119 @@ mod tests {
         c.gate(GateKind::H, &[], &[0]);
         c.gate(GateKind::X, &[0], &[1]); // touches both wires: flushes H
         c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::Swap, &[], &[0, 1]);
         c.measure(0, 0);
         c.gate(GateKind::H, &[], &[0]); // must not fuse across the measure
+                                        // (The adjacent H(0); T(0) pair folds in the 2×2 stage already.)
+        let unfused = KernelProgram::compile_unfused(&c);
+        assert_eq!(unfused.ops().len(), 6, "{:?}", unfused.ops());
+        assert!(matches!(unfused.ops()[4], KernelOp::Measure { qubit: 0, bit: 0 }));
+        // The quad stage folds the whole group before the measurement into
+        // one 4×4 pass, still without crossing the measurement.
         let p = KernelProgram::compile(&c);
-        assert_eq!(p.ops().len(), 5);
+        assert_eq!(p.ops().len(), 3, "{:?}", p.ops());
+        assert!(matches!(p.ops()[0], KernelOp::Unitary4 { .. }));
+        assert!(matches!(p.ops()[1], KernelOp::Measure { qubit: 0, bit: 0 }));
+        assert!(matches!(p.ops()[2], KernelOp::Unitary { .. }));
         assert!(!p.is_unitary());
-        assert!(matches!(p.ops()[3], KernelOp::Measure { qubit: 0, bit: 0 }));
+    }
+
+    #[test]
+    fn quad_fusion_merges_bridged_single_wire_groups() {
+        // H(0); H(1); CX(0,1); T(0); T(1): the CX bridges two single-wire
+        // groups into one pair group whose five passes cost more than a
+        // general 4×4 sweep, so it fuses.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::H, &[], &[1]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::T, &[], &[1]);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 1, "{:?}", p.ops());
+        assert!(matches!(p.ops()[0], KernelOp::Unitary4 { .. }));
+    }
+
+    #[test]
+    fn quad_fusion_keeps_cheap_pairs_unfused() {
+        // H(0); CX(0,1): one general pass plus one flip pass beat a dense
+        // 4×4 sweep (four multiplies per amplitude) — the cost model
+        // leaves them alone.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 2, "{:?}", p.ops());
+        assert!(p.ops().iter().all(|op| matches!(op, KernelOp::Unitary { .. })));
+    }
+
+    #[test]
+    fn quad_fusion_fuses_monomial_products() {
+        // T(0); CX(0,1); T(1): the product has one nonzero per row/column,
+        // so the fused sweep is one multiply per amplitude — cheaper than
+        // replaying two phase passes and a flip pass.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::X, &[0], &[1]);
+        c.gate(GateKind::T, &[], &[1]);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 1, "{:?}", p.ops());
+        let KernelOp::Unitary4 { matrix, .. } = &p.ops()[0] else {
+            panic!("expected Unitary4: {:?}", p.ops())
+        };
+        assert!(diagonal4(matrix).is_none());
+        let (src, _) = monomial4(matrix).expect("product should be monomial");
+        assert_ne!(src, [0, 1, 2, 3], "the CX permutes the quad");
+    }
+
+    #[test]
+    fn quad_fusion_emits_diagonal_products_fused() {
+        // T(0); CZ(0,1); T(1): all diagonal in the pair — three passes
+        // become one diagonal 4×4.
+        let mut c = Circuit::new(2);
+        c.gate(GateKind::T, &[], &[0]);
+        c.gate(GateKind::Z, &[0], &[1]);
+        c.gate(GateKind::T, &[], &[1]);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.ops().len(), 1, "{:?}", p.ops());
+        let KernelOp::Unitary4 { matrix, .. } = &p.ops()[0] else {
+            panic!("expected Unitary4: {:?}", p.ops())
+        };
+        assert!(diagonal4(matrix).is_some());
+    }
+
+    #[test]
+    fn quad_fusion_commutes_disjoint_ops_past_open_groups() {
+        // The CCX on wires 1-3 must flush the {1,2} group but may pass the
+        // {0} group, which keeps absorbing afterwards.
+        let mut c = Circuit::new(4);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::H, &[], &[1]);
+        c.gate(GateKind::X, &[1], &[2]);
+        c.gate(GateKind::H, &[], &[2]);
+        c.gate(GateKind::T, &[], &[1]);
+        c.gate(GateKind::T, &[], &[2]);
+        c.gate(GateKind::X, &[1, 2], &[3]);
+        c.gate(GateKind::T, &[], &[0]);
+        let p = KernelProgram::compile(&c);
+        // Expected: Unitary4(1,2) [T·T·H·CX·H], CCX, Unitary(0) [T·H fused].
+        assert_eq!(p.ops().len(), 3, "{:?}", p.ops());
+        assert!(matches!(p.ops()[0], KernelOp::Unitary4 { .. }));
+        assert!(matches!(p.ops()[1], KernelOp::Unitary { cmask, .. } if cmask != 0));
+        assert!(matches!(p.ops()[2], KernelOp::Unitary { cmask: 0, .. }));
+        // And the reordering is semantics-preserving.
+        let mut fused = StateVector::zero(4);
+        p.apply_state(&mut fused);
+        let mut plain = StateVector::zero(4);
+        for op in &c.ops {
+            if let CircuitOp::Gate { gate, controls, targets } = op {
+                plain.apply_naive(*gate, controls, targets);
+            }
+        }
+        for (a, b) in fused.amplitudes().iter().zip(plain.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
     }
 
     #[test]

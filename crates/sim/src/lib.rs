@@ -24,15 +24,17 @@ pub mod complex;
 pub mod dynamic;
 pub mod kernel;
 pub mod run;
+pub mod simd;
 pub mod state;
 
 pub use backend::SimBackend;
-pub use batch::{batched_columns, batched_program_columns};
+pub use batch::{batched_columns, batched_program_columns, batched_program_columns_threads};
 pub use complex::Complex;
 pub use dynamic::{run_dynamic, ArgValue, DynamicRun};
 pub use kernel::{KernelOp, KernelProgram};
 pub use run::{
     circuits_equivalent, circuits_equivalent_on_zero_ancillas, columns_equivalent,
-    measurement_distribution, sample, sample_per_shot, unitary_of, RunResult, Simulator,
+    measurement_distribution, measurement_distribution_threads, sample, sample_per_shot,
+    unitary_of, RunResult, Simulator, PARALLEL_STATE_MIN,
 };
-pub use state::StateVector;
+pub use state::{checked_amplitude_count, StateVector, MAX_QUBITS};

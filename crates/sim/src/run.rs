@@ -6,12 +6,29 @@
 //! per column.
 
 use crate::batch::batched_columns;
-use crate::kernel::{apply_swap, apply_unitary, KernelOp, KernelProgram};
+use crate::kernel::{apply_op_pooled, KernelOp, KernelProgram};
 use crate::state::StateVector;
 use asdf_qcircuit::{Circuit, CircuitOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use threadpool::ThreadPool;
+
+/// Amplitude count at or above which an auto-threaded (`threads == 0`)
+/// single-state run spreads gate kernels across all cores; below it the
+/// per-gate work cannot amortize a thread spawn.
+pub const PARALLEL_STATE_MIN: usize = 1 << 16;
+
+/// The worker pool for a single-state run: `threads == 0` picks the
+/// machine's parallelism for states of at least [`PARALLEL_STATE_MIN`]
+/// amplitudes (and one worker below), any other value is exact.
+pub(crate) fn pool_for_state(threads: usize, num_amps: usize) -> ThreadPool {
+    match threads {
+        0 if num_amps >= PARALLEL_STATE_MIN => ThreadPool::with_available_parallelism(),
+        0 => ThreadPool::new(1),
+        t => ThreadPool::new(t),
+    }
+}
 
 /// The outcome of one shot.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,12 +50,24 @@ impl RunResult {
 #[derive(Debug)]
 pub struct Simulator {
     rng: StdRng,
+    threads: usize,
 }
 
 impl Simulator {
-    /// A simulator with a fixed seed.
+    /// A simulator with a fixed seed and automatic threading (gate kernels
+    /// parallelize once the state reaches [`PARALLEL_STATE_MIN`]
+    /// amplitudes).
     pub fn new(seed: u64) -> Self {
-        Simulator { rng: StdRng::seed_from_u64(seed) }
+        Simulator::with_threads(seed, 0)
+    }
+
+    /// A simulator with an explicit worker count: `0` = automatic
+    /// (size-gated), `n >= 1` = exactly `n` workers regardless of state
+    /// size. Results are bit-identical for every setting — the pair
+    /// partition and the fixed-shape probability sums do not depend on the
+    /// worker count.
+    pub fn with_threads(seed: u64, threads: usize) -> Self {
+        Simulator { rng: StdRng::seed_from_u64(seed), threads }
     }
 
     /// Runs one shot of the circuit from |0...0>.
@@ -73,26 +102,24 @@ impl Simulator {
         mut state: StateVector,
     ) -> RunResult {
         assert_eq!(state.num_qubits(), program.num_qubits(), "state size mismatch");
+        let pool = pool_for_state(self.threads, state.amplitudes().len());
         let mut bits = vec![false; program.num_bits()];
         for op in program.ops() {
             match op {
-                KernelOp::Unitary { matrix, tmask, cmask } => {
-                    apply_unitary(state.amps_mut(), matrix, *tmask, *cmask);
-                }
-                KernelOp::Swap { amask, bmask, cmask } => {
-                    apply_swap(state.amps_mut(), *amask, *bmask, *cmask);
+                KernelOp::Unitary { .. } | KernelOp::Unitary4 { .. } | KernelOp::Swap { .. } => {
+                    apply_op_pooled(state.amps_mut(), op, &pool);
                 }
                 KernelOp::Measure { qubit, bit } => {
-                    let p1 = state.prob_one(*qubit);
+                    let p1 = state.prob_one_pooled(*qubit, &pool);
                     let outcome = self.rng.gen_bool(p1.clamp(0.0, 1.0));
-                    state.collapse(*qubit, outcome);
+                    state.collapse_pooled(*qubit, outcome, &pool);
                     bits[*bit] = outcome;
                 }
                 KernelOp::Reset { qubit } => {
-                    let p1 = state.prob_one(*qubit);
+                    let p1 = state.prob_one_pooled(*qubit, &pool);
                     if p1 > 1e-12 {
                         let outcome = self.rng.gen_bool(p1.clamp(0.0, 1.0));
-                        state.collapse(*qubit, outcome);
+                        state.collapse_pooled(*qubit, outcome, &pool);
                         if outcome {
                             state.apply(asdf_ir::GateKind::X, &[], &[*qubit]);
                         }
@@ -162,6 +189,16 @@ pub fn sample_per_shot(circuit: &Circuit, shots: usize, seed: u64) -> HashMap<St
 /// distribution then depends on per-shot branching) — callers fall back to
 /// [`sample_per_shot`].
 pub fn measurement_distribution(circuit: &Circuit) -> Option<Vec<(String, f64)>> {
+    measurement_distribution_threads(circuit, 0)
+}
+
+/// [`measurement_distribution`] with an explicit worker count for the
+/// gate kernels (`0` = automatic, size-gated). The distribution is
+/// bit-identical for every setting.
+pub fn measurement_distribution_threads(
+    circuit: &Circuit,
+    threads: usize,
+) -> Option<Vec<(String, f64)>> {
     let mut measured: Vec<(usize, usize)> = Vec::new(); // (qubit, bit)
     let mut bit_used = vec![false; circuit.num_bits()];
     for op in &circuit.ops {
@@ -185,7 +222,8 @@ pub fn measurement_distribution(circuit: &Circuit) -> Option<Vec<(String, f64)>>
     let mut state = StateVector::zero(circuit.num_qubits);
     // The terminal-measurement analysis above established that skipping the
     // measure ops cannot change any amplitude a measurement reads.
-    KernelProgram::compile(circuit).apply_gates(&mut state);
+    let pool = pool_for_state(threads, state.amplitudes().len());
+    KernelProgram::compile(circuit).apply_gates_pooled(&mut state, &pool);
     let num_bits = circuit.num_bits();
     let n = circuit.num_qubits;
     let mut dist: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();

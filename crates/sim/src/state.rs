@@ -2,7 +2,28 @@
 
 use crate::complex::Complex;
 use crate::kernel;
+use crate::simd;
 use asdf_ir::GateKind;
+use threadpool::ThreadPool;
+
+/// The largest simulable register: `2^26` amplitudes (1 GiB of `Complex`).
+pub const MAX_QUBITS: usize = 26;
+
+/// The amplitude count for `num_qubits`, after enforcing [`MAX_QUBITS`].
+/// Every amplitude-sized allocation in the crate (state vectors, batched
+/// SoA planes) sizes itself through this one checked constructor, so the
+/// cap cannot be bypassed by a new buffer site.
+///
+/// # Panics
+///
+/// Panics if `num_qubits > MAX_QUBITS` — before anything is allocated.
+pub fn checked_amplitude_count(num_qubits: usize) -> usize {
+    assert!(
+        num_qubits <= MAX_QUBITS,
+        "state vector too large: {num_qubits} qubits (max {MAX_QUBITS})"
+    );
+    1usize << num_qubits
+}
 
 /// A pure state of `n` qubits as `2^n` amplitudes.
 ///
@@ -19,10 +40,10 @@ impl StateVector {
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits > 26` (the vector would not fit in memory).
+    /// Panics if `num_qubits > ` [`MAX_QUBITS`] (the vector would not fit
+    /// in memory).
     pub fn zero(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
-        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        let mut amps = vec![Complex::ZERO; checked_amplitude_count(num_qubits)];
         amps[0] = Complex::ONE;
         StateVector { num_qubits, amps }
     }
@@ -50,7 +71,7 @@ impl StateVector {
     pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
         assert!(amps.len().is_power_of_two(), "amplitude count {} not a power of two", amps.len());
         let num_qubits = amps.len().trailing_zeros() as usize;
-        assert!(num_qubits <= 26, "state vector too large: {num_qubits} qubits");
+        checked_amplitude_count(num_qubits);
         StateVector { num_qubits, amps }
     }
 
@@ -167,10 +188,18 @@ impl StateVector {
         }
     }
 
-    /// The probability that `qubit` measures 1.
+    /// The probability that `qubit` measures 1, as a fixed-shape chunked
+    /// pairwise sum (`crate::simd::masked_norm_sqr_sum`): precision-stable
+    /// at `2^20+` amplitudes and bit-identical for every worker count.
     pub fn prob_one(&self, qubit: usize) -> f64 {
+        self.prob_one_pooled(qubit, &ThreadPool::new(1))
+    }
+
+    /// [`Self::prob_one`] with the leaf sums split across `pool` (the
+    /// summation tree is fixed, so the result does not change).
+    pub(crate) fn prob_one_pooled(&self, qubit: usize, pool: &ThreadPool) -> f64 {
         let mask = self.qubit_mask(qubit);
-        self.amps.iter().enumerate().filter(|(i, _)| i & mask != 0).map(|(_, a)| a.norm_sqr()).sum()
+        simd::masked_norm_sqr_sum(&self.amps, mask, true, pool)
     }
 
     /// Collapses `qubit` to `outcome`, renormalizing.
@@ -184,24 +213,25 @@ impl StateVector {
     ///
     /// Panics if the outcome has (near-)zero probability.
     pub fn collapse(&mut self, qubit: usize, outcome: bool) {
+        self.collapse_pooled(qubit, outcome, &ThreadPool::new(1));
+    }
+
+    /// [`Self::collapse`] with the branch sum and the renormalization pass
+    /// split across `pool`; bit-identical for every worker count.
+    pub(crate) fn collapse_pooled(&mut self, qubit: usize, outcome: bool, pool: &ThreadPool) {
         let mask = self.qubit_mask(qubit);
-        let p: f64 = self
-            .amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| (i & mask != 0) == outcome)
-            .map(|(_, a)| a.norm_sqr())
-            .sum();
+        let p = simd::masked_norm_sqr_sum(&self.amps, mask, outcome, pool);
         assert!(p > 1e-12, "collapsing onto a zero-probability branch");
         let norm = 1.0 / p.sqrt();
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            let bit = i & mask != 0;
-            if bit == outcome {
-                *amp = amp.scale(norm);
-            } else {
-                *amp = Complex::ZERO;
-            }
-        }
+        // The qubit's bit alternates in aligned blocks of `mask`
+        // amplitudes: scale the kept block of each period, zero the other.
+        pool.for_each_chunk(&mut self.amps, mask << 1, |_, chunk| {
+            let (zeros_half, ones_half) = chunk.split_at_mut(mask);
+            let (kept, discarded) =
+                if outcome { (ones_half, zeros_half) } else { (zeros_half, ones_half) };
+            simd::scale_run(kept, norm);
+            simd::zero_run(discarded);
+        });
     }
 
     /// Whether two states are equal up to a global phase.
@@ -232,9 +262,10 @@ impl StateVector {
         self.amps.iter().zip(&other.amps).all(|(a, b)| a.approx_eq(phase * *b, eps))
     }
 
-    /// Total probability (should be 1 for a normalized state).
+    /// Total probability (should be 1 for a normalized state), as a
+    /// fixed-shape chunked pairwise sum.
     pub fn norm(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum()
+        simd::masked_norm_sqr_sum(&self.amps, 0, false, &ThreadPool::new(1))
     }
 
     /// The state restricted to `qubits` (in the given order), provided
@@ -256,12 +287,16 @@ impl StateVector {
         }
         let other_mask: usize =
             (0..self.num_qubits).filter(|&q| !kept[q]).map(|q| self.qubit_mask(q)).sum();
+        // Leakage mass onto the excluded qubits, as a fixed-shape pairwise
+        // sum (stable at large sizes, unlike a naive running total).
+        let leaked = simd::masked_norm_sqr_sum(&self.amps, other_mask, true, &ThreadPool::new(1));
+        if leaked > eps {
+            return None;
+        }
         let k = qubits.len();
-        let mut out = vec![Complex::ZERO; 1usize << k];
-        let mut leaked = 0.0;
+        let mut out = vec![Complex::ZERO; checked_amplitude_count(k)];
         for (i, amp) in self.amps.iter().enumerate() {
             if i & other_mask != 0 {
-                leaked += amp.norm_sqr();
                 continue;
             }
             let mut sub = 0usize;
@@ -272,16 +307,17 @@ impl StateVector {
             }
             out[sub] = *amp;
         }
-        if leaked > eps {
-            return None;
-        }
         Some(StateVector { num_qubits: k, amps: out })
     }
 
     /// A new state with one more qubit appended (as the least significant
     /// index position) in |0>. Used by dynamic allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grown register would exceed [`MAX_QUBITS`].
     pub fn with_appended_zero_qubit(&self) -> StateVector {
-        let mut amps = vec![Complex::ZERO; self.amps.len() * 2];
+        let mut amps = vec![Complex::ZERO; checked_amplitude_count(self.num_qubits + 1)];
         for (i, a) in self.amps.iter().enumerate() {
             amps[i * 2] = *a;
         }
