@@ -1,0 +1,158 @@
+//! Backward wire-liveness analysis.
+//!
+//! A qubit wire is *dead* when every downstream path ends in a
+//! reset-and-release (`qcirc.qfree` / `qwerty.qbdiscard`) without being
+//! measured, returned, or released under a |0⟩ assumption. Gates feeding
+//! only dead wires have no observable effect — the reset erases whatever
+//! they did — which is what the W0002 lint reports. `qfreez` /
+//! `qbdiscardz` operands count as *live* because those ops skip the reset:
+//! the wire's state at release is semantically load-bearing.
+
+use crate::framework::{Analysis, Direction, Fact, FactMap};
+use asdf_ir::{Func, Op, OpKind};
+
+/// Observability of a wire's downstream continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// No information (classical values and unvisited wires).
+    Bottom,
+    /// Every downstream path resets and releases the wire unobserved.
+    Dead,
+    /// Some downstream path observes the wire (measure, return, yield to a
+    /// live merge, |0⟩-asserted release, or an unknown consumer).
+    Live,
+}
+
+impl Fact for Liveness {
+    fn bottom() -> Self {
+        Liveness::Bottom
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let joined = match (*self, *other) {
+            (a, Liveness::Bottom) => a,
+            (Liveness::Bottom, b) => b,
+            (a, b) if a == b => a,
+            // Observed on any path means observed.
+            _ => Liveness::Live,
+        };
+        let changed = joined != *self;
+        *self = joined;
+        changed
+    }
+}
+
+/// Whether the op moves wires without observing them, so liveness threads
+/// straight through from results to operands.
+fn is_passthrough(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::QbPack
+            | OpKind::QbUnpack
+            | OpKind::ArrPack
+            | OpKind::ArrUnpack
+            | OpKind::Gate { .. }
+            | OpKind::QbTrans { .. }
+    )
+}
+
+/// Backward liveness analysis over qubit wires.
+#[derive(Debug, Default)]
+pub struct LivenessAnalysis;
+
+impl Analysis for LivenessAnalysis {
+    type Fact = Liveness;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn transfer(&mut self, func: &Func, op: &Op, facts: &mut FactMap<Liveness>) {
+        match &op.kind {
+            // Reset-and-release: the incoming state is never observed.
+            OpKind::QFree | OpKind::QbDiscard => {
+                for &v in &op.operands {
+                    facts.join(v, &Liveness::Dead);
+                }
+            }
+            // |0⟩-asserted release skips the reset, so the state matters.
+            OpKind::QFreeZ | OpKind::QbDiscardZ => {
+                for &v in &op.operands {
+                    facts.join(v, &Liveness::Live);
+                }
+            }
+            op_kind if is_passthrough(op_kind) => {
+                // Linear results are each used exactly once, so a visited
+                // result is Dead or Live; Bottom means an unused classical
+                // result and contributes nothing.
+                let live = op.results.iter().any(|&r| *facts.get(r) == Liveness::Live);
+                let fact = if live { Liveness::Live } else { Liveness::Dead };
+                for &v in &op.operands {
+                    if func.value_type(v).is_linear() {
+                        facts.join(v, &fact);
+                    }
+                }
+            }
+            // The engine already pushed result facts into the yields; the
+            // branch condition itself is observable.
+            OpKind::ScfIf => facts.join(op.operands[0], &Liveness::Live),
+            OpKind::Yield => {}
+            // Returns, measurements, calls, and anything else observe their
+            // operands.
+            _ => {
+                for &v in &op.operands {
+                    facts.join(v, &Liveness::Live);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::analyze;
+    use asdf_ir::{FuncBuilder, FuncType, GateKind, Type, Visibility};
+
+    #[test]
+    fn gate_feeding_reset_release_is_dead() {
+        let mut b = FuncBuilder::new(
+            "dead",
+            FuncType::new(vec![Type::Qubit], vec![], false),
+            Visibility::Private,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        let g = bb.push(
+            OpKind::Gate { gate: GateKind::H, num_controls: 0 },
+            vec![arg],
+            vec![Type::Qubit],
+        );
+        bb.push(OpKind::QFree, vec![g[0]], vec![]);
+        bb.push(OpKind::Return, vec![], vec![]);
+        let func = b.finish();
+        let facts = analyze(&func, &mut LivenessAnalysis);
+        assert_eq!(*facts.get(g[0]), Liveness::Dead);
+        assert_eq!(*facts.get(arg), Liveness::Dead);
+    }
+
+    #[test]
+    fn measured_and_zero_asserted_wires_are_live() {
+        let mut b = FuncBuilder::new(
+            "live",
+            FuncType::new(vec![Type::Qubit, Type::Qubit], vec![Type::I1], false),
+            Visibility::Private,
+        );
+        let (a, z) = (b.args()[0], b.args()[1]);
+        let mut bb = b.block();
+        let m = bb.push(OpKind::Measure, vec![a], vec![Type::Qubit, Type::I1]);
+        bb.push(OpKind::QFree, vec![m[0]], vec![]);
+        bb.push(OpKind::QFreeZ, vec![z], vec![]);
+        bb.push(OpKind::Return, vec![m[1]], vec![]);
+        let func = b.finish();
+        let facts = analyze(&func, &mut LivenessAnalysis);
+        assert_eq!(*facts.get(a), Liveness::Live, "measured wire");
+        assert_eq!(*facts.get(z), Liveness::Live, "|0>-asserted release");
+        assert_eq!(*facts.get(m[0]), Liveness::Dead, "post-measurement wire is reset");
+    }
+}

@@ -83,14 +83,22 @@ fn rewrite(e: &mut TExpr) -> usize {
                 parts
                     .iter()
                     .rev()
-                    .map(|p| TExpr { kind: TExprKind::Adjoint(Box::new(p.clone())), ty: p.ty })
+                    .map(|p| TExpr {
+                        kind: TExprKind::Adjoint(Box::new(p.clone())),
+                        ty: p.ty,
+                        span: p.span,
+                    })
                     .collect(),
             )),
             // ~(f1 + f2)  ->  ~f1 + ~f2
             TExprKind::Tensor(parts) => Some(TExprKind::Tensor(
                 parts
                     .iter()
-                    .map(|p| TExpr { kind: TExprKind::Adjoint(Box::new(p.clone())), ty: p.ty })
+                    .map(|p| TExpr {
+                        kind: TExprKind::Adjoint(Box::new(p.clone())),
+                        ty: p.ty,
+                        span: p.span,
+                    })
                     .collect(),
             )),
             _ => None,
@@ -102,6 +110,7 @@ fn rewrite(e: &mut TExpr) -> usize {
                 let id = TExpr {
                     kind: TExprKind::Id { dim: basis.dim() },
                     ty: Type::rev_func(basis.dim()),
+                    span: e.span,
                 };
                 Some(TExprKind::Tensor(vec![id, (**func).clone()]))
             } else {

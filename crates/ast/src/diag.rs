@@ -165,6 +165,18 @@ impl Diagnostic {
         }
     }
 
+    /// A new warning-severity diagnostic with no labels (lint codes use
+    /// the `W0xxx` namespace, mirroring the `E0xxx` error codes).
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
     /// Attaches a labeled span.
     #[must_use]
     pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Diagnostic {

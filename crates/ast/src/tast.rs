@@ -7,6 +7,7 @@
 //! IR (§5.1).
 
 use crate::ast::QubitChar;
+use crate::diag::Span;
 use crate::types::{Type, ValueKind};
 use asdf_basis::Basis;
 use std::collections::HashMap;
@@ -42,12 +43,39 @@ pub enum TStmt {
 }
 
 /// A typed expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TExpr {
     /// Node kind.
     pub kind: TExprKind,
     /// Node type.
     pub ty: Type,
+    /// Source range of the untyped expression this node was checked from
+    /// (the default span when synthesized by canonicalization). Lowering
+    /// stamps it onto the IR ops it emits, so lints can point back here.
+    pub span: Span,
+}
+
+/// Structural equality: spans are locations, not meaning, so typed
+/// expressions compare equal whenever kind and type do (matching the
+/// untyped [`Expr`](crate::ast::Expr) convention).
+impl PartialEq for TExpr {
+    fn eq(&self, other: &TExpr) -> bool {
+        self.kind == other.kind && self.ty == other.ty
+    }
+}
+
+impl TExpr {
+    /// A typed expression with an unknown span.
+    pub fn new(kind: TExprKind, ty: Type) -> TExpr {
+        TExpr { kind, ty, span: Span::default() }
+    }
+
+    /// The same expression with a source span attached.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> TExpr {
+        self.span = span;
+        self
+    }
 }
 
 /// Typed expression kinds.

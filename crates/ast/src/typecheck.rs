@@ -11,6 +11,7 @@
 //!   algorithm (Algorithms B1–B4 in `asdf-basis`).
 
 use crate::ast::{CExpr, Expr, ExprKind, Program, Stmt, TypeExpr};
+use crate::diag::Span;
 use crate::error::FrontendError;
 use crate::expand::KernelInstance;
 use crate::tast::{TClassical, TExpr, TExprKind, TKernel, TStmt};
@@ -376,9 +377,10 @@ impl Checker<'_> {
     // ------------------------------------------------------------------
 
     fn check(&mut self, e: &Expr) -> Result<TExpr, FrontendError> {
-        // Attach this expression's span as errors propagate outward; the
-        // innermost error keeps its (most precise) span.
-        self.check_kind(e).map_err(|err| err.with_span(e.span))
+        // Attach this expression's span as errors propagate outward (the
+        // innermost error keeps its most precise span), and stamp it onto
+        // the typed node so lowering can carry it into the IR.
+        self.check_kind(e).map(|t| t.with_span(e.span)).map_err(|err| err.with_span(e.span))
     }
 
     fn check_kind(&mut self, e: &Expr) -> Result<TExpr, FrontendError> {
@@ -388,6 +390,7 @@ impl Checker<'_> {
                 // unobservable; fold it away (documented in DESIGN.md).
                 let _ = phase;
                 Ok(TExpr {
+                    span: e.span,
                     kind: TExprKind::QLit { chars: chars.clone() },
                     ty: Type::Value(ValueKind::Qubit(chars.len())),
                 })
@@ -416,6 +419,7 @@ impl Checker<'_> {
                             )));
                         }
                         Ok(TExpr {
+                            span: e.span,
                             kind: TExprKind::Pipe { value: Box::new(value), func: Box::new(func) },
                             ty: Type::Value(output),
                         })
@@ -428,6 +432,7 @@ impl Checker<'_> {
                             )));
                         }
                         Ok(TExpr {
+                            span: e.span,
                             kind: TExprKind::Compose(vec![value, func]),
                             ty: Type::Func { input: fi, output, rev: fr && rev },
                         })
@@ -468,6 +473,7 @@ impl Checker<'_> {
                         }
                         let width = repeated.len();
                         Ok(TExpr {
+                            span: e.span,
                             kind: TExprKind::QLit { chars: repeated },
                             ty: Type::Value(ValueKind::Qubit(width)),
                         })
@@ -506,10 +512,14 @@ impl Checker<'_> {
                             "zero-fold repetition needs a qubit endofunction".to_string(),
                         ));
                     };
-                    return Ok(TExpr { kind: TExprKind::Id { dim: n }, ty: Type::rev_func(n) });
+                    return Ok(TExpr {
+                        span: e.span,
+                        kind: TExprKind::Id { dim: n },
+                        ty: Type::rev_func(n),
+                    });
                 }
                 let ty = f.ty;
-                Ok(TExpr { kind: TExprKind::Compose(vec![f; k]), ty })
+                Ok(TExpr { span: e.span, kind: TExprKind::Compose(vec![f; k]), ty })
             }
             ExprKind::Translation(b_in, b_out) => {
                 let b_in = self.resolve_basis(b_in)?;
@@ -517,7 +527,11 @@ impl Checker<'_> {
                 // §4.1: span equivalence checking.
                 span::check_span_equiv(&b_in, &b_out)?;
                 let n = b_in.dim();
-                Ok(TExpr { kind: TExprKind::Translation { b_in, b_out }, ty: Type::rev_func(n) })
+                Ok(TExpr {
+                    span: e.span,
+                    kind: TExprKind::Translation { b_in, b_out },
+                    ty: Type::rev_func(n),
+                })
             }
             ExprKind::Adjoint(f) => {
                 let f = self.check(f)?;
@@ -533,7 +547,7 @@ impl Checker<'_> {
                     ));
                 }
                 let ty = f.ty;
-                Ok(TExpr { kind: TExprKind::Adjoint(Box::new(f)), ty })
+                Ok(TExpr { span: e.span, kind: TExprKind::Adjoint(Box::new(f)), ty })
             }
             ExprKind::Pred(b, f) => {
                 let basis = self.resolve_basis(b)?;
@@ -561,6 +575,7 @@ impl Checker<'_> {
                 }
                 let total = basis.dim() + n;
                 Ok(TExpr {
+                    span: e.span,
                     kind: TExprKind::Pred { basis, func: Box::new(f) },
                     ty: Type::rev_func(total),
                 })
@@ -569,6 +584,7 @@ impl Checker<'_> {
                 let basis = self.resolve_basis(b)?;
                 let n = basis.dim();
                 Ok(TExpr {
+                    span: e.span,
                     kind: TExprKind::Measure { basis },
                     ty: Type::Func {
                         input: ValueKind::Qubit(n),
@@ -581,6 +597,7 @@ impl Checker<'_> {
                 let basis = self.resolve_basis(b)?;
                 let n = basis.dim();
                 Ok(TExpr {
+                    span: e.span,
                     kind: TExprKind::Discard { dim: n },
                     ty: Type::Func {
                         input: ValueKind::Qubit(n),
@@ -593,7 +610,11 @@ impl Checker<'_> {
                 let basis = self.resolve_basis(b)?;
                 let (b_in, b_out) = flip_translation(&basis)?;
                 let n = b_in.dim();
-                Ok(TExpr { kind: TExprKind::Translation { b_in, b_out }, ty: Type::rev_func(n) })
+                Ok(TExpr {
+                    span: e.span,
+                    kind: TExprKind::Translation { b_in, b_out },
+                    ty: Type::rev_func(n),
+                })
             }
             ExprKind::Sign(f) => {
                 let idx = self.classical_ref(f, ".sign")?;
@@ -605,17 +626,25 @@ impl Checker<'_> {
                     )));
                 }
                 let n = inst.n_in;
-                Ok(TExpr { kind: TExprKind::Sign { classical: idx }, ty: Type::rev_func(n) })
+                Ok(TExpr {
+                    span: e.span,
+                    kind: TExprKind::Sign { classical: idx },
+                    ty: Type::rev_func(n),
+                })
             }
             ExprKind::Xor(f) => {
                 let idx = self.classical_ref(f, ".xor")?;
                 let inst = &self.classical[idx];
                 let n = inst.n_in + inst.n_out;
-                Ok(TExpr { kind: TExprKind::XorEmbed { classical: idx }, ty: Type::rev_func(n) })
+                Ok(TExpr {
+                    span: e.span,
+                    kind: TExprKind::XorEmbed { classical: idx },
+                    ty: Type::rev_func(n),
+                })
             }
             ExprKind::Id(d) => {
                 let n = self.dim(d)?;
-                Ok(TExpr { kind: TExprKind::Id { dim: n }, ty: Type::rev_func(n) })
+                Ok(TExpr { span: e.span, kind: TExprKind::Id { dim: n }, ty: Type::rev_func(n) })
             }
             ExprKind::Cond { then_expr, cond, else_expr } => {
                 let cond = self.check(cond)?;
@@ -640,6 +669,7 @@ impl Checker<'_> {
                 }
                 let ty = then_f.ty;
                 Ok(TExpr {
+                    span: e.span,
                     kind: TExprKind::Cond {
                         cond: Box::new(cond),
                         then_f: Box::new(then_f),
@@ -669,7 +699,7 @@ impl Checker<'_> {
                     binding.consumed = true;
                 }
             }
-            return Ok(TExpr { kind: TExprKind::Var { name: name.to_string() }, ty });
+            return Ok(TExpr::new(TExprKind::Var { name: name.to_string() }, ty));
         }
         // A reference to another kernel as a function value.
         if let Some(func) = self.program.qpu(name) {
@@ -692,6 +722,7 @@ impl Checker<'_> {
                 }
             };
             return Ok(TExpr {
+                span: Span::default(),
                 kind: TExprKind::KernelRef { name: name.to_string() },
                 ty: Type::Func {
                     input: ValueKind::Qubit(total_in),
@@ -719,13 +750,14 @@ impl Checker<'_> {
     }
 
     fn tensor_typed(&mut self, a: TExpr, b: TExpr) -> Result<TExpr, FrontendError> {
+        let span = a.span.to(b.span);
         match (a.ty, b.ty) {
             (Type::Value(ka), Type::Value(kb)) => {
                 let kind = ka.tensor(kb).map_err(FrontendError::type_err)?;
                 let mut parts = Vec::new();
                 flatten_tensor(a, &mut parts);
                 flatten_tensor(b, &mut parts);
-                Ok(TExpr { kind: TExprKind::Tensor(parts), ty: Type::Value(kind) })
+                Ok(TExpr { span, kind: TExprKind::Tensor(parts), ty: Type::Value(kind) })
             }
             (
                 Type::Func { input: ia, output: oa, rev: ra },
@@ -737,6 +769,7 @@ impl Checker<'_> {
                 flatten_tensor(a, &mut parts);
                 flatten_tensor(b, &mut parts);
                 Ok(TExpr {
+                    span,
                     kind: TExprKind::Tensor(parts),
                     ty: Type::Func { input, output, rev: ra && rb },
                 })

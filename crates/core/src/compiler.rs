@@ -64,6 +64,10 @@ pub struct CompileOptions {
     /// firing N+1 and later are suppressed. `None` means unlimited.
     /// Defaults to the `ASDF_REWRITE_FUEL` environment variable.
     pub rewrite_fuel: Option<u64>,
+    /// Run the asdf-lint dataflow analyses after the pipeline and attach
+    /// their diagnostics to [`Compiled::lints`]. Warnings never fail the
+    /// compilation.
+    pub lints: bool,
 }
 
 impl Default for CompileOptions {
@@ -75,6 +79,7 @@ impl Default for CompileOptions {
             verify: true,
             dims: HashMap::new(),
             rewrite_fuel: RewriteConfig::env_fuel_limit(),
+            lints: false,
         }
     }
 }
@@ -90,6 +95,7 @@ impl CompileOptions {
             verify: true,
             dims: HashMap::new(),
             rewrite_fuel: RewriteConfig::env_fuel_limit(),
+            lints: false,
         }
     }
 
@@ -127,6 +133,7 @@ impl CompileOptions {
                             verify: true,
                             dims: HashMap::new(),
                             rewrite_fuel: RewriteConfig::env_fuel_limit(),
+                            lints: false,
                         },
                     ));
                 }
@@ -153,6 +160,13 @@ impl CompileOptions {
     #[must_use]
     pub fn with_rewrite_fuel(mut self, fuel: Option<u64>) -> Self {
         self.rewrite_fuel = fuel;
+        self
+    }
+
+    /// Enables or disables the post-pipeline lint analyses.
+    #[must_use]
+    pub fn with_lints(mut self, lints: bool) -> Self {
+        self.lints = lints;
         self
     }
 
@@ -214,6 +228,10 @@ pub struct Compiled {
     /// Per-pass wall-clock timing and change statistics from the pipeline
     /// run (in execution order).
     pub stats: PassStatistics,
+    /// Lint diagnostics from the post-pipeline analyses (empty unless
+    /// [`CompileOptions::lints`] was set). Each carries a stable `W0xxx`
+    /// code and, where the IR kept spans, a caret label into the source.
+    pub lints: Vec<asdf_ast::diag::Diagnostic>,
 }
 
 /// The one-shot compiler: a thin wrapper over a throwaway [`Session`].

@@ -62,6 +62,9 @@ fn convert_op(
     bb: &mut BlockBuilder<'_>,
     map: &mut HashMap<Value, Value>,
 ) -> Result<(), CoreError> {
+    // Every QCircuit op emitted for this Qwerty op inherits its source
+    // span, so post-conversion lints still point at the frontend source.
+    bb.set_span(op.span);
     match &op.kind {
         OpKind::QbPrep { prim, eigenstate, dim } => {
             let mut qubits = Vec::with_capacity(*dim);

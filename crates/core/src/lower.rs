@@ -87,6 +87,11 @@ pub fn lower_kernel(kernel: &TKernel, module: &mut Module) -> Result<(), CoreErr
     Ok(())
 }
 
+/// Converts a frontend byte span to the IR form stamped onto ops.
+fn src_span(span: asdf_ast::diag::Span) -> asdf_ir::SrcSpan {
+    asdf_ir::SrcSpan::new(span.start as u32, span.end as u32)
+}
+
 /// Maps an AST value kind to an IR type.
 pub fn map_kind(kind: ValueKind) -> Type {
     match kind {
@@ -144,7 +149,24 @@ impl LowerCtx {
     // Values
     // ------------------------------------------------------------------
 
+    /// Lowers a value expression, stamping `e`'s source span onto every op
+    /// pushed for it (expressions canonicalization synthesized without a
+    /// span inherit the enclosing expression's).
     fn lower_value(&mut self, bb: &mut BlockBuilder<'_>, e: &TExpr) -> Result<Value, CoreError> {
+        let prev = bb.current_span();
+        if !e.span.is_empty() {
+            bb.set_span(src_span(e.span));
+        }
+        let result = self.lower_value_expr(bb, e);
+        bb.set_span(prev);
+        result
+    }
+
+    fn lower_value_expr(
+        &mut self,
+        bb: &mut BlockBuilder<'_>,
+        e: &TExpr,
+    ) -> Result<Value, CoreError> {
         match (&e.kind, e.ty) {
             (TExprKind::QLit { chars }, _) => Ok(self.lower_qlit(bb, chars)),
             (TExprKind::Var { name }, _) => self
@@ -289,7 +311,23 @@ impl LowerCtx {
     // Function values
     // ------------------------------------------------------------------
 
+    /// Lowers a function-value expression with span stamping (see
+    /// [`LowerCtx::lower_value`]).
     fn lower_func(&mut self, bb: &mut BlockBuilder<'_>, e: &TExpr) -> Result<Value, CoreError> {
+        let prev = bb.current_span();
+        if !e.span.is_empty() {
+            bb.set_span(src_span(e.span));
+        }
+        let result = self.lower_func_expr(bb, e);
+        bb.set_span(prev);
+        result
+    }
+
+    fn lower_func_expr(
+        &mut self,
+        bb: &mut BlockBuilder<'_>,
+        e: &TExpr,
+    ) -> Result<Value, CoreError> {
         let func_ty = map_func_type(e.ty);
         match &e.kind {
             TExprKind::Translation { b_in, b_out } => {

@@ -13,7 +13,6 @@
 use crate::error::CoreError;
 use crate::gates::GateCtx;
 use asdf_basis::{Basis, BasisElem, PrimitiveBasis};
-use asdf_ir::dataflow::{analyze_block, ForwardAnalysis};
 use asdf_ir::func::BlockBuilder;
 use asdf_ir::{Func, FuncBuilder, FuncType, GateKind, Op, OpKind, Type, Value, Visibility};
 use std::collections::HashMap;
@@ -402,76 +401,12 @@ impl PredState<'_> {
 
 /// The §5.3 intraprocedural dataflow analysis: maps each qubit/qbundle
 /// value to the qubit indices it carries, returning the output permutation
-/// (`result[i]` = original index now at position `i`).
+/// (`result[i]` = original index now at position `i`). Implemented by the
+/// lattice framework's [`asdf_analysis::QubitIndexAnalysis`], which (unlike
+/// the single-block analysis it replaced) also sees through `scf.if`
+/// regions.
 fn renaming_permutation(func: &Func, n: usize) -> Result<Vec<usize>, CoreError> {
-    struct IndexAnalysis {
-        next: usize,
-    }
-    impl ForwardAnalysis for IndexAnalysis {
-        type Fact = Vec<usize>;
-
-        fn arg_fact(&mut self, func: &Func, arg: Value) -> Vec<usize> {
-            let count = func.value_type(arg).qubit_count();
-            let fact = (self.next..self.next + count).collect();
-            self.next += count;
-            fact
-        }
-
-        fn transfer(
-            &mut self,
-            func: &Func,
-            op: &Op,
-            operand_facts: &[Option<&Vec<usize>>],
-        ) -> Vec<Option<Vec<usize>>> {
-            let flat: Vec<usize> =
-                operand_facts.iter().flatten().flat_map(|f| f.iter().copied()).collect();
-            match &op.kind {
-                OpKind::QbPack => vec![Some(flat)],
-                OpKind::QbUnpack => {
-                    // Distribute one index per qubit result.
-                    flat.into_iter().map(|i| Some(vec![i])).collect()
-                }
-                // Fresh ancillas get fresh indices.
-                OpKind::QAlloc => {
-                    let idx = self.next;
-                    self.next += 1;
-                    vec![Some(vec![idx])]
-                }
-                // Everything else threads indices positionally.
-                _ => {
-                    let mut remaining = flat;
-                    op.results
-                        .iter()
-                        .map(|r| {
-                            let count = func.value_type(*r).qubit_count();
-                            let fact: Vec<usize> =
-                                remaining.drain(..count.min(remaining.len())).collect();
-                            Some(fact)
-                        })
-                        .collect()
-                }
-            }
-        }
-    }
-
-    let mut analysis = IndexAnalysis { next: 0 };
-    let facts = analyze_block(func, &func.body, &mut analysis);
-    let terminator =
-        func.body.terminator().ok_or_else(|| CoreError::Ir("missing terminator".to_string()))?;
-    let out = facts
-        .get(&terminator.operands[0])
-        .ok_or_else(|| CoreError::Ir("no index fact for the result".to_string()))?;
-    if out.len() != n {
-        return Err(CoreError::Ir(format!(
-            "index analysis produced {} indices for a {n}-qubit result",
-            out.len()
-        )));
-    }
-    // Ancilla indices cannot escape a reversible function.
-    if out.iter().any(|&i| i >= n) {
-        return Err(CoreError::Ir("ancilla qubit escapes the function result".to_string()));
-    }
-    Ok(out.clone())
+    asdf_analysis::renaming_permutation(func, n).map_err(CoreError::Ir)
 }
 
 /// The swaps that restore identity order: applying them in order to a

@@ -224,6 +224,9 @@ struct ArtifactKey {
     /// The rewrite-firing budget: fuel changes the produced IR, so two
     /// fuel settings must never share an artifact.
     rewrite_fuel: Option<u64>,
+    /// Whether lint diagnostics were computed: an artifact compiled
+    /// without lints must not satisfy a request that asks for them.
+    lints: bool,
 }
 
 fn decompose_tag(style: Option<DecomposeStyle>) -> u8 {
@@ -256,13 +259,14 @@ fn artifact_key_matches(key: &ArtifactKey, source_hash: u64, request: &CompileRe
     // Exhaustive destructuring: adding a field to CompileOptions is a
     // compile error here, so it can never silently drop out of the cache
     // key (which would serve stale artifacts).
-    let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel } =
+    let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel, lints } =
         &request.options;
     key.inline == *inline
         && key.peephole == *peephole
         && key.decompose == decompose_tag(*decompose)
         && key.verify == *verify
         && key.rewrite_fuel == *rewrite_fuel
+        && key.lints == *lints
         && frontend_key_matches(&key.frontend, source_hash, request)
 }
 
@@ -1018,6 +1022,13 @@ impl Session {
         error.to_diagnostic().render(&self.source)
     }
 
+    /// Renders an artifact's lint diagnostics against this session's
+    /// source, one string per warning (empty unless the artifact was
+    /// compiled with [`CompileOptions::lints`]).
+    pub fn render_lints(&self, artifact: &Compiled) -> Vec<String> {
+        artifact.lints.iter().map(|d| d.render(&self.source)).collect()
+    }
+
     /// The pipeline + reg2mem half of a cold compile, over a (possibly
     /// coalesced) shared frontend.
     fn compile_cold(
@@ -1028,6 +1039,14 @@ impl Session {
         let frontend = self.frontend_for(request, frontend_hash)?;
         let mut module = frontend.module.clone();
         let stats = request.options.pipeline().run(&mut module)?;
+        // Lints run over the post-pipeline module: spans survive lowering
+        // and conversion, so diagnostics still point at the source, while
+        // the analyses see the IR the backends will actually consume.
+        let lints = if request.options.lints {
+            asdf_analysis::lint_module(&module, &asdf_analysis::LintOptions::default())
+        } else {
+            Vec::new()
+        };
         let entry = module.expect_func(&request.kernel).map_err(CoreError::from)?;
         let circuit = match lower_to_circuit(entry) {
             Ok(raw) => match request.options.decompose {
@@ -1042,6 +1061,7 @@ impl Session {
             circuit,
             kernel: frontend.kernel.clone(),
             stats,
+            lints,
         }))
     }
 
@@ -1132,7 +1152,7 @@ impl Session {
 
     /// Builds the owned artifact key (cold path only).
     fn build_artifact_key(&self, request: &CompileRequest) -> ArtifactKey {
-        let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel } =
+        let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel, lints } =
             &request.options;
         ArtifactKey {
             frontend: self.build_frontend_key(request),
@@ -1141,6 +1161,7 @@ impl Session {
             decompose: decompose_tag(*decompose),
             verify: *verify,
             rewrite_fuel: *rewrite_fuel,
+            lints: *lints,
         }
     }
 
@@ -1177,13 +1198,15 @@ impl Session {
 /// The hash of an artifact key: the frontend content hash extended with
 /// every pipeline option that changes the produced IR.
 fn artifact_hash(frontend_hash: u64, options: &CompileOptions) -> u64 {
-    let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel } = options;
+    let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel, lints } =
+        options;
     let mut h = Fnv::new();
     h.write_u64(frontend_hash);
     h.write_u8(u8::from(*inline));
     h.write_u8(u8::from(*peephole));
     h.write_u8(decompose_tag(*decompose));
     h.write_u8(u8::from(*verify));
+    h.write_u8(u8::from(*lints));
     match rewrite_fuel {
         None => h.write_u8(0),
         Some(fuel) => {
@@ -1386,6 +1409,31 @@ mod tests {
         let err = cell.wait().expect_err("abandoned cell delivers an error");
         assert!(err.to_string().contains("abandoned"), "{err}");
         assert!(inflight.is_empty());
+    }
+
+    #[test]
+    fn lint_requests_get_their_own_artifacts_and_clean_code_lints_clean() {
+        let session = Session::new(
+            "qpu bell() -> bit[2] {
+                'p' + '0' | ('1' & std.flip) | std[2].measure
+            }",
+        )
+        .expect("parse");
+        let plain = session.compile(&CompileRequest::kernel("bell")).expect("compile");
+        assert!(plain.lints.is_empty(), "lints stay empty unless requested");
+        let linted = session
+            .compile(
+                &CompileRequest::kernel("bell")
+                    .with_options(CompileOptions::default().with_lints(true)),
+            )
+            .expect("compile with lints");
+        assert!(!Arc::ptr_eq(&plain, &linted), "the lints flag is part of the artifact cache key");
+        assert_eq!(session.cache_stats().artifact_misses, 2);
+        assert_eq!(
+            session.render_lints(&linted),
+            Vec::<String>::new(),
+            "a correct kernel produces zero default-severity lints"
+        );
     }
 
     #[test]

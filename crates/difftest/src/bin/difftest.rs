@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p asdf-difftest --bin difftest -- \
-//!     [--seed N] [--cases N] [--max-width W] [--no-shrink] [--stats]
+//!     [--seed N] [--cases N] [--max-width W] [--no-shrink] [--lint] [--stats]
 //! ```
 //!
 //! Exit code 0 when every comparable configuration pair agrees on every
@@ -17,6 +17,7 @@ fn main() -> ExitCode {
     let mut opts = SweepOptions::default();
     let mut oracle = OracleOptions::default();
     let mut show_stats = false;
+    let mut lint = false;
     let mut jobs: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,12 +54,13 @@ fn main() -> ExitCode {
             },
             "--no-shrink" => opts.shrink = false,
             "--fuel-bisect" => opts.fuel_bisect = true,
+            "--lint" => lint = true,
             "--stats" => show_stats = true,
             "--help" | "-h" => {
                 println!(
                     "usage: difftest [--seed N] [--cases N] [--max-width W] \
                      [--shots N] [--dyn-shots N] [--jobs N] [--no-shrink] \
-                     [--fuel-bisect] [--stats]"
+                     [--fuel-bisect] [--lint] [--stats]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -78,6 +80,12 @@ fn main() -> ExitCode {
     if let Some(jobs) = jobs {
         harness = harness.with_jobs(jobs);
     }
+    if lint {
+        // Generated programs are correct by construction, so the sweep
+        // doubles as a lint soundness check: any warning is a false
+        // positive.
+        harness = harness.with_lints();
+    }
     let start = std::time::Instant::now();
     let report = harness.run_sweep(&opts);
     let elapsed = start.elapsed();
@@ -91,6 +99,9 @@ fn main() -> ExitCode {
         report.mismatches.len()
     );
     println!("sweep wall-clock: {elapsed:.3?}");
+    if lint {
+        println!("lint warnings: {} across the matrix", report.lint_warnings());
+    }
     let serial = report.compile_serial_equiv;
     let concurrent = report.compile_elapsed;
     let speedup = if concurrent.as_nanos() > 0 {

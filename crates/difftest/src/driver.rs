@@ -64,6 +64,9 @@ pub struct ConfigReport {
     /// Pipeline statistics merged across every compiled case — the
     /// [`PassStatistics`] plumbing aggregated per configuration.
     pub stats: PassStatistics,
+    /// Total lint warnings across every compiled case (0 unless the
+    /// harness ran with [`Harness::with_lints`]).
+    pub lints: usize,
 }
 
 /// The result of a whole sweep.
@@ -105,16 +108,21 @@ impl SweepReport {
     pub fn render_table(&self) -> String {
         let width = self.configs.iter().map(|c| c.name.len()).max().unwrap_or(6).max(6);
         let mut out = format!(
-            "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8}\n",
-            "config", "compiled", "err", "circ", "compared", "skipped"
+            "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8} {:>6}\n",
+            "config", "compiled", "err", "circ", "compared", "skipped", "lints"
         );
         for c in &self.configs {
             out.push_str(&format!(
-                "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8}\n",
-                c.name, c.compiled, c.compile_errors, c.circuits, c.compared, c.skipped
+                "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8} {:>6}\n",
+                c.name, c.compiled, c.compile_errors, c.circuits, c.compared, c.skipped, c.lints
             ));
         }
         out
+    }
+
+    /// Total lint warnings across every configuration.
+    pub fn lint_warnings(&self) -> usize {
+        self.configs.iter().map(|c| c.lints).sum()
     }
 }
 
@@ -140,8 +148,9 @@ pub enum CaseOutcome {
 /// Per-case, per-config bookkeeping returned alongside the outcome.
 #[derive(Debug, Default)]
 pub struct CaseAccounting {
-    /// For each config: compile success, circuit produced, stats.
-    pub per_config: Vec<(bool, bool, Option<PassStatistics>)>,
+    /// For each config: compile success, circuit produced, stats, and the
+    /// number of lint warnings (always 0 unless the harness lints).
+    pub per_config: Vec<(bool, bool, Option<PassStatistics>, usize)>,
     /// Comparisons run / skipped, per config index.
     pub compared: Vec<usize>,
     /// Skipped comparisons per config index.
@@ -208,6 +217,18 @@ impl Harness {
     #[must_use]
     pub fn with_sabotage(mut self, config: &str, f: impl Fn(&mut Circuit) + 'static) -> Self {
         self.sabotage = Some((config.to_string(), Box::new(f)));
+        self
+    }
+
+    /// Turns on the asdf-lint analyses for every configuration. The sweep
+    /// then doubles as a lint soundness harness: generated programs are
+    /// correct by construction, so *any* default-severity warning is a
+    /// false positive.
+    #[must_use]
+    pub fn with_lints(mut self) -> Self {
+        for (_, options) in &mut self.configs {
+            options.lints = true;
+        }
         self
     }
 
@@ -289,6 +310,7 @@ impl Harness {
                 result.is_ok(),
                 result.as_ref().map(|c| c.circuit.is_some()).unwrap_or(false),
                 result.as_ref().ok().map(|c| c.stats.clone()),
+                result.as_ref().map(|c| c.lints.len()).unwrap_or(0),
             ));
         }
         acct.cache = session.cache_stats();
@@ -371,6 +393,7 @@ impl Harness {
                 compared: 0,
                 skipped: 0,
                 stats: PassStatistics::new(),
+                lints: 0,
             })
             .collect();
         let mut rejected = 0;
@@ -383,7 +406,7 @@ impl Harness {
         for index in 0..opts.cases {
             let case = gen_case(opts.seed, index, &opts.gen);
             let (outcome, acct) = self.check_case(&case);
-            for (ci, (ok, circ, stats)) in acct.per_config.iter().enumerate() {
+            for (ci, (ok, circ, stats, lints)) in acct.per_config.iter().enumerate() {
                 if *ok {
                     configs[ci].compiled += 1;
                 } else {
@@ -395,6 +418,7 @@ impl Harness {
                 if let Some(stats) = stats {
                     configs[ci].stats.merge(stats);
                 }
+                configs[ci].lints += lints;
                 configs[ci].compared += acct.compared[ci];
                 configs[ci].skipped += acct.skipped[ci];
             }

@@ -44,6 +44,24 @@ fn bounded_sweep_is_clean_across_the_full_matrix() {
     assert!(report.comparisons > 500, "too few comparisons ran: {}", report.comparisons);
 }
 
+/// The sweep doubles as a lint soundness harness: generated programs are
+/// correct by construction, so any default-severity warning is a false
+/// positive. (CI runs the 500-case release sweep with `--lint`.)
+#[test]
+fn lint_sweep_has_zero_false_positives() {
+    let harness = Harness::new(test_oracle()).with_lints();
+    let report = harness.run_sweep(&test_sweep(25));
+    assert!(report.passed(), "differential sweep found mismatches");
+    assert_eq!(
+        report.lint_warnings(),
+        0,
+        "lints fired on correct-by-construction programs:\n{}",
+        report.render_table()
+    );
+    // The lint column is part of the rendered summary.
+    assert!(report.render_table().contains("lints"));
+}
+
 /// The intentionally broken pass: every diagonal phase gate has its sign
 /// flipped, exactly the kind of bug a peephole rewrite could introduce.
 fn flip_phase_signs(circuit: &mut asdf_qcircuit::Circuit) {

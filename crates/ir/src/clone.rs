@@ -57,7 +57,7 @@ fn clone_op(src: &Func, op: &Op, dest: &mut Func, map: &mut HashMap<Value, Value
             blocks: region.blocks.iter().map(|block| clone_block(src, block, dest, map)).collect(),
         })
         .collect();
-    Op { kind: op.kind.clone(), operands, results, regions }
+    Op { kind: op.kind.clone(), operands, results, regions, span: op.span }
 }
 
 fn clone_block(

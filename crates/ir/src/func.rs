@@ -2,6 +2,7 @@
 
 use crate::block::{Block, BlockPath, Region};
 use crate::op::{Op, OpKind};
+use crate::span::SrcSpan;
 use crate::types::{FuncType, Type};
 use crate::value::Value;
 
@@ -194,7 +195,11 @@ impl FuncBuilder {
 
     /// A builder positioned at the end of the entry block.
     pub fn block(&mut self) -> BlockBuilder<'_> {
-        BlockBuilder { value_types: &mut self.value_types, block: &mut self.entry }
+        BlockBuilder {
+            value_types: &mut self.value_types,
+            block: &mut self.entry,
+            span: SrcSpan::UNKNOWN,
+        }
     }
 
     /// Finalizes the function.
@@ -216,12 +221,25 @@ impl FuncBuilder {
 pub struct BlockBuilder<'a> {
     value_types: &'a mut Vec<Type>,
     block: &'a mut Block,
+    span: SrcSpan,
 }
 
 impl<'a> BlockBuilder<'a> {
     /// The block's arguments.
     pub fn args(&self) -> &[Value] {
         &self.block.args
+    }
+
+    /// Sets the source span stamped onto subsequently pushed ops. Lowering
+    /// calls this at each expression boundary; [`SrcSpan::UNKNOWN`] turns
+    /// stamping off again.
+    pub fn set_span(&mut self, span: SrcSpan) {
+        self.span = span;
+    }
+
+    /// The span currently being stamped onto pushed ops.
+    pub fn current_span(&self) -> SrcSpan {
+        self.span
     }
 
     /// Allocates a fresh value.
@@ -244,7 +262,7 @@ impl<'a> BlockBuilder<'a> {
         result_tys: Vec<Type>,
     ) -> Vec<Value> {
         let results: Vec<Value> = result_tys.into_iter().map(|t| self.new_value(t)).collect();
-        self.block.ops.push(Op::new(kind, operands, results.clone()));
+        self.block.ops.push(Op::new(kind, operands, results.clone()).with_span(self.span));
         results
     }
 
@@ -257,13 +275,17 @@ impl<'a> BlockBuilder<'a> {
         regions: Vec<Region>,
     ) -> Vec<Value> {
         let results: Vec<Value> = result_tys.into_iter().map(|t| self.new_value(t)).collect();
-        self.block.ops.push(Op::with_regions(kind, operands, results.clone(), regions));
+        self.block
+            .ops
+            .push(Op::with_regions(kind, operands, results.clone(), regions).with_span(self.span));
         results
     }
 
-    /// Appends a pre-built op verbatim.
+    /// Appends a pre-built op verbatim, stamping the builder's current span
+    /// only when the op carries none of its own.
     pub fn push_op(&mut self, op: Op) {
-        self.block.ops.push(op);
+        let span = if op.span.is_unknown() { self.span } else { op.span };
+        self.block.ops.push(op.with_span(span));
     }
 
     /// Builds a nested single-block region body (for `lambda` / `scf.if`).
@@ -278,7 +300,10 @@ impl<'a> BlockBuilder<'a> {
         }
         let mut block = Block { args, ops: Vec::new() };
         {
-            let mut bb = BlockBuilder { value_types: self.value_types, block: &mut block };
+            // The nested builder inherits the current span, so region ops
+            // default to the enclosing expression's location.
+            let mut bb =
+                BlockBuilder { value_types: self.value_types, block: &mut block, span: self.span };
             f(&mut bb);
         }
         block

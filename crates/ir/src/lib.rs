@@ -24,8 +24,9 @@
 //! - an [`inline::Inliner`] with a specialization hook so the Qwerty-level
 //!   adjoint/predication transforms (implemented in `asdf-core`) can run
 //!   when `call adj`/`call pred` ops are inlined (§5.4);
-//! - a small forward [`dataflow`] framework used by the qubit-index
-//!   analysis of §5.3;
+//! - [`SrcSpan`]s stamped onto ops by lowering, so the lattice-based
+//!   dataflow analyses in `asdf-analysis` (which subsumed this crate's old
+//!   single-block `dataflow` module) can render caret diagnostics;
 //! - a [`pass`] manager running declarative, instrumented pass pipelines
 //!   (per-pass wall-clock timing, change counts, verify-after-each-pass),
 //!   which the `asdf-core` driver uses to express the Fig. 2 pipeline.
@@ -36,7 +37,6 @@
 
 pub mod block;
 pub mod clone;
-pub mod dataflow;
 pub mod error;
 pub mod func;
 pub mod gate;
@@ -46,6 +46,7 @@ pub mod op;
 pub mod pass;
 pub mod print;
 pub mod rewrite;
+pub mod span;
 pub mod types;
 pub mod value;
 pub mod verify;
@@ -63,5 +64,6 @@ pub use rewrite::{
     Fuel, GreedyRewriteDriver, PatternSet, RescanDriver, RewriteConfig, RewritePattern,
     RewriteStats, Rewriter, SymbolTable,
 };
+pub use span::SrcSpan;
 pub use types::{FuncType, Type};
 pub use value::Value;

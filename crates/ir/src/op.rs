@@ -6,6 +6,7 @@
 
 use crate::block::Region;
 use crate::gate::GateKind;
+use crate::span::SrcSpan;
 use crate::value::Value;
 use asdf_basis::{Basis, Eigenstate, PrimitiveBasis};
 
@@ -256,7 +257,7 @@ impl OpKind {
 }
 
 /// An operation: a kind plus SSA operands, results, and nested regions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Op {
     /// Which operation, with attributes.
     pub kind: OpKind,
@@ -266,12 +267,26 @@ pub struct Op {
     pub results: Vec<Value>,
     /// Nested regions (`lambda` has one; `scf.if` has two).
     pub regions: Vec<Region>,
+    /// Frontend source range this op was lowered from
+    /// ([`SrcSpan::UNKNOWN`] for synthesized ops).
+    pub span: SrcSpan,
+}
+
+/// Structural equality: spans are locations, not meaning, so two ops
+/// differing only in span compare equal.
+impl PartialEq for Op {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.operands == other.operands
+            && self.results == other.results
+            && self.regions == other.regions
+    }
 }
 
 impl Op {
     /// A region-free op.
     pub fn new(kind: OpKind, operands: Vec<Value>, results: Vec<Value>) -> Self {
-        Op { kind, operands, results, regions: Vec::new() }
+        Op { kind, operands, results, regions: Vec::new(), span: SrcSpan::UNKNOWN }
     }
 
     /// An op with nested regions.
@@ -281,7 +296,14 @@ impl Op {
         results: Vec<Value>,
         regions: Vec<Region>,
     ) -> Self {
-        Op { kind, operands, results, regions }
+        Op { kind, operands, results, regions, span: SrcSpan::UNKNOWN }
+    }
+
+    /// The same op with a source span attached.
+    #[must_use]
+    pub fn with_span(mut self, span: SrcSpan) -> Self {
+        self.span = span;
+        self
     }
 
     /// Whether this op terminates its block.

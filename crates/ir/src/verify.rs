@@ -6,11 +6,12 @@
 //! which catches transformation bugs early: any quantum value must be used
 //! exactly once and cannot be discarded.
 
-use crate::block::Block;
+use crate::block::{Block, BlockPath};
 use crate::error::IrError;
 use crate::func::Func;
 use crate::module::Module;
 use crate::op::{Op, OpKind};
+use crate::print::op_line;
 use crate::types::{FuncType, Type};
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -23,8 +24,7 @@ use std::collections::{HashMap, HashSet};
 /// first violation found.
 pub fn verify_module(module: &Module) -> Result<(), IrError> {
     for func in module.funcs() {
-        verify_func(func, Some(module))
-            .map_err(|e| IrError::Verify(format!("in @{}: {e}", func.name)))?;
+        verify_func(func, Some(module))?;
     }
     Ok(())
 }
@@ -37,7 +37,7 @@ pub fn verify_module(module: &Module) -> Result<(), IrError> {
 /// Returns [`IrError::Verify`] on the first violation.
 pub fn verify_func(func: &Func, module: Option<&Module>) -> Result<(), IrError> {
     let ctx = Ctx { func, module };
-    ctx.verify_block(&func.body, &func.ty.results, &HashSet::new(), &HashSet::new())
+    ctx.verify_block(&func.body, &func.ty.results, &HashSet::new(), &HashSet::new(), &Vec::new())
         .map_err(IrError::Verify)
 }
 
@@ -51,6 +51,24 @@ impl Ctx<'_> {
         self.func.value_type(v)
     }
 
+    /// The `func:block:op` coordinates of an op, using the same preorder
+    /// block numbering the rewrite trace and `--fuel-bisect` print.
+    fn location(&self, path: &BlockPath, op_idx: usize) -> String {
+        let block_no = self
+            .func
+            .block_paths()
+            .iter()
+            .position(|p| p == path)
+            .map_or_else(|| "?".to_string(), |n| n.to_string());
+        format!("{}:{}:{}", self.func.name, block_no, op_idx)
+    }
+
+    /// Renders a violation at `path[op_idx]`: the message, the op's
+    /// `func:block:op` coordinates, and the pretty-printed op itself.
+    fn op_err(&self, path: &BlockPath, op_idx: usize, op: &Op, msg: String) -> String {
+        format!("at {}: {msg}\n  in op: {}", self.location(path, op_idx), op_line(op))
+    }
+
     /// Verifies a block given the result types its terminator must return,
     /// the classical values visible from enclosing scopes, and any outer
     /// *linear* values this block is responsible for consuming exactly once
@@ -62,20 +80,28 @@ impl Ctx<'_> {
         expected_results: &[Type],
         outer_classical: &HashSet<Value>,
         outer_linear: &HashSet<Value>,
+        path: &BlockPath,
     ) -> Result<(), String> {
         // Structural: non-empty, terminator last and only last.
         let Some(last) = block.ops.last() else {
-            return Err("block has no terminator".to_string());
+            return Err(format!("at {}: block has no terminator", self.location(path, 0)));
         };
         if !last.is_terminator() {
-            return Err(format!(
-                "block does not end in a terminator (ends in {})",
-                last.kind.mnemonic()
+            return Err(self.op_err(
+                path,
+                block.ops.len() - 1,
+                last,
+                format!("block does not end in a terminator (ends in {})", last.kind.mnemonic()),
             ));
         }
-        for op in &block.ops[..block.ops.len() - 1] {
+        for (idx, op) in block.ops[..block.ops.len() - 1].iter().enumerate() {
             if op.is_terminator() {
-                return Err(format!("terminator {} in the middle of a block", op.kind.mnemonic()));
+                return Err(self.op_err(
+                    path,
+                    idx,
+                    op,
+                    format!("terminator {} in the middle of a block", op.kind.mnemonic()),
+                ));
             }
         }
 
@@ -83,43 +109,51 @@ impl Ctx<'_> {
         // this block must be consumed exactly once, like block arguments.
         let mut defined: HashSet<Value> = block.args.iter().copied().collect();
         defined.extend(outer_linear.iter().copied());
-        let mut linear_uses: HashMap<Value, usize> = block
+        // Per linear value: (use count, op index of the latest use), the
+        // latter so over-use errors can print the offending op.
+        let mut linear_uses: HashMap<Value, (usize, Option<usize>)> = block
             .args
             .iter()
             .chain(outer_linear.iter())
             .filter(|v| self.ty(**v).is_linear())
-            .map(|v| (*v, 0usize))
+            .map(|v| (*v, (0usize, None)))
             .collect();
 
         for (idx, op) in block.ops.iter().enumerate() {
             for &operand in &op.operands {
                 if operand.index() >= self.func.num_values() {
-                    return Err(format!(
-                        "op {idx} ({}) uses out-of-arena value {operand}",
-                        op.kind.mnemonic()
+                    return Err(self.op_err(
+                        path,
+                        idx,
+                        op,
+                        format!("uses out-of-arena value {operand}"),
                     ));
                 }
                 if !defined.contains(&operand) {
                     if self.ty(operand).is_linear() {
-                        return Err(format!(
-                            "op {idx} ({}) uses linear value {operand} not defined in this block",
-                            op.kind.mnemonic()
+                        return Err(self.op_err(
+                            path,
+                            idx,
+                            op,
+                            format!("uses linear value {operand} not defined in this block"),
                         ));
                     }
                     if !outer_classical.contains(&operand) {
-                        return Err(format!(
-                            "op {idx} ({}) uses undefined value {operand}",
-                            op.kind.mnemonic()
+                        return Err(self.op_err(
+                            path,
+                            idx,
+                            op,
+                            format!("uses undefined value {operand}"),
                         ));
                     }
                 }
-                if let Some(count) = linear_uses.get_mut(&operand) {
+                if let Some((count, last_use)) = linear_uses.get_mut(&operand) {
                     *count += 1;
+                    *last_use = Some(idx);
                 }
             }
 
-            self.check_op(op, expected_results)
-                .map_err(|e| format!("op {idx} ({}): {e}", op.kind.mnemonic()))?;
+            self.check_op(op, expected_results).map_err(|e| self.op_err(path, idx, op, e))?;
 
             if !op.regions.is_empty() {
                 // Linear values from enclosing scopes may flow into scf.if
@@ -138,9 +172,14 @@ impl Ctx<'_> {
                 outer_linear_used.sort_unstable();
                 outer_linear_used.dedup();
                 if matches!(op.kind, OpKind::Lambda { .. }) && !outer_linear_used.is_empty() {
-                    return Err(format!(
-                        "op {idx} (lambda) captures linear value {} inside its region",
-                        outer_linear_used[0]
+                    return Err(self.op_err(
+                        path,
+                        idx,
+                        op,
+                        format!(
+                            "lambda captures linear value {} inside its region",
+                            outer_linear_used[0]
+                        ),
                     ));
                 }
                 if matches!(op.kind, OpKind::ScfIf) && !outer_linear_used.is_empty() {
@@ -156,13 +195,17 @@ impl Ctx<'_> {
                         sets.push(set);
                     }
                     if sets.len() == 2 && sets[0] != sets[1] {
-                        return Err(format!(
-                            "op {idx} (scf.if): branches consume different linear values"
+                        return Err(self.op_err(
+                            path,
+                            idx,
+                            op,
+                            "branches consume different linear values".to_string(),
                         ));
                     }
                     for v in &outer_linear_used {
-                        if let Some(count) = linear_uses.get_mut(v) {
+                        if let Some((count, last_use)) = linear_uses.get_mut(v) {
                             *count += 1;
+                            *last_use = Some(idx);
                         }
                     }
                 }
@@ -178,31 +221,38 @@ impl Ctx<'_> {
                     OpKind::Lambda { func_ty } => func_ty.results.clone(),
                     _ => Vec::new(),
                 };
-                for region in &op.regions {
-                    for nested in &region.blocks {
-                        self.verify_block(nested, &nested_results, &visible, &lent).map_err(
-                            |e| format!("op {idx} ({}): in region: {e}", op.kind.mnemonic()),
-                        )?;
+                for (region_idx, region) in op.regions.iter().enumerate() {
+                    for (block_idx, nested) in region.blocks.iter().enumerate() {
+                        // Nested violations already carry their own
+                        // `func:block:op` coordinates; propagate unchanged.
+                        let mut nested_path = path.clone();
+                        nested_path.push((idx, region_idx, block_idx));
+                        self.verify_block(nested, &nested_results, &visible, &lent, &nested_path)?;
                     }
                 }
             }
 
             for &result in &op.results {
                 if !defined.insert(result) {
-                    return Err(format!("op {idx} redefines value {result}"));
+                    return Err(self.op_err(path, idx, op, format!("redefines value {result}")));
                 }
                 if self.ty(result).is_linear() {
-                    linear_uses.insert(result, 0);
+                    linear_uses.insert(result, (0, None));
                 }
             }
         }
 
-        for (value, count) in linear_uses {
+        for (value, (count, last_use)) in linear_uses {
             if count != 1 {
-                return Err(format!(
+                let msg = format!(
                     "linear value {value} ({}) used {count} times; must be exactly once",
                     self.ty(value)
-                ));
+                );
+                // Over-use points at the offending (latest) use; under-use
+                // points at the terminator, where the value should have
+                // been consumed by.
+                let idx = last_use.unwrap_or(block.ops.len() - 1);
+                return Err(self.op_err(path, idx, &block.ops[idx], msg));
             }
         }
         Ok(())
@@ -649,6 +699,59 @@ mod tests {
         bb.push(OpKind::Return, vec![t[0]], vec![]);
         let err = verify(b.finish()).unwrap_err();
         assert!(err.to_string().contains("dimensions"), "{err}");
+    }
+
+    #[test]
+    fn verify_error_renders_op_and_path() {
+        // Over-use points at the second discard, with the same
+        // `func:block:op` coordinates the rewrite trace / `--fuel-bisect`
+        // print, plus the pretty-printed offending op.
+        let mut b = FuncBuilder::new(
+            "k",
+            FuncType::new(vec![Type::QBundle(1)], vec![], false),
+            Visibility::Public,
+        );
+        let arg = b.args()[0];
+        let mut bb = b.block();
+        bb.push(OpKind::QbDiscard, vec![arg], vec![]);
+        bb.push(OpKind::QbDiscard, vec![arg], vec![]);
+        bb.push(OpKind::Return, vec![], vec![]);
+        let err = verify(b.finish()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at k:0:1:"), "{msg}");
+        assert!(msg.contains("used 2 times"), "{msg}");
+        assert!(msg.contains("in op: qwerty.qbdiscard %0"), "{msg}");
+    }
+
+    #[test]
+    fn verify_error_locates_ops_in_nested_regions() {
+        // A bad yield inside the then-region reports preorder block 1
+        // (entry = 0, then = 1, else = 2), not the enclosing scf.if.
+        let mut b = FuncBuilder::new(
+            "k2",
+            FuncType::new(vec![Type::I1], vec![], false),
+            Visibility::Public,
+        );
+        let cond = b.args()[0];
+        let mut bb = b.block();
+        let t = bb.subblock(vec![], |sb| {
+            let c = sb.push(OpKind::ConstF64 { value: 1.0 }, vec![], vec![Type::F64]);
+            sb.push(OpKind::Yield, vec![c[0]], vec![]);
+        });
+        let e = bb.subblock(vec![], |sb| {
+            sb.push(OpKind::Yield, vec![], vec![]);
+        });
+        bb.push_with_regions(
+            OpKind::ScfIf,
+            vec![cond],
+            vec![],
+            vec![crate::block::Region::single(t), crate::block::Region::single(e)],
+        );
+        bb.push(OpKind::Return, vec![], vec![]);
+        let err = verify(b.finish()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at k2:1:1:"), "{msg}");
+        assert!(msg.contains("in op: scf.yield %1"), "{msg}");
     }
 
     #[test]

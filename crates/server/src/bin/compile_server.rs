@@ -39,7 +39,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!("usage: compile-server [--listen ADDR] [--sessions N]");
-                println!("serves line-delimited JSON (op: compile | emit | stats);");
+                println!("serves line-delimited JSON (op: compile | emit | lint | stats);");
                 println!("stdio by default, TCP with --listen");
                 return ExitCode::SUCCESS;
             }

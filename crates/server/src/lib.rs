@@ -118,6 +118,7 @@ impl CompileServer {
             Ok(Request::Stats) => self.handle_stats(),
             Ok(Request::Compile(call)) => self.handle_compile(&call),
             Ok(Request::Emit(call, backend)) => self.handle_emit(&call, &backend),
+            Ok(Request::Lint(call)) => self.handle_lint(&call),
         };
         response.to_string()
     }
@@ -154,6 +155,30 @@ impl CompileServer {
                 ]),
                 Err(error) => compiler_error(&error),
             },
+        }
+    }
+
+    fn handle_lint(&self, call: &CompileCall) -> Value {
+        match self.compile(call) {
+            Err(response) => response,
+            Ok((session, artifact)) => {
+                let warnings = artifact
+                    .lints
+                    .iter()
+                    .map(|d| {
+                        Value::Object(vec![
+                            ("code".into(), Value::str(d.code)),
+                            ("message".into(), Value::str(&d.message)),
+                            ("rendered".into(), Value::String(d.render(session.source()))),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("entry".into(), Value::str(&artifact.entry)),
+                    ("warnings".into(), Value::Array(warnings)),
+                ])
+            }
         }
     }
 

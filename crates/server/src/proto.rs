@@ -10,6 +10,11 @@
 //!   ```json
 //!   {"op":"emit","backend":"qasm","source":"...","kernel":"k"}
 //!   ```
+//! - `lint` — compile and report asdf-lint warnings (stable `W0xxx`
+//!   codes, rendered with caret snippets against the source):
+//!   ```json
+//!   {"op":"lint","source":"...","kernel":"k"}
+//!   ```
 //! - `stats` — aggregate cache counters across every live session:
 //!   ```json
 //!   {"op":"stats"}
@@ -18,10 +23,11 @@
 //! `compile` and `emit` accept optional `captures` (an array of
 //! `{"bits":"101"}` bit strings and `{"cfunc":{"name":"f","captures":[…]}}`
 //! classical functions), `dims` (an object of dimension-variable
-//! bindings), and `options` (`inline`/`peephole`/`verify` booleans, a
-//! `decompose` style of `"none"`/`"selinger"`/`"vchain"`, and an integer
-//! `rewrite_fuel`). Every response is one line with an `"ok"` boolean;
-//! failures carry `"error"` and, for compiler diagnostics, a `"code"`.
+//! bindings), and `options` (`inline`/`peephole`/`verify`/`lints`
+//! booleans, a `decompose` style of `"none"`/`"selinger"`/`"vchain"`,
+//! and an integer `rewrite_fuel`). Every response is one line with an
+//! `"ok"` boolean; failures carry `"error"` and, for compiler
+//! diagnostics, a `"code"`.
 
 use crate::json::Value;
 use asdf_ast::CaptureValue;
@@ -34,6 +40,8 @@ pub enum Request {
     Compile(CompileCall),
     /// Compile, then emit through the named backend.
     Emit(CompileCall, String),
+    /// Compile with the lint analyses forced on and report the warnings.
+    Lint(CompileCall),
     /// Aggregate cache statistics across sessions.
     Stats,
 }
@@ -63,8 +71,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "emit needs a \"backend\" field".to_string())?;
             Ok(Request::Emit(parse_call(&value)?, backend.to_string()))
         }
+        "lint" => {
+            let mut call = parse_call(&value)?;
+            // A lint request always carries the option, so the cached
+            // artifact actually holds diagnostics.
+            let mut options = call.request.options.clone();
+            options.lints = true;
+            call.request = call.request.with_options(options);
+            Ok(Request::Lint(call))
+        }
         "stats" => Ok(Request::Stats),
-        other => Err(format!("unknown op {other:?} (expected compile, emit, or stats)")),
+        other => Err(format!("unknown op {other:?} (expected compile, emit, lint, or stats)")),
     }
 }
 
@@ -127,6 +144,9 @@ fn parse_options(value: &Value) -> Result<CompileOptions, String> {
     }
     if let Some(verify) = value.get("verify") {
         options.verify = verify.as_bool().ok_or("\"verify\" must be a boolean")?;
+    }
+    if let Some(lints) = value.get("lints") {
+        options.lints = lints.as_bool().ok_or("\"lints\" must be a boolean")?;
     }
     if let Some(decompose) = value.get("decompose") {
         options.decompose = match decompose.as_str() {
@@ -199,5 +219,16 @@ mod tests {
     #[test]
     fn stats_needs_no_payload() {
         assert!(matches!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats));
+    }
+
+    #[test]
+    fn lint_requests_force_the_lints_option() {
+        let line = r#"{"op":"lint","source":"src","kernel":"k"}"#;
+        let Request::Lint(call) = parse_request(line).unwrap() else { panic!("expected lint") };
+        assert!(call.request.options.lints, "the lint op always computes diagnostics");
+        // The plain compile op leaves lints off unless asked.
+        let line = r#"{"op":"compile","source":"src","kernel":"k","options":{"lints":true}}"#;
+        let Request::Compile(call) = parse_request(line).unwrap() else { panic!("compile") };
+        assert!(call.request.options.lints);
     }
 }

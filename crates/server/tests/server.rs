@@ -62,6 +62,20 @@ fn emit_renders_through_a_named_backend() {
 }
 
 #[test]
+fn lint_reports_warnings_with_stable_codes() {
+    let server = CompileServer::new();
+    // A clean kernel lints clean.
+    let line = format!(
+        r#"{{"op":"lint","source":"{SRC}","kernel":"kernel","captures":[{{"cfunc":{{"name":"f","captures":[{{"bits":"101"}}]}}}}]}}"#
+    );
+    let response = parse(&server.handle_line(&line)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    assert_eq!(response.get("entry").and_then(Value::as_str), Some("kernel"));
+    let warnings = response.get("warnings").and_then(Value::as_array).unwrap();
+    assert!(warnings.is_empty(), "a correct kernel carries no warnings: {response}");
+}
+
+#[test]
 fn failures_come_back_as_structured_errors() {
     let server = CompileServer::new();
 

@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the asdf reproduction components.
+pub use asdf_analysis as analysis;
 pub use asdf_ast as ast;
 pub use asdf_baselines as baselines;
 pub use asdf_basis as basis;

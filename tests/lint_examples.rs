@@ -1,0 +1,121 @@
+//! Lint gate over the five `examples/` programs: all of them are correct,
+//! so every one must compile clean under the asdf-lint analyses — any
+//! warning here is a lint false positive (or a genuinely broken example)
+//! and fails CI.
+
+use qwerty_asdf::ast::expand::CaptureValue;
+use qwerty_asdf::core::{CompileOptions, CompileRequest, Session};
+
+fn cfunc_capture(name: &str, bits: Option<&str>) -> Vec<CaptureValue> {
+    vec![CaptureValue::CFunc {
+        name: name.into(),
+        captures: bits.map(CaptureValue::bits_from_str).into_iter().collect(),
+    }]
+}
+
+/// Compiles `kernel` with lints on and asserts zero warnings, rendering
+/// any that fire so the failure names the lint and carets the source.
+fn assert_lints_clean(
+    label: &str,
+    source: &str,
+    kernel: &str,
+    captures: &[CaptureValue],
+    options: &CompileOptions,
+) {
+    let session = Session::new(source).unwrap();
+    let request = CompileRequest::kernel(kernel)
+        .with_captures(captures)
+        .with_options(options.clone().with_lints(true));
+    let compiled = session.compile(&request).unwrap();
+    assert!(
+        compiled.lints.is_empty(),
+        "{label} tripped {} lint(s):\n{}",
+        compiled.lints.len(),
+        session.render_lints(&compiled).join("\n")
+    );
+}
+
+#[test]
+fn lint_quickstart_bv() {
+    let source = r"
+        classical f[N](secret: bit[N], x: bit[N]) -> bit {
+            (secret & x).xor_reduce()
+        }
+
+        qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+            'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+        }
+    ";
+    assert_lints_clean(
+        "quickstart",
+        source,
+        "kernel",
+        &cfunc_capture("f", Some("1101")),
+        &CompileOptions::default(),
+    );
+}
+
+#[test]
+fn lint_grover() {
+    let source = r"
+        classical oracle[N](x: bit[N]) -> bit { x.and_reduce() }
+
+        qpu grover[N, I](f: cfunc[N, 1]) -> bit[N] {
+            'p'[N] | (f.sign | {'p'[N]} >> {-'p'[N]}) ** I | std[N].measure
+        }
+    ";
+    let options = CompileOptions::default().with_dim("N", 3).with_dim("I", 1);
+    assert_lints_clean("grover", source, "grover", &cfunc_capture("oracle", None), &options);
+}
+
+#[test]
+fn lint_simon() {
+    let source = r"
+        classical f[N](s: bit[N], x: bit[N]) -> bit[N] {
+            x ^ (x[0].repeat(N) & s)
+        }
+
+        qpu simon[N](f: cfunc[N, N]) -> bit[2*N] {
+            'p'[N] + '0'[N] | f.xor | (pm[N] >> std[N]) + id[N] | std[2*N].measure
+        }
+    ";
+    assert_lints_clean(
+        "simon",
+        source,
+        "simon",
+        &cfunc_capture("f", Some("1100")),
+        &CompileOptions::default(),
+    );
+}
+
+#[test]
+fn lint_period_finding() {
+    let source = r"
+        classical f[N](mask: bit[N], x: bit[N]) -> bit[N] { x & mask }
+
+        qpu period[N](f: cfunc[N, N]) -> bit[2*N] {
+            'p'[N] + '0'[N] | f.xor | fourier[N].measure + std[N].measure
+        }
+    ";
+    assert_lints_clean(
+        "period_finding",
+        source,
+        "period",
+        &cfunc_capture("f", Some("001")),
+        &CompileOptions::default(),
+    );
+}
+
+#[test]
+fn lint_teleport() {
+    // Control flow survives to the QCircuit dialect here, so this also
+    // exercises the analyses' scf.if region handling end to end.
+    let source = r"
+        qpu teleport(secret: qubit) -> qubit {
+            let alice, bob = 'p0' | '1' & std.flip;
+            let m_pm, m_std = secret + alice | '1' & std.flip | (pm + std).measure;
+            bob | (pm.flip if m_pm else id) | (std.flip if m_std else id)
+        }
+    ";
+    assert_lints_clean("teleport", source, "teleport", &[], &CompileOptions::default());
+}
