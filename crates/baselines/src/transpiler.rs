@@ -10,17 +10,49 @@
 use asdf_ir::GateKind;
 use asdf_qcircuit::{Circuit, CircuitOp};
 
+/// The fixpoint bound: every pass strictly shrinks the circuit or changes
+/// nothing, so convergence arrives long before this many iterations on any
+/// real input. Hitting the bound means a pass pair is oscillating — a bug.
+pub const MAX_OPTIMIZE_PASSES: usize = 64;
+
+/// What [`optimize_report`] observed on the way to its result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// The optimized circuit.
+    pub circuit: Circuit,
+    /// Rewrite passes run (including the final no-change pass).
+    pub passes: usize,
+    /// Whether a fixpoint was reached within [`MAX_OPTIMIZE_PASSES`];
+    /// `false` means the pass set oscillated and the result is whatever
+    /// the last pass produced.
+    pub converged: bool,
+}
+
 /// Optimizes a circuit to fixpoint with the shared pass set.
 pub fn optimize(circuit: &Circuit) -> Circuit {
+    let report = optimize_report(circuit);
+    debug_assert!(
+        report.converged,
+        "transpiler failed to converge within {MAX_OPTIMIZE_PASSES} passes \
+         ({} ops remain) — a pass pair is oscillating",
+        report.circuit.ops.len()
+    );
+    report.circuit
+}
+
+/// Like [`optimize`], but reports the pass count and whether the
+/// [`MAX_OPTIMIZE_PASSES`] fixpoint bound was respected instead of
+/// silently returning a possibly-unconverged circuit.
+pub fn optimize_report(circuit: &Circuit) -> OptimizeReport {
     let mut current = circuit.clone();
-    for _ in 0..64 {
+    for pass in 0..MAX_OPTIMIZE_PASSES {
         let next = one_pass(&current);
         if next == current {
-            return next;
+            return OptimizeReport { circuit: next, passes: pass + 1, converged: true };
         }
         current = next;
     }
-    current
+    OptimizeReport { circuit: current, passes: MAX_OPTIMIZE_PASSES, converged: false }
 }
 
 fn one_pass(circuit: &Circuit) -> Circuit {
@@ -243,5 +275,30 @@ mod tests {
         let opt = optimize(&c);
         assert!(opt.gate_count() < c.gate_count());
         assert!(asdf_sim::run::circuits_equivalent(&c, &opt, 1e-9));
+    }
+
+    #[test]
+    fn fixpoint_is_reached_well_under_the_pass_bound() {
+        // An already-normal circuit converges on the first (no-change) pass.
+        let mut stable = Circuit::new(2);
+        stable.gate(GateKind::H, &[], &[0]);
+        stable.gate(GateKind::X, &[0], &[1]);
+        let report = optimize_report(&stable);
+        assert!(report.converged);
+        assert_eq!(report.passes, 1);
+        assert_eq!(report.circuit, stable);
+
+        // A deep tower of cancelling pairs needs several passes (each pass
+        // peels what became adjacent), but stays far below the bound.
+        let mut tower = Circuit::new(1);
+        for _ in 0..MAX_OPTIMIZE_PASSES {
+            tower.gate(GateKind::H, &[], &[0]);
+            tower.gate(GateKind::H, &[], &[0]);
+        }
+        let report = optimize_report(&tower);
+        assert!(report.converged, "cancellation towers must not exhaust the fixpoint bound");
+        assert!(report.passes < MAX_OPTIMIZE_PASSES, "took {} passes", report.passes);
+        assert_eq!(report.circuit.gate_count(), 0);
+        assert_eq!(optimize(&tower).gate_count(), 0, "optimize agrees with optimize_report");
     }
 }

@@ -68,6 +68,12 @@ pub struct CompileOptions {
     /// their diagnostics to [`Compiled::lints`]. Warnings never fail the
     /// compilation.
     pub lints: bool,
+    /// Route the final circuit onto a named hardware target (e.g.
+    /// `linear-16`, `grid-4x4`; see `asdf_target::Target::parse` for the
+    /// grammar): translate into the native gate set and insert SWAPs until
+    /// every two-qubit gate acts on a coupled pair. `None` keeps the
+    /// all-to-all circuit.
+    pub target: Option<String>,
 }
 
 impl Default for CompileOptions {
@@ -80,6 +86,7 @@ impl Default for CompileOptions {
             dims: HashMap::new(),
             rewrite_fuel: RewriteConfig::env_fuel_limit(),
             lints: false,
+            target: None,
         }
     }
 }
@@ -96,15 +103,19 @@ impl CompileOptions {
             dims: HashMap::new(),
             rewrite_fuel: RewriteConfig::env_fuel_limit(),
             lints: false,
+            target: None,
         }
     }
 
     /// The full differential-testing configuration matrix: every
     /// combination of inlining (Opt vs the Table 1 No-Opt pipeline),
     /// peephole on/off, and final decomposition (none, Selinger, V-chain),
-    /// each under a stable descriptive name like `opt+peep+selinger`.
+    /// each under a stable descriptive name like `opt+peep+selinger` —
+    /// plus two hardware-routed configurations (`…@linear-16`,
+    /// `…@grid-4x4`) whose circuits must match the all-to-all ones up to
+    /// the output permutation routing reports.
     ///
-    /// All twelve configurations compile the same source; a correct
+    /// All fourteen configurations compile the same source; a correct
     /// compiler must give them observably identical semantics, which is
     /// exactly what `asdf-difftest` cross-checks.
     pub fn matrix() -> Vec<(String, CompileOptions)> {
@@ -134,10 +145,17 @@ impl CompileOptions {
                             dims: HashMap::new(),
                             rewrite_fuel: RewriteConfig::env_fuel_limit(),
                             lints: false,
+                            target: None,
                         },
                     ));
                 }
             }
+        }
+        for target in ["linear-16", "grid-4x4"] {
+            out.push((
+                format!("opt+peep+selinger@{target}"),
+                CompileOptions { target: Some(target.to_string()), ..CompileOptions::default() },
+            ));
         }
         out
     }
@@ -167,6 +185,14 @@ impl CompileOptions {
     #[must_use]
     pub fn with_lints(mut self, lints: bool) -> Self {
         self.lints = lints;
+        self
+    }
+
+    /// Routes the final circuit onto the named hardware target (`None`
+    /// keeps the all-to-all circuit).
+    #[must_use]
+    pub fn with_target(mut self, target: Option<&str>) -> Self {
+        self.target = target.map(str::to_string);
         self
     }
 
@@ -221,8 +247,12 @@ pub struct Compiled {
     /// The entry kernel's symbol name.
     pub entry: String,
     /// The straight-line circuit, when inlining fully linearized the entry
-    /// kernel (None when callables or control flow remain).
+    /// kernel (None when callables or control flow remain). With
+    /// [`CompileOptions::target`] set, this is the *routed* circuit.
     pub circuit: Option<Circuit>,
+    /// Routing layouts and cost metrics, when [`CompileOptions::target`]
+    /// was set and a circuit existed to route.
+    pub routing: Option<asdf_target::RoutingInfo>,
     /// The typed AST of the entry kernel (useful for oracles/tests).
     pub kernel: TKernel,
     /// Per-pass wall-clock timing and change statistics from the pipeline
@@ -298,20 +328,44 @@ mod tests {
     }
 
     #[test]
-    fn matrix_covers_all_twelve_distinct_configs() {
+    fn matrix_covers_all_fourteen_distinct_configs() {
         let matrix = CompileOptions::matrix();
-        assert_eq!(matrix.len(), 12);
+        assert_eq!(matrix.len(), 14);
         let names: std::collections::BTreeSet<&str> =
             matrix.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names.len(), 12, "config names must be unique");
+        assert_eq!(names.len(), 14, "config names must be unique");
         assert!(names.contains("opt+peep+selinger"));
         assert!(names.contains("noopt+nopeep+whole"));
+        assert!(names.contains("opt+peep+selinger@linear-16"));
+        assert!(names.contains("opt+peep+selinger@grid-4x4"));
         // Every config is compilable on a trivial program.
         let source = "qpu k() -> bit[1] { '0' | std.measure }";
         for (name, options) in &matrix {
             Compiler::compile(source, "k", &[], options)
                 .unwrap_or_else(|e| panic!("config {name} failed on the trivial program: {e}"));
         }
+    }
+
+    #[test]
+    fn routed_compile_reports_layouts_and_validates() {
+        let source = r"
+            qpu bell() -> bit[2] {
+                'p' + '0' | ('1' & std.flip) | std[2].measure
+            }
+        ";
+        let options = CompileOptions::default().with_target(Some("linear-16"));
+        let compiled = Compiler::compile(source, "bell", &[], &options).unwrap();
+        let circuit = compiled.circuit.as_ref().expect("routed circuit");
+        let routing = compiled.routing.as_ref().expect("routing info");
+        assert_eq!(routing.target, "linear-16");
+        let target = asdf_target::Target::parse("linear-16").unwrap();
+        target.validate(circuit).expect("routed circuit uses native gates on coupled pairs");
+        assert_eq!(routing.initial_layout.len(), circuit.num_qubits);
+        // An unparseable target fails with the dedicated code.
+        let bad = CompileOptions::default().with_target(Some("liner-16"));
+        let err = Compiler::compile(source, "bell", &[], &bad).unwrap_err();
+        assert_eq!(err.code(), "E0105");
+        assert!(err.to_string().contains("did you mean"), "{err}");
     }
 
     #[test]

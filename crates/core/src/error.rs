@@ -26,11 +26,14 @@ pub enum CoreError {
     /// An output backend failed (unknown name, missing circuit, emission
     /// error).
     Backend(String),
+    /// A hardware-target failure: unparseable target name, circuit over
+    /// device capacity, or a routed circuit failing validation.
+    Target(String),
 }
 
 impl CoreError {
     /// The stable error code: frontend codes `E0001`–`E0006`, core codes
-    /// `E0101`–`E0104`.
+    /// `E0101`–`E0105`.
     pub fn code(&self) -> &'static str {
         match self {
             CoreError::Frontend(e) => e.code(),
@@ -38,6 +41,7 @@ impl CoreError {
             CoreError::Synthesis(_) => "E0102",
             CoreError::Unsupported(_) => "E0103",
             CoreError::Backend(_) => "E0104",
+            CoreError::Target(_) => "E0105",
         }
     }
 
@@ -56,6 +60,7 @@ impl CoreError {
                 Diagnostic::error(self.code(), format!("unsupported: {m}"))
             }
             CoreError::Backend(m) => Diagnostic::error(self.code(), format!("backend error: {m}")),
+            CoreError::Target(m) => Diagnostic::error(self.code(), format!("target error: {m}")),
         }
     }
 }
@@ -68,6 +73,7 @@ impl fmt::Display for CoreError {
             CoreError::Synthesis(m) => write!(f, "synthesis error: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CoreError::Backend(m) => write!(f, "backend error: {m}"),
+            CoreError::Target(m) => write!(f, "target error: {m}"),
         }
     }
 }
@@ -101,5 +107,11 @@ impl From<asdf_basis::BasisError> for CoreError {
 impl From<asdf_codegen::BackendError> for CoreError {
     fn from(e: asdf_codegen::BackendError) -> Self {
         CoreError::Backend(e.to_string())
+    }
+}
+
+impl From<asdf_target::TargetError> for CoreError {
+    fn from(e: asdf_target::TargetError) -> Self {
+        CoreError::Target(e.to_string())
     }
 }

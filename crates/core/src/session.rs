@@ -227,6 +227,9 @@ struct ArtifactKey {
     /// Whether lint diagnostics were computed: an artifact compiled
     /// without lints must not satisfy a request that asks for them.
     lints: bool,
+    /// The hardware target the circuit was routed for (None = all-to-all):
+    /// routing rewrites the circuit, so targets never share an artifact.
+    target: Option<String>,
 }
 
 fn decompose_tag(style: Option<DecomposeStyle>) -> u8 {
@@ -259,14 +262,23 @@ fn artifact_key_matches(key: &ArtifactKey, source_hash: u64, request: &CompileRe
     // Exhaustive destructuring: adding a field to CompileOptions is a
     // compile error here, so it can never silently drop out of the cache
     // key (which would serve stale artifacts).
-    let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel, lints } =
-        &request.options;
+    let CompileOptions {
+        inline,
+        peephole,
+        decompose,
+        verify,
+        dims: _,
+        rewrite_fuel,
+        lints,
+        target,
+    } = &request.options;
     key.inline == *inline
         && key.peephole == *peephole
         && key.decompose == decompose_tag(*decompose)
         && key.verify == *verify
         && key.rewrite_fuel == *rewrite_fuel
         && key.lints == *lints
+        && key.target == *target
         && frontend_key_matches(&key.frontend, source_hash, request)
 }
 
@@ -1055,10 +1067,27 @@ impl Session {
             },
             Err(_) => None,
         };
+        // Hardware routing: parse the target unconditionally (a bad name
+        // must fail uniformly, circuit or not), then route whatever
+        // straight-line circuit exists onto it.
+        let (circuit, routing) = match &request.options.target {
+            Some(name) => {
+                let target = asdf_target::Target::parse(name)?;
+                match circuit {
+                    Some(c) => {
+                        let routed = target.route(&c)?;
+                        (Some(routed.circuit), Some(routed.info))
+                    }
+                    None => (None, None),
+                }
+            }
+            None => (circuit, None),
+        };
         Ok(Arc::new(Compiled {
             module,
             entry: request.kernel.clone(),
             circuit,
+            routing,
             kernel: frontend.kernel.clone(),
             stats,
             lints,
@@ -1152,8 +1181,16 @@ impl Session {
 
     /// Builds the owned artifact key (cold path only).
     fn build_artifact_key(&self, request: &CompileRequest) -> ArtifactKey {
-        let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel, lints } =
-            &request.options;
+        let CompileOptions {
+            inline,
+            peephole,
+            decompose,
+            verify,
+            dims: _,
+            rewrite_fuel,
+            lints,
+            target,
+        } = &request.options;
         ArtifactKey {
             frontend: self.build_frontend_key(request),
             inline: *inline,
@@ -1162,6 +1199,7 @@ impl Session {
             verify: *verify,
             rewrite_fuel: *rewrite_fuel,
             lints: *lints,
+            target: target.clone(),
         }
     }
 
@@ -1198,8 +1236,16 @@ impl Session {
 /// The hash of an artifact key: the frontend content hash extended with
 /// every pipeline option that changes the produced IR.
 fn artifact_hash(frontend_hash: u64, options: &CompileOptions) -> u64 {
-    let CompileOptions { inline, peephole, decompose, verify, dims: _, rewrite_fuel, lints } =
-        options;
+    let CompileOptions {
+        inline,
+        peephole,
+        decompose,
+        verify,
+        dims: _,
+        rewrite_fuel,
+        lints,
+        target,
+    } = options;
     let mut h = Fnv::new();
     h.write_u64(frontend_hash);
     h.write_u8(u8::from(*inline));
@@ -1212,6 +1258,14 @@ fn artifact_hash(frontend_hash: u64, options: &CompileOptions) -> u64 {
         Some(fuel) => {
             h.write_u8(1);
             h.write_u64(*fuel);
+        }
+    }
+    match target {
+        None => h.write_u8(0),
+        Some(name) => {
+            h.write_u8(1);
+            h.write_usize(name.len());
+            h.write(name.as_bytes());
         }
     }
     h.finish()

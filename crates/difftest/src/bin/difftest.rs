@@ -135,6 +135,16 @@ fn main() -> ExitCode {
         cache.artifact_coalesced,
         cache.artifact_hits + cache.artifact_coalesced + cache.artifact_misses,
     );
+    // Routing overhead per hardware-targeted configuration, rendered
+    // through the resource estimator's SWAP/depth summary.
+    for config in report.configs.iter().filter(|c| c.routing.routed_cases > 0) {
+        println!(
+            "routing {}: {} routed cases, {}",
+            config.name,
+            config.routing.routed_cases,
+            config.routing.overhead(),
+        );
+    }
     // Rewrite-engine accounting across the whole matrix: per-pattern
     // firing counts and the total wall-clock spent inside the drivers.
     let mut merged = asdf_ir::pass::PassStatistics::new();

@@ -67,6 +67,40 @@ pub struct ConfigReport {
     /// Total lint warnings across every compiled case (0 unless the
     /// harness ran with [`Harness::with_lints`]).
     pub lints: usize,
+    /// Routing telemetry summed across every routed compile of this
+    /// configuration — all zero for untargeted (all-to-all) configs.
+    pub routing: RoutingTotals,
+}
+
+/// SWAP and depth totals for one routed configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingTotals {
+    /// Compiles that went through the router.
+    pub routed_cases: usize,
+    /// SWAPs inserted, summed over routed compiles.
+    pub swaps: usize,
+    /// Pre-routing (all-to-all, native-gate) depth, summed.
+    pub unrouted_depth: usize,
+    /// Post-routing depth, summed.
+    pub routed_depth: usize,
+}
+
+impl RoutingTotals {
+    fn add(&mut self, info: &asdf_target::RoutingInfo) {
+        self.routed_cases += 1;
+        self.swaps += info.swap_count;
+        self.unrouted_depth += info.unrouted_depth;
+        self.routed_depth += info.routed_depth;
+    }
+
+    /// The totals as a [`asdf_resource::RouteOverhead`] for reporting.
+    pub fn overhead(&self) -> asdf_resource::RouteOverhead {
+        asdf_resource::RouteOverhead {
+            swap_count: self.swaps,
+            unrouted_depth: self.unrouted_depth,
+            routed_depth: self.routed_depth,
+        }
+    }
 }
 
 /// The result of a whole sweep.
@@ -86,12 +120,12 @@ pub struct SweepReport {
     pub mismatches: Vec<Mismatch>,
     /// Session cache counters aggregated over every per-case session: the
     /// frontend is parsed/typechecked/lowered once per case and *reused*
-    /// by the other eleven configurations (as cache hits or coalesced
+    /// by the other thirteen configurations (as cache hits or coalesced
     /// waits, since the configurations compile concurrently).
     pub cache: CacheStats,
     /// Worker threads the compile phase ran on.
     pub jobs: usize,
-    /// Wall-clock of the concurrent 12-config compile phases.
+    /// Wall-clock of the concurrent 14-config compile phases.
     pub compile_elapsed: Duration,
     /// Sum of every individual configuration's compile time — what the
     /// compile phases would have cost serially.
@@ -108,13 +142,20 @@ impl SweepReport {
     pub fn render_table(&self) -> String {
         let width = self.configs.iter().map(|c| c.name.len()).max().unwrap_or(6).max(6);
         let mut out = format!(
-            "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8} {:>6}\n",
-            "config", "compiled", "err", "circ", "compared", "skipped", "lints"
+            "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8} {:>6} {:>6}\n",
+            "config", "compiled", "err", "circ", "compared", "skipped", "lints", "swaps"
         );
         for c in &self.configs {
             out.push_str(&format!(
-                "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8} {:>6}\n",
-                c.name, c.compiled, c.compile_errors, c.circuits, c.compared, c.skipped, c.lints
+                "{:<width$} {:>9} {:>5} {:>6} {:>9} {:>8} {:>6} {:>6}\n",
+                c.name,
+                c.compiled,
+                c.compile_errors,
+                c.circuits,
+                c.compared,
+                c.skipped,
+                c.lints,
+                c.routing.swaps
             ));
         }
         out
@@ -145,12 +186,17 @@ pub enum CaseOutcome {
     },
 }
 
+/// Per-config accounting entry: compile success, circuit produced, pass
+/// stats, lint warning count (always 0 unless the harness lints), and the
+/// router's report when the config targets hardware.
+pub type ConfigAccounting =
+    (bool, bool, Option<PassStatistics>, usize, Option<asdf_target::RoutingInfo>);
+
 /// Per-case, per-config bookkeeping returned alongside the outcome.
 #[derive(Debug, Default)]
 pub struct CaseAccounting {
-    /// For each config: compile success, circuit produced, stats, and the
-    /// number of lint warnings (always 0 unless the harness lints).
-    pub per_config: Vec<(bool, bool, Option<PassStatistics>, usize)>,
+    /// One entry per configuration in matrix order.
+    pub per_config: Vec<ConfigAccounting>,
     /// Comparisons run / skipped, per config index.
     pub compared: Vec<usize>,
     /// Skipped comparisons per config index.
@@ -236,9 +282,9 @@ impl Harness {
     /// comparable pairs.
     ///
     /// All configurations run **concurrently through one shared
-    /// [`Session`]**: the case is parsed once, the twelve configuration
+    /// [`Session`]**: the case is parsed once, the fourteen configuration
     /// compiles are distributed over the harness pool, and the frontend
-    /// (instantiate/typecheck/lower) runs exactly once — the other eleven
+    /// (instantiate/typecheck/lower) runs exactly once — the other thirteen
     /// configurations either hit the frontend cache or coalesce onto the
     /// in-flight frontend run. The session's counters are merged into the
     /// returned accounting.
@@ -311,9 +357,18 @@ impl Harness {
                 result.as_ref().map(|c| c.circuit.is_some()).unwrap_or(false),
                 result.as_ref().ok().map(|c| c.stats.clone()),
                 result.as_ref().map(|c| c.lints.len()).unwrap_or(0),
+                result.as_ref().ok().and_then(|c| c.routing.clone()),
             ));
         }
         acct.cache = session.cache_stats();
+
+        // A hardware-targeted config legitimately rejects programs wider
+        // than its device; that is a capacity skip, not a differential
+        // finding. Any other compile failure diverging from a success is.
+        let capacity_skip = |index: usize| -> bool {
+            matches!(&compiled[index], Err(msg)
+                if self.configs[index].1.target.is_some() && asdf_target::is_capacity_error(msg))
+        };
 
         // Compile-status divergence is itself a differential finding; a
         // uniform rejection is a (tracked) generator/compiler gap.
@@ -321,7 +376,8 @@ impl Harness {
             let error = compiled[0].as_ref().unwrap_err().clone();
             return (CaseOutcome::Rejected(error), acct);
         }
-        if let Some(bad) = compiled.iter().position(|r| r.is_err()) {
+        if let Some(bad) = (0..compiled.len()).find(|&i| compiled[i].is_err() && !capacity_skip(i))
+        {
             let good = compiled.iter().position(|r| r.is_ok()).expect("some config compiled");
             return (
                 CaseOutcome::Mismatch {
@@ -340,8 +396,10 @@ impl Harness {
 
         let semantics: Vec<Semantics> = compiled
             .iter()
-            .map(|r| {
-                extract(case, r.as_ref().expect("all configs compiled"), &self.oracle, case.seed)
+            .map(|r| match r {
+                Ok(compiled) => extract(case, compiled, &self.oracle, case.seed),
+                // Only capacity skips reach here; their comparisons skip.
+                Err(msg) => Semantics::Unavailable(msg.clone()),
             })
             .collect();
 
@@ -394,6 +452,7 @@ impl Harness {
                 skipped: 0,
                 stats: PassStatistics::new(),
                 lints: 0,
+                routing: RoutingTotals::default(),
             })
             .collect();
         let mut rejected = 0;
@@ -406,7 +465,7 @@ impl Harness {
         for index in 0..opts.cases {
             let case = gen_case(opts.seed, index, &opts.gen);
             let (outcome, acct) = self.check_case(&case);
-            for (ci, (ok, circ, stats, lints)) in acct.per_config.iter().enumerate() {
+            for (ci, (ok, circ, stats, lints, routing)) in acct.per_config.iter().enumerate() {
                 if *ok {
                     configs[ci].compiled += 1;
                 } else {
@@ -417,6 +476,9 @@ impl Harness {
                 }
                 if let Some(stats) = stats {
                     configs[ci].stats.merge(stats);
+                }
+                if let Some(info) = routing {
+                    configs[ci].routing.add(info);
                 }
                 configs[ci].lints += lints;
                 configs[ci].compared += acct.compared[ci];
@@ -478,6 +540,13 @@ mod tests {
     #[test]
     fn harness_defaults_to_the_full_matrix() {
         let harness = Harness::new(OracleOptions::default());
-        assert_eq!(harness.configs.len(), 12);
+        assert_eq!(harness.configs.len(), 14);
+        let routed: Vec<&str> = harness
+            .configs
+            .iter()
+            .filter(|(_, o)| o.target.is_some())
+            .map(|(name, _)| name.as_str())
+            .collect();
+        assert_eq!(routed, ["opt+peep+selinger@linear-16", "opt+peep+selinger@grid-4x4"]);
     }
 }

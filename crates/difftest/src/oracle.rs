@@ -26,6 +26,7 @@ use asdf_sim::{
     batched_program_columns_threads, columns_equivalent, measurement_distribution_threads,
     run_dynamic, sample_per_shot, ArgValue, KernelProgram, StateVector,
 };
+use asdf_target::RoutingInfo;
 use std::collections::BTreeMap;
 
 /// Oracle tunables.
@@ -93,9 +94,10 @@ pub enum Comparison {
 
 /// Extracts comparable semantics from `compiled` for `case`.
 pub fn extract(case: &GenCase, compiled: &Compiled, opts: &OracleOptions, seed: u64) -> Semantics {
+    let routing = compiled.routing.as_ref();
     match (&compiled.circuit, case.measure.is_some()) {
-        (Some(circuit), false) => columns_from_circuit(case, circuit, opts),
-        (Some(circuit), true) => dist_from_circuit(case, circuit, opts, seed),
+        (Some(circuit), false) => columns_from_circuit(case, circuit, routing, opts),
+        (Some(circuit), true) => dist_from_circuit(case, circuit, routing, opts, seed),
         (None, false) => columns_from_dynamic(case, compiled, opts, seed),
         (None, true) => dist_from_dynamic(case, compiled, opts, seed),
     }
@@ -160,7 +162,32 @@ fn input_indices(case: &GenCase) -> Vec<usize> {
     }
 }
 
-fn columns_from_circuit(case: &GenCase, circuit: &Circuit, opts: &OracleOptions) -> Semantics {
+/// The physical wires holding the kernel interface of a routed circuit.
+/// `None` when the layouts do not cover the interface — a contract
+/// violation the caller reports as [`Semantics::Broken`].
+fn routed_interface(routing: &RoutingInfo, width: usize, num_qubits: usize) -> Option<()> {
+    let covered = routing.initial_layout.len() >= width
+        && routing.final_layout.len() >= width
+        && routing.initial_layout[..width].iter().all(|&p| p < num_qubits)
+        && routing.final_layout[..width].iter().all(|&p| p < num_qubits);
+    covered.then_some(())
+}
+
+/// The basis-state index that places bit `q` of `index` (logical qubit
+/// `q`, big-endian over `width`) on physical wire `layout[q]` of an
+/// `num_qubits`-wide register.
+fn permute_input(index: usize, width: usize, layout: &[usize], num_qubits: usize) -> usize {
+    (0..width)
+        .filter(|&q| index & (1 << (width - 1 - q)) != 0)
+        .fold(0usize, |acc, q| acc | (1 << (num_qubits - 1 - layout[q])))
+}
+
+fn columns_from_circuit(
+    case: &GenCase,
+    circuit: &Circuit,
+    routing: Option<&RoutingInfo>,
+    opts: &OracleOptions,
+) -> Semantics {
     if circuit.num_qubits > opts.max_unitary_qubits {
         return Semantics::Unavailable(format!(
             "{} qubits exceeds the {}-qubit unitary cap",
@@ -178,12 +205,34 @@ fn columns_from_circuit(case: &GenCase, circuit: &Circuit, opts: &OracleOptions)
             "measurement-free program compiled to a circuit with measure/reset ops".to_string(),
         );
     }
+    // A routed configuration holds logical qubit `q` on physical wire
+    // `initial_layout[q]` at input and `final_layout[q]` at output (SWAPs
+    // move it); the oracle prepares and extracts through those layouts so
+    // routed and unrouted configurations compare on the *logical*
+    // interface.
+    if let Some(r) = routing {
+        if routed_interface(r, case.width, circuit.num_qubits).is_none() {
+            return Semantics::Broken(format!(
+                "routing layouts do not cover the {}-qubit kernel interface",
+                case.width
+            ));
+        }
+    }
     let shift = circuit.num_qubits - case.width;
-    let data: Vec<usize> = (0..case.width).collect();
+    let data: Vec<usize> = match routing {
+        Some(r) => r.final_layout[..case.width].to_vec(),
+        None => (0..case.width).collect(),
+    };
     let indices = input_indices(case);
     // One batched pass over every basis input instead of a per-column
     // re-simulation: the sweep's hottest loop.
-    let inputs: Vec<usize> = indices.iter().map(|&index| index << shift).collect();
+    let inputs: Vec<usize> = indices
+        .iter()
+        .map(|&index| match routing {
+            Some(r) => permute_input(index, case.width, &r.initial_layout, circuit.num_qubits),
+            None => index << shift,
+        })
+        .collect();
     let program = KernelProgram::compile(circuit);
     let full_columns = batched_program_columns_threads(&program, &inputs, opts.sim_threads);
     let mut columns = Vec::with_capacity(full_columns.len());
@@ -203,11 +252,14 @@ fn columns_from_circuit(case: &GenCase, circuit: &Circuit, opts: &OracleOptions)
 fn dist_from_circuit(
     case: &GenCase,
     circuit: &Circuit,
+    routing: Option<&RoutingInfo>,
     opts: &OracleOptions,
     seed: u64,
 ) -> Semantics {
     // Argument-mode cases run on the case's recorded basis input,
-    // materialized as leading X gates.
+    // materialized as leading X gates — placed on the initial-layout wires
+    // for routed configurations. Measurements need no output translation:
+    // the router remaps measured wires but keeps classical bit indices.
     let run = match &case.input {
         InputMode::Arg(bits) => {
             if bits.len() > circuit.num_qubits {
@@ -217,7 +269,22 @@ fn dist_from_circuit(
                     bits.len()
                 ));
             }
-            circuit.with_basis_input(bits)
+            match routing {
+                Some(r) => {
+                    if routed_interface(r, bits.len(), circuit.num_qubits).is_none() {
+                        return Semantics::Broken(format!(
+                            "routing layouts do not cover the {}-qubit kernel interface",
+                            bits.len()
+                        ));
+                    }
+                    let mut placed = vec![false; circuit.num_qubits];
+                    for (q, &bit) in bits.iter().enumerate() {
+                        placed[r.initial_layout[q]] = bit;
+                    }
+                    circuit.with_basis_input(&placed)
+                }
+                None => circuit.with_basis_input(bits),
+            }
         }
         InputMode::Prep(_) => circuit.clone(),
     };

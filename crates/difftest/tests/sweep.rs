@@ -35,11 +35,17 @@ fn bounded_sweep_is_clean_across_the_full_matrix() {
     }
     assert!(report.passed(), "differential sweep found mismatches");
     assert_eq!(report.rejected, 0, "every generated program must compile");
-    assert_eq!(report.configs.len(), 12);
+    assert_eq!(report.configs.len(), 14);
     for config in &report.configs {
         assert_eq!(config.compiled, 40, "{} failed to compile cases", config.name);
         assert!(config.compared > 0, "{} never participated in a comparison", config.name);
         assert!(!config.stats.is_empty(), "{} collected no pass statistics", config.name);
+    }
+    // The hardware-targeted configs actually went through the router, and
+    // a width-3 sweep never trips their capacity guard.
+    for config in report.configs.iter().filter(|c| c.name.contains('@')) {
+        assert_eq!(config.routing.routed_cases, 40, "{} skipped routing", config.name);
+        assert!(config.routing.routed_depth > 0, "{} reported no routed depth", config.name);
     }
     assert!(report.comparisons > 500, "too few comparisons ran: {}", report.comparisons);
 }

@@ -111,6 +111,49 @@ pub fn estimate(circuit: &Circuit, params: &SurfaceCodeParams) -> Estimate {
     }
 }
 
+/// The cost of compiling a circuit onto restricted hardware connectivity:
+/// how many SWAPs routing inserted and how much deeper the routed circuit
+/// is than its all-to-all counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOverhead {
+    /// SWAPs the router inserted (each three CX).
+    pub swap_count: usize,
+    /// Depth of the unrouted (all-to-all, native-gate) circuit.
+    pub unrouted_depth: usize,
+    /// Depth after routing.
+    pub routed_depth: usize,
+}
+
+impl RouteOverhead {
+    /// Routed depth as a multiple of unrouted depth (1.0 = no overhead).
+    pub fn depth_overhead(&self) -> f64 {
+        if self.unrouted_depth == 0 {
+            1.0
+        } else {
+            self.routed_depth as f64 / self.unrouted_depth as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RouteOverhead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} swaps, depth {} -> {} ({:.2}x)",
+            self.swap_count,
+            self.unrouted_depth,
+            self.routed_depth,
+            self.depth_overhead()
+        )
+    }
+}
+
+/// The routing overhead of `routed` relative to its all-to-all
+/// counterpart `base`, given the router's reported SWAP count.
+pub fn route_overhead(base: &Circuit, routed: &Circuit, swap_count: usize) -> RouteOverhead {
+    RouteOverhead { swap_count, unrouted_depth: base.depth(), routed_depth: routed.depth() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +200,23 @@ mod tests {
         c.gate(GateKind::P(0.123), &[], &[0]);
         let e = estimate(&c, &params);
         assert_eq!(e.t_states, params.t_per_rotation);
+    }
+
+    #[test]
+    fn route_overhead_reports_swaps_and_depth_ratio() {
+        let mut base = Circuit::new(2);
+        base.gate(GateKind::X, &[0], &[1]);
+        let mut routed = base.clone();
+        routed.gate(GateKind::X, &[0], &[1]); // a routed circuit twice as deep
+        let o = route_overhead(&base, &routed, 1);
+        assert_eq!(o.swap_count, 1);
+        assert_eq!(o.unrouted_depth, 1);
+        assert_eq!(o.routed_depth, 2);
+        assert!((o.depth_overhead() - 2.0).abs() < 1e-12);
+        assert_eq!(o.to_string(), "1 swaps, depth 1 -> 2 (2.00x)");
+        // Degenerate empty baseline does not divide by zero.
+        let empty = Circuit::new(1);
+        assert!((route_overhead(&empty, &empty, 0).depth_overhead() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod proto;
 use asdf_core::{CacheStats, CoreError, Session};
 use json::Value;
 use proto::{CompileCall, Request};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -27,10 +27,16 @@ use std::sync::{Arc, Mutex};
 /// Default bound on concurrently live sessions (distinct source texts).
 pub const DEFAULT_SESSION_CAPACITY: usize = 8;
 
+/// The per-target counter key for untargeted (all-to-all) compiles.
+pub const ALL_TO_ALL: &str = "all-to-all";
+
 /// A multi-tenant compile server: a bounded registry of shared sessions
 /// keyed by source text, plus the line-protocol dispatcher.
 pub struct CompileServer {
     registry: Mutex<Registry>,
+    /// Successful compiles per hardware target (ALL_TO_ALL when none),
+    /// surviving session eviction — stats report the server's lifetime.
+    target_counts: Mutex<BTreeMap<String, u64>>,
 }
 
 /// LRU over live sessions: the session itself is the unit of eviction
@@ -62,6 +68,7 @@ impl CompileServer {
                 tick: 0,
                 capacity: capacity.max(1),
             }),
+            target_counts: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -135,10 +142,20 @@ impl CompileServer {
                         ("ops".into(), Value::int(circuit.ops.len() as i64)),
                     ]),
                 };
+                let routing = match &artifact.routing {
+                    None => Value::Null,
+                    Some(info) => Value::Object(vec![
+                        ("target".into(), Value::str(&info.target)),
+                        ("swaps".into(), Value::int(info.swap_count as i64)),
+                        ("unrouted_depth".into(), Value::int(info.unrouted_depth as i64)),
+                        ("routed_depth".into(), Value::int(info.routed_depth as i64)),
+                    ]),
+                };
                 Value::Object(vec![
                     ("ok".into(), Value::Bool(true)),
                     ("entry".into(), Value::str(&artifact.entry)),
                     ("circuit".into(), circuit),
+                    ("routing".into(), routing),
                 ])
             }
         }
@@ -184,9 +201,17 @@ impl CompileServer {
 
     fn handle_stats(&self) -> Value {
         let (sessions, stats) = self.stats();
+        let targets = self
+            .target_counts
+            .lock()
+            .expect("target counter lock")
+            .iter()
+            .map(|(name, count)| (name.clone(), Value::int(*count as i64)))
+            .collect();
         Value::Object(vec![
             ("ok".into(), Value::Bool(true)),
             ("sessions".into(), Value::int(sessions as i64)),
+            ("targets".into(), Value::Object(targets)),
             ("frontend_hits".into(), Value::int(stats.frontend_hits as i64)),
             ("frontend_misses".into(), Value::int(stats.frontend_misses as i64)),
             ("frontend_coalesced".into(), Value::int(stats.frontend_coalesced as i64)),
@@ -206,6 +231,13 @@ impl CompileServer {
     ) -> Result<(Arc<Session>, Arc<asdf_core::Compiled>), Value> {
         let session = self.session(&call.source).map_err(|e| compiler_error(&e))?;
         let artifact = session.compile(&call.request).map_err(|e| compiler_error(&e))?;
+        let key = call.request.options.target.as_deref().unwrap_or(ALL_TO_ALL);
+        *self
+            .target_counts
+            .lock()
+            .expect("target counter lock")
+            .entry(key.to_string())
+            .or_default() += 1;
         Ok((session, artifact))
     }
 

@@ -25,9 +25,11 @@
 //! classical functions), `dims` (an object of dimension-variable
 //! bindings), and `options` (`inline`/`peephole`/`verify`/`lints`
 //! booleans, a `decompose` style of `"none"`/`"selinger"`/`"vchain"`,
-//! and an integer `rewrite_fuel`). Every response is one line with an
-//! `"ok"` boolean; failures carry `"error"` and, for compiler
-//! diagnostics, a `"code"`.
+//! an integer `rewrite_fuel`, and a `target` hardware-coupling name such
+//! as `"linear-16"` or `"grid-4x4"` — routed compiles report a
+//! `"routing"` object with SWAP and depth telemetry). Every response is
+//! one line with an `"ok"` boolean; failures carry `"error"` and, for
+//! compiler diagnostics, a `"code"`.
 
 use crate::json::Value;
 use asdf_ast::CaptureValue;
@@ -168,6 +170,17 @@ fn parse_options(value: &Value) -> Result<CompileOptions, String> {
             ),
         };
     }
+    if let Some(target) = value.get("target") {
+        options.target = match target {
+            Value::Null => None,
+            other => Some(
+                other
+                    .as_str()
+                    .ok_or("\"target\" must be a coupling-graph name string or null")?
+                    .to_string(),
+            ),
+        };
+    }
     Ok(options)
 }
 
@@ -180,7 +193,8 @@ mod tests {
         let line = r#"{"op":"compile","source":"src","kernel":"k",
             "captures":[{"bits":"101"},{"cfunc":{"name":"f","captures":[{"bits":"01"}]}}],
             "dims":{"N":3},
-            "options":{"inline":false,"decompose":"vchain","rewrite_fuel":7}}"#;
+            "options":{"inline":false,"decompose":"vchain","rewrite_fuel":7,
+                       "target":"linear-16"}}"#;
         let Request::Compile(call) = parse_request(line).unwrap() else {
             panic!("expected compile")
         };
@@ -193,6 +207,11 @@ mod tests {
         assert!(call.request.options.peephole, "unset fields keep their defaults");
         assert_eq!(call.request.options.decompose, Some(DecomposeStyle::VChain));
         assert_eq!(call.request.options.rewrite_fuel, Some(7));
+        assert_eq!(call.request.options.target.as_deref(), Some("linear-16"));
+        // Explicit null clears the target (all-to-all connectivity).
+        let line = r#"{"op":"compile","source":"s","kernel":"k","options":{"target":null}}"#;
+        let Request::Compile(call) = parse_request(line).unwrap() else { panic!("compile") };
+        assert_eq!(call.request.options.target, None);
     }
 
     #[test]
@@ -210,6 +229,7 @@ mod tests {
                 r#"{"op":"compile","source":"s","kernel":"k","options":{"decompose":"zalgo"}}"#,
                 "decompose",
             ),
+            (r#"{"op":"compile","source":"s","kernel":"k","options":{"target":16}}"#, "target"),
         ] {
             let err = parse_request(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");

@@ -76,6 +76,40 @@ fn lint_reports_warnings_with_stable_codes() {
 }
 
 #[test]
+fn routed_compiles_report_telemetry_and_per_target_stats() {
+    let server = CompileServer::new();
+    let source = "qpu bell() -> bit[2] { 'p' + '0' | ('1' & std.flip) | std[2].measure }";
+    let line = format!(
+        r#"{{"op":"compile","source":"{source}","kernel":"bell","options":{{"target":"linear-16"}}}}"#
+    );
+    let response = parse(&server.handle_line(&line)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    let routing = response.get("routing").expect("targeted compiles carry routing telemetry");
+    assert_eq!(routing.get("target").and_then(Value::as_str), Some("linear-16"));
+    assert!(routing.get("routed_depth").and_then(Value::as_i64).unwrap() > 0);
+    assert!(routing.get("swaps").and_then(Value::as_i64).unwrap() >= 0);
+
+    // The same kernel untargeted carries no routing block...
+    let plain = format!(r#"{{"op":"compile","source":"{source}","kernel":"bell"}}"#);
+    let response = parse(&server.handle_line(&plain)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    assert_eq!(response.get("routing"), Some(&Value::Null));
+
+    // ...and stats split artifact counts per target.
+    let stats = parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    let targets = stats.get("targets").expect("stats report per-target counts");
+    assert_eq!(targets.get("linear-16").and_then(Value::as_i64), Some(1), "{stats}");
+    assert_eq!(targets.get("all-to-all").and_then(Value::as_i64), Some(1), "{stats}");
+
+    // A misspelled target comes back as a structured diagnostic.
+    let bad = line.replace("linear-16", "liner-16");
+    let response = parse(&server.handle_line(&bad)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(response.get("code").and_then(Value::as_str), Some("E0105"), "{response}");
+    assert!(response.get("error").and_then(Value::as_str).unwrap().contains("did you mean"));
+}
+
+#[test]
 fn failures_come_back_as_structured_errors() {
     let server = CompileServer::new();
 

@@ -33,8 +33,9 @@ pub use complex::Complex;
 pub use dynamic::{run_dynamic, ArgValue, DynamicRun};
 pub use kernel::{KernelOp, KernelProgram};
 pub use run::{
-    circuits_equivalent, circuits_equivalent_on_zero_ancillas, columns_equivalent,
-    measurement_distribution, measurement_distribution_threads, sample, sample_per_shot,
-    unitary_of, RunResult, Simulator, PARALLEL_STATE_MIN,
+    circuits_equivalent, circuits_equivalent_on_zero_ancillas,
+    circuits_equivalent_up_to_output_permutation, columns_equivalent, measurement_distribution,
+    measurement_distribution_threads, sample, sample_per_shot, unitary_of, RunResult, Simulator,
+    PARALLEL_STATE_MIN,
 };
 pub use state::{checked_amplitude_count, StateVector, MAX_QUBITS};

@@ -289,6 +289,60 @@ pub fn circuits_equivalent_on_zero_ancillas(
     columns_equivalent(&ua, &ub, eps)
 }
 
+/// Whether a routed circuit implements the same map as its unrouted
+/// counterpart, given where routing placed each logical qubit.
+///
+/// Routing moves logical qubits across physical wires: logical qubit `q`
+/// enters the routed circuit on wire `input_map[q]` and exits on wire
+/// `output_map[q]` (a router's `initial_layout` / `final_layout`). The
+/// check enumerates every basis input over the first `data_qubits`
+/// logical qubits (all other qubits start in |0> on both sides), runs
+/// both measurement-free circuits, extracts the marginal on the data
+/// qubits — the logical side at wires `0..data_qubits`, the routed side
+/// at `output_map[..data_qubits]` — and demands the columns agree up to
+/// one shared global phase. The marginal extraction simultaneously
+/// enforces ancilla discipline: every non-data wire (logical ancillas
+/// and spare physical wires alike) must be back at |0>, or no marginal
+/// exists and the check fails.
+pub fn circuits_equivalent_up_to_output_permutation(
+    logical: &Circuit,
+    routed: &Circuit,
+    input_map: &[usize],
+    output_map: &[usize],
+    data_qubits: usize,
+    eps: f64,
+) -> bool {
+    if data_qubits > logical.num_qubits
+        || input_map.len() < data_qubits
+        || output_map.len() < data_qubits
+        || input_map[..data_qubits].iter().any(|&p| p >= routed.num_qubits)
+    {
+        return false;
+    }
+    let shift = logical.num_qubits - data_qubits;
+    let logical_inputs: Vec<usize> = (0..(1usize << data_qubits)).map(|i| i << shift).collect();
+    let routed_inputs: Vec<usize> = (0..(1usize << data_qubits))
+        .map(|i| {
+            (0..data_qubits)
+                .filter(|&q| i & (1usize << (data_qubits - 1 - q)) != 0)
+                .fold(0usize, |acc, q| acc | (1usize << (routed.num_qubits - 1 - input_map[q])))
+        })
+        .collect();
+    let data: Vec<usize> = (0..data_qubits).collect();
+    let logical_cols: Option<Vec<StateVector>> = batched_columns(logical, &logical_inputs)
+        .into_iter()
+        .map(|s| s.marginal_on(&data, eps))
+        .collect();
+    let routed_cols: Option<Vec<StateVector>> = batched_columns(routed, &routed_inputs)
+        .into_iter()
+        .map(|s| s.marginal_on(&output_map[..data_qubits], eps))
+        .collect();
+    match (logical_cols, routed_cols) {
+        (Some(la), Some(ra)) => columns_equivalent(&la, &ra, eps),
+        _ => false,
+    }
+}
+
 /// Whether two column sets (unitaries as lists of output states, indexed
 /// by input basis state) agree up to one *shared* global phase. This is
 /// the underlying oracle of [`circuits_equivalent`] and
@@ -520,6 +574,140 @@ mod tests {
         roundtrip.gate(GateKind::X, &[], &[1]);
         roundtrip.gate(GateKind::X, &[], &[1]);
         assert!(circuits_equivalent_on_zero_ancillas(&clean, &roundtrip, 1, 1e-9));
+    }
+
+    /// SWAP(a, b) as three CX, the form routers emit.
+    fn emit_swap(c: &mut Circuit, a: usize, b: usize) {
+        c.gate(GateKind::X, &[a], &[b]);
+        c.gate(GateKind::X, &[b], &[a]);
+        c.gate(GateKind::X, &[a], &[b]);
+    }
+
+    #[test]
+    fn permutation_oracle_accepts_hand_routed_bell() {
+        // Logical Bell pair; the "routed" version swaps the wires at the
+        // end, so logical qubit 1 exits on wire 0 and vice versa.
+        let mut bell = Circuit::new(2);
+        bell.gate(GateKind::H, &[], &[0]);
+        bell.gate(GateKind::X, &[0], &[1]);
+        let mut routed = bell.clone();
+        emit_swap(&mut routed, 0, 1);
+        assert!(circuits_equivalent_up_to_output_permutation(
+            &bell,
+            &routed,
+            &[0, 1],
+            &[1, 0],
+            2,
+            1e-9
+        ));
+        // Claiming the identity output permutation must fail: H and CX
+        // ended up on the wrong wires.
+        assert!(!circuits_equivalent_up_to_output_permutation(
+            &bell,
+            &routed,
+            &[0, 1],
+            &[0, 1],
+            2,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn permutation_oracle_accepts_hand_routed_ghz() {
+        // GHZ on linear-3: CX(0,2) is not coupled, so the router brings
+        // logical 2 next to logical 0 by swapping wires 1 and 2 first.
+        let mut ghz = Circuit::new(3);
+        ghz.gate(GateKind::H, &[], &[0]);
+        ghz.gate(GateKind::X, &[0], &[1]);
+        ghz.gate(GateKind::X, &[0], &[2]);
+        let mut routed = Circuit::new(3);
+        routed.gate(GateKind::H, &[], &[0]);
+        routed.gate(GateKind::X, &[0], &[1]);
+        emit_swap(&mut routed, 1, 2); // logical 1 -> wire 2, logical 2 -> wire 1
+        routed.gate(GateKind::X, &[0], &[1]);
+        assert!(circuits_equivalent_up_to_output_permutation(
+            &ghz,
+            &routed,
+            &[0, 1, 2],
+            &[0, 2, 1],
+            3,
+            1e-9
+        ));
+        // A wrong permutation is rejected...
+        assert!(!circuits_equivalent_up_to_output_permutation(
+            &ghz,
+            &routed,
+            &[0, 1, 2],
+            &[2, 0, 1],
+            3,
+            1e-9
+        ));
+        // ...and so is a genuinely wrong circuit under the right one.
+        let mut wrong = routed.clone();
+        wrong.gate(GateKind::Z, &[], &[0]);
+        assert!(!circuits_equivalent_up_to_output_permutation(
+            &ghz,
+            &wrong,
+            &[0, 1, 2],
+            &[0, 2, 1],
+            3,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn permutation_oracle_enforces_ancilla_discipline() {
+        // The routed side has a spare wire; leaving it dirty must fail
+        // even though the data wires match.
+        let mut logical = Circuit::new(1);
+        logical.gate(GateKind::H, &[], &[0]);
+        let mut clean = Circuit::new(2);
+        clean.gate(GateKind::H, &[], &[0]);
+        assert!(circuits_equivalent_up_to_output_permutation(
+            &logical,
+            &clean,
+            &[0],
+            &[0],
+            1,
+            1e-9
+        ));
+        let mut dirty = Circuit::new(2);
+        dirty.gate(GateKind::H, &[], &[0]);
+        dirty.gate(GateKind::X, &[], &[1]);
+        assert!(!circuits_equivalent_up_to_output_permutation(
+            &logical,
+            &dirty,
+            &[0],
+            &[0],
+            1,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn permutation_oracle_handles_permuted_inputs() {
+        // Routed side receives logical qubit 0 on wire 1 and vice versa;
+        // the circuit itself is CX with control on wire 1.
+        let mut logical = Circuit::new(2);
+        logical.gate(GateKind::X, &[0], &[1]);
+        let mut routed = Circuit::new(2);
+        routed.gate(GateKind::X, &[1], &[0]);
+        assert!(circuits_equivalent_up_to_output_permutation(
+            &logical,
+            &routed,
+            &[1, 0],
+            &[1, 0],
+            2,
+            1e-9
+        ));
+        assert!(!circuits_equivalent_up_to_output_permutation(
+            &logical,
+            &routed,
+            &[0, 1],
+            &[0, 1],
+            2,
+            1e-9
+        ));
     }
 
     #[test]

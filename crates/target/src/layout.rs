@@ -1,0 +1,132 @@
+//! Initial placement of logical qubits onto physical qubits.
+//!
+//! A good initial layout puts frequently-interacting logical qubits on
+//! nearby physical qubits, so the router inserts fewer SWAPs. The
+//! heuristic here is interaction-graph-driven: weight each logical pair
+//! by how many two-qubit gates connect them, seed the heaviest logical
+//! qubit at the best-connected physical node, then place the rest one at
+//! a time where they minimize weighted distance to their already-placed
+//! partners. Circuits with no two-qubit gates fall back to the trivial
+//! identity layout.
+
+use crate::topology::CouplingGraph;
+use asdf_qcircuit::{Circuit, CircuitOp};
+
+/// Chooses a physical qubit for each logical qubit of `circuit`.
+///
+/// Returns `layout` with `layout[logical] = physical`, a permutation-like
+/// injection into `0..graph.num_qubits()`.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the graph (capacity is checked by
+/// [`Target::route`](crate::Target::route) before getting here).
+pub fn initial_layout(circuit: &Circuit, graph: &CouplingGraph) -> Vec<usize> {
+    let n_logical = circuit.num_qubits;
+    let n_physical = graph.num_qubits();
+    assert!(n_logical <= n_physical, "circuit wider than target");
+
+    let weights = interaction_weights(circuit);
+    let total: u64 = weights.iter().flatten().sum();
+    if total == 0 {
+        // Trivial fallback: no two-qubit structure to exploit.
+        return (0..n_logical).collect();
+    }
+
+    let mut layout = vec![usize::MAX; n_logical];
+    let mut used = vec![false; n_physical];
+
+    // Seed: heaviest logical qubit onto the best-connected physical node.
+    let seed = (0..n_logical)
+        .max_by_key(|&l| (weights[l].iter().sum::<u64>(), n_logical - l))
+        .expect("total > 0 implies at least one qubit");
+    let hub = graph.max_degree_node();
+    layout[seed] = hub;
+    used[hub] = true;
+
+    // Greedy: repeatedly place the unplaced logical qubit with the most
+    // interaction weight toward placed ones, at the free physical node
+    // minimizing weighted distance to its placed partners.
+    loop {
+        let next = (0..n_logical).filter(|&l| layout[l] == usize::MAX).max_by_key(|&l| {
+            let w: u64 =
+                (0..n_logical).filter(|&m| layout[m] != usize::MAX).map(|m| weights[l][m]).sum();
+            (w, n_logical - l)
+        });
+        let Some(l) = next else { break };
+        let best = (0..n_physical)
+            .filter(|&p| !used[p])
+            .min_by_key(|&p| {
+                let cost: u64 = (0..n_logical)
+                    .filter(|&m| layout[m] != usize::MAX)
+                    .map(|m| weights[l][m].saturating_mul(graph.distance(p, layout[m]) as u64))
+                    .sum();
+                (cost, p)
+            })
+            .expect("n_logical <= n_physical leaves a free node");
+        layout[l] = best;
+        used[best] = true;
+    }
+    layout
+}
+
+/// `weights[a][b]` = number of two-qubit gates touching both `a` and `b`.
+fn interaction_weights(circuit: &Circuit) -> Vec<Vec<u64>> {
+    let n = circuit.num_qubits;
+    let mut weights = vec![vec![0u64; n]; n];
+    for op in &circuit.ops {
+        if let CircuitOp::Gate { .. } = op {
+            let qubits = op.qubits();
+            for (i, &a) in qubits.iter().enumerate() {
+                for &b in &qubits[i + 1..] {
+                    weights[a][b] += 1;
+                    weights[b][a] += 1;
+                }
+            }
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdf_ir::GateKind;
+
+    #[test]
+    fn no_interactions_gives_identity_layout() {
+        let mut c = Circuit::new(3);
+        c.gate(GateKind::H, &[], &[0]);
+        c.gate(GateKind::H, &[], &[2]);
+        assert_eq!(initial_layout(&c, &CouplingGraph::linear(5)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn layout_is_an_injection() {
+        let mut c = Circuit::new(4);
+        c.gate(GateKind::X, &[0], &[3]);
+        c.gate(GateKind::X, &[1], &[2]);
+        c.gate(GateKind::X, &[0], &[3]);
+        let layout = initial_layout(&c, &CouplingGraph::grid(2, 3));
+        let mut seen = layout.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "no physical qubit reused: {layout:?}");
+        assert!(layout.iter().all(|&p| p < 6));
+    }
+
+    #[test]
+    fn interacting_pairs_land_adjacent() {
+        // 0-3 interact heavily, 1-2 interact; on linear-4 each pair
+        // should end up coupled, which the identity layout fails at.
+        let mut c = Circuit::new(4);
+        for _ in 0..3 {
+            c.gate(GateKind::X, &[0], &[3]);
+        }
+        c.gate(GateKind::X, &[1], &[2]);
+        let g = CouplingGraph::linear(4);
+        let layout = initial_layout(&c, &g);
+        assert_eq!(g.distance(layout[0], layout[3]), 1, "heavy pair coupled: {layout:?}");
+        assert_eq!(g.distance(layout[1], layout[2]), 1, "light pair coupled: {layout:?}");
+    }
+}

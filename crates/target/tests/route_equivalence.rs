@@ -1,0 +1,92 @@
+//! End-to-end routing correctness: for a spread of circuits and targets,
+//! the routed circuit must (a) pass `Target::validate` — native gates on
+//! coupled pairs only — and (b) implement the same map as the unrouted
+//! circuit up to the output permutation the router reports, with every
+//! ancilla and spare wire back at |0>.
+
+use asdf_ir::GateKind;
+use asdf_qcircuit::Circuit;
+use asdf_sim::circuits_equivalent_up_to_output_permutation;
+use asdf_target::Target;
+
+const TARGETS: &[&str] = &["linear-8", "ring-8", "grid-2x4", "edges:0-1,0-2,0-3,3-4,4-5"];
+
+fn check(name: &str, circuit: &Circuit) {
+    for target_name in TARGETS {
+        let target = Target::parse(target_name).expect(target_name);
+        let routed =
+            target.route(circuit).unwrap_or_else(|e| panic!("{name} on {target_name}: {e}"));
+        target.validate(&routed.circuit).unwrap_or_else(|e| panic!("{name} on {target_name}: {e}"));
+        assert!(
+            circuits_equivalent_up_to_output_permutation(
+                circuit,
+                &routed.circuit,
+                &routed.info.initial_layout,
+                &routed.info.final_layout,
+                circuit.num_qubits,
+                1e-9,
+            ),
+            "{name} on {target_name}: routed circuit diverges\n{}",
+            routed.circuit
+        );
+    }
+}
+
+#[test]
+fn ghz_state_routes_everywhere() {
+    let mut c = Circuit::new(4);
+    c.gate(GateKind::H, &[], &[0]);
+    for t in 1..4 {
+        c.gate(GateKind::X, &[0], &[t]);
+    }
+    check("ghz-4", &c);
+}
+
+#[test]
+fn interaction_triangle_routes_everywhere() {
+    let mut c = Circuit::new(3);
+    c.gate(GateKind::H, &[], &[0]);
+    c.gate(GateKind::X, &[0], &[1]);
+    c.gate(GateKind::X, &[1], &[2]);
+    c.gate(GateKind::X, &[0], &[2]);
+    c.gate(GateKind::T, &[], &[1]);
+    check("triangle", &c);
+}
+
+#[test]
+fn multi_controlled_gates_route_through_decomposition() {
+    let mut c = Circuit::new(4);
+    c.gate(GateKind::H, &[], &[0]);
+    c.gate(GateKind::H, &[], &[1]);
+    c.gate(GateKind::X, &[0, 1, 2], &[3]);
+    c.gate(GateKind::Z, &[0], &[3]);
+    check("mcx-3", &c);
+}
+
+#[test]
+fn dense_all_to_all_mixer_routes_everywhere() {
+    // Every pair interacts, with phases in between — the worst case for a
+    // sparse topology.
+    let mut c = Circuit::new(4);
+    for q in 0..4 {
+        c.gate(GateKind::H, &[], &[q]);
+    }
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            c.gate(GateKind::X, &[a], &[b]);
+            c.gate(GateKind::P(0.1 * (a + b) as f64), &[], &[b]);
+        }
+    }
+    check("mixer-4", &c);
+}
+
+#[test]
+fn swap_heavy_circuit_routes_everywhere() {
+    let mut c = Circuit::new(5);
+    c.gate(GateKind::H, &[], &[0]);
+    c.gate(GateKind::Swap, &[], &[0, 4]);
+    c.gate(GateKind::X, &[4], &[2]);
+    c.gate(GateKind::Swap, &[], &[1, 3]);
+    c.gate(GateKind::X, &[2], &[0]);
+    check("swap-heavy", &c);
+}

@@ -12,3 +12,4 @@ pub use asdf_qcircuit as qcircuit;
 pub use asdf_resource as resource;
 pub use asdf_server as server;
 pub use asdf_sim as sim;
+pub use asdf_target as target;
