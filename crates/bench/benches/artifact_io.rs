@@ -1,0 +1,162 @@
+//! Artifact I/O bench: serialization throughput and the cold-start win
+//! of the persistent disk cache.
+//!
+//! Four measurements on the Fig. 1 Bernstein–Vazirani program:
+//!
+//! - **encode** — [`Artifact::encode`] of the compiled artifact;
+//! - **decode** — [`Artifact::decode`] (full validation: checksum,
+//!   section bounds, content hash) of the encoded bytes;
+//! - **pipeline cold start** — a fresh [`Session`] compiling from
+//!   scratch (parse + frontend + full pass pipeline);
+//! - **disk-hit cold start** — a fresh [`Session`] over a warm cache
+//!   directory: parse + frontend + disk decode, zero pipeline runs.
+//!
+//! Each run appends a trajectory point to `BENCH_compile.json` at the
+//! repo root. `--smoke` (or env `ARTIFACT_IO_SMOKE=1`) shrinks the
+//! workload for CI.
+
+use asdf_artifact::Artifact;
+use asdf_ast::CaptureValue;
+use asdf_core::{compiled_to_artifact, CompileRequest, Session};
+use criterion::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const BV_SRC: &str = r"
+    classical f[N](secret: bit[N], x: bit[N]) -> bit {
+        (secret & x).xor_reduce()
+    }
+    qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+        'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+    }
+";
+
+fn bv_request(secret: &str) -> CompileRequest {
+    CompileRequest::kernel("kernel").with_capture(CaptureValue::CFunc {
+        name: "f".into(),
+        captures: vec![CaptureValue::bits_from_str(secret)],
+    })
+}
+
+/// Median wall-clock of `samples` runs (after one warmup).
+fn median_time<O>(samples: usize, mut f: impl FnMut() -> O) -> Duration {
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn append_trajectory_point(point: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_compile.json");
+    let rewritten = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(body) => {
+                    let body = body.trim_end();
+                    if body.ends_with('[') {
+                        format!("{body}\n  {point}\n]\n")
+                    } else {
+                        format!("{body},\n  {point}\n]\n")
+                    }
+                }
+                None => format!("[\n  {point}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {point}\n]\n"),
+    };
+    match std::fs::write(&path, rewritten) {
+        Ok(()) => println!("trajectory point appended to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("ARTIFACT_IO_SMOKE").is_ok_and(|v| v == "1");
+    let (secret, samples, codec_batch) = if smoke { ("1101", 10, 50) } else { ("110100", 30, 500) };
+    let request = bv_request(secret);
+    println!(
+        "artifact_io: BV secret {secret}, {samples} samples{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Compile once; all codec measurements work over this artifact.
+    let session = Session::new(BV_SRC).unwrap();
+    let compiled = session.compile(&request).unwrap();
+    let artifact = compiled_to_artifact(&compiled, vec![0xbe, 0xc4]);
+    let bytes = artifact.encode();
+    let size = bytes.len();
+
+    let encode_total = median_time(samples, || {
+        for _ in 0..codec_batch {
+            black_box(artifact.encode());
+        }
+    });
+    let encode = encode_total / codec_batch as u32;
+    let decode_total = median_time(samples, || {
+        for _ in 0..codec_batch {
+            black_box(Artifact::decode(&bytes).unwrap());
+        }
+    });
+    let decode = decode_total / codec_batch as u32;
+    let mib = size as f64 / (1024.0 * 1024.0);
+    println!(
+        "encode              median {:>10.3?}  ({:>8.1} MiB/s, {size} bytes)",
+        encode,
+        mib / encode.as_secs_f64()
+    );
+    println!(
+        "decode              median {:>10.3?}  ({:>8.1} MiB/s)",
+        decode,
+        mib / decode.as_secs_f64()
+    );
+
+    // Cold start, both ways: full pipeline vs disk hit.
+    let dir = std::env::temp_dir().join(format!("asdf-bench-artifact-io-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pipeline_cold = median_time(samples, || {
+        let session = Session::new(BV_SRC).unwrap();
+        session.compile(&request).unwrap()
+    });
+    // Warm the cache directory once, then measure fresh sessions over it.
+    Session::builder(BV_SRC).disk_cache(&dir).build().unwrap().compile(&request).unwrap();
+    let disk_cold = median_time(samples, || {
+        let session = Session::builder(BV_SRC).disk_cache(&dir).build().unwrap();
+        let compiled = session.compile(&request).unwrap();
+        assert_eq!(session.cache_stats().artifact_misses, 0, "must be a disk hit");
+        compiled
+    });
+    let cold_start_speedup = pipeline_cold.as_secs_f64() / disk_cold.as_secs_f64();
+    println!(
+        "cold start          pipeline {pipeline_cold:>10.3?} vs disk hit {disk_cold:>10.3?}   speedup {cold_start_speedup:.2}x"
+    );
+    assert!(
+        cold_start_speedup >= 1.0,
+        "acceptance: a disk hit must not be slower than the full pipeline, got {cold_start_speedup:.2}x"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let point = format!(
+        "{{\"bench\": \"artifact_io\", \"mode\": \"{}\", \"program\": \"bv\", \
+         \"artifact_bytes\": {size}, \"encode_us\": {:.3}, \"decode_us\": {:.3}, \
+         \"pipeline_cold_us\": {:.1}, \"disk_cold_us\": {:.1}, \"cold_start_speedup\": {:.2}}}",
+        if smoke { "smoke" } else { "full" },
+        us(encode),
+        us(decode),
+        us(pipeline_cold),
+        us(disk_cold),
+        cold_start_speedup,
+    );
+    append_trajectory_point(&point);
+}

@@ -1,0 +1,230 @@
+//! The conformance suite: golden artifact hashes, golden replay traces,
+//! fast-path validation against the scalar reference interpreter, a
+//! sabotage-detection check, and artifact round-trip stability over the
+//! generated corpus.
+//!
+//! Regenerate goldens after an intentional compiler change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p asdf-conformance
+//! ```
+
+use asdf_conformance::{check_golden, corpus, difftest_corpus, example_corpus, TRACE_SEED};
+use asdf_core::{compiled_to_artifact, CompileRequest, Session};
+use asdf_difftest::gen::{gen_case, GenOptions};
+use asdf_ir::GateKind;
+use asdf_qcircuit::CircuitOp;
+use asdf_sim::trace::{record_trace, replay_divergence, state_digest, Trace};
+use asdf_sim::Simulator;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// Every corpus entry's artifact content hash, pinned in one golden
+/// file: any semantic change to what the compiler produces for these
+/// programs shows up as a reviewed diff.
+#[test]
+fn artifact_content_hashes_match_goldens() {
+    let mut listing = String::new();
+    for entry in corpus() {
+        let _ = writeln!(listing, "{} {:016x}", entry.name, entry.content_hash());
+    }
+    check_golden("artifact_hashes.txt", &listing);
+}
+
+/// Every static-circuit corpus entry's seeded execution trace, replayed
+/// against the freshly compiled circuit: a miscompiled step is caught at
+/// the first diverging gate.
+#[test]
+fn golden_traces_replay_without_divergence() {
+    let mut traced = 0;
+    for entry in corpus() {
+        let (_, compiled) = entry.compile();
+        let Some(circuit) = &compiled.circuit else {
+            continue; // e.g. teleport: no static circuit, hash-only entry
+        };
+        traced += 1;
+        let trace = record_trace(circuit, TRACE_SEED);
+        let text = trace.to_text();
+        assert_eq!(
+            Trace::from_text(&text).as_ref(),
+            Ok(&trace),
+            "trace text must round-trip for {}",
+            entry.name
+        );
+        check_golden(&format!("traces/{}.trace", entry.name), &text);
+
+        // Replaying the checked-in golden against the fresh circuit must
+        // be step-for-step clean.
+        let golden_text = std::fs::read_to_string(
+            asdf_conformance::golden_dir().join(format!("traces/{}.trace", entry.name)),
+        )
+        .expect("golden trace exists (run GOLDEN_REGEN=1 cargo test -p asdf-conformance)");
+        let golden = Trace::from_text(&golden_text).expect("golden trace parses");
+        if let Some(divergence) = replay_divergence(&golden, circuit) {
+            panic!(
+                "golden trace for {} diverged: {divergence}\n\
+                 If intentional, regenerate with GOLDEN_REGEN=1 cargo test -p asdf-conformance",
+                entry.name
+            );
+        }
+    }
+    assert!(traced >= 10, "most of the corpus must carry traces (got {traced})");
+}
+
+/// The fused / kernel-based fast paths must agree step-for-final-state
+/// with the scalar reference interpreter: same seed, same measured bits,
+/// same quantized final-state digest — single-threaded and threaded.
+#[test]
+fn fast_paths_agree_with_the_scalar_reference() {
+    let mut checked = 0;
+    for entry in corpus() {
+        let (_, compiled) = entry.compile();
+        let Some(circuit) = &compiled.circuit else { continue };
+        let reference = record_trace(circuit, TRACE_SEED);
+        for threads in [1, 2] {
+            let mut simulator = Simulator::with_threads(TRACE_SEED, threads);
+            let run = simulator.run(circuit);
+            assert_eq!(
+                run.bits, reference.bits,
+                "{} (threads={threads}): fast path measured different bits",
+                entry.name
+            );
+            assert_eq!(
+                state_digest(&run.state),
+                reference.final_digest,
+                "{} (threads={threads}): fast path final state diverged",
+                entry.name
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "most of the corpus must be checked (got {checked})");
+}
+
+/// A sabotaged pass — here simulated by mutating one compiled gate —
+/// must be caught by trace replay, at the exact step it corrupts.
+#[test]
+fn sabotaged_circuits_are_caught_by_replay() {
+    let entry = &example_corpus()[0]; // quickstart
+    let (_, compiled) = entry.compile();
+    let circuit = compiled.circuit.as_ref().expect("quickstart inlines");
+    let golden = record_trace(circuit, TRACE_SEED);
+    assert_eq!(replay_divergence(&golden, circuit), None, "clean circuit replays clean");
+
+    // Flip the first Hadamard into a Z, as a miscompiled pass would.
+    let mut sabotaged = circuit.clone();
+    let step = sabotaged
+        .ops
+        .iter()
+        .position(|op| matches!(op, CircuitOp::Gate { gate: GateKind::H, .. }))
+        .expect("quickstart starts in superposition");
+    let CircuitOp::Gate { controls, targets, .. } = sabotaged.ops[step].clone() else {
+        unreachable!()
+    };
+    sabotaged.ops[step] = CircuitOp::Gate { gate: GateKind::Z, controls, targets };
+    let divergence = replay_divergence(&golden, &sabotaged).expect("sabotage must be caught");
+    assert_eq!(divergence.step, step, "divergence pinpoints the corrupted step");
+
+    // Dropping a trailing op is caught as a length divergence.
+    let mut truncated = circuit.clone();
+    truncated.ops.pop();
+    assert!(replay_divergence(&golden, &truncated).is_some());
+}
+
+/// Artifact round-trip stability over the generated corpus: for every
+/// difftest entry, encode → decode → re-encode is byte-identical and
+/// preserves the content hash.
+#[test]
+fn generated_artifacts_round_trip_byte_identically() {
+    for entry in difftest_corpus() {
+        let (_, compiled) = entry.compile();
+        let artifact = compiled_to_artifact(&compiled, vec![0xc0, 0x4f]);
+        let bytes = artifact.encode();
+        let decoded = asdf_artifact::Artifact::decode(&bytes)
+            .unwrap_or_else(|e| panic!("{} failed to decode: {e}", entry.name));
+        assert_eq!(decoded.encode(), bytes, "{}: re-encode must be byte-identical", entry.name);
+        assert_eq!(decoded.content_hash(), artifact.content_hash(), "{}", entry.name);
+        assert_eq!(decoded.entry, artifact.entry, "{}", entry.name);
+        assert_eq!(decoded.circuit, artifact.circuit, "{}", entry.name);
+    }
+}
+
+/// Compiles one freshly generated difftest case and asserts its artifact
+/// encodes, decodes, and re-encodes byte-identically.
+fn round_trip_generated(sweep_seed: u64, index: usize) {
+    let rendered = gen_case(sweep_seed, index, &GenOptions::default()).render();
+    let Ok(session) = Session::new(&rendered.source) else { return };
+    let mut request = CompileRequest::kernel(&rendered.kernel).with_captures(&rendered.captures);
+    for (name, value) in &rendered.dims {
+        request = request.with_dim(name, *value);
+    }
+    let Ok(compiled) = session.compile(&request) else { return };
+    let artifact = compiled_to_artifact(&compiled, vec![sweep_seed as u8, index as u8]);
+    let bytes = artifact.encode();
+    let decoded = asdf_artifact::Artifact::decode(&bytes)
+        .unwrap_or_else(|e| panic!("seed {sweep_seed} case {index} failed to decode: {e}"));
+    assert_eq!(
+        decoded.encode(),
+        bytes,
+        "seed {sweep_seed} case {index}: re-encode must be byte-identical"
+    );
+}
+
+proptest! {
+    /// Random difftest programs round-trip through the artifact format
+    /// byte-identically — the serializer has no program-shape blind spots.
+    #[test]
+    fn random_generated_artifacts_round_trip(
+        sweep_seed in 0u64..1u64 << 32,
+        index in 0usize..8,
+    ) {
+        round_trip_generated(sweep_seed, index);
+    }
+}
+
+/// A small end-to-end disk-cache sweep: the whole corpus compiled twice
+/// over one cache directory — the second pass must run zero pipelines
+/// and produce identical content hashes.
+#[test]
+fn corpus_sweep_with_disk_cache_is_hit_stable() {
+    let dir = std::env::temp_dir().join(format!("asdf-conformance-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let entries = corpus();
+
+    let compile_all = |expect_fresh: bool| -> Vec<u64> {
+        entries
+            .iter()
+            .map(|entry| {
+                let session: Session = Session::builder(&entry.source)
+                    .disk_cache(&dir)
+                    .build()
+                    .expect("session builds");
+                let request = CompileRequest::kernel(&entry.kernel)
+                    .with_captures(&entry.captures)
+                    .with_options(entry.options.clone());
+                let compiled = session.compile(&request).expect("corpus compiles");
+                let stats = session.cache_stats();
+                if expect_fresh {
+                    assert_eq!(
+                        stats.artifact_misses, 1,
+                        "{}: first pass runs the pipeline",
+                        entry.name
+                    );
+                } else {
+                    assert_eq!(
+                        stats.artifact_misses, 0,
+                        "{}: second pass must not run the pipeline",
+                        entry.name
+                    );
+                    assert_eq!(stats.disk_hits, 1, "{}: second pass hits the disk", entry.name);
+                }
+                compiled_to_artifact(&compiled, Vec::new()).content_hash()
+            })
+            .collect()
+    };
+
+    let fresh = compile_all(true);
+    let revived = compile_all(false);
+    assert_eq!(fresh, revived, "disk-revived artifacts hash identically");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,11 +29,14 @@ pub enum CoreError {
     /// A hardware-target failure: unparseable target name, circuit over
     /// device capacity, or a routed circuit failing validation.
     Target(String),
+    /// A persisted artifact failed to decode: wrong version, corruption,
+    /// or truncation. The payload keeps the structured decode error.
+    Artifact(asdf_artifact::ArtifactError),
 }
 
 impl CoreError {
     /// The stable error code: frontend codes `E0001`–`E0006`, core codes
-    /// `E0101`–`E0105`.
+    /// `E0101`–`E0106`.
     pub fn code(&self) -> &'static str {
         match self {
             CoreError::Frontend(e) => e.code(),
@@ -42,6 +45,7 @@ impl CoreError {
             CoreError::Unsupported(_) => "E0103",
             CoreError::Backend(_) => "E0104",
             CoreError::Target(_) => "E0105",
+            CoreError::Artifact(e) => e.code(),
         }
     }
 
@@ -61,6 +65,9 @@ impl CoreError {
             }
             CoreError::Backend(m) => Diagnostic::error(self.code(), format!("backend error: {m}")),
             CoreError::Target(m) => Diagnostic::error(self.code(), format!("target error: {m}")),
+            CoreError::Artifact(e) => {
+                Diagnostic::error(self.code(), format!("artifact error: {e}"))
+            }
         }
     }
 }
@@ -74,6 +81,7 @@ impl fmt::Display for CoreError {
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CoreError::Backend(m) => write!(f, "backend error: {m}"),
             CoreError::Target(m) => write!(f, "target error: {m}"),
+            CoreError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -113,5 +121,11 @@ impl From<asdf_codegen::BackendError> for CoreError {
 impl From<asdf_target::TargetError> for CoreError {
     fn from(e: asdf_target::TargetError) -> Self {
         CoreError::Target(e.to_string())
+    }
+}
+
+impl From<asdf_artifact::ArtifactError> for CoreError {
+    fn from(e: asdf_artifact::ArtifactError) -> Self {
+        CoreError::Artifact(e)
     }
 }

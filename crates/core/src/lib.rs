@@ -31,6 +31,7 @@ pub mod canon;
 pub mod classical;
 pub mod compiler;
 pub mod convert;
+pub mod diskcache;
 pub mod error;
 pub(crate) mod gates;
 pub mod lower;
@@ -43,5 +44,6 @@ pub mod synth;
 pub use asdf_ir::pass::{PassStat, PassStatistics};
 pub use asdf_qcircuit::decompose::DecomposeStyle;
 pub use compiler::{CompileOptions, Compiled, Compiler};
+pub use diskcache::{DiskCache, DiskLookup};
 pub use error::CoreError;
-pub use session::{CacheStats, CompileRequest, Session, SessionBuilder};
+pub use session::{compiled_to_artifact, CacheStats, CompileRequest, Session, SessionBuilder};

@@ -70,8 +70,10 @@
 //! simulator backend.
 
 use crate::compiler::{CompileOptions, Compiled};
+use crate::diskcache::{DiskCache, DiskLookup, DEFAULT_DISK_CAPACITY};
 use crate::error::CoreError;
 use crate::lower::lower_kernel;
+use asdf_artifact::Artifact;
 use asdf_ast::ast::Program;
 use asdf_ast::canon::canonicalize as ast_canonicalize;
 use asdf_ast::expand::{instantiate, CaptureValue};
@@ -84,6 +86,7 @@ use asdf_qcircuit::decompose::{decompose, DecomposeStyle};
 use asdf_qcircuit::reg2mem::lower_to_circuit;
 use asdf_sim::SimBackend;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -561,6 +564,18 @@ pub struct CacheStats {
     /// Wall-clock of whole compilations avoided by artifact hits and
     /// coalesced waits.
     pub artifact_saved: Duration,
+    /// Disk-cache hits: the artifact was revived from a persisted file
+    /// instead of running the pipeline. Always 0 without a disk cache.
+    pub disk_hits: u64,
+    /// Disk-cache probes that found no usable entry (only counted when a
+    /// disk cache is configured).
+    pub disk_misses: u64,
+    /// Artifacts persisted to the disk cache.
+    pub disk_writes: u64,
+    /// Disk entries that failed to decode and were quarantined.
+    pub disk_quarantined: u64,
+    /// Disk entries evicted by the on-disk capacity bound.
+    pub disk_evictions: u64,
 }
 
 impl CacheStats {
@@ -594,6 +609,11 @@ impl CacheStats {
         self.frontend_spent += other.frontend_spent;
         self.frontend_saved += other.frontend_saved;
         self.artifact_saved += other.artifact_saved;
+        self.disk_hits += other.disk_hits;
+        self.disk_misses += other.disk_misses;
+        self.disk_writes += other.disk_writes;
+        self.disk_quarantined += other.disk_quarantined;
+        self.disk_evictions += other.disk_evictions;
     }
 }
 
@@ -612,6 +632,11 @@ struct SharedStats {
     frontend_spent_ns: AtomicU64,
     frontend_saved_ns: AtomicU64,
     artifact_saved_ns: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_quarantined: AtomicU64,
+    disk_evictions: AtomicU64,
 }
 
 impl SharedStats {
@@ -627,6 +652,11 @@ impl SharedStats {
             frontend_spent: Duration::from_nanos(self.frontend_spent_ns.load(Relaxed)),
             frontend_saved: Duration::from_nanos(self.frontend_saved_ns.load(Relaxed)),
             artifact_saved: Duration::from_nanos(self.artifact_saved_ns.load(Relaxed)),
+            disk_hits: self.disk_hits.load(Relaxed),
+            disk_misses: self.disk_misses.load(Relaxed),
+            disk_writes: self.disk_writes.load(Relaxed),
+            disk_quarantined: self.disk_quarantined.load(Relaxed),
+            disk_evictions: self.disk_evictions.load(Relaxed),
         }
     }
 
@@ -765,6 +795,8 @@ pub struct SessionBuilder {
     artifact_capacity: usize,
     shards: usize,
     backends: BackendRegistry,
+    disk_cache: Option<PathBuf>,
+    disk_capacity: usize,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -774,6 +806,7 @@ impl std::fmt::Debug for SessionBuilder {
             .field("artifact_capacity", &self.artifact_capacity)
             .field("shards", &self.shards)
             .field("backends", &self.backends.names())
+            .field("disk_cache", &self.disk_cache)
             .finish_non_exhaustive()
     }
 }
@@ -788,6 +821,8 @@ impl SessionBuilder {
             artifact_capacity: DEFAULT_ARTIFACT_CAPACITY,
             shards: DEFAULT_SHARDS,
             backends,
+            disk_cache: None,
+            disk_capacity: DEFAULT_DISK_CAPACITY,
         }
     }
 
@@ -822,6 +857,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Layers a persistent on-disk artifact cache (rooted at `dir`)
+    /// under the in-memory LRU. Compiled artifacts are written to disk
+    /// (atomic write-then-rename) and revived on later misses — including
+    /// after a process restart or from another process sharing the
+    /// directory. Corrupt entries are quarantined, I/O failures degrade
+    /// to cache misses, and the [`CacheStats`] `disk_*` counters report
+    /// the traffic.
+    #[must_use]
+    pub fn disk_cache(mut self, dir: impl Into<PathBuf>) -> SessionBuilder {
+        self.disk_cache = Some(dir.into());
+        self
+    }
+
+    /// Bound on live entries in the disk cache directory (default
+    /// [`DEFAULT_DISK_CAPACITY`]); the oldest entries are evicted beyond
+    /// it.
+    #[must_use]
+    pub fn disk_cache_capacity(mut self, entries: usize) -> SessionBuilder {
+        self.disk_capacity = entries;
+        self
+    }
+
     /// Parses the source and builds the session.
     ///
     /// # Errors
@@ -831,6 +888,15 @@ impl SessionBuilder {
     pub fn build(self) -> Result<Session, CoreError> {
         let program = parse_program(&self.source)?;
         let source_hash = fnv1a(self.source.as_bytes());
+        let disk = match self.disk_cache {
+            None => None,
+            Some(dir) => Some(DiskCache::open(&dir, self.disk_capacity).map_err(|e| {
+                CoreError::Artifact(asdf_artifact::ArtifactError::Io(format!(
+                    "cannot open disk cache at {}: {e}",
+                    dir.display()
+                )))
+            })?),
+        };
         Ok(Session {
             source: self.source,
             source_hash,
@@ -841,6 +907,7 @@ impl SessionBuilder {
             frontend_inflight: Inflight::new(),
             artifact_inflight: Inflight::new(),
             stats: SharedStats::default(),
+            disk,
         })
     }
 }
@@ -862,6 +929,7 @@ pub struct Session {
     frontend_inflight: Inflight<FrontendKey, Arc<Frontend>>,
     artifact_inflight: Inflight<ArtifactKey, CachedArtifact>,
     stats: SharedStats,
+    disk: Option<DiskCache>,
 }
 
 impl std::fmt::Debug for Session {
@@ -985,6 +1053,43 @@ impl Session {
                 Ok(artifact)
             }
             Claim::Leader(guard) => {
+                // Disk layer between the in-memory LRU and the pipeline.
+                // Only the leader probes the file, so concurrent identical
+                // requests coalesce onto one disk read exactly as they
+                // coalesce onto one pipeline run.
+                let key_bytes = self.disk.as_ref().map(|_| encode_artifact_key(&key));
+                if let (Some(disk), Some(key_bytes)) = (&self.disk, &key_bytes) {
+                    let started = Instant::now();
+                    match disk.load(artifact_hash, key_bytes) {
+                        DiskLookup::Hit(stored) => {
+                            self.stats.disk_hits.fetch_add(1, Relaxed);
+                            return match self.revive(request, frontend_hash, *stored) {
+                                Ok(artifact) => {
+                                    let cost = started.elapsed();
+                                    let evicted = self.artifacts.insert(
+                                        artifact_hash,
+                                        key,
+                                        (Arc::clone(&artifact), cost),
+                                    );
+                                    self.stats.evictions.fetch_add(evicted, Relaxed);
+                                    guard.finish(Ok((Arc::clone(&artifact), cost)));
+                                    Ok(artifact)
+                                }
+                                Err(e) => {
+                                    guard.finish(Err(e.clone()));
+                                    Err(e)
+                                }
+                            };
+                        }
+                        DiskLookup::Quarantined(_) => {
+                            self.stats.disk_quarantined.fetch_add(1, Relaxed);
+                            self.stats.disk_misses.fetch_add(1, Relaxed);
+                        }
+                        DiskLookup::Miss => {
+                            self.stats.disk_misses.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
                 self.stats.artifact_misses.fetch_add(1, Relaxed);
                 let started = Instant::now();
                 match self.compile_cold(request, frontend_hash) {
@@ -999,6 +1104,15 @@ impl Session {
                         );
                         self.stats.evictions.fetch_add(evicted, Relaxed);
                         guard.finish(Ok((Arc::clone(&artifact), cost)));
+                        // Persist after publishing: a write failure costs
+                        // nothing but the persistence.
+                        if let (Some(disk), Some(key_bytes)) = (&self.disk, key_bytes) {
+                            let stored = compiled_to_artifact(&artifact, key_bytes);
+                            if let Some(evicted) = disk.store(artifact_hash, &stored) {
+                                self.stats.disk_writes.fetch_add(1, Relaxed);
+                                self.stats.disk_evictions.fetch_add(evicted, Relaxed);
+                            }
+                        }
                         Ok(artifact)
                     }
                     Err(e) => {
@@ -1092,6 +1206,34 @@ impl Session {
             stats,
             lints,
         }))
+    }
+
+    /// Revives a disk-cached artifact into a [`Compiled`]: everything but
+    /// the typed kernel comes from the file; the kernel is re-derived
+    /// through the (cached, coalesced) frontend. Frontend work is *not*
+    /// pipeline work — a revived artifact still counts as "no pipeline
+    /// run".
+    fn revive(
+        &self,
+        request: &CompileRequest,
+        frontend_hash: u64,
+        stored: Artifact,
+    ) -> Result<Arc<Compiled>, CoreError> {
+        let frontend = self.frontend_for(request, frontend_hash)?;
+        Ok(Arc::new(Compiled {
+            module: stored.module,
+            entry: stored.entry,
+            circuit: stored.circuit,
+            routing: stored.routing,
+            kernel: frontend.kernel.clone(),
+            stats: stored.stats,
+            lints: stored.lints,
+        }))
+    }
+
+    /// The persistent disk cache, when one was configured.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
     /// The shared frontend for a request: cache hit, coalesced wait, or a
@@ -1269,6 +1411,84 @@ fn artifact_hash(frontend_hash: u64, options: &CompileOptions) -> u64 {
         }
     }
     h.finish()
+}
+
+/// Converts a compiled result into its serializable artifact form. The
+/// typed kernel is deliberately not serialized: it is re-derived through
+/// the frontend on revival, which keeps the format free of AST
+/// internals. `key` holds the canonical cache-key bytes the disk cache
+/// verifies on load; pass an empty vec when only the content hash
+/// matters.
+pub fn compiled_to_artifact(compiled: &Compiled, key: Vec<u8>) -> Artifact {
+    Artifact {
+        entry: compiled.entry.clone(),
+        module: compiled.module.clone(),
+        circuit: compiled.circuit.clone(),
+        routing: compiled.routing.clone(),
+        stats: compiled.stats.clone(),
+        lints: compiled.lints.clone(),
+        key,
+    }
+}
+
+/// Canonical byte encoding of an [`ArtifactKey`]: two structurally equal
+/// keys encode identically, and any difference (kernel, captures, sorted
+/// dims, or any pipeline option) changes the bytes. Stored inside each
+/// disk entry so a lookup verifies the full key rather than trusting the
+/// 64-bit filename hash.
+fn encode_artifact_key(key: &ArtifactKey) -> Vec<u8> {
+    let mut e = asdf_artifact::Encoder::new();
+    e.u64(key.frontend.source_hash);
+    e.str(&key.frontend.kernel);
+    e.usize(key.frontend.captures.len());
+    for capture in &key.frontend.captures {
+        encode_capture(&mut e, capture);
+    }
+    e.usize(key.frontend.dims.len());
+    for (name, value) in &key.frontend.dims {
+        e.str(name);
+        e.i64(*value);
+    }
+    e.bool(key.inline);
+    e.bool(key.peephole);
+    e.u8(key.decompose);
+    e.bool(key.verify);
+    e.bool(key.lints);
+    match key.rewrite_fuel {
+        None => e.u8(0),
+        Some(fuel) => {
+            e.u8(1);
+            e.u64(fuel);
+        }
+    }
+    match &key.target {
+        None => e.u8(0),
+        Some(name) => {
+            e.u8(1);
+            e.str(name);
+        }
+    }
+    e.into_bytes()
+}
+
+fn encode_capture(e: &mut asdf_artifact::Encoder, capture: &CaptureValue) {
+    match capture {
+        CaptureValue::Bits(bits) => {
+            e.u8(0);
+            e.usize(bits.len());
+            for bit in bits {
+                e.bool(*bit);
+            }
+        }
+        CaptureValue::CFunc { name, captures } => {
+            e.u8(1);
+            e.str(name);
+            e.usize(captures.len());
+            for nested in captures {
+                encode_capture(e, nested);
+            }
+        }
+    }
 }
 
 /// Kernels referenced as function values from the body.
@@ -1488,6 +1708,82 @@ mod tests {
             Vec::<String>::new(),
             "a correct kernel produces zero default-severity lints"
         );
+    }
+
+    #[test]
+    fn disk_cache_survives_session_restart() {
+        let dir = std::env::temp_dir().join(format!("asdf-session-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let source = "qpu bell() -> bit[2] {
+            'p' + '0' | ('1' & std.flip) | std[2].measure
+        }";
+        let request = CompileRequest::kernel("bell");
+
+        let first = Session::builder(source).disk_cache(&dir).build().expect("build");
+        let cold = first.compile(&request).expect("cold compile");
+        let stats = first.cache_stats();
+        assert_eq!(stats.disk_misses, 1, "first compile probes and misses the disk");
+        assert_eq!(stats.disk_writes, 1, "the artifact is persisted");
+        assert_eq!(stats.artifact_misses, 1);
+        // A repeat within the session is a warm in-memory hit: no second
+        // disk probe.
+        let warm = first.compile(&request).expect("warm compile");
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(first.cache_stats().disk_misses, 1);
+        drop(first);
+
+        // A fresh session over the same directory revives the artifact
+        // from disk: frontend work runs, the pipeline does not.
+        let second = Session::builder(source).disk_cache(&dir).build().expect("rebuild");
+        let revived = second.compile(&request).expect("revived compile");
+        let stats = second.cache_stats();
+        assert_eq!(stats.disk_hits, 1, "restart serves from disk");
+        assert_eq!(stats.artifact_misses, 0, "no pipeline run after restart");
+        assert_eq!(revived.entry, cold.entry);
+        assert_eq!(revived.circuit, cold.circuit);
+        assert_eq!(revived.module.funcs(), cold.module.funcs());
+        assert_eq!(second.cache_stats().disk_writes, 0, "a disk hit is not re-persisted");
+
+        // Different options miss on disk (the stored key differs) and
+        // trigger a fresh pipeline run.
+        let no_opt = CompileRequest::kernel("bell").with_options(CompileOptions::no_opt());
+        second.compile(&no_opt).expect("different-options compile");
+        let stats = second.cache_stats();
+        assert_eq!(stats.disk_misses, 1);
+        assert_eq!(stats.artifact_misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_quarantines_corruption_and_recovers() {
+        let dir =
+            std::env::temp_dir().join(format!("asdf-session-quarantine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let source = "qpu k() -> bit[1] { '0' | std.measure }";
+        let request = CompileRequest::kernel("k");
+
+        let first = Session::builder(source).disk_cache(&dir).build().expect("build");
+        first.compile(&request).expect("compile");
+        drop(first);
+
+        // Corrupt every stored entry in place.
+        for entry in std::fs::read_dir(&dir).expect("read dir").flatten() {
+            let path = entry.path();
+            let mut bytes = std::fs::read(&path).expect("read entry");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, &bytes).expect("rewrite entry");
+        }
+
+        let second = Session::builder(source).disk_cache(&dir).build().expect("rebuild");
+        let artifact = second.compile(&request).expect("compile still succeeds");
+        let stats = second.cache_stats();
+        assert_eq!(stats.disk_quarantined, 1, "the corrupt entry was quarantined");
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.artifact_misses, 1, "the pipeline re-ran");
+        assert_eq!(stats.disk_writes, 1, "the rebuilt artifact was re-persisted");
+        assert!(artifact.circuit.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn main() -> ExitCode {
     let mut show_stats = false;
     let mut lint = false;
     let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,6 +53,10 @@ fn main() -> ExitCode {
                 Some(v) if v >= 1 => jobs = Some(v),
                 _ => return usage("--jobs needs an integer >= 1"),
             },
+            "--cache-dir" => match take_value(&mut i) {
+                Some(dir) => cache_dir = Some(dir),
+                None => return usage("--cache-dir needs a directory path"),
+            },
             "--no-shrink" => opts.shrink = false,
             "--fuel-bisect" => opts.fuel_bisect = true,
             "--lint" => lint = true,
@@ -59,8 +64,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: difftest [--seed N] [--cases N] [--max-width W] \
-                     [--shots N] [--dyn-shots N] [--jobs N] [--no-shrink] \
-                     [--fuel-bisect] [--lint] [--stats]"
+                     [--shots N] [--dyn-shots N] [--jobs N] [--cache-dir PATH] \
+                     [--no-shrink] [--fuel-bisect] [--lint] [--stats]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -85,6 +90,10 @@ fn main() -> ExitCode {
         // doubles as a lint soundness check: any warning is a false
         // positive.
         harness = harness.with_lints();
+    }
+    if let Some(dir) = cache_dir {
+        println!("difftest: persisting artifacts under {dir}");
+        harness = harness.with_disk_cache(dir);
     }
     let start = std::time::Instant::now();
     let report = harness.run_sweep(&opts);

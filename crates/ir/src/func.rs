@@ -32,6 +32,26 @@ pub struct Func {
 }
 
 impl Func {
+    /// Reassembles a function from its parts, e.g. when deserializing.
+    ///
+    /// The caller is responsible for `value_types` covering every value
+    /// referenced by `body`; [`crate::verify`] checks the result like
+    /// any other function.
+    pub fn from_parts(
+        name: impl Into<String>,
+        ty: FuncType,
+        visibility: Visibility,
+        body: Block,
+        value_types: Vec<Type>,
+    ) -> Func {
+        Func { name: name.into(), ty, visibility, body, value_types }
+    }
+
+    /// The types of every SSA value in the arena, indexed by value.
+    pub fn value_types(&self) -> &[Type] {
+        &self.value_types
+    }
+
     /// The type of an SSA value of this function.
     ///
     /// # Panics

@@ -4,11 +4,15 @@
 //! compile-server                      # serve stdin → stdout
 //! compile-server --listen 127.0.0.1:7878   # serve TCP, thread per connection
 //! compile-server --sessions 16       # bound the live-session registry
+//! compile-server --cache-dir .asdf-cache  # persist artifacts across restarts
+//! compile-server artifact inspect a.asdfart  # describe an artifact file
 //! ```
 //!
 //! Every connection shares one [`CompileServer`], so identical requests
 //! from different clients hit the same sharded caches and coalesce onto
-//! the same in-flight pipeline runs.
+//! the same in-flight pipeline runs. With `--cache-dir`, compiled
+//! artifacts also persist to disk: a restarted server pointed at the
+//! same directory serves them back without re-running the pipeline.
 
 use asdf_server::CompileServer;
 use std::net::TcpListener;
@@ -16,10 +20,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("artifact") {
+        return artifact_command(&args[1..]);
+    }
+
     let mut listen: Option<String> = None;
     let mut sessions = asdf_server::DEFAULT_SESSION_CAPACITY;
+    let mut cache_dir: Option<String> = None;
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,10 +46,20 @@ fn main() -> ExitCode {
                 }
                 _ => return usage("--sessions needs an integer >= 1"),
             },
+            "--cache-dir" => match args.get(i + 1) {
+                Some(dir) => {
+                    cache_dir = Some(dir.clone());
+                    i += 1;
+                }
+                None => return usage("--cache-dir needs a directory path"),
+            },
             "--help" | "-h" => {
-                println!("usage: compile-server [--listen ADDR] [--sessions N]");
+                println!("usage: compile-server [--listen ADDR] [--sessions N] [--cache-dir PATH]");
+                println!("       compile-server artifact inspect FILE");
                 println!("serves line-delimited JSON (op: compile | emit | lint | stats);");
-                println!("stdio by default, TCP with --listen");
+                println!("stdio by default, TCP with --listen;");
+                println!("--cache-dir persists compiled artifacts across restarts;");
+                println!("`artifact inspect` describes a cached .asdfart file");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other}")),
@@ -48,7 +67,18 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let server = Arc::new(CompileServer::with_session_capacity(sessions));
+    let mut server = CompileServer::with_session_capacity(sessions);
+    if let Some(dir) = cache_dir {
+        server = match server.with_cache_dir(&dir) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("compile-server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("compile-server: persisting artifacts under {dir}");
+    }
+    let server = Arc::new(server);
     let result = match listen {
         None => {
             let stdin = std::io::stdin();
@@ -74,6 +104,53 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("compile-server: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `compile-server artifact inspect FILE`: print the container header,
+/// versions, section table, and content hash of one artifact file
+/// without fully materializing the module.
+fn artifact_command(args: &[String]) -> ExitCode {
+    let [subcommand, rest @ ..] = args else {
+        return usage("artifact needs a subcommand (inspect)");
+    };
+    if subcommand != "inspect" {
+        return usage(&format!("unknown artifact subcommand {subcommand}"));
+    }
+    let [path] = rest else {
+        return usage("artifact inspect needs exactly one file argument");
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("compile-server: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match asdf_artifact::inspect(&bytes) {
+        Err(error) => {
+            eprintln!("compile-server: {path}: [{}] {error}", error.code());
+            ExitCode::FAILURE
+        }
+        Ok(info) => {
+            println!("{path}: ASDF artifact");
+            println!("  format version: {}", info.format_version);
+            println!("  schema version: {}", info.schema_version);
+            println!("  total size:     {} bytes", info.total_len);
+            println!("  checksum:       {:016x}", info.checksum);
+            println!("  content hash:   {:016x}", info.content_hash);
+            println!("  entry kernel:   {}", info.entry);
+            println!("  sections:");
+            for section in &info.sections {
+                println!(
+                    "    {:>8}  id {:>3}  {:>8} bytes",
+                    asdf_artifact::section_name(section.id),
+                    section.id,
+                    section.len,
+                );
+            }
+            ExitCode::SUCCESS
         }
     }
 }

@@ -16,12 +16,13 @@
 pub mod json;
 pub mod proto;
 
-use asdf_core::{CacheStats, CoreError, Session};
+use asdf_core::{CacheStats, CoreError, DiskCache, Session};
 use json::Value;
 use proto::{CompileCall, Request};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Default bound on concurrently live sessions (distinct source texts).
@@ -37,6 +38,9 @@ pub struct CompileServer {
     /// Successful compiles per hardware target (ALL_TO_ALL when none),
     /// surviving session eviction — stats report the server's lifetime.
     target_counts: Mutex<BTreeMap<String, u64>>,
+    /// The persistent artifact store every session is layered over, when
+    /// the server was started with a cache directory.
+    disk: Option<DiskCache>,
 }
 
 /// LRU over live sessions: the session itself is the unit of eviction
@@ -69,7 +73,35 @@ impl CompileServer {
                 capacity: capacity.max(1),
             }),
             target_counts: Mutex::new(BTreeMap::new()),
+            disk: None,
         }
+    }
+
+    /// Layers every session over a persistent artifact cache rooted at
+    /// `dir`, so compiled artifacts survive server restarts: a restarted
+    /// server pointed at the same directory serves previously compiled
+    /// requests from disk without re-running the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Fails (as an artifact-storage [`CoreError`]) when the directory
+    /// cannot be created.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Result<CompileServer, CoreError> {
+        let dir = dir.into();
+        let cache =
+            DiskCache::open(&dir, asdf_core::diskcache::DEFAULT_DISK_CAPACITY).map_err(|e| {
+                CoreError::Artifact(asdf_artifact::ArtifactError::Io(format!(
+                    "cannot open disk cache at {}: {e}",
+                    dir.display()
+                )))
+            })?;
+        self.disk = Some(cache);
+        Ok(self)
+    }
+
+    /// The configured cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(DiskCache::dir)
     }
 
     /// The shared session for `source`, created (and cached) on first use.
@@ -86,7 +118,11 @@ impl CompileServer {
             *stamp = tick;
             return Ok(Arc::clone(session));
         }
-        let session = Arc::new(Session::new(source)?);
+        let mut builder = Session::builder(source);
+        if let Some(disk) = &self.disk {
+            builder = builder.disk_cache(disk.dir()).disk_cache_capacity(disk.capacity());
+        }
+        let session = Arc::new(builder.build()?);
         if registry.sessions.len() >= registry.capacity {
             if let Some(stalest) = registry
                 .sessions
@@ -219,6 +255,25 @@ impl CompileServer {
             ("artifact_misses".into(), Value::int(stats.artifact_misses as i64)),
             ("artifact_coalesced".into(), Value::int(stats.artifact_coalesced as i64)),
             ("evictions".into(), Value::int(stats.evictions as i64)),
+            ("disk_hits".into(), Value::int(stats.disk_hits as i64)),
+            ("disk_misses".into(), Value::int(stats.disk_misses as i64)),
+            ("disk_writes".into(), Value::int(stats.disk_writes as i64)),
+            ("disk_quarantined".into(), Value::int(stats.disk_quarantined as i64)),
+            ("disk_evictions".into(), Value::int(stats.disk_evictions as i64)),
+            (
+                "cache_dir".into(),
+                match &self.disk {
+                    None => Value::Null,
+                    Some(disk) => {
+                        let (entries, bytes) = disk.usage();
+                        Value::Object(vec![
+                            ("path".into(), Value::String(disk.dir().display().to_string())),
+                            ("entries".into(), Value::int(entries as i64)),
+                            ("bytes".into(), Value::int(bytes as i64)),
+                        ])
+                    }
+                },
+            ),
         ])
     }
 

@@ -149,6 +149,45 @@ fn session_registry_is_bounded_lru() {
 }
 
 #[test]
+fn restarted_server_serves_artifacts_from_the_cache_dir() {
+    let dir = std::env::temp_dir().join(format!("asdf-server-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let line = compile_line("1101");
+
+    // First server lifetime: compile once, persisting the artifact.
+    {
+        let server = CompileServer::new().with_cache_dir(&dir).expect("open cache dir");
+        assert_eq!(server.cache_dir(), Some(dir.as_path()));
+        let response = parse(&server.handle_line(&line)).unwrap();
+        assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+        let stats = parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(stats.get("disk_misses").and_then(Value::as_i64), Some(1), "{stats}");
+        assert_eq!(stats.get("disk_writes").and_then(Value::as_i64), Some(1), "{stats}");
+        assert_eq!(stats.get("artifact_misses").and_then(Value::as_i64), Some(1), "{stats}");
+        let cache = stats.get("cache_dir").expect("cache_dir block");
+        assert_eq!(cache.get("entries").and_then(Value::as_i64), Some(1), "{stats}");
+        assert!(cache.get("bytes").and_then(Value::as_i64).unwrap() > 0, "{stats}");
+    } // server dropped: every in-memory cache is gone
+
+    // Second lifetime over the same directory: the compile is served
+    // from disk — zero pipeline runs.
+    let server = CompileServer::new().with_cache_dir(&dir).expect("reopen cache dir");
+    let response = parse(&server.handle_line(&line)).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)), "{response}");
+    let circuit = response.get("circuit").expect("revived artifact still has its circuit");
+    assert_eq!(circuit.get("bits").and_then(Value::as_i64), Some(4));
+    let stats = parse(&server.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    assert_eq!(stats.get("disk_hits").and_then(Value::as_i64), Some(1), "{stats}");
+    assert_eq!(stats.get("artifact_misses").and_then(Value::as_i64), Some(0), "{stats}");
+
+    // A server without --cache-dir reports no cache block.
+    let plain = CompileServer::new();
+    let stats = parse(&plain.handle_line(r#"{"op":"stats"}"#)).unwrap();
+    assert_eq!(stats.get("cache_dir"), Some(&Value::Null));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tcp_round_trip_with_concurrent_clients() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     let addr = listener.local_addr().unwrap();

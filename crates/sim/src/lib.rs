@@ -26,6 +26,7 @@ pub mod kernel;
 pub mod run;
 pub mod simd;
 pub mod state;
+pub mod trace;
 
 pub use backend::SimBackend;
 pub use batch::{batched_columns, batched_program_columns, batched_program_columns_threads};
@@ -39,3 +40,4 @@ pub use run::{
     PARALLEL_STATE_MIN,
 };
 pub use state::{checked_amplitude_count, StateVector, MAX_QUBITS};
+pub use trace::{record_trace, replay_divergence, state_digest, Divergence, Trace, TraceEvent};
